@@ -1,0 +1,153 @@
+//===- bench/Harness.h - shared benchmark harness -------------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure-reproduction benchmarks: a collecting
+/// google-benchmark reporter, env-var scaling knobs, the word-count
+/// template dispatcher, and the paper-vs-measured verdict printer every
+/// binary ends with (EXPERIMENTS.md quotes those verdicts).
+///
+/// Env knobs:
+///   MOMA_BENCH_FAST=1        quick mode (small sizes, short timings)
+///   MOMA_BENCH_MAX_LOG2N=k   cap NTT sizes at 2^k
+///   MOMA_BENCH_ELEMS=n       vector length for the BLAS figure
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_BENCH_HARNESS_H
+#define MOMA_BENCH_HARNESS_H
+
+#include "support/Format.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace moma {
+namespace bench {
+
+/// True when the quick-mode env knob is set.
+inline bool fastMode() {
+  const char *V = std::getenv("MOMA_BENCH_FAST");
+  return V && V[0] && V[0] != '0';
+}
+
+/// Integer env knob with default.
+inline unsigned envUnsigned(const char *Name, unsigned Def) {
+  const char *V = std::getenv(Name);
+  if (!V || !V[0])
+    return Def;
+  return static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+}
+
+/// Largest log2(NTT size) the sweep benches use.
+inline unsigned maxLog2N(unsigned Def) {
+  unsigned Cap = envUnsigned("MOMA_BENCH_MAX_LOG2N", Def);
+  return fastMode() ? std::min(Cap, 10u) : Cap;
+}
+
+/// google-benchmark reporter that records adjusted per-iteration real time
+/// (nanoseconds) per benchmark while still printing the console table.
+class Collector : public benchmark::ConsoleReporter {
+public:
+  std::map<std::string, double> RealNs;
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      if (R.run_type == Run::RT_Iteration) {
+        // GetAdjustedRealTime is in the run's display unit; normalize to ns.
+        double UnitPerSec = benchmark::GetTimeUnitMultiplier(R.time_unit);
+        RealNs[R.benchmark_name()] =
+            R.GetAdjustedRealTime() * (1e9 / UnitPerSec);
+      }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+};
+
+/// Looks up a collected time; returns -1 when the series was skipped.
+/// UseRealTime() benchmarks report under "<name>/real_time".
+inline double lookupNs(const Collector &C, const std::string &Name) {
+  auto It = C.RealNs.find(Name);
+  if (It == C.RealNs.end())
+    It = C.RealNs.find(Name + "/real_time");
+  return It == C.RealNs.end() ? -1.0 : It->second;
+}
+
+/// Prints one shape-verdict line: the paper claims Who wins by
+/// PaperFactor; we measured MeasuredFactor. "SHAPE OK" when the winner
+/// matches (factor sizes may differ across substrates — see DESIGN.md).
+inline void verdict(const std::string &Label, double MeasuredFactor,
+                    double PaperFactor) {
+  bool SameWinner = (MeasuredFactor >= 1.0) == (PaperFactor >= 1.0);
+  std::printf("  %-58s measured %7.2fx   paper %7.2fx   %s\n", Label.c_str(),
+              MeasuredFactor, PaperFactor,
+              SameWinner ? "SHAPE OK" : "SHAPE DIVERGES");
+}
+
+/// Prints a section banner.
+inline void banner(const std::string &Title) {
+  std::printf("\n================================================================\n"
+              "%s\n"
+              "================================================================\n",
+              Title.c_str());
+}
+
+/// Runs all registered benchmarks through a Collector and returns it.
+inline Collector runAll(int &Argc, char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  Collector C;
+  benchmark::RunSpecifiedBenchmarks(&C);
+  return C;
+}
+
+/// RegisterBenchmark accepting std::string names (the installed
+/// google-benchmark only has the const char* overload).
+template <typename Lambda>
+benchmark::internal::Benchmark *registerBench(const std::string &Name,
+                                              Lambda &&Fn) {
+  return benchmark::RegisterBenchmark(Name.c_str(),
+                                      std::forward<Lambda>(Fn));
+}
+
+/// Calls Fn with std::integral_constant<unsigned, W> for the runtime word
+/// count W in [1, 16]; the dispatcher behind the width sweeps.
+template <typename Fn> void withWordCount(unsigned W, Fn &&F) {
+  switch (W) {
+#define MOMA_CASE(N)                                                           \
+  case N:                                                                      \
+    F(std::integral_constant<unsigned, N>{});                                  \
+    return;
+    MOMA_CASE(1)
+    MOMA_CASE(2)
+    MOMA_CASE(3)
+    MOMA_CASE(4)
+    MOMA_CASE(5)
+    MOMA_CASE(6)
+    MOMA_CASE(7)
+    MOMA_CASE(8)
+    MOMA_CASE(9)
+    MOMA_CASE(10)
+    MOMA_CASE(11)
+    MOMA_CASE(12)
+    MOMA_CASE(13)
+    MOMA_CASE(14)
+    MOMA_CASE(15)
+    MOMA_CASE(16)
+#undef MOMA_CASE
+  default:
+    std::fprintf(stderr, "unsupported word count %u\n", W);
+    std::abort();
+  }
+}
+
+} // namespace bench
+} // namespace moma
+
+#endif // MOMA_BENCH_HARNESS_H

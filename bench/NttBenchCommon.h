@@ -1,0 +1,107 @@
+//===- bench/NttBenchCommon.h - shared NTT benchmark pieces ----*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the NTT figures (1, 3, 4, 5a, 5b): plan
+/// construction, batched steady-state measurement (paper §5.1:
+/// t_single = t_all / batch, minimized over batch sizes), and the
+/// runtime-per-butterfly metric 2*t_single / (n log2 n).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_BENCH_NTTBENCHCOMMON_H
+#define MOMA_BENCH_NTTBENCHCOMMON_H
+
+#include "Harness.h"
+
+#include "baselines/GmpLike.h"
+#include "ntt/Ntt.h"
+#include "support/Rng.h"
+
+#include <memory>
+
+namespace moma {
+namespace bench {
+
+/// One ready-to-run NTT workload at W words.
+template <unsigned W> struct NttWorkload {
+  field::PrimeField<W> F;
+  ntt::NttPlan<W> Plan;
+  sim::Device Dev;
+  size_t Batch;
+  std::vector<typename field::PrimeField<W>::Element> Data;
+
+  NttWorkload(const mw::Bignum &Q, size_t N, size_t Batch,
+              const sim::DeviceProfile &Profile,
+              mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook)
+      : F(Q, Alg), Plan(F, N), Dev(Profile), Batch(Batch) {
+    Rng R(0xA11CE + W + N);
+    Data.resize(N * Batch);
+    for (auto &E : Data)
+      E = F.fromBignum(mw::Bignum::random(R, Q));
+  }
+
+  /// One timed step: a full batch of forward transforms. Re-transforming
+  /// already-transformed data is fine — inputs are arbitrary field vectors.
+  void step() { Plan.forwardBatch(Dev, Data.data(), Batch); }
+
+  double nsPerButterfly(double StepNs) const {
+    return StepNs / double(Batch) / double(Plan.butterflies());
+  }
+};
+
+/// Registers "moma/ntt/<bits>/n<logn>" over the simulated device.
+/// Returns the name for later lookup.
+template <unsigned W>
+std::string registerMomaNtt(unsigned LogN, size_t Batch,
+                            const sim::DeviceProfile &Profile,
+                            mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook,
+                            const char *Tag = "moma") {
+  unsigned Bits = 64 * W;
+  unsigned Adicity = std::max(24u, LogN + 1);
+  mw::Bignum Q = field::evalModulus(Bits, Adicity);
+  std::string Name = formatv("%s/ntt/%u/n%u", Tag, Bits, LogN);
+  auto Work = std::make_shared<NttWorkload<W>>(Q, size_t(1) << LogN, Batch,
+                                               Profile, Alg);
+  benchmark::RegisterBenchmark(Name.c_str(), [Work](benchmark::State &S) {
+    for (auto _ : S)
+      Work->step();
+  })->Unit(benchmark::kMillisecond)->UseRealTime();
+  return Name;
+}
+
+/// Registers the generic-multiprecision NTT baseline (Figure 4's "GMP"
+/// series) at sizes small enough to finish.
+inline std::string registerGmpLikeNtt(unsigned Bits, unsigned LogN) {
+  mw::Bignum Q = field::evalModulus(Bits, std::max(24u, LogN + 1));
+  std::string Name = formatv("gmplike/ntt/%u/n%u", Bits, LogN);
+  auto Plan = std::make_shared<baselines::GmpLikeNtt>(Q, size_t(1) << LogN);
+  auto Data = std::make_shared<std::vector<mw::Bignum>>();
+  Rng R(0xBA5E + Bits + LogN);
+  for (size_t I = 0; I < (size_t(1) << LogN); ++I)
+    Data->push_back(mw::Bignum::random(R, Q));
+  benchmark::RegisterBenchmark(Name.c_str(), [Plan, Data](benchmark::State &S) {
+    for (auto _ : S)
+      Plan->forward(*Data);
+  })->Unit(benchmark::kMillisecond)->UseRealTime();
+  return Name;
+}
+
+/// ns/butterfly for a collected series (Batch = 1 for the baseline).
+inline double nsPerButterfly(const Collector &C, const std::string &Name,
+                             unsigned LogN, size_t Batch) {
+  double StepNs = lookupNs(C, Name);
+  if (StepNs < 0)
+    return -1;
+  double Flies = double(size_t(1) << LogN) / 2.0 * LogN;
+  return StepNs / double(Batch) / Flies;
+}
+
+} // namespace bench
+} // namespace moma
+
+#endif // MOMA_BENCH_NTTBENCHCOMMON_H

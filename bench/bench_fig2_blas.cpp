@@ -1,0 +1,239 @@
+//===- bench/bench_fig2_blas.cpp - Paper Figure 2 ------------------------------===//
+//
+// Figure 2: BLAS operations (vmul, vadd, vsub, axpy) at 128/256/512/1024
+// bits — MoMA vs the generic-multiprecision baseline (GMP stand-in) vs the
+// RNS baseline (GRNS stand-in), ns per element.
+//
+// Paper claims reproduced as shape:
+//   * MoMA beats both baselines on every op and width (>= 13x in the
+//     paper's GPU-vs-GPU/CPU setting).
+//   * For add/sub, RNS beats the generic library (pointwise residues);
+//     for mul-based kernels the generic library narrows or wins because
+//     RNS must leave the residue domain to reduce mod q.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "baselines/GmpLike.h"
+#include "baselines/Rns.h"
+#include "field/PrimeField.h"
+#include "kernels/BlasRuntime.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace moma;
+using namespace moma::bench;
+using mw::Bignum;
+
+namespace {
+
+const unsigned Widths[] = {128, 256, 512, 1024};
+const char *OpNames[] = {"vmul", "vadd", "vsub", "axpy"};
+
+struct SeriesElems {
+  std::map<std::string, size_t> N;
+} GElems;
+
+/// Per-width fixture shared by all series at that width.
+template <unsigned W> struct Fixture {
+  field::PrimeField<W> F;
+  kernels::BlasRuntime<W> Blas;
+  baselines::GmpLikeVec Gmp;
+  baselines::RnsContext Rns;
+  sim::Device Dev;
+  std::vector<typename field::PrimeField<W>::Element> A, B, C;
+  std::vector<Bignum> ABig, BBig, CBig;
+  std::vector<std::uint64_t> ARns, BRns, CRns, SRns;
+  std::vector<std::uint64_t> ARnsFull, BRnsFull, CRnsFull;
+  Bignum SBig;
+
+  explicit Fixture(size_t N)
+      : F(field::PrimeField<W>::evaluationField(8)), Blas(F),
+        Gmp(F.modulusBig()),
+        Rns(baselines::RnsContext::forModulusBits(64 * W - 4)) {
+    Rng R(0xF162 + W);
+    const Bignum &Q = F.modulusBig();
+    SBig = Bignum::random(R, Q);
+    for (size_t I = 0; I < N; ++I) {
+      ABig.push_back(Bignum::random(R, Q));
+      BBig.push_back(Bignum::random(R, Q));
+      A.push_back(F.fromBignum(ABig.back()));
+      B.push_back(F.fromBignum(BBig.back()));
+    }
+    // The RNS series uses fewer elements: its general-q reduction is orders
+    // of magnitude slower and ns/element is size-independent.
+    size_t RnsN = std::max<size_t>(N / 64, 8);
+    SRns = Rns.encode(SBig);
+    for (size_t I = 0; I < N; ++I) {
+      auto RA = Rns.encode(ABig[I]), RB = Rns.encode(BBig[I]);
+      ARnsFull.insert(ARnsFull.end(), RA.begin(), RA.end());
+      BRnsFull.insert(BRnsFull.end(), RB.begin(), RB.end());
+      if (I < RnsN) {
+        ARns.insert(ARns.end(), RA.begin(), RA.end());
+        BRns.insert(BRns.end(), RB.begin(), RB.end());
+      }
+    }
+  }
+
+  size_t rnsElems() const { return ARns.size() / Rns.numChannels(); }
+};
+
+template <unsigned W> Fixture<W> &fixture(size_t N) {
+  static Fixture<W> F(N);
+  return F;
+}
+
+template <unsigned W> void registerWidth(size_t N) {
+  Fixture<W> &Fx = fixture<W>(N);
+  unsigned Bits = 64 * W;
+  auto Name = [&](const char *Impl, const char *Op) {
+    return formatv("%s/%s/%u", Impl, Op, Bits);
+  };
+
+  // MoMA (fixed-width multi-word, the generated-code-equivalent runtime).
+  GElems.N[Name("moma", "vmul")] = N;
+  registerBench(Name("moma", "vmul"), [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Blas.vmul(Fx.Dev, Fx.A, Fx.B, Fx.C);
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("moma", "vadd")] = N;
+  registerBench(Name("moma", "vadd"), [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Blas.vadd(Fx.Dev, Fx.A, Fx.B, Fx.C);
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("moma", "vsub")] = N;
+  registerBench(Name("moma", "vsub"), [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Blas.vsub(Fx.Dev, Fx.A, Fx.B, Fx.C);
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("moma", "axpy")] = N;
+  registerBench(Name("moma", "axpy"), [&Fx](benchmark::State &S) {
+    auto SElem = Fx.F.fromBignum(Fx.SBig);
+    for (auto _ : S) {
+      Fx.C = Fx.B;
+      Fx.Blas.axpy(Fx.Dev, SElem, Fx.A, Fx.C);
+    }
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+  // Generic multiprecision (GMP stand-in).
+  GElems.N[Name("gmplike", "vmul")] = N;
+  registerBench(Name("gmplike", "vmul"),
+                               [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Gmp.vmul(Fx.Dev, Fx.ABig, Fx.BBig, Fx.CBig);
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("gmplike", "vadd")] = N;
+  registerBench(Name("gmplike", "vadd"),
+                               [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Gmp.vadd(Fx.Dev, Fx.ABig, Fx.BBig, Fx.CBig);
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("gmplike", "vsub")] = N;
+  registerBench(Name("gmplike", "vsub"),
+                               [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Gmp.vsub(Fx.Dev, Fx.ABig, Fx.BBig, Fx.CBig);
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("gmplike", "axpy")] = N;
+  registerBench(Name("gmplike", "axpy"),
+                               [&Fx](benchmark::State &S) {
+    for (auto _ : S) {
+      Fx.CBig = Fx.BBig;
+      Fx.Gmp.axpy(Fx.Dev, Fx.SBig, Fx.ABig, Fx.CBig);
+    }
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+  // RNS (GRNS stand-in).
+  GElems.N[Name("rns", "vadd")] = Fx.ARnsFull.size() / Fx.Rns.numChannels();
+  registerBench(Name("rns", "vadd"), [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Rns.vaddFlat(Fx.Dev, Fx.ARnsFull, Fx.BRnsFull, Fx.CRnsFull);
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("rns", "vsub")] = Fx.ARnsFull.size() / Fx.Rns.numChannels();
+  registerBench(Name("rns", "vsub"), [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Rns.vsubFlat(Fx.Dev, Fx.ARnsFull, Fx.BRnsFull, Fx.CRnsFull);
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("rns", "vmul")] = Fx.rnsElems();
+  registerBench(Name("rns", "vmul"), [&Fx](benchmark::State &S) {
+    for (auto _ : S)
+      Fx.Rns.vmulModQFlat(Fx.Dev, Fx.ARns, Fx.BRns, Fx.CRns,
+                          Fx.F.modulusBig());
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+  GElems.N[Name("rns", "axpy")] = Fx.rnsElems();
+  registerBench(Name("rns", "axpy"), [&Fx](benchmark::State &S) {
+    for (auto _ : S) {
+      Fx.CRns = Fx.BRns;
+      Fx.Rns.vaxpyModQFlat(Fx.Dev, Fx.SRns, Fx.ARns, Fx.CRns,
+                           Fx.F.modulusBig());
+    }
+  })->Unit(benchmark::kMicrosecond)->UseRealTime();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = envUnsigned("MOMA_BENCH_ELEMS", fastMode() ? 2048 : 32768);
+  banner("Figure 2: BLAS operations over Z_q (ns per element)\n"
+         "MoMA vs generic multiprecision (GMP stand-in) vs RNS (GRNS "
+         "stand-in)");
+  std::printf("vector elements: %zu (RNS series uses a 1/64 slice)\n",
+              N);
+
+  registerWidth<2>(N);
+  registerWidth<4>(N);
+  registerWidth<8>(N / 2);
+  registerWidth<16>(N / 4);
+
+  Collector C = runAll(argc, argv);
+
+  banner("Figure 2 summary (ns/element)");
+  TextTable T({"op", "bits", "MoMA", "GMP-like", "RNS", "MoMA/GMP speedup",
+               "MoMA/RNS speedup"});
+  for (const char *Op : OpNames) {
+    for (unsigned Bits : Widths) {
+      auto PerElem = [&](const char *Impl) {
+        std::string Key = formatv("%s/%s/%u", Impl, Op, Bits);
+        double Ns = lookupNs(C, Key);
+        return Ns < 0 ? -1.0 : Ns / double(GElems.N[Key]);
+      };
+      double M = PerElem("moma"), G = PerElem("gmplike"), R = PerElem("rns");
+      T.addRow({Op, formatv("%u", Bits), formatNanos(M), formatNanos(G),
+                formatNanos(R), formatv("%.1fx", G / M),
+                formatv("%.1fx", R / M)});
+    }
+  }
+  std::printf("%s", T.render().c_str());
+
+  banner("Shape verdicts vs paper Figure 2");
+  for (const char *Op : OpNames) {
+    for (unsigned Bits : Widths) {
+      auto PerElem = [&](const char *Impl) {
+        std::string Key = formatv("%s/%s/%u", Impl, Op, Bits);
+        return lookupNs(C, Key) / double(GElems.N[Key]);
+      };
+      // The paper reports >= 13x over both baselines everywhere; the
+      // binary claim that survives the substrate change is "MoMA wins".
+      verdict(formatv("%s %u-bit: MoMA faster than GMP-like", Op, Bits),
+              PerElem("gmplike") / PerElem("moma"), 13.0);
+      verdict(formatv("%s %u-bit: MoMA faster than RNS", Op, Bits),
+              PerElem("rns") / PerElem("moma"), 13.0);
+    }
+  }
+  // The add/sub vs mul asymmetry of RNS (GRNS beats GMP on add/sub, loses
+  // ground on mul-based kernels).
+  for (unsigned Bits : Widths) {
+    auto PerElem = [&](const char *Impl, const char *Op) {
+      std::string Key = formatv("%s/%s/%u", Impl, Op, Bits);
+      return lookupNs(C, Key) / double(GElems.N[Key]);
+    };
+    verdict(formatv("%u-bit vadd: RNS faster than GMP-like", Bits),
+            PerElem("gmplike", "vadd") / PerElem("rns", "vadd"), 31.0);
+    verdict(formatv("%u-bit: RNS vmul much slower than RNS vadd", Bits),
+            PerElem("rns", "vmul") / PerElem("rns", "vadd"), 10.0);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

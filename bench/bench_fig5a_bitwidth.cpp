@@ -1,0 +1,68 @@
+//===- bench/bench_fig5a_bitwidth.cpp - Paper Figure 5a ------------------------===//
+//
+// Figure 5a: 4096-point NTT runtime against input bit-width (64..1024 in
+// 64-bit steps) on two device profiles. The paper reports near-linear
+// growth regions and successive doubling slowdowns of 2.9/5.6/4.8/4.7x
+// (H100) and 2.7/4/4.6/3.5x (RTX 4090).
+//
+//===----------------------------------------------------------------------===//
+
+#include "NttBenchCommon.h"
+
+using namespace moma;
+using namespace moma::bench;
+
+int main(int argc, char **argv) {
+  unsigned LogN = fastMode() ? 10 : 12; // paper: 4096 = 2^12
+  size_t Batch = 2;
+  banner(formatv("Figure 5a: 2^%u-point NTT runtime vs input bit-width, "
+                 "two device profiles",
+                 LogN));
+  std::printf("%s", sim::deviceTable().c_str());
+
+  std::vector<unsigned> WordCounts;
+  for (unsigned W = 1; W <= 16; W += fastMode() ? 3 : 1)
+    WordCounts.push_back(W);
+
+  for (unsigned W : WordCounts) {
+    withWordCount(W, [&](auto WC) {
+      constexpr unsigned WV = decltype(WC)::value;
+      registerMomaNtt<WV>(LogN, Batch, sim::deviceH100(),
+                          mw::MulAlgorithm::Schoolbook, "h100");
+      registerMomaNtt<WV>(LogN, Batch, sim::deviceV100(),
+                          mw::MulAlgorithm::Schoolbook, "v100");
+    });
+  }
+
+  Collector C = runAll(argc, argv);
+
+  banner("Figure 5a series (runtime per single NTT)");
+  TextTable T({"bits", "sim H100 profile", "sim V100 profile", "ratio"});
+  std::map<unsigned, double> H100Ns;
+  for (unsigned W : WordCounts) {
+    unsigned Bits = 64 * W;
+    double H = lookupNs(C, formatv("h100/ntt/%u/n%u", Bits, LogN)) / Batch;
+    double V = lookupNs(C, formatv("v100/ntt/%u/n%u", Bits, LogN)) / Batch;
+    H100Ns[Bits] = H;
+    T.addRow({formatv("%u", Bits), formatNanos(H), formatNanos(V),
+              formatv("%.2fx", V / H)});
+  }
+  std::printf("%s", T.render().c_str());
+
+  banner("Doubling slowdowns vs paper (H100 column)");
+  struct Step {
+    unsigned From, To;
+    double PaperH100;
+  };
+  const Step Steps[] = {
+      {64, 128, 2.9}, {128, 256, 5.6}, {256, 512, 4.8}, {512, 1024, 4.7}};
+  for (const Step &S : Steps) {
+    if (H100Ns.count(S.From) && H100Ns.count(S.To))
+      verdict(formatv("%u -> %u bits slowdown", S.From, S.To),
+              H100Ns[S.To] / H100Ns[S.From], S.PaperH100);
+  }
+  std::printf("\n  (paper RTX 4090 slowdowns for reference: 2.7, 4.0, 4.6, "
+              "3.5)\n");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- bench/bench_fig5b_mulalgo.cpp - Paper Figure 5b -------------------------===//
+//
+// Figure 5b: Karatsuba vs schoolbook double-word multiplication inside the
+// 4096-point NTT at 128/256/384/768 bits. The paper (RTX 4090) reports
+// Karatsuba 2.1x / 1.7x faster at 128/256 bits, parity at 384, and
+// schoolbook 1.6x faster at 768.
+//
+// Note on substrate: a GPU pays much more for a wide multiplier than a
+// modern x86 core does for one mulq, so the crossover point is expected
+// to shift here; the reproduced shape claim is the *trend* — Karatsuba's
+// advantage shrinks and eventually inverts as width grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "NttBenchCommon.h"
+
+using namespace moma;
+using namespace moma::bench;
+
+int main(int argc, char **argv) {
+  unsigned LogN = fastMode() ? 9 : 12; // paper: 4096 = 2^12
+  size_t Batch = 2;
+  banner(formatv("Figure 5b: Karatsuba vs schoolbook, 2^%u-point NTT", LogN));
+
+  const unsigned WordCounts[] = {2, 4, 6, 12}; // 128/256/384/768 bits
+
+  for (unsigned W : WordCounts) {
+    withWordCount(W, [&](auto WC) {
+      constexpr unsigned WV = decltype(WC)::value;
+      registerMomaNtt<WV>(LogN, Batch, sim::deviceH100(),
+                          mw::MulAlgorithm::Schoolbook, "school");
+      registerMomaNtt<WV>(LogN, Batch, sim::deviceH100(),
+                          mw::MulAlgorithm::Karatsuba, "karatsuba");
+    });
+  }
+
+  Collector C = runAll(argc, argv);
+
+  banner("Figure 5b series (runtime per single NTT)");
+  TextTable T({"bits", "schoolbook", "Karatsuba", "school/kara"});
+  std::map<unsigned, double> Ratio;
+  for (unsigned W : WordCounts) {
+    unsigned Bits = 64 * W;
+    double S = lookupNs(C, formatv("school/ntt/%u/n%u", Bits, LogN)) / Batch;
+    double K =
+        lookupNs(C, formatv("karatsuba/ntt/%u/n%u", Bits, LogN)) / Batch;
+    Ratio[Bits] = S / K;
+    T.addRow({formatv("%u", Bits), formatNanos(S), formatNanos(K),
+              formatv("%.2fx", S / K)});
+  }
+  std::printf("%s", T.render().c_str());
+
+  banner("Shape verdicts vs paper Figure 5b");
+  // Paper ratios (school/kara): 2.1 @128, 1.7 @256, ~1.0 @384, 0.63 @768.
+  verdict("128-bit school/kara ratio", Ratio[128], 2.1);
+  verdict("256-bit school/kara ratio", Ratio[256], 1.7);
+  verdict("768-bit school/kara ratio", Ratio[768], 0.63);
+  std::printf(
+      "  trend (advantage shrinks with width): %s\n",
+      Ratio[128] >= Ratio[768] ? "matches paper" : "DIVERGES (see note)");
+  benchmark::Shutdown();
+  return 0;
+}

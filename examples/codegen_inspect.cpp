@@ -1,0 +1,71 @@
+//===- examples/codegen_inspect.cpp - watch the rewrite system work ------------===//
+//
+// Usage: ./build/examples/codegen_inspect [container-bits] [modulus-bits]
+// (defaults: 128 124; try "512 377" to see the non-power-of-two pruning)
+//
+// Dumps the full pipeline for the NTT butterfly, the paper's central
+// kernel: abstract IR, each recursive lowering round (Table 1 rules),
+// simplification statistics, and the final C and CUDA translation units.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "codegen/CudaEmitter.h"
+#include "ir/Printer.h"
+#include "kernels/NttKernels.h"
+#include "rewrite/Simplify.h"
+#include "rewrite/Stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace moma;
+
+int main(int argc, char **argv) {
+  unsigned Container = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
+  unsigned ModBits = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
+  kernels::ScalarKernelSpec Spec{Container, ModBits};
+
+  std::printf("== building the %u-bit NTT butterfly (modulus %u bits) ==\n\n",
+              Container, Spec.modBits());
+  ir::Kernel K = kernels::buildButterflyKernel(Spec);
+  std::printf("%s\n", ir::printKernel(K).c_str());
+
+  std::printf("== recursive lowering (rules 19-29) ==\n");
+  rewrite::LowerOptions Opts;
+  ir::Kernel Cur = K;
+  while (Cur.maxBits() > Opts.TargetWordBits) {
+    unsigned From = Cur.maxBits();
+    Cur = rewrite::lowerOneLevel(Cur, Opts);
+    std::printf("  %4u -> %4u bits: %zu statements\n", From, Cur.maxBits(),
+                Cur.size());
+  }
+
+  rewrite::LoweredKernel L = rewrite::lowerToWords(K, Opts);
+  std::printf("\n== simplification (constant folding, zero-word pruning, "
+              "DCE) ==\n");
+  rewrite::OpStats Before = rewrite::countOps(L.K);
+  rewrite::SimplifyStats SS = rewrite::simplifyLowered(L);
+  rewrite::OpStats After = rewrite::countOps(L.K);
+  std::printf("  %u -> %u statements (folded %u, identities %u, "
+              "strength-reduced %u, dead %u)\n",
+              Before.Total, After.Total, SS.FoldedConst, SS.Identities,
+              SS.StrengthReduced, SS.DeadRemoved);
+  std::printf("\n  final op mix:\n%s\n", After.report().c_str());
+
+  std::printf("== port layout (stored words, msb first) ==\n");
+  for (const auto &P : L.Inputs)
+    std::printf("  in  %-3s %u container words, %u stored\n", P.Name.c_str(),
+                static_cast<unsigned>(P.Words.size()), P.storedWords());
+  for (const auto &P : L.Outputs)
+    std::printf("  out %-3s %u container words, %u stored\n", P.Name.c_str(),
+                static_cast<unsigned>(P.Words.size()), P.storedWords());
+
+  std::printf("\n== emitted C (compile-and-dlopen tested in the suite) ==\n");
+  codegen::EmittedKernel EK = codegen::emitC(L);
+  std::printf("%s\n", EK.Source.c_str());
+
+  std::printf("== emitted CUDA stage kernel ==\n");
+  std::printf("%s\n", kernels::emitNttCuda(Spec).c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- examples/fhe_vector_ops.cpp - FHE-style residue arithmetic --------------===//
+//
+// The paper's FHE motivation (§1): instead of decomposing ciphertext
+// coefficients into many small RNS residues, MoMA makes wide residues
+// affordable — "transitioning from 64-bit to 128-bit residues ... creates
+// opportunities to reduce the frequency of costly operations".
+//
+// This example compares two ways to run point-wise ciphertext
+// multiplication with a ~116-bit modulus (the paper's FHE reference uses
+// 116-bit [52]):
+//   a) MoMA: one 128-bit (2-word) residue channel, Barrett reduction;
+//   b) RNS:  31-bit prime channels with CRT-based reduction mod q.
+//
+// Usage: ./build/examples/fhe_vector_ops [num-elements]   (default 4096)
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Rns.h"
+#include "field/PrimeField.h"
+#include "kernels/BlasRuntime.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace moma;
+using mw::Bignum;
+
+int main(int argc, char **argv) {
+  size_t N = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4096;
+
+  field::PrimeField<2> F(field::nttPrime(116, 16));
+  kernels::BlasRuntime<2> Blas(F);
+  baselines::RnsContext Rns = baselines::RnsContext::forModulusBits(116);
+  sim::Device Dev;
+
+  std::printf("FHE-style point-wise ciphertext multiply, %zu elements\n",
+              N);
+  std::printf("modulus q: %u bits\n", F.modulusBig().bitWidth());
+  std::printf("MoMA representation: 2 x 64-bit words per element\n");
+  std::printf("RNS representation:  %zu x 31-bit channels per element\n\n",
+              Rns.numChannels());
+
+  Rng R(13);
+  std::vector<field::PrimeField<2>::Element> A(N), B(N), C;
+  std::vector<std::uint64_t> ARns, BRns, CRns;
+  std::vector<Bignum> ABig(N), BBig(N);
+  for (size_t I = 0; I < N; ++I) {
+    ABig[I] = Bignum::random(R, F.modulusBig());
+    BBig[I] = Bignum::random(R, F.modulusBig());
+    A[I] = F.fromBignum(ABig[I]);
+    B[I] = F.fromBignum(BBig[I]);
+    auto RA = Rns.encode(ABig[I]), RB = Rns.encode(BBig[I]);
+    ARns.insert(ARns.end(), RA.begin(), RA.end());
+    BRns.insert(BRns.end(), RB.begin(), RB.end());
+  }
+
+  auto TimeMs = [](auto Fn) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - T0)
+        .count();
+  };
+
+  double MomaMs = TimeMs([&] { Blas.vmul(Dev, A, B, C); });
+  double RnsMs =
+      TimeMs([&] { Rns.vmulModQFlat(Dev, ARns, BRns, CRns, F.modulusBig()); });
+
+  // Verify both against the oracle.
+  bool Ok = true;
+  for (size_t I = 0; I < N; ++I) {
+    Bignum Expect = ABig[I].mulMod(BBig[I], F.modulusBig());
+    Ok &= C[I].toBignum() == Expect;
+    std::vector<std::uint64_t> Ci(CRns.begin() + I * Rns.numChannels(),
+                                  CRns.begin() + (I + 1) * Rns.numChannels());
+    Ok &= Rns.decode(Ci) == Expect;
+  }
+
+  std::printf("MoMA 128-bit residues: %8.2f ms  (%.0f ns/element)\n", MomaMs,
+              MomaMs * 1e6 / double(N));
+  std::printf("RNS small residues:    %8.2f ms  (%.0f ns/element)\n", RnsMs,
+              RnsMs * 1e6 / double(N));
+  std::printf("MoMA advantage:        %8.1fx\n", RnsMs / MomaMs);
+  std::printf("results: %s\n", Ok ? "both correct" : "MISMATCH");
+  std::printf("\nThe RNS channels are cheap individually, but reducing mod "
+              "an\narbitrary q forces CRT reconstruction per element — "
+              "exactly the\nmodulus raising/reduction overhead MoMA "
+              "sidesteps (paper 1).\n");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+//===- baselines/GmpLike.cpp - Generic multiprecision baseline --------------===//
+
+#include "baselines/GmpLike.h"
+
+#include "field/RootOfUnity.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace moma;
+using namespace moma::baselines;
+using mw::Bignum;
+
+GmpLikeVec::GmpLikeVec(Bignum QIn) : Q(std::move(QIn)) {
+  if (Q < Bignum(2))
+    fatalError("GmpLikeVec: modulus must exceed 1");
+}
+
+void GmpLikeVec::vadd(const sim::Device &Dev, const std::vector<Bignum> &A,
+                      const std::vector<Bignum> &B,
+                      std::vector<Bignum> &C) const {
+  assert(A.size() == B.size());
+  C.resize(A.size());
+  Dev.parallelFor(A.size(),
+                  [&](std::uint64_t I) { C[I] = A[I].addMod(B[I], Q); });
+}
+
+void GmpLikeVec::vsub(const sim::Device &Dev, const std::vector<Bignum> &A,
+                      const std::vector<Bignum> &B,
+                      std::vector<Bignum> &C) const {
+  assert(A.size() == B.size());
+  C.resize(A.size());
+  Dev.parallelFor(A.size(),
+                  [&](std::uint64_t I) { C[I] = A[I].subMod(B[I], Q); });
+}
+
+void GmpLikeVec::vmul(const sim::Device &Dev, const std::vector<Bignum> &A,
+                      const std::vector<Bignum> &B,
+                      std::vector<Bignum> &C) const {
+  assert(A.size() == B.size());
+  C.resize(A.size());
+  Dev.parallelFor(A.size(),
+                  [&](std::uint64_t I) { C[I] = A[I].mulMod(B[I], Q); });
+}
+
+void GmpLikeVec::axpy(const sim::Device &Dev, const Bignum &S,
+                      const std::vector<Bignum> &X,
+                      std::vector<Bignum> &Y) const {
+  assert(X.size() == Y.size());
+  Dev.parallelFor(X.size(), [&](std::uint64_t I) {
+    Y[I] = S.mulMod(X[I], Q).addMod(Y[I], Q);
+  });
+}
+
+GmpLikeNtt::GmpLikeNtt(Bignum QIn, size_t NIn) : Q(std::move(QIn)), N(NIn) {
+  if (N < 2 || (N & (N - 1)) != 0)
+    fatalError("GmpLikeNtt: size must be a power of two >= 2");
+  while ((size_t(1) << LogN) < N)
+    ++LogN;
+
+  Bignum Root = field::rootOfUnity(Q, N);
+  Bignum RootInv = Root.invMod(Q);
+  NInv = Bignum(N).invMod(Q);
+
+  BitRev.resize(N);
+  for (size_t I = 0; I < N; ++I) {
+    size_t R = 0;
+    for (unsigned B = 0; B < LogN; ++B)
+      R |= ((I >> B) & 1) << (LogN - 1 - B);
+    BitRev[I] = static_cast<std::uint32_t>(R);
+  }
+
+  Twiddles.resize(N - 1);
+  InvTwiddles.resize(N - 1);
+  for (size_t Len = 1; Len < N; Len <<= 1) {
+    Bignum WLen = Root.powMod(Bignum(N / (2 * Len)), Q);
+    Bignum WLenInv = RootInv.powMod(Bignum(N / (2 * Len)), Q);
+    Bignum Cur(1), CurInv(1);
+    for (size_t J = 0; J < Len; ++J) {
+      Twiddles[Len - 1 + J] = Cur;
+      InvTwiddles[Len - 1 + J] = CurInv;
+      Cur = Cur.mulMod(WLen, Q);
+      CurInv = CurInv.mulMod(WLenInv, Q);
+    }
+  }
+}
+
+void GmpLikeNtt::transform(std::vector<Bignum> &X,
+                           const std::vector<Bignum> &Tw) const {
+  assert(X.size() == N && "input length must equal the plan size");
+  for (size_t I = 0; I < N; ++I)
+    if (I < BitRev[I])
+      std::swap(X[I], X[BitRev[I]]);
+  for (size_t Len = 1; Len < N; Len <<= 1) {
+    const Bignum *Stage = Tw.data() + (Len - 1);
+    for (size_t I0 = 0; I0 < N; I0 += 2 * Len) {
+      for (size_t J = 0; J < Len; ++J) {
+        Bignum T = X[I0 + J + Len].mulMod(Stage[J], Q);
+        Bignum U = X[I0 + J];
+        X[I0 + J] = U.addMod(T, Q);
+        X[I0 + J + Len] = U.subMod(T, Q);
+      }
+    }
+  }
+}
+
+void GmpLikeNtt::forward(std::vector<Bignum> &X) const {
+  transform(X, Twiddles);
+}
+
+void GmpLikeNtt::inverse(std::vector<Bignum> &X) const {
+  transform(X, InvTwiddles);
+  for (auto &V : X)
+    V = V.mulMod(NInv, Q);
+}

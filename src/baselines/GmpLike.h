@@ -1,0 +1,86 @@
+//===- baselines/GmpLike.h - Generic multiprecision baseline --*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GMP stand-in baseline (DESIGN.md §4): generic arbitrary-precision
+/// modular arithmetic on dynamically sized Bignum limbs with
+/// division-based reduction — the algorithmic class of GMP's generic mpz
+/// path that Figure 2 and Figure 4 compare MoMA against. Vector operations
+/// parallelize over the simulated device like the paper's OpenMP loop
+/// (§5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_BASELINES_GMPLIKE_H
+#define MOMA_BASELINES_GMPLIKE_H
+
+#include "mw/Bignum.h"
+#include "sim/Launch.h"
+
+#include <vector>
+
+namespace moma {
+namespace baselines {
+
+/// Element-wise modular BLAS on arbitrary-precision integers.
+class GmpLikeVec {
+public:
+  explicit GmpLikeVec(mw::Bignum Q);
+
+  const mw::Bignum &modulus() const { return Q; }
+
+  /// C[i] = (A[i] + B[i]) mod q.
+  void vadd(const sim::Device &Dev, const std::vector<mw::Bignum> &A,
+            const std::vector<mw::Bignum> &B,
+            std::vector<mw::Bignum> &C) const;
+  /// C[i] = (A[i] - B[i]) mod q.
+  void vsub(const sim::Device &Dev, const std::vector<mw::Bignum> &A,
+            const std::vector<mw::Bignum> &B,
+            std::vector<mw::Bignum> &C) const;
+  /// C[i] = (A[i] * B[i]) mod q.
+  void vmul(const sim::Device &Dev, const std::vector<mw::Bignum> &A,
+            const std::vector<mw::Bignum> &B,
+            std::vector<mw::Bignum> &C) const;
+  /// Y[i] = (S * X[i] + Y[i]) mod q (BLAS axpy, Eq. 10).
+  void axpy(const sim::Device &Dev, const mw::Bignum &S,
+            const std::vector<mw::Bignum> &X,
+            std::vector<mw::Bignum> &Y) const;
+
+private:
+  mw::Bignum Q;
+};
+
+/// Generic-multiprecision NTT (the "GMP-based NTT" series of Figure 4):
+/// same Cooley-Tukey schedule as ntt::NttPlan but with Bignum elements and
+/// division-based modular reduction.
+class GmpLikeNtt {
+public:
+  /// \p N must be a power of two with a primitive N-th root mod prime Q.
+  GmpLikeNtt(mw::Bignum Q, size_t N);
+
+  size_t size() const { return N; }
+
+  void forward(std::vector<mw::Bignum> &X) const;
+  void inverse(std::vector<mw::Bignum> &X) const;
+
+private:
+  void transform(std::vector<mw::Bignum> &X,
+                 const std::vector<mw::Bignum> &Tw) const;
+
+  mw::Bignum Q;
+  size_t N;
+  unsigned LogN = 0;
+  mw::Bignum NInv;
+  std::vector<std::uint32_t> BitRev;
+  std::vector<mw::Bignum> Twiddles;
+  std::vector<mw::Bignum> InvTwiddles;
+};
+
+} // namespace baselines
+} // namespace moma
+
+#endif // MOMA_BASELINES_GMPLIKE_H

@@ -1,0 +1,194 @@
+//===- baselines/Rns.cpp - Residue number system baseline -------------------===//
+
+#include "baselines/Rns.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace moma;
+using namespace moma::baselines;
+using mw::Bignum;
+
+bool moma::baselines::isPrimeU32(std::uint32_t N) {
+  if (N < 2)
+    return false;
+  for (std::uint32_t P : {2u, 3u, 5u, 7u, 11u, 13u}) {
+    if (N % P == 0)
+      return N == P;
+  }
+  // Miller-Rabin with bases 2, 7, 61 is deterministic below 2^32.
+  std::uint32_t D = N - 1;
+  unsigned S = 0;
+  while ((D & 1) == 0) {
+    D >>= 1;
+    ++S;
+  }
+  for (std::uint64_t A : {2ull, 7ull, 61ull}) {
+    std::uint64_t X = 1, Base = A % N, E = D;
+    if (Base == 0)
+      continue;
+    while (E) {
+      if (E & 1)
+        X = X * Base % N;
+      Base = Base * Base % N;
+      E >>= 1;
+    }
+    if (X == 1 || X == N - 1)
+      continue;
+    bool Witness = true;
+    for (unsigned I = 1; I < S; ++I) {
+      X = X * X % N;
+      if (X == N - 1) {
+        Witness = false;
+        break;
+      }
+    }
+    if (Witness)
+      return false;
+  }
+  return true;
+}
+
+RnsContext RnsContext::withRangeBits(unsigned Bits) {
+  RnsContext Ctx;
+  Ctx.M = Bignum(1);
+  // Descend from 2^31 so every channel is a ~31-bit prime (as in GRNS,
+  // residues fit comfortably in 64-bit lanes with no overflow in mul).
+  std::uint32_t Candidate = 0x7FFFFFFFu;
+  while (Ctx.M.bitWidth() <= Bits) {
+    while (!isPrimeU32(Candidate))
+      Candidate -= 2;
+    Ctx.Moduli.push_back(Candidate);
+    Ctx.M *= Bignum(Candidate);
+    Candidate -= 2;
+  }
+  // CRT weights.
+  Ctx.CrtWeights.reserve(Ctx.Moduli.size());
+  for (std::uint32_t Mi : Ctx.Moduli) {
+    Bignum MOverMi = Ctx.M / Bignum(Mi);
+    Bignum Inv = (MOverMi % Bignum(Mi)).invMod(Bignum(Mi));
+    Ctx.CrtWeights.push_back(MOverMi * Inv % Ctx.M);
+  }
+  return Ctx;
+}
+
+std::vector<std::uint64_t> RnsContext::encode(const Bignum &X) const {
+  assert(X < M && "value outside the RNS dynamic range");
+  std::vector<std::uint64_t> R(Moduli.size());
+  for (size_t I = 0; I < Moduli.size(); ++I)
+    R[I] = (X % Bignum(Moduli[I])).low64();
+  return R;
+}
+
+Bignum RnsContext::decode(const std::vector<std::uint64_t> &Residues) const {
+  assert(Residues.size() == Moduli.size() && "channel count mismatch");
+  Bignum Acc;
+  for (size_t I = 0; I < Moduli.size(); ++I)
+    Acc += CrtWeights[I] * Bignum(Residues[I]);
+  return Acc % M;
+}
+
+std::vector<std::uint64_t>
+RnsContext::add(const std::vector<std::uint64_t> &A,
+                const std::vector<std::uint64_t> &B) const {
+  std::vector<std::uint64_t> C(Moduli.size());
+  for (size_t I = 0; I < Moduli.size(); ++I) {
+    std::uint64_t S = A[I] + B[I];
+    C[I] = S >= Moduli[I] ? S - Moduli[I] : S;
+  }
+  return C;
+}
+
+std::vector<std::uint64_t>
+RnsContext::sub(const std::vector<std::uint64_t> &A,
+                const std::vector<std::uint64_t> &B) const {
+  std::vector<std::uint64_t> C(Moduli.size());
+  for (size_t I = 0; I < Moduli.size(); ++I)
+    C[I] = A[I] >= B[I] ? A[I] - B[I] : A[I] + Moduli[I] - B[I];
+  return C;
+}
+
+std::vector<std::uint64_t>
+RnsContext::mul(const std::vector<std::uint64_t> &A,
+                const std::vector<std::uint64_t> &B) const {
+  std::vector<std::uint64_t> C(Moduli.size());
+  for (size_t I = 0; I < Moduli.size(); ++I)
+    C[I] = A[I] * B[I] % Moduli[I];
+  return C;
+}
+
+std::vector<std::uint64_t>
+RnsContext::mulModQ(const std::vector<std::uint64_t> &A,
+                    const std::vector<std::uint64_t> &B,
+                    const Bignum &Q) const {
+  // Channel-wise product is exact below M (range chosen as 2*QBits+8),
+  // but reducing modulo an arbitrary q cannot stay in the residue
+  // domain: reconstruct, reduce, re-encode.
+  std::vector<std::uint64_t> P = mul(A, B);
+  return encode(decode(P) % Q);
+}
+
+void RnsContext::vaddFlat(const sim::Device &Dev,
+                          const std::vector<std::uint64_t> &A,
+                          const std::vector<std::uint64_t> &B,
+                          std::vector<std::uint64_t> &C) const {
+  assert(A.size() == B.size() && A.size() % Moduli.size() == 0);
+  C.resize(A.size());
+  size_t K = Moduli.size();
+  Dev.parallelFor(A.size() / K, [&](std::uint64_t E) {
+    for (size_t I = 0; I < K; ++I) {
+      std::uint64_t S = A[E * K + I] + B[E * K + I];
+      C[E * K + I] = S >= Moduli[I] ? S - Moduli[I] : S;
+    }
+  });
+}
+
+void RnsContext::vsubFlat(const sim::Device &Dev,
+                          const std::vector<std::uint64_t> &A,
+                          const std::vector<std::uint64_t> &B,
+                          std::vector<std::uint64_t> &C) const {
+  assert(A.size() == B.size() && A.size() % Moduli.size() == 0);
+  C.resize(A.size());
+  size_t K = Moduli.size();
+  Dev.parallelFor(A.size() / K, [&](std::uint64_t E) {
+    for (size_t I = 0; I < K; ++I) {
+      std::uint64_t X = A[E * K + I], Y = B[E * K + I];
+      C[E * K + I] = X >= Y ? X - Y : X + Moduli[I] - Y;
+    }
+  });
+}
+
+void RnsContext::vaxpyModQFlat(const sim::Device &Dev,
+                               const std::vector<std::uint64_t> &S,
+                               const std::vector<std::uint64_t> &X,
+                               std::vector<std::uint64_t> &Y,
+                               const mw::Bignum &Q) const {
+  assert(X.size() == Y.size() && X.size() % Moduli.size() == 0);
+  size_t K = Moduli.size();
+  Dev.parallelFor(X.size() / K, [&](std::uint64_t E) {
+    std::vector<std::uint64_t> Xi(X.begin() + E * K, X.begin() + (E + 1) * K);
+    std::vector<std::uint64_t> Yi(Y.begin() + E * K, Y.begin() + (E + 1) * K);
+    std::vector<std::uint64_t> P = mulModQ(S, Xi, Q);
+    // The sum of two reduced values stays within the dynamic range.
+    std::vector<std::uint64_t> R = add(P, Yi);
+    std::vector<std::uint64_t> Out = encode(decode(R) % Q);
+    std::copy(Out.begin(), Out.end(), Y.begin() + E * K);
+  });
+}
+
+void RnsContext::vmulModQFlat(const sim::Device &Dev,
+                              const std::vector<std::uint64_t> &A,
+                              const std::vector<std::uint64_t> &B,
+                              std::vector<std::uint64_t> &C,
+                              const Bignum &Q) const {
+  assert(A.size() == B.size() && A.size() % Moduli.size() == 0);
+  C.resize(A.size());
+  size_t K = Moduli.size();
+  Dev.parallelFor(A.size() / K, [&](std::uint64_t E) {
+    std::vector<std::uint64_t> Ai(A.begin() + E * K, A.begin() + (E + 1) * K);
+    std::vector<std::uint64_t> Bi(B.begin() + E * K, B.begin() + (E + 1) * K);
+    std::vector<std::uint64_t> Ci = mulModQ(Ai, Bi, Q);
+    std::copy(Ci.begin(), Ci.end(), C.begin() + E * K);
+  });
+}

@@ -1,0 +1,104 @@
+//===- baselines/Rns.h - Residue number system baseline -------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GRNS stand-in baseline (DESIGN.md §4): large integers represented
+/// by residues modulo pairwise-coprime 31-bit primes. Channel-wise
+/// add/sub/mul are cheap and embarrassingly parallel (the RNS strength the
+/// paper's Figure 2 shows for GRNS addition); arithmetic modulo an
+/// arbitrary q requires leaving the residue domain through CRT
+/// reconstruction (the RNS weakness: modulus raising/reduction overhead,
+/// paper §1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_BASELINES_RNS_H
+#define MOMA_BASELINES_RNS_H
+
+#include "mw/Bignum.h"
+#include "sim/Launch.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace moma {
+namespace baselines {
+
+/// Deterministic primality test for 32-bit integers (bases 2, 7, 61).
+bool isPrimeU32(std::uint32_t N);
+
+/// An RNS base with enough channels to represent \p Bits-bit products.
+class RnsContext {
+public:
+  /// Builds a base whose dynamic range M exceeds 2^Bits.
+  static RnsContext withRangeBits(unsigned Bits);
+
+  /// Convenience for modular work: range 2*QBits + 8 so that a full
+  /// product of two reduced values never wraps M.
+  static RnsContext forModulusBits(unsigned QBits) {
+    return withRangeBits(2 * QBits + 8);
+  }
+
+  size_t numChannels() const { return Moduli.size(); }
+  const std::vector<std::uint32_t> &moduli() const { return Moduli; }
+  const mw::Bignum &range() const { return M; }
+
+  /// Residue vector of \p X (one entry per channel). Requires X < M.
+  std::vector<std::uint64_t> encode(const mw::Bignum &X) const;
+
+  /// CRT reconstruction (the expensive direction).
+  mw::Bignum decode(const std::vector<std::uint64_t> &Residues) const;
+
+  // Channel-wise arithmetic in the residue domain (exact as long as the
+  // true integer result stays below M).
+  std::vector<std::uint64_t> add(const std::vector<std::uint64_t> &A,
+                                 const std::vector<std::uint64_t> &B) const;
+  std::vector<std::uint64_t> sub(const std::vector<std::uint64_t> &A,
+                                 const std::vector<std::uint64_t> &B) const;
+  std::vector<std::uint64_t> mul(const std::vector<std::uint64_t> &A,
+                                 const std::vector<std::uint64_t> &B) const;
+
+  /// (a * b) mod q for arbitrary q: channel-wise multiply, then CRT
+  /// reconstruction and division-based reduction, then re-encode — the
+  /// general-modulus path a GRNS-class library must take.
+  std::vector<std::uint64_t> mulModQ(const std::vector<std::uint64_t> &A,
+                                     const std::vector<std::uint64_t> &B,
+                                     const mw::Bignum &Q) const;
+
+  /// Element-wise vector versions over the simulated device (Figure 2).
+  /// Residues are stored contiguously: element i occupies
+  /// [i*numChannels(), (i+1)*numChannels()).
+  void vaddFlat(const sim::Device &Dev, const std::vector<std::uint64_t> &A,
+                const std::vector<std::uint64_t> &B,
+                std::vector<std::uint64_t> &C) const;
+  void vsubFlat(const sim::Device &Dev, const std::vector<std::uint64_t> &A,
+                const std::vector<std::uint64_t> &B,
+                std::vector<std::uint64_t> &C) const;
+  void vmulModQFlat(const sim::Device &Dev,
+                    const std::vector<std::uint64_t> &A,
+                    const std::vector<std::uint64_t> &B,
+                    std::vector<std::uint64_t> &C,
+                    const mw::Bignum &Q) const;
+  /// y = (s*x + y) mod q element-wise (axpy through the general-q path).
+  void vaxpyModQFlat(const sim::Device &Dev,
+                     const std::vector<std::uint64_t> &S,
+                     const std::vector<std::uint64_t> &X,
+                     std::vector<std::uint64_t> &Y,
+                     const mw::Bignum &Q) const;
+
+private:
+  std::vector<std::uint32_t> Moduli;
+  mw::Bignum M;
+  /// CRT weights: W_i = (M / m_i) * ((M / m_i)^-1 mod m_i), so that
+  /// decode(r) = sum r_i * W_i mod M.
+  std::vector<mw::Bignum> CrtWeights;
+};
+
+} // namespace baselines
+} // namespace moma
+
+#endif // MOMA_BASELINES_RNS_H

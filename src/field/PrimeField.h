@@ -1,0 +1,91 @@
+//===- field/PrimeField.h - Prime field over MWUInt -----------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A prime field Z_q over W-word MoMA integers: Barrett-reduced arithmetic
+/// (the paper's default) plus root-of-unity and inverse utilities needed by
+/// the NTT engine. This is the type the example applications work with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_FIELD_PRIMEFIELD_H
+#define MOMA_FIELD_PRIMEFIELD_H
+
+#include "field/PrimeGen.h"
+#include "field/RootOfUnity.h"
+#include "mw/Barrett.h"
+
+namespace moma {
+namespace field {
+
+/// Z_q with W-word elements and Barrett reduction.
+template <unsigned W> class PrimeField {
+public:
+  using Element = mw::MWUInt<W>;
+
+  PrimeField() = default;
+
+  /// Builds the field for prime modulus \p Q (bit-width <= 64*W - 4).
+  explicit PrimeField(const mw::Bignum &Q,
+                      mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook)
+      : QBig(Q), Ctx(mw::Barrett<W>::create(Q, Alg)) {}
+
+  /// The evaluation field of the paper for a 64*W-bit container: modulus of
+  /// bit-width 64*W - 4 with 2-adicity \p TwoAdicity.
+  static PrimeField evaluationField(
+      unsigned TwoAdicity = 24,
+      mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook) {
+    return PrimeField(evalModulus(64 * W, TwoAdicity), Alg);
+  }
+
+  const mw::Bignum &modulusBig() const { return QBig; }
+  const Element &modulus() const { return Ctx.modulus(); }
+  const mw::Barrett<W> &barrett() const { return Ctx; }
+
+  Element zero() const { return Element(); }
+  Element one() const { return Element::fromWord(1); }
+
+  /// Reduces an arbitrary Bignum into the field.
+  Element fromBignum(const mw::Bignum &N) const {
+    return Element::fromBignum(N % QBig);
+  }
+
+  Element add(const Element &A, const Element &B) const {
+    return Ctx.addMod(A, B);
+  }
+  Element sub(const Element &A, const Element &B) const {
+    return Ctx.subMod(A, B);
+  }
+  Element mul(const Element &A, const Element &B) const {
+    return Ctx.mulMod(A, B);
+  }
+  Element neg(const Element &A) const { return Ctx.subMod(zero(), A); }
+
+  Element pow(const Element &Base, const mw::Bignum &Exp) const {
+    return Ctx.powMod(Base, Exp);
+  }
+
+  /// Multiplicative inverse by Fermat: A^(q-2) mod q. A must be nonzero.
+  Element inv(const Element &A) const {
+    assert(!A.isZero() && "zero has no inverse");
+    return pow(A, QBig - mw::Bignum(2));
+  }
+
+  /// Primitive N-th root of unity (N a power of two dividing q-1).
+  Element nthRoot(std::uint64_t N) const {
+    return Element::fromBignum(rootOfUnity(QBig, N));
+  }
+
+private:
+  mw::Bignum QBig;
+  mw::Barrett<W> Ctx;
+};
+
+} // namespace field
+} // namespace moma
+
+#endif // MOMA_FIELD_PRIMEFIELD_H

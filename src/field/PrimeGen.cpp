@@ -1,0 +1,113 @@
+//===- field/PrimeGen.cpp - NTT-friendly prime generation -----------------===//
+
+#include "field/PrimeGen.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <map>
+#include <mutex>
+
+using namespace moma;
+using namespace moma::field;
+using mw::Bignum;
+
+/// Small primes for cheap trial division before Miller-Rabin.
+static const unsigned SmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103,
+    107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
+    179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241,
+    251, 257, 263, 269, 271, 277, 281, 283, 293};
+
+static bool passesTrialDivision(const Bignum &N) {
+  for (unsigned P : SmallPrimes) {
+    if ((N % Bignum(P)).isZero())
+      return N == Bignum(P);
+  }
+  return true;
+}
+
+bool moma::field::isProbablePrime(const Bignum &N, Rng &R, unsigned Rounds) {
+  if (N < Bignum(2))
+    return false;
+  if (N == Bignum(2) || N == Bignum(3))
+    return true;
+  if (!N.isOdd())
+    return false;
+  if (!passesTrialDivision(N))
+    return false;
+
+  // Write N-1 = D * 2^S with D odd.
+  Bignum NMinus1 = N - Bignum(1);
+  Bignum D = NMinus1;
+  unsigned S = 0;
+  while (!D.isOdd()) {
+    D = D >> 1;
+    ++S;
+  }
+
+  Bignum NMinus3 = N - Bignum(3);
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    // Base in [2, N-2].
+    Bignum A = Bignum::random(R, NMinus3) + Bignum(2);
+    Bignum X = A.powMod(D, N);
+    if (X.isOne() || X == NMinus1)
+      continue;
+    bool Witness = true;
+    for (unsigned I = 1; I < S; ++I) {
+      X = X.mulMod(X, N);
+      if (X == NMinus1) {
+        Witness = false;
+        break;
+      }
+    }
+    if (Witness)
+      return false;
+  }
+  return true;
+}
+
+Bignum moma::field::nttPrime(unsigned Bits, unsigned TwoAdicity,
+                             std::uint64_t Seed) {
+  if (Bits < TwoAdicity + 2)
+    fatalError("nttPrime: " + std::to_string(Bits) +
+               " bits cannot host 2-adicity " + std::to_string(TwoAdicity));
+
+  static std::mutex CacheMutex;
+  static std::map<std::tuple<unsigned, unsigned, std::uint64_t>, Bignum>
+      Cache;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find({Bits, TwoAdicity, Seed});
+    if (It != Cache.end())
+      return It->second;
+  }
+
+  // Candidates q = C * 2^TwoAdicity + 1 where C is odd with exactly
+  // Bits - TwoAdicity bits, so q has exactly Bits bits.
+  Rng R(Seed ^ (static_cast<std::uint64_t>(Bits) << 32) ^ TwoAdicity);
+  unsigned CBits = Bits - TwoAdicity;
+  for (unsigned Attempt = 0; Attempt < 200000; ++Attempt) {
+    Bignum C = Bignum::randomBits(R, CBits);
+    if (!C.isOdd())
+      C += Bignum(1);
+    if (C.bitWidth() != CBits)
+      continue; // the +1 overflowed into an extra bit
+    Bignum Q = (C << TwoAdicity) + Bignum(1);
+    if (Q.bitWidth() != Bits)
+      continue;
+    if (!isProbablePrime(Q, R))
+      continue;
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    Cache.emplace(std::make_tuple(Bits, TwoAdicity, Seed), Q);
+    return Q;
+  }
+  fatalError("nttPrime: no prime found (should be unreachable)");
+}
+
+Bignum moma::field::evalModulus(unsigned ContainerBits, unsigned TwoAdicity) {
+  if (ContainerBits < 16)
+    fatalError("evalModulus: container too small");
+  return nttPrime(ContainerBits - 4, TwoAdicity);
+}

@@ -1,0 +1,47 @@
+//===- field/PrimeGen.h - NTT-friendly prime generation -------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prime generation for the paper's evaluation setup (§5.2): moduli of
+/// bit-width k-4 for a k-bit container (so Barrett's μ fits k bits), with
+/// q ≡ 1 (mod 2^S) so that 2^S-point NTTs exist (a primitive 2^S-th root of
+/// unity exists in Z_q iff 2^S | q-1). No specialized primes (Goldilocks,
+/// Montgomery-friendly) are used, matching §5.3's "general-purpose" claim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_FIELD_PRIMEGEN_H
+#define MOMA_FIELD_PRIMEGEN_H
+
+#include "mw/Bignum.h"
+
+namespace moma {
+
+class Rng;
+
+namespace field {
+
+/// Miller-Rabin probabilistic primality test with \p Rounds random bases.
+/// Deterministic for the RNG seed; error probability <= 4^-Rounds.
+bool isProbablePrime(const mw::Bignum &N, Rng &R, unsigned Rounds = 24);
+
+/// Returns a prime of exactly \p Bits bits with q ≡ 1 (mod 2^TwoAdicity).
+/// Deterministic for a given (Bits, TwoAdicity, Seed). Results are cached
+/// per process. Aborts if Bits is too small to satisfy the constraints.
+mw::Bignum nttPrime(unsigned Bits, unsigned TwoAdicity,
+                    std::uint64_t Seed = 2025);
+
+/// Convenience: the evaluation modulus for a \p ContainerBits-bit MoMA
+/// container — bit-width ContainerBits-4, 2-adicity \p TwoAdicity
+/// (default 24 supports NTTs up to 2^24 points, larger than any size in
+/// the paper's figures).
+mw::Bignum evalModulus(unsigned ContainerBits, unsigned TwoAdicity = 24);
+
+} // namespace field
+} // namespace moma
+
+#endif // MOMA_FIELD_PRIMEGEN_H

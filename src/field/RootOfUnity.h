@@ -1,0 +1,38 @@
+//===- field/RootOfUnity.h - Primitive roots of unity ---------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Primitive root-of-unity search in Z_q for NTT twiddle factors
+/// (paper Eq. 12: ω_n is the n-th primitive root of unity mod p).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_FIELD_ROOTOFUNITY_H
+#define MOMA_FIELD_ROOTOFUNITY_H
+
+#include "mw/Bignum.h"
+
+namespace moma {
+namespace field {
+
+/// Returns a primitive 2^S-th root of unity mod prime \p Q. Requires
+/// 2^S | Q - 1. Deterministic. Aborts if the two-adicity is insufficient.
+mw::Bignum rootOfUnityPow2(const mw::Bignum &Q, unsigned S);
+
+/// Returns a primitive N-th root of unity mod prime \p Q for N = 2^S.
+/// Convenience wrapper taking the NTT size directly (N must be a power of
+/// two dividing Q-1).
+mw::Bignum rootOfUnity(const mw::Bignum &Q, std::uint64_t N);
+
+/// Returns the multiplicative order's 2-adic part ceiling: the largest S
+/// with 2^S | Q - 1.
+unsigned twoAdicity(const mw::Bignum &Q);
+
+} // namespace field
+} // namespace moma
+
+#endif // MOMA_FIELD_ROOTOFUNITY_H

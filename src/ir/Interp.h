@@ -1,0 +1,36 @@
+//===- ir/Interp.h - Reference interpreter --------------------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bignum-backed evaluator for kernels at any bit width. This is the
+/// semantic ground truth for the rewrite system: a kernel lowered by
+/// rules (19)-(29) must produce the same outputs as the original on every
+/// input, and the tests check exactly that through this interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_IR_INTERP_H
+#define MOMA_IR_INTERP_H
+
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace moma {
+namespace ir {
+
+/// Evaluates \p K on \p InputValues (one Bignum per kernel input, in
+/// signature order; each must fit the input's storage width). Returns one
+/// Bignum per kernel output. Aborts on malformed kernels; run the Verifier
+/// first for diagnosable errors.
+std::vector<mw::Bignum> interpret(const Kernel &K,
+                                  const std::vector<mw::Bignum> &InputValues);
+
+} // namespace ir
+} // namespace moma
+
+#endif // MOMA_IR_INTERP_H

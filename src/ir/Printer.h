@@ -1,0 +1,33 @@
+//===- ir/Printer.h - Textual IR dump -------------------------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable rendering of kernels, used for debugging, golden tests,
+/// and the examples' "show me what the rewrite system did" output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_IR_PRINTER_H
+#define MOMA_IR_PRINTER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace moma {
+namespace ir {
+
+/// Renders one statement, e.g. "%5:u1, %6:u128 = add %1, %2".
+std::string printStmt(const Kernel &K, const Stmt &S);
+
+/// Renders the whole kernel: signature, body, outputs.
+std::string printKernel(const Kernel &K);
+
+} // namespace ir
+} // namespace moma
+
+#endif // MOMA_IR_PRINTER_H

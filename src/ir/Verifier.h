@@ -1,0 +1,36 @@
+//===- ir/Verifier.h - IR well-formedness checks --------------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks over kernels: single assignment, defined-
+/// before-use, per-opcode width rules, flag widths, shift ranges, Barrett
+/// headroom (ModBits <= w-4), literal fit. Returns diagnostics instead of
+/// aborting so tests can assert on failure modes (failure injection).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_IR_VERIFIER_H
+#define MOMA_IR_VERIFIER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace moma {
+namespace ir {
+
+/// Checks \p K; returns one message per violation (empty == well-formed).
+std::vector<std::string> verify(const Kernel &K);
+
+/// Convenience: true when verify(K) found no problems.
+inline bool isWellFormed(const Kernel &K) { return verify(K).empty(); }
+
+} // namespace ir
+} // namespace moma
+
+#endif // MOMA_IR_VERIFIER_H

@@ -1,0 +1,69 @@
+//===- kernels/BlasKernels.cpp - BLAS kernel builders ------------------------===//
+
+#include "kernels/BlasKernels.h"
+
+#include "rewrite/Simplify.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+using namespace moma;
+using namespace moma::ir;
+using namespace moma::kernels;
+
+const char *moma::kernels::blasOpName(BlasOp Op) {
+  switch (Op) {
+  case BlasOp::VAdd:
+    return "vadd";
+  case BlasOp::VSub:
+    return "vsub";
+  case BlasOp::VMul:
+    return "vmul";
+  case BlasOp::Axpy:
+    return "axpy";
+  }
+  moma_unreachable("unknown BLAS op");
+}
+
+Kernel moma::kernels::buildBlasElementKernel(BlasOp Op,
+                                             const ScalarKernelSpec &Spec) {
+  Kernel K;
+  switch (Op) {
+  case BlasOp::VAdd:
+    K = buildAddModKernel(Spec);
+    break;
+  case BlasOp::VSub:
+    K = buildSubModKernel(Spec);
+    break;
+  case BlasOp::VMul:
+    K = buildMulModKernel(Spec);
+    break;
+  case BlasOp::Axpy:
+    K = buildAxpyKernel(Spec);
+    break;
+  }
+  K.Name = formatv("%s_%u", blasOpName(Op), Spec.ContainerBits);
+  return K;
+}
+
+rewrite::LoweredKernel
+moma::kernels::generateBlasKernel(BlasOp Op, const ScalarKernelSpec &Spec,
+                                  mw::MulAlgorithm Alg,
+                                  unsigned TargetWordBits) {
+  Kernel K = buildBlasElementKernel(Op, Spec);
+  rewrite::LowerOptions Opts;
+  Opts.TargetWordBits = TargetWordBits;
+  Opts.MulAlg = Alg;
+  rewrite::LoweredKernel L = rewrite::lowerToWords(K, Opts);
+  rewrite::simplifyLowered(L);
+  return L;
+}
+
+std::string moma::kernels::emitBlasCuda(BlasOp Op,
+                                        const ScalarKernelSpec &Spec,
+                                        mw::MulAlgorithm Alg) {
+  rewrite::LoweredKernel L = generateBlasKernel(Op, Spec, Alg);
+  codegen::CudaEmitOptions Opts;
+  Opts.Banner = formatv("%s over Z_q, %u-bit elements, %u-bit modulus",
+                        blasOpName(Op), Spec.ContainerBits, Spec.modBits());
+  return codegen::emitCudaElementwise(L, Opts);
+}

@@ -1,0 +1,58 @@
+//===- kernels/BlasKernels.h - BLAS kernel builders -----------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's BLAS workloads (§5.2): vector addition, subtraction,
+/// point-wise multiplication, and axpy over Z_q — the point-wise
+/// polynomial operations of §2.3. This header provides:
+///
+///  * IR builders for the element kernels (fed to the rewrite system and
+///    then to the C/CUDA emitters), and
+///  * the full generation pipeline ("build -> lower -> simplify -> emit")
+///    as one call, the equivalent of invoking SPIRAL on a BLAS spec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_KERNELS_BLASKERNELS_H
+#define MOMA_KERNELS_BLASKERNELS_H
+
+#include "codegen/CEmitter.h"
+#include "codegen/CudaEmitter.h"
+#include "kernels/ScalarKernels.h"
+
+#include <string>
+
+namespace moma {
+namespace kernels {
+
+/// The four BLAS operations of Figure 2.
+enum class BlasOp { VAdd, VSub, VMul, Axpy };
+
+const char *blasOpName(BlasOp Op);
+
+/// Builds the element kernel for \p Op at the given widths. Ports follow
+/// the emitters' conventions (inputs a, b[, q, mu] -> output c; axpy uses
+/// a, x, y -> yo).
+ir::Kernel buildBlasElementKernel(BlasOp Op, const ScalarKernelSpec &Spec);
+
+/// Full pipeline: builds, lowers (recursively, with \p Alg for the
+/// multiplication rule), simplifies, and returns the lowered kernel ready
+/// for emission.
+rewrite::LoweredKernel
+generateBlasKernel(BlasOp Op, const ScalarKernelSpec &Spec,
+                   mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook,
+                   unsigned TargetWordBits = 64);
+
+/// Emits the element-wise CUDA translation unit for \p Op.
+std::string
+emitBlasCuda(BlasOp Op, const ScalarKernelSpec &Spec,
+             mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook);
+
+} // namespace kernels
+} // namespace moma
+
+#endif // MOMA_KERNELS_BLASKERNELS_H

@@ -1,0 +1,34 @@
+//===- kernels/NttKernels.cpp - NTT kernel generation -------------------------===//
+
+#include "kernels/NttKernels.h"
+
+#include "rewrite/Simplify.h"
+#include "support/Format.h"
+
+using namespace moma;
+using namespace moma::kernels;
+
+rewrite::LoweredKernel
+moma::kernels::generateButterflyKernel(const ScalarKernelSpec &Spec,
+                                       mw::MulAlgorithm Alg,
+                                       unsigned TargetWordBits) {
+  ir::Kernel K = buildButterflyKernel(Spec);
+  K.Name = formatv("ntt_butterfly_%u", Spec.ContainerBits);
+  rewrite::LowerOptions Opts;
+  Opts.TargetWordBits = TargetWordBits;
+  Opts.MulAlg = Alg;
+  rewrite::LoweredKernel L = rewrite::lowerToWords(K, Opts);
+  rewrite::simplifyLowered(L);
+  return L;
+}
+
+std::string moma::kernels::emitNttCuda(const ScalarKernelSpec &Spec,
+                                       mw::MulAlgorithm Alg) {
+  rewrite::LoweredKernel L = generateButterflyKernel(Spec, Alg);
+  codegen::CudaEmitOptions Opts;
+  Opts.Banner =
+      formatv("NTT butterfly, %u-bit elements, %u-bit modulus, %s multiply",
+              Spec.ContainerBits, Spec.modBits(),
+              Alg == mw::MulAlgorithm::Karatsuba ? "Karatsuba" : "schoolbook");
+  return codegen::emitCudaNttStage(L, Opts);
+}

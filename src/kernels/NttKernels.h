@@ -1,0 +1,40 @@
+//===- kernels/NttKernels.h - NTT kernel generation -----------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The NTT side of the generation pipeline (§5.3): lowers the butterfly
+/// through the rewrite system and emits the per-stage CUDA kernel the
+/// paper benchmarks (one thread per butterfly, batch in grid.y).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_KERNELS_NTTKERNELS_H
+#define MOMA_KERNELS_NTTKERNELS_H
+
+#include "codegen/CudaEmitter.h"
+#include "kernels/ScalarKernels.h"
+
+#include <string>
+
+namespace moma {
+namespace kernels {
+
+/// Builds, lowers and simplifies the butterfly for the given widths.
+rewrite::LoweredKernel
+generateButterflyKernel(const ScalarKernelSpec &Spec,
+                        mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook,
+                        unsigned TargetWordBits = 64);
+
+/// Emits the complete NTT stage CUDA translation unit.
+std::string
+emitNttCuda(const ScalarKernelSpec &Spec,
+            mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook);
+
+} // namespace kernels
+} // namespace moma
+
+#endif // MOMA_KERNELS_NTTKERNELS_H

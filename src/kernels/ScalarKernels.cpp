@@ -1,0 +1,136 @@
+//===- kernels/ScalarKernels.cpp - Modular scalar kernel builders ----------===//
+
+#include "kernels/ScalarKernels.h"
+
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+using namespace moma;
+using namespace moma::ir;
+using namespace moma::kernels;
+
+namespace {
+
+/// Common setup: a kernel with reduced inputs a, b plus q and mu params.
+struct KernelFrame {
+  Kernel K;
+  ValueId A = NoValue, B = NoValue, Q = NoValue, Mu = NoValue;
+  unsigned ModBits = 0;
+};
+
+KernelFrame makeFrame(const ScalarKernelSpec &Spec, const char *Name,
+                      bool NeedsMu) {
+  unsigned W = Spec.ContainerBits;
+  unsigned M = Spec.modBits();
+  if (M + 4 > W)
+    fatalError("scalar kernel: modulus bits must be <= container - 4");
+  KernelFrame F;
+  F.ModBits = M;
+  F.K.Name = Name;
+  // Reduced inputs are < q < 2^M; the modulus itself has exactly M bits.
+  F.A = F.K.newValue(W, "a", M);
+  F.K.addInput(F.A, "a");
+  F.B = F.K.newValue(W, "b", M);
+  F.K.addInput(F.B, "b");
+  F.Q = F.K.newValue(W, "q", M);
+  F.K.addInput(F.Q, "q");
+  if (NeedsMu) {
+    // mu = floor(2^(2M+3) / q) < 2^(M+4).
+    F.Mu = F.K.newValue(W, "mu", M + 4);
+    F.K.addInput(F.Mu, "mu");
+  }
+  return F;
+}
+
+} // namespace
+
+Kernel moma::kernels::buildAddModKernel(const ScalarKernelSpec &Spec) {
+  KernelFrame F = makeFrame(Spec, "addmod", /*NeedsMu=*/false);
+  Builder B(F.K);
+  ValueId C = B.addMod(F.A, F.B, F.Q);
+  F.K.addOutput(C, "c");
+  return std::move(F.K);
+}
+
+Kernel moma::kernels::buildSubModKernel(const ScalarKernelSpec &Spec) {
+  KernelFrame F = makeFrame(Spec, "submod", /*NeedsMu=*/false);
+  Builder B(F.K);
+  ValueId C = B.subMod(F.A, F.B, F.Q);
+  F.K.addOutput(C, "c");
+  return std::move(F.K);
+}
+
+Kernel moma::kernels::buildMulModKernel(const ScalarKernelSpec &Spec) {
+  KernelFrame F = makeFrame(Spec, "mulmod", /*NeedsMu=*/true);
+  Builder B(F.K);
+  ValueId C = B.mulMod(F.A, F.B, F.Q, F.Mu, F.ModBits);
+  F.K.addOutput(C, "c");
+  return std::move(F.K);
+}
+
+Kernel moma::kernels::buildMulFullKernel(const ScalarKernelSpec &Spec) {
+  unsigned W = Spec.ContainerBits;
+  Kernel K;
+  K.Name = "mulfull";
+  ValueId A = K.newValue(W, "a", Spec.modBits());
+  K.addInput(A, "a");
+  ValueId BV = K.newValue(W, "b", Spec.modBits());
+  K.addInput(BV, "b");
+  Builder B(K);
+  HiLoResult R = B.mul(A, BV);
+  K.addOutput(R.Hi, "hi");
+  K.addOutput(R.Lo, "lo");
+  return K;
+}
+
+Kernel moma::kernels::buildButterflyKernel(const ScalarKernelSpec &Spec) {
+  unsigned W = Spec.ContainerBits;
+  unsigned M = Spec.modBits();
+  if (M + 4 > W)
+    fatalError("butterfly: modulus bits must be <= container - 4");
+  Kernel K;
+  K.Name = "butterfly";
+  ValueId X = K.newValue(W, "x", M);
+  K.addInput(X, "x");
+  ValueId Y = K.newValue(W, "y", M);
+  K.addInput(Y, "y");
+  ValueId Wt = K.newValue(W, "w", M); // twiddle, reduced
+  K.addInput(Wt, "w");
+  ValueId Q = K.newValue(W, "q", M);
+  K.addInput(Q, "q");
+  ValueId Mu = K.newValue(W, "mu", M + 4);
+  K.addInput(Mu, "mu");
+
+  Builder B(K);
+  ValueId T = B.mulMod(Y, Wt, Q, Mu, M);
+  ValueId XOut = B.addMod(X, T, Q);
+  ValueId YOut = B.subMod(X, T, Q);
+  K.addOutput(XOut, "xo");
+  K.addOutput(YOut, "yo");
+  return K;
+}
+
+Kernel moma::kernels::buildAxpyKernel(const ScalarKernelSpec &Spec) {
+  unsigned W = Spec.ContainerBits;
+  unsigned M = Spec.modBits();
+  if (M + 4 > W)
+    fatalError("axpy: modulus bits must be <= container - 4");
+  Kernel K;
+  K.Name = "axpy";
+  ValueId A = K.newValue(W, "a", M);
+  K.addInput(A, "a");
+  ValueId X = K.newValue(W, "x", M);
+  K.addInput(X, "x");
+  ValueId Y = K.newValue(W, "y", M);
+  K.addInput(Y, "y");
+  ValueId Q = K.newValue(W, "q", M);
+  K.addInput(Q, "q");
+  ValueId Mu = K.newValue(W, "mu", M + 4);
+  K.addInput(Mu, "mu");
+
+  Builder B(K);
+  ValueId AX = B.mulMod(A, X, Q, Mu, M);
+  ValueId Out = B.addMod(AX, Y, Q);
+  K.addOutput(Out, "yo");
+  return K;
+}

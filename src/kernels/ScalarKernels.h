@@ -1,0 +1,63 @@
+//===- kernels/ScalarKernels.h - Modular scalar kernel builders -*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR builders for the scalar modular kernels the paper generates: the
+/// element operations behind the BLAS kernels (§5.2) and the NTT butterfly
+/// (§5.3: one modular add, one modular sub, one modular mul).
+///
+/// Every builder takes the container width λ (a power-of-two multiple of
+/// the machine word) and the modulus bit-width m <= λ-4. Inputs a, b are
+/// reduced (< q); q and mu are runtime parameters, exactly like the
+/// generated CUDA in the paper's Listings (q0..qk, mu0..muk arguments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_KERNELS_SCALARKERNELS_H
+#define MOMA_KERNELS_SCALARKERNELS_H
+
+#include "ir/Ir.h"
+
+namespace moma {
+namespace kernels {
+
+/// Width configuration shared by the scalar kernel builders.
+struct ScalarKernelSpec {
+  /// Container bit-width λ (power-of-two multiple of the machine word).
+  unsigned ContainerBits = 128;
+  /// Modulus bit-width m; defaults to λ-4 (the paper's evaluation setup).
+  /// Values a, b carry KnownBits = m so the non-power-of-two pruning
+  /// applies automatically when m is far below λ.
+  unsigned ModBits = 0;
+
+  unsigned modBits() const {
+    return ModBits == 0 ? ContainerBits - 4 : ModBits;
+  }
+};
+
+/// c = (a + b) mod q.
+ir::Kernel buildAddModKernel(const ScalarKernelSpec &Spec);
+
+/// c = (a - b) mod q.
+ir::Kernel buildSubModKernel(const ScalarKernelSpec &Spec);
+
+/// c = (a * b) mod q via Barrett (takes mu).
+ir::Kernel buildMulModKernel(const ScalarKernelSpec &Spec);
+
+/// (hi, lo) = a * b, the full non-modular product.
+ir::Kernel buildMulFullKernel(const ScalarKernelSpec &Spec);
+
+/// NTT butterfly: t = w*y mod q; x' = x + t mod q; y' = x - t mod q.
+ir::Kernel buildButterflyKernel(const ScalarKernelSpec &Spec);
+
+/// axpy element: y' = (a*x + y) mod q (BLAS Level 1, Eq. 10).
+ir::Kernel buildAxpyKernel(const ScalarKernelSpec &Spec);
+
+} // namespace kernels
+} // namespace moma
+
+#endif // MOMA_KERNELS_SCALARKERNELS_H

@@ -1,0 +1,408 @@
+//===- mw/Bignum.cpp - Arbitrary-precision unsigned integers --------------===//
+
+#include "mw/Bignum.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace moma;
+using namespace moma::mw;
+
+Bignum::Bignum(std::uint64_t Value) {
+  if (Value)
+    Limbs.push_back(Value);
+}
+
+void Bignum::normalize() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+}
+
+Bignum Bignum::fromWords(const std::uint64_t *Words, size_t Count) {
+  Bignum N;
+  N.Limbs.assign(Words, Words + Count);
+  N.normalize();
+  return N;
+}
+
+Bignum Bignum::powerOfTwo(unsigned Exp) {
+  Bignum N;
+  N.Limbs.assign(Exp / 64 + 1, 0);
+  N.Limbs.back() = 1ull << (Exp % 64);
+  return N;
+}
+
+Bignum Bignum::fromHex(const std::string &Hex) {
+  size_t Start = 0;
+  if (Hex.size() >= 2 && Hex[0] == '0' && (Hex[1] == 'x' || Hex[1] == 'X'))
+    Start = 2;
+  if (Start == Hex.size())
+    fatalError("empty hex literal '" + Hex + "'");
+  Bignum N;
+  for (size_t I = Start; I < Hex.size(); ++I) {
+    char C = Hex[I];
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<unsigned>(C - 'a') + 10;
+    else if (C >= 'A' && C <= 'F')
+      Digit = static_cast<unsigned>(C - 'A') + 10;
+    else
+      fatalError("bad hex digit in '" + Hex + "'");
+    N = (N << 4) + Bignum(Digit);
+  }
+  return N;
+}
+
+Bignum Bignum::fromDecimal(const std::string &Dec) {
+  if (Dec.empty())
+    fatalError("empty decimal literal");
+  Bignum N;
+  for (char C : Dec) {
+    if (C < '0' || C > '9')
+      fatalError("bad decimal digit in '" + Dec + "'");
+    N = N * Bignum(10) + Bignum(static_cast<std::uint64_t>(C - '0'));
+  }
+  return N;
+}
+
+Bignum Bignum::randomBits(Rng &R, unsigned Bits) {
+  assert(Bits >= 1 && "cannot draw a zero-bit value");
+  Bignum N;
+  unsigned FullLimbs = Bits / 64, TopBits = Bits % 64;
+  N.Limbs.resize(FullLimbs + (TopBits ? 1 : 0));
+  for (auto &L : N.Limbs)
+    L = R.next64();
+  if (TopBits)
+    N.Limbs.back() = R.bits(TopBits);
+  else
+    N.Limbs.back() |= 1ull << 63;
+  N.normalize();
+  return N;
+}
+
+Bignum Bignum::random(Rng &R, const Bignum &Bound) {
+  assert(!Bound.isZero() && "bound must be positive");
+  unsigned Bits = Bound.bitWidth();
+  // Rejection sampling over [0, 2^Bits).
+  for (;;) {
+    Bignum N;
+    N.Limbs.resize((Bits + 63) / 64);
+    for (auto &L : N.Limbs)
+      L = R.next64();
+    if (Bits % 64)
+      N.Limbs.back() &= (1ull << (Bits % 64)) - 1;
+    N.normalize();
+    if (N < Bound)
+      return N;
+  }
+}
+
+unsigned Bignum::bitWidth() const {
+  if (Limbs.empty())
+    return 0;
+  return static_cast<unsigned>((Limbs.size() - 1) * 64) +
+         mw::bitWidth(Limbs.back());
+}
+
+bool Bignum::bit(unsigned I) const {
+  size_t LimbIdx = I / 64;
+  if (LimbIdx >= Limbs.size())
+    return false;
+  return (Limbs[LimbIdx] >> (I % 64)) & 1;
+}
+
+void Bignum::toWords(std::uint64_t *Out, size_t Count) const {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] = limb(I);
+}
+
+int Bignum::compare(const Bignum &RHS) const {
+  if (Limbs.size() != RHS.Limbs.size())
+    return Limbs.size() < RHS.Limbs.size() ? -1 : 1;
+  for (size_t I = Limbs.size(); I-- > 0;)
+    if (Limbs[I] != RHS.Limbs[I])
+      return Limbs[I] < RHS.Limbs[I] ? -1 : 1;
+  return 0;
+}
+
+Bignum Bignum::operator+(const Bignum &RHS) const {
+  Bignum Result;
+  size_t N = std::max(Limbs.size(), RHS.Limbs.size());
+  Result.Limbs.resize(N + 1);
+  Word Carry = 0;
+  for (size_t I = 0; I < N; ++I)
+    Result.Limbs[I] = addCarry(limb(I), RHS.limb(I), Carry, Carry);
+  Result.Limbs[N] = Carry;
+  Result.normalize();
+  return Result;
+}
+
+Bignum Bignum::operator-(const Bignum &RHS) const {
+  assert(*this >= RHS && "unsigned subtraction underflow");
+  Bignum Result;
+  Result.Limbs.resize(Limbs.size());
+  Word Borrow = 0;
+  for (size_t I = 0; I < Limbs.size(); ++I)
+    Result.Limbs[I] = subBorrow(limb(I), RHS.limb(I), Borrow, Borrow);
+  assert(Borrow == 0 && "subtraction underflow escaped the assert above");
+  Result.normalize();
+  return Result;
+}
+
+Bignum Bignum::operator*(const Bignum &RHS) const {
+  if (isZero() || RHS.isZero())
+    return Bignum();
+  Bignum Result;
+  Result.Limbs.assign(Limbs.size() + RHS.Limbs.size(), 0);
+  for (size_t I = 0; I < Limbs.size(); ++I) {
+    Word Carry = 0;
+    for (size_t J = 0; J < RHS.Limbs.size(); ++J) {
+      DWord Acc = static_cast<DWord>(Limbs[I]) * RHS.Limbs[J] +
+                  Result.Limbs[I + J] + Carry;
+      Result.Limbs[I + J] = static_cast<Word>(Acc);
+      Carry = static_cast<Word>(Acc >> 64);
+    }
+    Result.Limbs[I + RHS.Limbs.size()] = Carry;
+  }
+  Result.normalize();
+  return Result;
+}
+
+Bignum Bignum::operator<<(unsigned Shift) const {
+  if (isZero())
+    return Bignum();
+  unsigned LimbShift = Shift / 64, BitShift = Shift % 64;
+  Bignum Result;
+  Result.Limbs.assign(Limbs.size() + LimbShift + 1, 0);
+  for (size_t I = 0; I < Limbs.size(); ++I) {
+    Result.Limbs[I + LimbShift] |= BitShift ? (Limbs[I] << BitShift)
+                                            : Limbs[I];
+    if (BitShift)
+      Result.Limbs[I + LimbShift + 1] |= Limbs[I] >> (64 - BitShift);
+  }
+  Result.normalize();
+  return Result;
+}
+
+Bignum Bignum::operator>>(unsigned Shift) const {
+  unsigned LimbShift = Shift / 64, BitShift = Shift % 64;
+  if (LimbShift >= Limbs.size())
+    return Bignum();
+  Bignum Result;
+  Result.Limbs.assign(Limbs.size() - LimbShift, 0);
+  for (size_t I = 0; I < Result.Limbs.size(); ++I) {
+    Result.Limbs[I] = Limbs[I + LimbShift] >> BitShift;
+    if (BitShift && I + LimbShift + 1 < Limbs.size())
+      Result.Limbs[I] |= Limbs[I + LimbShift + 1] << (64 - BitShift);
+  }
+  Result.normalize();
+  return Result;
+}
+
+Bignum Bignum::truncate(unsigned Bits) const {
+  Bignum Result = *this;
+  size_t KeepLimbs = (Bits + 63) / 64;
+  if (Result.Limbs.size() > KeepLimbs)
+    Result.Limbs.resize(KeepLimbs);
+  if (Bits % 64 && Result.Limbs.size() == KeepLimbs && KeepLimbs > 0)
+    Result.Limbs.back() &= (1ull << (Bits % 64)) - 1;
+  Result.normalize();
+  return Result;
+}
+
+/// Divides by a single-limb divisor; returns the remainder limb.
+static Word divRemSingle(const std::vector<Word> &U, Word V,
+                         std::vector<Word> &Quot) {
+  Quot.assign(U.size(), 0);
+  DWord Rem = 0;
+  for (size_t I = U.size(); I-- > 0;) {
+    DWord Cur = (Rem << 64) | U[I];
+    Quot[I] = static_cast<Word>(Cur / V);
+    Rem = Cur % V;
+  }
+  return static_cast<Word>(Rem);
+}
+
+Bignum::DivRem Bignum::divRem(const Bignum &Divisor) const {
+  if (Divisor.isZero())
+    fatalError("Bignum division by zero");
+  DivRem Out;
+  if (*this < Divisor) {
+    Out.Remainder = *this;
+    return Out;
+  }
+  if (Divisor.Limbs.size() == 1) {
+    Word Rem = divRemSingle(Limbs, Divisor.Limbs[0], Out.Quotient.Limbs);
+    Out.Quotient.normalize();
+    Out.Remainder = Bignum(Rem);
+    return Out;
+  }
+
+  // Knuth Algorithm D (TAOCP vol. 2, 4.3.1) in base 2^64.
+  const size_t N = Divisor.Limbs.size();
+  const size_t M = Limbs.size() - N;
+  unsigned Shift = 64 - mw::bitWidth(Divisor.Limbs.back());
+
+  // Normalized copies: VN has N limbs with the top bit set; UN has M+N+1.
+  Bignum VNBig = Divisor << Shift;
+  Bignum UNBig = *this << Shift;
+  std::vector<Word> VN(N), UN(M + N + 1, 0);
+  for (size_t I = 0; I < N; ++I)
+    VN[I] = VNBig.limb(I);
+  for (size_t I = 0; I < M + N + 1; ++I)
+    UN[I] = UNBig.limb(I);
+
+  Out.Quotient.Limbs.assign(M + 1, 0);
+  for (size_t J = M + 1; J-- > 0;) {
+    DWord Num = (static_cast<DWord>(UN[J + N]) << 64) | UN[J + N - 1];
+    DWord QHat = Num / VN[N - 1];
+    DWord RHat = Num % VN[N - 1];
+    while (QHat >> 64 ||
+           static_cast<DWord>(static_cast<Word>(QHat)) * VN[N - 2] >
+               ((RHat << 64) | UN[J + N - 2])) {
+      --QHat;
+      RHat += VN[N - 1];
+      if (RHat >> 64)
+        break;
+    }
+
+    // Multiply and subtract QHat * VN from UN[J..J+N].
+    Word Q64 = static_cast<Word>(QHat);
+    __int128 T;
+    __int128 Borrow = 0;
+    for (size_t I = 0; I < N; ++I) {
+      DWord P = static_cast<DWord>(Q64) * VN[I];
+      T = static_cast<__int128>(UN[I + J]) - Borrow -
+          static_cast<Word>(P);
+      UN[I + J] = static_cast<Word>(T);
+      Borrow = static_cast<__int128>(static_cast<Word>(P >> 64)) -
+               (T >> 64);
+    }
+    T = static_cast<__int128>(UN[J + N]) - Borrow;
+    UN[J + N] = static_cast<Word>(T);
+
+    if (T < 0) {
+      // QHat was one too large; add the divisor back.
+      --Q64;
+      Word Carry = 0;
+      for (size_t I = 0; I < N; ++I)
+        UN[I + J] = addCarry(UN[I + J], VN[I], Carry, Carry);
+      UN[J + N] += Carry;
+    }
+    Out.Quotient.Limbs[J] = Q64;
+  }
+  Out.Quotient.normalize();
+
+  Bignum Rem = Bignum::fromWords(UN.data(), N);
+  Out.Remainder = Rem >> Shift;
+  return Out;
+}
+
+Bignum Bignum::addMod(const Bignum &RHS, const Bignum &Q) const {
+  return (*this + RHS) % Q;
+}
+
+Bignum Bignum::subMod(const Bignum &RHS, const Bignum &Q) const {
+  Bignum A = *this % Q, B = RHS % Q;
+  if (A >= B)
+    return A - B;
+  return A + Q - B;
+}
+
+Bignum Bignum::mulMod(const Bignum &RHS, const Bignum &Q) const {
+  return (*this * RHS) % Q;
+}
+
+Bignum Bignum::powMod(const Bignum &Exp, const Bignum &Q) const {
+  if (Q.isOne())
+    return Bignum();
+  Bignum Base = *this % Q;
+  Bignum Result(1);
+  for (unsigned I = Exp.bitWidth(); I-- > 0;) {
+    Result = Result.mulMod(Result, Q);
+    if (Exp.bit(I))
+      Result = Result.mulMod(Base, Q);
+  }
+  return Result;
+}
+
+Bignum Bignum::invMod(const Bignum &Q) const {
+  assert(Q > Bignum(1) && "modulus must exceed 1");
+  // Extended Euclid with signed Bezout coefficients tracked as
+  // (negative?, magnitude) pairs.
+  Bignum R0 = Q, R1 = *this % Q;
+  if (R1.isZero())
+    fatalError("invMod: value is 0 mod Q, not invertible");
+  Bignum T0Mag, T1Mag(1);
+  bool T0Neg = false, T1Neg = false;
+
+  while (!R1.isZero()) {
+    DivRem QR = R0.divRem(R1);
+    // T2 = T0 - Quot * T1 (signed).
+    Bignum Prod = QR.Quotient * T1Mag;
+    bool ProdNeg = T1Neg;
+    Bignum T2Mag;
+    bool T2Neg;
+    if (T0Neg == ProdNeg) {
+      if (T0Mag >= Prod) {
+        T2Mag = T0Mag - Prod;
+        T2Neg = T0Neg;
+      } else {
+        T2Mag = Prod - T0Mag;
+        T2Neg = !T0Neg;
+      }
+    } else {
+      T2Mag = T0Mag + Prod;
+      T2Neg = T0Neg;
+    }
+    T0Mag = T1Mag;
+    T0Neg = T1Neg;
+    T1Mag = T2Mag;
+    T1Neg = T2Neg;
+    R0 = R1;
+    R1 = QR.Remainder;
+  }
+  if (!R0.isOne())
+    fatalError("invMod: value not coprime with modulus");
+  if (T0Neg)
+    return Q - (T0Mag % Q);
+  return T0Mag % Q;
+}
+
+std::string Bignum::toHex() const {
+  if (isZero())
+    return "0x0";
+  std::string Out;
+  for (size_t I = Limbs.size(); I-- > 0;) {
+    char Buf[17];
+    std::snprintf(Buf, sizeof(Buf),
+                  I + 1 == Limbs.size() ? "%llx" : "%016llx",
+                  static_cast<unsigned long long>(Limbs[I]));
+    Out += Buf;
+  }
+  return "0x" + Out;
+}
+
+std::string Bignum::toDecimal() const {
+  if (isZero())
+    return "0";
+  std::string Out;
+  std::vector<Word> Cur = Limbs;
+  std::vector<Word> Quot;
+  while (!Cur.empty()) {
+    Word Rem = divRemSingle(Cur, 10000000000000000000ull, Quot);
+    while (!Quot.empty() && Quot.back() == 0)
+      Quot.pop_back();
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), Quot.empty() ? "%llu" : "%019llu",
+                  static_cast<unsigned long long>(Rem));
+    Out = std::string(Buf) + Out;
+    Cur = Quot;
+  }
+  return Out;
+}

@@ -1,0 +1,168 @@
+//===- mw/Bignum.h - Arbitrary-precision unsigned integers ----*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision unsigned integer arithmetic on dynamic limb vectors.
+///
+/// This class plays two roles in the reproduction:
+///  1. It is the substrate the paper's GMP baseline stands on (see
+///     baselines/GmpLike.h): a generic multiprecision library with dynamic
+///     allocation and division-based modular reduction, algorithmically the
+///     same class of implementation as GMP's generic mpz path.
+///  2. It is the oracle for everything else: fixed-width MWUInt arithmetic,
+///     Barrett/Montgomery reduction, the IR interpreter and the rewrite
+///     system are all validated against Bignum results.
+///
+/// Representation: little-endian vector of 64-bit limbs, normalized so the
+/// most significant limb is nonzero (empty vector == 0). All values are
+/// non-negative; subtraction requires A >= B.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_MW_BIGNUM_H
+#define MOMA_MW_BIGNUM_H
+
+#include "mw/Limb.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moma {
+
+class Rng;
+
+namespace mw {
+
+/// Arbitrary-precision unsigned integer.
+class Bignum {
+public:
+  Bignum() = default;
+  /*implicit*/ Bignum(std::uint64_t Value);
+
+  /// Builds a value from little-endian limbs (normalizes).
+  static Bignum fromWords(const std::uint64_t *Words, size_t Count);
+  static Bignum fromWords(const std::vector<std::uint64_t> &Words) {
+    return fromWords(Words.data(), Words.size());
+  }
+
+  /// Parses a hexadecimal string (optional 0x prefix). Aborts on bad input.
+  static Bignum fromHex(const std::string &Hex);
+
+  /// Parses a decimal string. Aborts on bad input.
+  static Bignum fromDecimal(const std::string &Dec);
+
+  /// 2^Exp.
+  static Bignum powerOfTwo(unsigned Exp);
+
+  /// Uniformly random value in [0, Bound). Bound must be nonzero.
+  static Bignum random(Rng &R, const Bignum &Bound);
+
+  /// Random value of exactly \p Bits significant bits (top bit set).
+  static Bignum randomBits(Rng &R, unsigned Bits);
+
+  // -- Observers ---------------------------------------------------------
+
+  bool isZero() const { return Limbs.empty(); }
+  bool isOne() const { return Limbs.size() == 1 && Limbs[0] == 1; }
+  bool isOdd() const { return !Limbs.empty() && (Limbs[0] & 1); }
+
+  /// Number of significant bits (0 for zero).
+  unsigned bitWidth() const;
+
+  /// Value of bit \p I (counted from the least significant bit).
+  bool bit(unsigned I) const;
+
+  /// Number of limbs in the normalized representation.
+  size_t numLimbs() const { return Limbs.size(); }
+
+  /// Limb \p I (little-endian); 0 beyond the representation.
+  std::uint64_t limb(size_t I) const { return I < Limbs.size() ? Limbs[I] : 0; }
+
+  /// Low 64 bits of the value.
+  std::uint64_t low64() const { return limb(0); }
+
+  /// Copies the low \p Count little-endian words into \p Out, zero-padding.
+  void toWords(std::uint64_t *Out, size_t Count) const;
+
+  std::string toHex() const;
+  std::string toDecimal() const;
+
+  // -- Comparison --------------------------------------------------------
+
+  /// Returns -1, 0, or +1.
+  int compare(const Bignum &RHS) const;
+
+  bool operator==(const Bignum &RHS) const { return compare(RHS) == 0; }
+  bool operator!=(const Bignum &RHS) const { return compare(RHS) != 0; }
+  bool operator<(const Bignum &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const Bignum &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const Bignum &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const Bignum &RHS) const { return compare(RHS) >= 0; }
+
+  // -- Arithmetic --------------------------------------------------------
+
+  Bignum operator+(const Bignum &RHS) const;
+  /// Requires *this >= RHS (unsigned subtraction).
+  Bignum operator-(const Bignum &RHS) const;
+  Bignum operator*(const Bignum &RHS) const;
+  Bignum operator<<(unsigned Shift) const;
+  Bignum operator>>(unsigned Shift) const;
+
+  Bignum &operator+=(const Bignum &RHS) { return *this = *this + RHS; }
+  Bignum &operator-=(const Bignum &RHS) { return *this = *this - RHS; }
+  Bignum &operator*=(const Bignum &RHS) { return *this = *this * RHS; }
+
+  /// Keeps the low \p Bits bits (x mod 2^Bits).
+  Bignum truncate(unsigned Bits) const;
+
+  /// Quotient and remainder via Knuth Algorithm D. Divisor must be nonzero.
+  struct DivRem;
+  DivRem divRem(const Bignum &Divisor) const;
+
+  Bignum operator/(const Bignum &RHS) const;
+  Bignum operator%(const Bignum &RHS) const;
+
+  // -- Modular arithmetic (oracle versions, division-based) ---------------
+
+  /// (*this + RHS) mod Q; inputs need not be reduced.
+  Bignum addMod(const Bignum &RHS, const Bignum &Q) const;
+  /// (*this - RHS) mod Q for reduced inputs (wraps around Q).
+  Bignum subMod(const Bignum &RHS, const Bignum &Q) const;
+  /// (*this * RHS) mod Q.
+  Bignum mulMod(const Bignum &RHS, const Bignum &Q) const;
+  /// (*this ^ Exp) mod Q by square-and-multiply.
+  Bignum powMod(const Bignum &Exp, const Bignum &Q) const;
+
+  /// Modular inverse via extended binary GCD. Requires gcd(*this, Q) == 1
+  /// and Q > 1. Aborts if not invertible.
+  Bignum invMod(const Bignum &Q) const;
+
+private:
+  void normalize();
+
+  std::vector<std::uint64_t> Limbs;
+};
+
+/// Result pair of Bignum::divRem.
+struct Bignum::DivRem {
+  Bignum Quotient;
+  Bignum Remainder;
+};
+
+inline Bignum Bignum::operator/(const Bignum &RHS) const {
+  return divRem(RHS).Quotient;
+}
+
+inline Bignum Bignum::operator%(const Bignum &RHS) const {
+  return divRem(RHS).Remainder;
+}
+
+} // namespace mw
+} // namespace moma
+
+#endif // MOMA_MW_BIGNUM_H

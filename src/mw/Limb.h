@@ -1,0 +1,116 @@
+//===- mw/Limb.h - Single-word (machine word) arithmetic ------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-word arithmetic primitives, the ω₀ = 64-bit base case of MoMA
+/// (paper §3.1, Listing 1). Every multi-word operation in mw/MWUInt.h
+/// bottoms out in these. As in the paper, the double-word representation
+/// (unsigned __int128) is used only to capture carries and wide products;
+/// full quad-word arithmetic is never required at this level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_MW_LIMB_H
+#define MOMA_MW_LIMB_H
+
+#include <cstdint>
+
+namespace moma {
+namespace mw {
+
+using Word = std::uint64_t;
+using DWord = unsigned __int128;
+
+/// Number of bits in a machine word (the paper's ω₀ on NVIDIA GPUs and
+/// x86-64 alike).
+inline constexpr unsigned WordBits = 64;
+
+/// c = a + b + CarryIn; returns the sum word and sets \p CarryOut to the
+/// carry bit (paper Eq. 6 with explicit carry, Listing 2 `_dadd` inner step).
+inline Word addCarry(Word A, Word B, Word CarryIn, Word &CarryOut) {
+  DWord S = static_cast<DWord>(A) + B + CarryIn;
+  CarryOut = static_cast<Word>(S >> WordBits);
+  return static_cast<Word>(S);
+}
+
+/// c = a - b - BorrowIn; returns the difference word and sets \p BorrowOut
+/// to the borrow bit (paper Eq. 7, Listing 2 `_dsub` inner step).
+inline Word subBorrow(Word A, Word B, Word BorrowIn, Word &BorrowOut) {
+  DWord D = static_cast<DWord>(A) - B - BorrowIn;
+  BorrowOut = static_cast<Word>(D >> WordBits) & 1;
+  return static_cast<Word>(D);
+}
+
+/// Full 64x64 -> 128 multiplication; returns the low word and sets \p Hi
+/// (paper Listing 1 `_smul`).
+inline Word mulWide(Word A, Word B, Word &Hi) {
+  DWord P = static_cast<DWord>(A) * B;
+  Hi = static_cast<Word>(P >> WordBits);
+  return static_cast<Word>(P);
+}
+
+/// Single-word modular addition (paper Listing 1 `_saddmod`, Eq. 2).
+/// Requires A, B in [0, Q). Uses >= rather than the listing's > so that
+/// A + B == Q maps to 0 (see DESIGN.md fidelity notes).
+inline Word addMod(Word A, Word B, Word Q) {
+  DWord T = static_cast<DWord>(A) + B;
+  return T >= Q ? static_cast<Word>(T - Q) : static_cast<Word>(T);
+}
+
+/// Single-word modular subtraction (paper Listing 1 `_ssubmod`, Eq. 3).
+inline Word subMod(Word A, Word B, Word Q) {
+  Word T = A - B;
+  return A < B ? T + Q : T;
+}
+
+/// Barrett parameters for a single-word modulus of bit-width \p MBits
+/// (paper Listing 1, Eq. 15-18): Mu = floor(2^(2*MBits+3) / Q).
+struct WordBarrett {
+  Word Q = 0;
+  Word Mu = 0;
+  unsigned MBits = 0;
+};
+
+/// Precomputes Mu for \p Q whose bit-width MBits satisfies MBits <= 60
+/// so that Mu = floor(2^(2*MBits+3)/Q) fits in a word (Mu < 2^(MBits+4)).
+inline WordBarrett makeWordBarrett(Word Q, unsigned MBits) {
+  WordBarrett P;
+  P.Q = Q;
+  P.MBits = MBits;
+  // 2*MBits + 3 <= 123 < 128, so the numerator fits a DWord.
+  P.Mu = static_cast<Word>((static_cast<DWord>(1) << (2 * MBits + 3)) / Q);
+  return P;
+}
+
+/// Single-word Barrett modular multiplication (paper Listing 1 `_smulmod`):
+///   t  = a * b
+///   r  = ((t >> (m-2)) * Mu) >> (m+5)
+///   c  = t - r * q, then one conditional subtraction.
+inline Word mulModBarrett(Word A, Word B, const WordBarrett &P) {
+  DWord T = static_cast<DWord>(A) * B;
+  DWord R = T >> (P.MBits - 2);
+  R *= P.Mu;
+  R >>= (P.MBits + 5);
+  T -= R * P.Q;
+  return T >= P.Q ? static_cast<Word>(T - P.Q) : static_cast<Word>(T);
+}
+
+/// Reference modular multiplication via 128-bit remainder, the oracle for
+/// mulModBarrett in tests.
+inline Word mulModNaive(Word A, Word B, Word Q) {
+  return static_cast<Word>((static_cast<DWord>(A) * B) % Q);
+}
+
+/// Count of significant bits in \p X (0 for X == 0).
+inline unsigned bitWidth(Word X) {
+  return X == 0 ? 0 : 64 - static_cast<unsigned>(__builtin_clzll(X));
+}
+
+} // namespace mw
+} // namespace moma
+
+#endif // MOMA_MW_LIMB_H

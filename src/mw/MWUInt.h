@@ -1,0 +1,300 @@
+//===- mw/MWUInt.h - Fixed-width multi-word unsigned integers -*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width multi-word unsigned integers: the runtime realization of the
+/// paper's MoMA representation x = [x_0, ..., x_{k-1}] (Eq. 13/14) with one
+/// 64-bit machine word per digit.
+///
+/// MWUInt<W> stores W little-endian limbs (limb 0 is least significant;
+/// note the paper's bracket notation is most-significant-first, see
+/// DESIGN.md). The operations here mirror the structure of the code the
+/// rewrite system generates — carry chains for addition (Eq. 6 / rule 29),
+/// borrow chains for subtraction (Eq. 7 / rule 25), schoolbook (Eq. 8 /
+/// rule 28) and Karatsuba (Eq. 9) multiplication — and are validated
+/// against both Bignum and the IR interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_MW_MWUINT_H
+#define MOMA_MW_MWUINT_H
+
+#include "mw/Bignum.h"
+#include "mw/Limb.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+
+namespace moma {
+namespace mw {
+
+/// Selects the double-word multiplication rule, paper §2.2 / Fig. 5b.
+enum class MulAlgorithm { Schoolbook, Karatsuba };
+
+namespace detail {
+
+/// Out[0..N) = A[0..N) + B[0..N); returns the carry-out bit.
+inline Word addArr(const Word *A, const Word *B, size_t N, Word *Out) {
+  Word Carry = 0;
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = addCarry(A[I], B[I], Carry, Carry);
+  return Carry;
+}
+
+/// Out[0..N) = A[0..N) - B[0..N); returns the borrow-out bit.
+inline Word subArr(const Word *A, const Word *B, size_t N, Word *Out) {
+  Word Borrow = 0;
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = subBorrow(A[I], B[I], Borrow, Borrow);
+  return Borrow;
+}
+
+/// Adds B[0..NB) into Acc[0..NAcc) at word offset Off, propagating the carry
+/// through the rest of Acc. Returns the final carry (0 unless Acc overflows).
+inline Word addAtArr(Word *Acc, size_t NAcc, const Word *B, size_t NB,
+                     size_t Off) {
+  assert(Off + NB <= NAcc && "addend must fit in the accumulator");
+  Word Carry = 0;
+  size_t I = Off;
+  for (size_t J = 0; J < NB; ++J, ++I)
+    Acc[I] = addCarry(Acc[I], B[J], Carry, Carry);
+  for (; Carry && I < NAcc; ++I)
+    Acc[I] = addCarry(Acc[I], 0, Carry, Carry);
+  return Carry;
+}
+
+/// -1 / 0 / +1 comparison of two N-word values.
+inline int cmpArr(const Word *A, const Word *B, size_t N) {
+  for (size_t I = N; I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+/// Out[0..2N) = A[0..N) * B[0..N), schoolbook (paper Eq. 8 generalized).
+inline void mulSchoolArr(const Word *A, const Word *B, size_t N, Word *Out) {
+  std::memset(Out, 0, 2 * N * sizeof(Word));
+  for (size_t I = 0; I < N; ++I) {
+    Word Carry = 0;
+    for (size_t J = 0; J < N; ++J) {
+      DWord Acc = static_cast<DWord>(A[I]) * B[J] + Out[I + J] + Carry;
+      Out[I + J] = static_cast<Word>(Acc);
+      Carry = static_cast<Word>(Acc >> 64);
+    }
+    Out[I + N] = Carry;
+  }
+}
+
+/// Scratch words required by mulKaratsubaArr for an N-word multiply.
+constexpr size_t karatsubaScratch(size_t N) {
+  return N <= 1 ? 0 : (2 * N + 2) + karatsubaScratch((N + 1) / 2);
+}
+
+/// Out[0..2N) = A[0..N) * B[0..N) via Karatsuba (paper Eq. 9):
+///   c = p1 * z^2 + ((a0+a1)(b0+b1) - p0 - p1) * z + p0,
+/// with the two half-sums' carry bits folded back in explicitly, exactly the
+/// bookkeeping the rewrite system must perform when it applies the Karatsuba
+/// rule at a level where the half-sum overflows the half width.
+/// Odd sizes fall back to schoolbook.
+inline void mulKaratsubaArr(const Word *A, const Word *B, size_t N, Word *Out,
+                            Word *Scratch) {
+  if (N <= 1 || (N & 1)) {
+    mulSchoolArr(A, B, N, Out);
+    return;
+  }
+  const size_t H = N / 2;
+  const Word *ALo = A, *AHi = A + H, *BLo = B, *BHi = B + H;
+
+  // Frame layout in Scratch: SA[H] SB[H] T[N+2]; recursion uses the rest.
+  Word *SA = Scratch, *SB = Scratch + H, *T = Scratch + 2 * H;
+  Word *Rest = Scratch + 2 * N + 2;
+
+  mulKaratsubaArr(ALo, BLo, H, Out, Rest);        // p0 -> Out[0..N)
+  mulKaratsubaArr(AHi, BHi, H, Out + N, Rest);    // p1 -> Out[N..2N)
+
+  Word CA = addArr(ALo, AHi, H, SA);
+  Word CB = addArr(BLo, BHi, H, SB);
+
+  // T = (SA + CA*z^H) * (SB + CB*z^H), an (N+2)-word value.
+  mulKaratsubaArr(SA, SB, H, T, Rest);
+  T[N] = 0;
+  T[N + 1] = 0;
+  if (CA)
+    addAtArr(T, N + 2, SB, H, H);
+  if (CB)
+    addAtArr(T, N + 2, SA, H, H);
+  if (CA && CB) {
+    Word One = 1;
+    addAtArr(T, N + 2, &One, 1, N);
+  }
+
+  // T -= p0; T -= p1. Both borrows must cancel within T (the cross term is
+  // non-negative).
+  Word Borrow = subArr(T, Out, N, T);
+  for (size_t I = N; Borrow && I < N + 2; ++I)
+    T[I] = subBorrow(T[I], 0, Borrow, Borrow);
+  assert(Borrow == 0 && "Karatsuba cross term went negative");
+  Borrow = subArr(T, Out + N, N, T);
+  for (size_t I = N; Borrow && I < N + 2; ++I)
+    T[I] = subBorrow(T[I], 0, Borrow, Borrow);
+  assert(Borrow == 0 && "Karatsuba cross term went negative");
+
+  // Out += T << (64*H).
+  [[maybe_unused]] Word Carry = addAtArr(Out, 2 * N, T, N + 2 - 1, H);
+  // The (N+1)-th word of T participates only when H + N + 1 < 2N; for
+  // H >= 1 it always fits except the very last word, which must be zero.
+  assert(T[N + 1] == 0 && "cross term exceeded its width bound");
+  assert(Carry == 0 && "Karatsuba result overflowed 2N words");
+}
+
+/// Out[0..OutN) = (A[0..N) >> ShiftBits), zero-filled on the left.
+inline void shrArr(const Word *A, size_t N, unsigned ShiftBits, Word *Out,
+                   size_t OutN) {
+  const size_t WordShift = ShiftBits / 64;
+  const unsigned BitShift = ShiftBits % 64;
+  for (size_t I = 0; I < OutN; ++I) {
+    size_t Src = I + WordShift;
+    Word Lo = Src < N ? A[Src] : 0;
+    Word Hi = Src + 1 < N ? A[Src + 1] : 0;
+    Out[I] = BitShift ? (Lo >> BitShift) | (Hi << (64 - BitShift)) : Lo;
+  }
+}
+
+/// Out[0..OutN) = (A[0..N) << ShiftBits) mod 2^(64*OutN).
+inline void shlArr(const Word *A, size_t N, unsigned ShiftBits, Word *Out,
+                   size_t OutN) {
+  const size_t WordShift = ShiftBits / 64;
+  const unsigned BitShift = ShiftBits % 64;
+  for (size_t I = OutN; I-- > 0;) {
+    Word Lo = 0, Hi = 0;
+    if (I >= WordShift) {
+      size_t Src = I - WordShift;
+      Hi = Src < N ? A[Src] : 0;
+      Lo = (BitShift && Src >= 1 && Src - 1 < N) ? A[Src - 1] : 0;
+    }
+    Out[I] = BitShift ? (Hi << BitShift) | (Lo >> (64 - BitShift)) : Hi;
+  }
+}
+
+} // namespace detail
+
+/// Fixed-width unsigned integer of W 64-bit machine words.
+template <unsigned W> struct MWUInt {
+  static_assert(W >= 1, "at least one machine word");
+  static constexpr unsigned NumWords = W;
+  static constexpr unsigned NumBits = 64 * W;
+
+  /// Little-endian limbs; Limbs[0] is least significant.
+  std::array<Word, W> Limbs{};
+
+  MWUInt() = default;
+
+  /// Builds from a small value.
+  static MWUInt fromWord(Word V) {
+    MWUInt X;
+    X.Limbs[0] = V;
+    return X;
+  }
+
+  /// Builds from a Bignum; the value must fit in W words.
+  static MWUInt fromBignum(const Bignum &N) {
+    assert(N.bitWidth() <= NumBits && "value does not fit");
+    MWUInt X;
+    N.toWords(X.Limbs.data(), W);
+    return X;
+  }
+
+  Bignum toBignum() const { return Bignum::fromWords(Limbs.data(), W); }
+
+  bool isZero() const {
+    for (Word L : Limbs)
+      if (L)
+        return false;
+    return true;
+  }
+
+  bool operator==(const MWUInt &RHS) const { return Limbs == RHS.Limbs; }
+  bool operator!=(const MWUInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const MWUInt &RHS) const {
+    return detail::cmpArr(Limbs.data(), RHS.Limbs.data(), W) < 0;
+  }
+  bool operator>=(const MWUInt &RHS) const { return !(*this < RHS); }
+
+  /// Sum modulo 2^(64W); \p CarryOut receives the carry bit.
+  MWUInt addWithCarry(const MWUInt &RHS, Word &CarryOut) const {
+    MWUInt Out;
+    CarryOut = detail::addArr(Limbs.data(), RHS.Limbs.data(), W,
+                              Out.Limbs.data());
+    return Out;
+  }
+
+  /// Difference modulo 2^(64W); \p BorrowOut receives the borrow bit.
+  MWUInt subWithBorrow(const MWUInt &RHS, Word &BorrowOut) const {
+    MWUInt Out;
+    BorrowOut = detail::subArr(Limbs.data(), RHS.Limbs.data(), W,
+                               Out.Limbs.data());
+    return Out;
+  }
+
+  /// Full 2W-word product.
+  MWUInt<2 * W> mulFull(const MWUInt &RHS,
+                        MulAlgorithm Alg = MulAlgorithm::Schoolbook) const {
+    MWUInt<2 * W> Out;
+    if (Alg == MulAlgorithm::Schoolbook) {
+      detail::mulSchoolArr(Limbs.data(), RHS.Limbs.data(), W,
+                           Out.Limbs.data());
+    } else {
+      Word Scratch[detail::karatsubaScratch(W) + 1];
+      detail::mulKaratsubaArr(Limbs.data(), RHS.Limbs.data(), W,
+                              Out.Limbs.data(), Scratch);
+    }
+    return Out;
+  }
+
+  /// Low W words of the product (enough for Barrett's final e*q term).
+  MWUInt mulLow(const MWUInt &RHS) const {
+    MWUInt Out;
+    for (unsigned I = 0; I < W; ++I) {
+      Word Carry = 0;
+      for (unsigned J = 0; J + I < W; ++J) {
+        DWord Acc = static_cast<DWord>(Limbs[I]) * RHS.Limbs[J] +
+                    Out.Limbs[I + J] + Carry;
+        Out.Limbs[I + J] = static_cast<Word>(Acc);
+        Carry = static_cast<Word>(Acc >> 64);
+      }
+    }
+    return Out;
+  }
+
+  /// Logical right shift by any amount < 64W.
+  MWUInt shr(unsigned Bits) const {
+    MWUInt Out;
+    detail::shrArr(Limbs.data(), W, Bits, Out.Limbs.data(), W);
+    return Out;
+  }
+
+  /// Logical left shift by any amount < 64W (truncating).
+  MWUInt shl(unsigned Bits) const {
+    MWUInt Out;
+    detail::shlArr(Limbs.data(), W, Bits, Out.Limbs.data(), W);
+    return Out;
+  }
+
+  /// Truncation/zero-extension to a different word count.
+  template <unsigned W2> MWUInt<W2> resize() const {
+    MWUInt<W2> Out;
+    for (unsigned I = 0; I < W2 && I < W; ++I)
+      Out.Limbs[I] = Limbs[I];
+    return Out;
+  }
+};
+
+} // namespace mw
+} // namespace moma
+
+#endif // MOMA_MW_MWUINT_H

@@ -1,0 +1,39 @@
+//===- ntt/ReferenceDft.cpp - O(n^2) modular DFT oracle ---------------------===//
+
+#include "ntt/ReferenceDft.h"
+
+using namespace moma;
+using namespace moma::ntt;
+using mw::Bignum;
+
+std::vector<Bignum> moma::ntt::referenceDft(const std::vector<Bignum> &X,
+                                            const Bignum &Omega,
+                                            const Bignum &Q) {
+  size_t N = X.size();
+  std::vector<Bignum> Y(N);
+  // Precompute Omega^j once; the k-loop then walks it with one modular
+  // multiplication per term.
+  for (size_t K = 0; K < N; ++K) {
+    Bignum Acc;
+    Bignum WK = Omega.powMod(Bignum(K), Q);
+    Bignum Cur(1);
+    for (size_t J = 0; J < N; ++J) {
+      Acc = (Acc + X[J].mulMod(Cur, Q)) % Q;
+      Cur = Cur.mulMod(WK, Q);
+    }
+    Y[K] = Acc;
+  }
+  return Y;
+}
+
+std::vector<Bignum> moma::ntt::referencePolyMul(const std::vector<Bignum> &A,
+                                                const std::vector<Bignum> &B,
+                                                const Bignum &Q) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<Bignum> C(A.size() + B.size() - 1);
+  for (size_t I = 0; I < A.size(); ++I)
+    for (size_t J = 0; J < B.size(); ++J)
+      C[I + J] = (C[I + J] + A[I].mulMod(B[J], Q)) % Q;
+  return C;
+}

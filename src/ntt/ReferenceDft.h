@@ -1,0 +1,39 @@
+//===- ntt/ReferenceDft.h - O(n^2) modular DFT oracle ---------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct evaluation of paper Eq. 12 — y(k) = Σ x(j)·ω^(jk) mod p — on
+/// Bignum, independent of the fast transform, Barrett reduction, and the
+/// fixed-width types. The NTT tests compare against this oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_NTT_REFERENCEDFT_H
+#define MOMA_NTT_REFERENCEDFT_H
+
+#include "mw/Bignum.h"
+
+#include <vector>
+
+namespace moma {
+namespace ntt {
+
+/// y(k) = sum_j x(j) * Omega^(j*k) mod Q, for k in [0, n).
+std::vector<mw::Bignum> referenceDft(const std::vector<mw::Bignum> &X,
+                                     const mw::Bignum &Omega,
+                                     const mw::Bignum &Q);
+
+/// Schoolbook polynomial product mod Q (paper Eq. 11), length
+/// |A| + |B| - 1; the oracle for polyMulNtt.
+std::vector<mw::Bignum> referencePolyMul(const std::vector<mw::Bignum> &A,
+                                         const std::vector<mw::Bignum> &B,
+                                         const mw::Bignum &Q);
+
+} // namespace ntt
+} // namespace moma
+
+#endif // MOMA_NTT_REFERENCEDFT_H

@@ -1,0 +1,173 @@
+//===- rewrite/Schedule.cpp - Live ranges and list scheduling --------------===//
+
+#include "rewrite/Schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace moma;
+using namespace moma::ir;
+using namespace moma::rewrite;
+
+/// Words a value occupies in a register file of \p WordBits-bit registers.
+static unsigned wordsOf(const Kernel &K, ValueId Id, unsigned WordBits) {
+  unsigned Bits = K.value(Id).Bits;
+  return std::max(1u, (Bits + WordBits - 1) / WordBits);
+}
+
+PressureStats moma::rewrite::measurePressure(const Kernel &K,
+                                             unsigned WordBits) {
+  // Last use of each value (outputs are used "after the end").
+  const size_t NumStmts = K.Body.size();
+  std::vector<size_t> LastUse(K.numValues(), 0);
+  std::vector<bool> Used(K.numValues(), false);
+  for (size_t I = 0; I < NumStmts; ++I) {
+    for (ValueId Op : K.Body[I].Operands) {
+      LastUse[Op] = I;
+      Used[Op] = true;
+    }
+  }
+  for (const Param &P : K.outputs()) {
+    LastUse[P.Id] = NumStmts;
+    Used[P.Id] = true;
+  }
+
+  PressureStats Stats;
+  unsigned Live = 0, LiveWords = 0;
+  // Inputs are live from entry until their last use.
+  std::vector<std::vector<ValueId>> DiesAfter(NumStmts + 1);
+  for (const Param &P : K.inputs()) {
+    if (!Used[P.Id])
+      continue;
+    ++Live;
+    LiveWords += wordsOf(K, P.Id, WordBits);
+    DiesAfter[LastUse[P.Id]].push_back(P.Id);
+  }
+  Stats.MaxLive = Live;
+  Stats.MaxLiveWords = LiveWords;
+
+  for (size_t I = 0; I < NumStmts; ++I) {
+    // Definitions become live (even momentarily dead ones occupy their
+    // destination registers at the defining statement).
+    for (ValueId R : K.Body[I].Results) {
+      ++Live;
+      LiveWords += wordsOf(K, R, WordBits);
+      if (Used[R])
+        DiesAfter[LastUse[R]].push_back(R);
+    }
+    if (LiveWords > Stats.MaxLiveWords) {
+      Stats.MaxLiveWords = LiveWords;
+      Stats.MaxLive = Live;
+      Stats.PeakAt = I;
+    }
+    // Values whose last use was this statement die here; never-used
+    // results die immediately after their definition.
+    for (ValueId V : DiesAfter[I]) {
+      --Live;
+      LiveWords -= wordsOf(K, V, WordBits);
+    }
+    for (ValueId R : K.Body[I].Results) {
+      if (!Used[R]) {
+        --Live;
+        LiveWords -= wordsOf(K, R, WordBits);
+      }
+    }
+  }
+  return Stats;
+}
+
+PressureStats moma::rewrite::scheduleForPressure(Kernel &K,
+                                                 unsigned WordBits) {
+  const size_t NumStmts = K.Body.size();
+
+  // Dependence graph: a statement depends on the defining statement of
+  // each operand. Straight-line SSA, so def-before-use already holds.
+  std::vector<int> DefStmt(K.numValues(), -1);
+  for (size_t I = 0; I < NumStmts; ++I)
+    for (ValueId R : K.Body[I].Results)
+      DefStmt[R] = static_cast<int>(I);
+
+  std::vector<unsigned> PendingDeps(NumStmts, 0);
+  std::vector<std::vector<size_t>> Dependents(NumStmts);
+  for (size_t I = 0; I < NumStmts; ++I) {
+    for (ValueId Op : K.Body[I].Operands) {
+      int D = DefStmt[Op];
+      if (D >= 0) {
+        ++PendingDeps[I];
+        Dependents[D].push_back(I);
+      }
+    }
+  }
+
+  // Remaining-use counts drive the kill heuristic.
+  std::vector<unsigned> UsesLeft(K.numValues(), 0);
+  for (const Stmt &S : K.Body)
+    for (ValueId Op : S.Operands)
+      ++UsesLeft[Op];
+  for (const Param &P : K.outputs())
+    ++UsesLeft[P.Id]; // outputs never fully die
+
+  // Greedy list scheduling: among ready statements pick the one with the
+  // best (frees - defines) word balance; break ties by original order to
+  // keep the result deterministic.
+  auto Score = [&](size_t I) {
+    const Stmt &S = K.Body[I];
+    int Freed = 0;
+    for (ValueId Op : S.Operands)
+      if (UsesLeft[Op] == 1)
+        Freed += static_cast<int>(wordsOf(K, Op, WordBits));
+    int Defined = 0;
+    for (ValueId R : S.Results)
+      Defined += static_cast<int>(wordsOf(K, R, WordBits));
+    return Freed - Defined;
+  };
+
+  std::vector<size_t> Ready;
+  for (size_t I = 0; I < NumStmts; ++I)
+    if (PendingDeps[I] == 0)
+      Ready.push_back(I);
+
+  std::vector<size_t> Order;
+  Order.reserve(NumStmts);
+  while (!Ready.empty()) {
+    size_t BestIdx = 0;
+    int BestScore = Score(Ready[0]);
+    for (size_t J = 1; J < Ready.size(); ++J) {
+      int Sc = Score(Ready[J]);
+      if (Sc > BestScore ||
+          (Sc == BestScore && Ready[J] < Ready[BestIdx])) {
+        BestScore = Sc;
+        BestIdx = J;
+      }
+    }
+    size_t Chosen = Ready[BestIdx];
+    Ready.erase(Ready.begin() + static_cast<long>(BestIdx));
+    Order.push_back(Chosen);
+
+    for (ValueId Op : K.Body[Chosen].Operands) {
+      assert(UsesLeft[Op] > 0);
+      --UsesLeft[Op];
+    }
+    for (size_t Dep : Dependents[Chosen])
+      if (--PendingDeps[Dep] == 0)
+        Ready.push_back(Dep);
+  }
+  assert(Order.size() == NumStmts && "dependence cycle in straight-line IR");
+
+  PressureStats Before = measurePressure(K, WordBits);
+  std::vector<Stmt> OldBody = K.Body;
+  std::vector<Stmt> NewBody;
+  NewBody.reserve(NumStmts);
+  for (size_t I : Order)
+    NewBody.push_back(std::move(K.Body[I]));
+  K.Body = std::move(NewBody);
+  PressureStats After = measurePressure(K, WordBits);
+  // The greedy order can lose to the emission order (which is already
+  // chain-oriented for lowered kernels); never make things worse.
+  if (After.MaxLiveWords > Before.MaxLiveWords) {
+    K.Body = std::move(OldBody);
+    return Before;
+  }
+  return After;
+}

@@ -1,0 +1,67 @@
+//===- rewrite/Simplify.h - Folding, pruning, DCE -------------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization companion of the lowering pass. The paper's key
+/// non-power-of-two optimization (§4): when a λ-bit input lives in a 2ω-bit
+/// container, the statically-zero words introduced by rule (19) cascade
+/// through the rewrite rules; this pass folds them away ("pruning no-ops
+/// during code generation"). Concretely:
+///
+///  * constant folding across all opcodes (Bignum semantics),
+///  * algebraic identities (x+0, x*0, x*1, select on a constant, ...),
+///  * KnownBits strength reduction: carries that cannot fire become
+///    constants, multiplies whose product fits the low word drop their
+///    high half, right shifts past the significant bits fold to zero,
+///  * copy propagation and dead code elimination.
+///
+/// Repeated application runs to a fixed point (simplifyToFixpoint).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_REWRITE_SIMPLIFY_H
+#define MOMA_REWRITE_SIMPLIFY_H
+
+#include "ir/Ir.h"
+#include "rewrite/Lower.h"
+
+#include <vector>
+
+namespace moma {
+namespace rewrite {
+
+/// Counters describing what one simplify() application did.
+struct SimplifyStats {
+  unsigned FoldedConst = 0;      ///< statements folded to constants
+  unsigned Identities = 0;       ///< algebraic identities applied
+  unsigned StrengthReduced = 0;  ///< KnownBits-based reductions
+  unsigned CopiesPropagated = 0; ///< copies removed
+  unsigned DeadRemoved = 0;      ///< statements removed by DCE
+
+  unsigned total() const {
+    return FoldedConst + Identities + StrengthReduced + CopiesPropagated +
+           DeadRemoved;
+  }
+};
+
+/// One rewrite-and-DCE sweep over \p K (in place). When \p SubstOut is
+/// non-null it receives the old-value -> new-value substitution so callers
+/// holding value references (e.g. LoweredKernel ports) can follow along.
+SimplifyStats simplify(ir::Kernel &K,
+                       std::vector<ir::ValueId> *SubstOut = nullptr);
+
+/// Applies simplify() until nothing changes; returns the accumulated stats.
+SimplifyStats simplifyToFixpoint(ir::Kernel &K, unsigned MaxIters = 32);
+
+/// simplifyToFixpoint over a lowered kernel, keeping the port word
+/// mappings consistent across the rebuilds.
+SimplifyStats simplifyLowered(LoweredKernel &L, unsigned MaxIters = 32);
+
+} // namespace rewrite
+} // namespace moma
+
+#endif // MOMA_REWRITE_SIMPLIFY_H

@@ -1,0 +1,50 @@
+//===- sim/Device.cpp - Simulated GPU device profiles ----------------------===//
+
+#include "sim/Device.h"
+
+#include "support/Format.h"
+
+#include <thread>
+
+using namespace moma;
+using namespace moma::sim;
+
+// Paper Table 2. HostThreads scales the emulated parallelism so that the
+// relative core counts survive on a small host (V100 has ~1/3 the cores of
+// the other two).
+const DeviceProfile &moma::sim::deviceH100() {
+  static const DeviceProfile P{"H100", 16896, 1980, 228, 1024,
+                               /*HostThreads=*/0};
+  return P;
+}
+
+const DeviceProfile &moma::sim::deviceRTX4090() {
+  static const DeviceProfile P{"RTX4090", 16384, 2595, 100, 1024,
+                               /*HostThreads=*/0};
+  return P;
+}
+
+const DeviceProfile &moma::sim::deviceV100() {
+  static const DeviceProfile P{"V100", 5120, 1530, 96, 1024,
+                               /*HostThreads=*/1};
+  return P;
+}
+
+const DeviceProfile &moma::sim::deviceHostDefault() {
+  static const DeviceProfile P{"host", 0, 0, 48, 1024, /*HostThreads=*/0};
+  return P;
+}
+
+std::vector<const DeviceProfile *> moma::sim::allDeviceProfiles() {
+  return {&deviceH100(), &deviceRTX4090(), &deviceV100()};
+}
+
+std::string moma::sim::deviceTable() {
+  TextTable T({"Model", "#Cores", "MaxFreq", "SharedMem/SM", "HostThreads"});
+  unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+  for (const DeviceProfile *P : allDeviceProfiles())
+    T.addRow({P->Name, formatv("%u", P->Cores), formatv("%u MHz", P->MaxFreqMHz),
+              formatv("%u KiB", P->SharedMemKiB),
+              formatv("%u", P->HostThreads ? P->HostThreads : HW)});
+  return T.render();
+}

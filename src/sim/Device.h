@@ -1,0 +1,56 @@
+//===- sim/Device.h - Simulated GPU device profiles -----------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Device profiles standing in for the paper's Table 2 GPUs. This host has
+/// no CUDA hardware, so benches execute generated-equivalent kernels on a
+/// CPU thread pool (sim/Launch.h); the profile records the modeled
+/// device's published properties (cores, clock, shared memory) and the
+/// worker-thread budget used to emulate its parallelism on this machine.
+///
+/// Relative comparisons remain meaningful because every contender runs on
+/// the same substrate (DESIGN.md §4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_SIM_DEVICE_H
+#define MOMA_SIM_DEVICE_H
+
+#include <string>
+#include <vector>
+
+namespace moma {
+namespace sim {
+
+/// Static description of a modeled device (paper Table 2).
+struct DeviceProfile {
+  std::string Name;
+  unsigned Cores = 0;          ///< CUDA cores on the modeled GPU
+  unsigned MaxFreqMHz = 0;     ///< boost clock of the modeled GPU
+  unsigned SharedMemKiB = 0;   ///< per-SM shared memory
+  unsigned MaxThreadsPerBlock = 1024;
+  /// Worker threads used on this host to emulate the device. 0 = all
+  /// hardware threads.
+  unsigned HostThreads = 0;
+};
+
+/// The three GPUs of paper Table 2 plus a host-default profile.
+const DeviceProfile &deviceH100();
+const DeviceProfile &deviceRTX4090();
+const DeviceProfile &deviceV100();
+const DeviceProfile &deviceHostDefault();
+
+/// All built-in profiles (for bench tables).
+std::vector<const DeviceProfile *> allDeviceProfiles();
+
+/// Renders Table 2 for bench headers.
+std::string deviceTable();
+
+} // namespace sim
+} // namespace moma
+
+#endif // MOMA_SIM_DEVICE_H

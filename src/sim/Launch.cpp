@@ -1,0 +1,167 @@
+//===- sim/Launch.cpp - Grid/block kernel execution on CPU -----------------===//
+
+#include "sim/Launch.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+using namespace moma;
+using namespace moma::sim;
+
+void *SharedMem::alloc(size_t Bytes) {
+  size_t Aligned = (Offset + 7) & ~size_t(7);
+  if (Aligned + Bytes > Storage.size())
+    return nullptr;
+  void *P = Storage.data() + Aligned;
+  Offset = Aligned + Bytes;
+  return P;
+}
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  unsigned AuxCount = NumWorkers > 1 ? NumWorkers - 1 : 0;
+  Aux.reserve(AuxCount);
+  for (unsigned I = 0; I < AuxCount; ++I)
+    Aux.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WakeCV.notify_all();
+  for (auto &T : Aux)
+    T.join();
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    std::uint64_t Begin = Next.fetch_add(JobChunk, std::memory_order_relaxed);
+    if (Begin >= JobN)
+      return;
+    std::uint64_t End = std::min(JobN, Begin + JobChunk);
+    (*Fn)(Begin, End);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WakeCV.wait(Lock, [&] {
+        return Stopping || Generation != SeenGeneration;
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+    }
+    drain();
+    if (Active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> Lock(M);
+      DoneCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(
+    std::uint64_t N, std::uint64_t Chunk,
+    const std::function<void(std::uint64_t, std::uint64_t)> &RangeFn) {
+  if (N == 0)
+    return;
+  if (Aux.empty()) {
+    for (std::uint64_t Begin = 0; Begin < N; Begin += Chunk)
+      RangeFn(Begin, std::min(N, Begin + Chunk));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Fn = &RangeFn;
+    JobN = N;
+    JobChunk = Chunk ? Chunk : 1;
+    Next.store(0, std::memory_order_relaxed);
+    Active.store(static_cast<unsigned>(Aux.size()),
+                 std::memory_order_relaxed);
+    ++Generation;
+  }
+  WakeCV.notify_all();
+  drain(); // the caller is a worker too
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCV.wait(Lock, [&] { return Active.load() == 0; });
+  Fn = nullptr;
+}
+
+Device::Device(const DeviceProfile &Profile) : Profile(Profile) {
+  unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+  Workers = Profile.HostThreads ? Profile.HostThreads : HW;
+}
+
+ThreadPool &Device::pool() const {
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Workers);
+  return *Pool;
+}
+
+std::string Device::validate(const LaunchConfig &Cfg) const {
+  if (Cfg.BlockDim == 0)
+    return "block dimension must be positive";
+  if (Cfg.BlockDim > Profile.MaxThreadsPerBlock)
+    return formatv("block dimension %u exceeds the device limit %u",
+                   Cfg.BlockDim, Profile.MaxThreadsPerBlock);
+  if (Cfg.GridX == 0 || Cfg.GridY == 0)
+    return "grid dimensions must be positive";
+  return "";
+}
+
+void Device::launch(
+    const LaunchConfig &Cfg,
+    const std::function<void(const LaunchCoord &, SharedMem &)> &Kernel)
+    const {
+  std::string Err = validate(Cfg);
+  if (!Err.empty())
+    fatalError("sim launch: " + Err);
+
+  const std::uint64_t NumBlocks =
+      static_cast<std::uint64_t>(Cfg.GridX) * Cfg.GridY;
+  const size_t ShmBytes = static_cast<size_t>(Profile.SharedMemKiB) * 1024;
+
+  auto RunBlocks = [&](std::uint64_t Begin, std::uint64_t End) {
+    // One arena per chunk: blocks within a chunk run on one worker, and
+    // the arena resets between blocks (per-block isolation).
+    SharedMem Shm(ShmBytes);
+    for (std::uint64_t B = Begin; B < End; ++B) {
+      LaunchCoord C;
+      C.BlockX = static_cast<std::uint32_t>(B % Cfg.GridX);
+      C.BlockY = static_cast<std::uint32_t>(B / Cfg.GridX);
+      Shm.reset();
+      for (std::uint32_t T = 0; T < Cfg.BlockDim; ++T) {
+        C.ThreadX = T;
+        Kernel(C, Shm);
+      }
+    }
+  };
+
+  if (Workers <= 1 || NumBlocks <= 1) {
+    RunBlocks(0, NumBlocks);
+    return;
+  }
+  std::uint64_t Chunk =
+      std::max<std::uint64_t>(1, NumBlocks / (Workers * 4));
+  pool().run(NumBlocks, Chunk, RunBlocks);
+}
+
+void Device::parallelFor(std::uint64_t N,
+                         const std::function<void(std::uint64_t)> &Fn) const {
+  if (N == 0)
+    return;
+  if (Workers <= 1 || N < 2) {
+    for (std::uint64_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  const std::uint64_t Chunk = std::max<std::uint64_t>(1, N / (Workers * 8));
+  pool().run(N, Chunk, [&](std::uint64_t Begin, std::uint64_t End) {
+    for (std::uint64_t I = Begin; I < End; ++I)
+      Fn(I);
+  });
+}

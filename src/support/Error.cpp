@@ -1,0 +1,19 @@
+//===- support/Error.cpp - Fatal error handling ---------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace moma;
+
+void moma::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "moma fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void moma::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "moma unreachable at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

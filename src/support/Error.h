@@ -1,0 +1,35 @@
+//===- support/Error.h - Fatal error handling -----------------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting for unrecoverable conditions. The library does not
+/// use exceptions (LLVM style); misuse of an API that cannot be expressed as
+/// an assert (e.g. user-provided moduli failing validation) funnels through
+/// fatalError, which prints a message and aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_SUPPORT_ERROR_H
+#define MOMA_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace moma {
+
+/// Prints \p Msg to stderr and aborts. Never returns.
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// Marks a point in the code that is unconditionally a bug to reach.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+#define moma_unreachable(MSG)                                                  \
+  ::moma::unreachableInternal(MSG, __FILE__, __LINE__)
+
+} // namespace moma
+
+#endif // MOMA_SUPPORT_ERROR_H

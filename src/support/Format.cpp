@@ -1,0 +1,73 @@
+//===- support/Format.cpp - String and table formatting -------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace moma;
+
+std::string moma::formatv(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result;
+  if (Needed > 0) {
+    Result.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Result.data(), Result.size(), Fmt, ArgsCopy);
+    Result.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Result;
+}
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Width(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Width[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Width[I])
+        Width[I] = Row[I].size();
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < Row.size(); ++I) {
+      Line += Row[I];
+      Line.append(Width[I] - Row[I].size() + 2, ' ');
+    }
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t Total = 0;
+  for (size_t W : Width)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : Total, '-');
+  Out += "\n";
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+std::string moma::formatNanos(double Nanos) {
+  if (Nanos < 1e3)
+    return formatv("%.1f ns", Nanos);
+  if (Nanos < 1e6)
+    return formatv("%.2f us", Nanos / 1e3);
+  if (Nanos < 1e9)
+    return formatv("%.2f ms", Nanos / 1e6);
+  return formatv("%.2f s", Nanos / 1e9);
+}

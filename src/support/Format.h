@@ -1,0 +1,51 @@
+//===- support/Format.h - String and table formatting --------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style string formatting and a small fixed-column table printer
+/// used by the benchmark harnesses to print the paper's figures as rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_SUPPORT_FORMAT_H
+#define MOMA_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace moma {
+
+/// Returns a std::string produced by vsnprintf over \p Fmt.
+std::string formatv(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// A minimal column-aligned text table. Benchmarks use it to print one
+/// paper figure/table per binary in a stable, diffable layout.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one row; pads or truncates to the header width.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table with aligned columns.
+  std::string render() const;
+
+  unsigned numRows() const { return static_cast<unsigned>(Rows.size()); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a nanosecond quantity with an adaptive unit (ns/us/ms/s).
+std::string formatNanos(double Nanos);
+
+} // namespace moma
+
+#endif // MOMA_SUPPORT_FORMAT_H

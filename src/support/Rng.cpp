@@ -1,0 +1,59 @@
+//===- support/Rng.cpp - Deterministic pseudo-random numbers --------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace moma;
+
+static std::uint64_t splitMix64(std::uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ull;
+  std::uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+static std::uint64_t rotl(std::uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Rng::reseed(std::uint64_t Seed) {
+  for (auto &S : State)
+    S = splitMix64(Seed);
+  // Avoid the all-zero state, which xoshiro cannot escape.
+  if (!(State[0] | State[1] | State[2] | State[3]))
+    State[0] = 1;
+}
+
+std::uint64_t Rng::next64() {
+  std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  std::uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+std::uint64_t Rng::below(std::uint64_t Bound) {
+  assert(Bound > 0 && "below() requires a positive bound");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    std::uint64_t R = next64();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+std::uint64_t Rng::bits(unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "bit count out of range");
+  std::uint64_t R = next64();
+  if (Bits < 64)
+    R &= (1ull << Bits) - 1;
+  R |= 1ull << (Bits - 1);
+  return R;
+}

@@ -1,0 +1,46 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (SplitMix64 seeded xoshiro256**) used by tests,
+/// benchmarks, and prime generation. Deterministic seeding keeps every
+/// experiment in EXPERIMENTS.md reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_SUPPORT_RNG_H
+#define MOMA_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace moma {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256**).
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed = 0x9E3779B97F4A7C15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64.
+  void reseed(std::uint64_t Seed);
+
+  /// Returns the next 64 pseudo-random bits.
+  std::uint64_t next64();
+
+  /// Returns a value uniformly distributed in [0, Bound). Bound must be > 0.
+  std::uint64_t below(std::uint64_t Bound);
+
+  /// Returns a value with exactly \p Bits significant bits (top bit set).
+  /// Bits must be in [1, 64].
+  std::uint64_t bits(unsigned Bits);
+
+private:
+  std::uint64_t State[4];
+};
+
+} // namespace moma
+
+#endif // MOMA_SUPPORT_RNG_H

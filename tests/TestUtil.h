@@ -1,0 +1,104 @@
+//===- tests/TestUtil.h - shared test helpers ------------------*- C++ -*-===//
+//
+// Helpers shared by the rewrite/codegen test suites: random input
+// generation respecting KnownBits, port-word decomposition/reconstruction,
+// and the lowered-vs-original interpreter equivalence check that is the
+// semantic backbone of the rewrite-system tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_TESTS_TESTUTIL_H
+#define MOMA_TESTS_TESTUTIL_H
+
+#include "ir/Interp.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "rewrite/Lower.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace moma {
+namespace testutil {
+
+/// Generates one random input vector for \p K: uniformly below
+/// 2^KnownBits per input. Kernels with modulus ports need makeFieldInputs.
+inline std::vector<mw::Bignum> randomInputs(const ir::Kernel &K, Rng &R) {
+  std::vector<mw::Bignum> In;
+  for (const ir::Param &P : K.inputs()) {
+    unsigned Bits = K.value(P.Id).KnownBits;
+    In.push_back(mw::Bignum::random(R, mw::Bignum::powerOfTwo(Bits)));
+  }
+  return In;
+}
+
+/// Flattens a port value into its stored words (most significant first,
+/// skipping statically pruned words).
+inline std::vector<mw::Bignum> decomposePort(const rewrite::LoweredPort &P,
+                                             const mw::Bignum &V) {
+  std::vector<mw::Bignum> Words;
+  unsigned N = static_cast<unsigned>(P.Words.size());
+  for (unsigned I = 0; I < N; ++I) {
+    if (P.IsConstZero[I])
+      continue;
+    Words.push_back((V >> ((N - 1 - I) * P.WordBits)).truncate(P.WordBits));
+  }
+  return Words;
+}
+
+/// Reassembles port words produced by interpreting a lowered kernel.
+inline mw::Bignum recomposePort(const rewrite::LoweredPort &P,
+                                const std::vector<mw::Bignum> &Outs,
+                                size_t &Cursor) {
+  mw::Bignum Acc;
+  for (size_t I = 0; I < P.Words.size(); ++I)
+    Acc = (Acc << P.WordBits) + Outs[Cursor++];
+  return Acc;
+}
+
+/// Interprets \p L on the decomposition of \p Inputs; returns one Bignum
+/// per original output.
+inline std::vector<mw::Bignum>
+interpretLowered(const rewrite::LoweredKernel &L,
+                 const std::vector<mw::Bignum> &Inputs) {
+  std::vector<mw::Bignum> WordInputs;
+  EXPECT_EQ(Inputs.size(), L.Inputs.size());
+  for (size_t P = 0; P < L.Inputs.size(); ++P) {
+    std::vector<mw::Bignum> Words = decomposePort(L.Inputs[P], Inputs[P]);
+    WordInputs.insert(WordInputs.end(), Words.begin(), Words.end());
+  }
+  std::vector<mw::Bignum> Raw = ir::interpret(L.K, WordInputs);
+  std::vector<mw::Bignum> Out;
+  size_t Cursor = 0;
+  for (const rewrite::LoweredPort &P : L.Outputs)
+    Out.push_back(recomposePort(P, Raw, Cursor));
+  return Out;
+}
+
+/// The central property: lowering must preserve semantics on every input.
+/// \p MakeInputs supplies kernel inputs (defaults to randomInputs).
+inline void expectLoweringEquivalence(
+    const ir::Kernel &K, const rewrite::LoweredKernel &L, Rng &R, int Iters,
+    const std::function<std::vector<mw::Bignum>(Rng &)> &MakeInputs) {
+  ASSERT_TRUE(ir::verify(K).empty()) << ir::printKernel(K);
+  auto Errs = ir::verify(L.K);
+  ASSERT_TRUE(Errs.empty()) << Errs.front();
+  for (int I = 0; I < Iters; ++I) {
+    std::vector<mw::Bignum> In = MakeInputs(R);
+    std::vector<mw::Bignum> Ref = ir::interpret(K, In);
+    std::vector<mw::Bignum> Got = interpretLowered(L, In);
+    ASSERT_EQ(Ref.size(), Got.size());
+    for (size_t O = 0; O < Ref.size(); ++O)
+      ASSERT_EQ(Got[O], Ref[O])
+          << "output " << O << " diverges at iteration " << I << " of kernel "
+          << K.Name;
+  }
+}
+
+} // namespace testutil
+} // namespace moma
+
+#endif // MOMA_TESTS_TESTUTIL_H

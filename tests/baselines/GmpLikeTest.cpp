@@ -1,0 +1,60 @@
+//===- tests/baselines/GmpLikeTest.cpp - GMP-like baseline ---------------------===//
+
+#include "baselines/GmpLike.h"
+
+#include "field/PrimeGen.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::baselines;
+using mw::Bignum;
+
+namespace {
+
+struct Vectors {
+  Bignum Q;
+  std::vector<Bignum> A, B;
+  Vectors(unsigned MBits, size_t N, std::uint64_t Seed) {
+    Q = field::nttPrime(MBits, 8, 7);
+    Rng R(Seed);
+    for (size_t I = 0; I < N; ++I) {
+      A.push_back(Bignum::random(R, Q));
+      B.push_back(Bignum::random(R, Q));
+    }
+  }
+};
+
+} // namespace
+
+TEST(GmpLikeVec, ElementwiseOpsMatchOracle) {
+  Vectors V(252, 101, 1000);
+  GmpLikeVec Ops(V.Q);
+  sim::Device Dev;
+  std::vector<Bignum> C;
+  Ops.vadd(Dev, V.A, V.B, C);
+  for (size_t I = 0; I < V.A.size(); ++I)
+    EXPECT_EQ(C[I], V.A[I].addMod(V.B[I], V.Q));
+  Ops.vsub(Dev, V.A, V.B, C);
+  for (size_t I = 0; I < V.A.size(); ++I)
+    EXPECT_EQ(C[I], V.A[I].subMod(V.B[I], V.Q));
+  Ops.vmul(Dev, V.A, V.B, C);
+  for (size_t I = 0; I < V.A.size(); ++I)
+    EXPECT_EQ(C[I], V.A[I].mulMod(V.B[I], V.Q));
+}
+
+TEST(GmpLikeVec, AxpyMatchesOracle) {
+  Vectors V(124, 64, 1001);
+  GmpLikeVec Ops(V.Q);
+  sim::Device Dev;
+  Bignum S = Bignum(12345) % V.Q;
+  std::vector<Bignum> Y = V.B;
+  Ops.axpy(Dev, S, V.A, Y);
+  for (size_t I = 0; I < V.A.size(); ++I)
+    EXPECT_EQ(Y[I], S.mulMod(V.A[I], V.Q).addMod(V.B[I], V.Q));
+}
+
+TEST(GmpLikeVec, RejectsDegenerateModulus) {
+  EXPECT_DEATH((void)GmpLikeVec(Bignum(1)), "modulus");
+}

@@ -1,0 +1,106 @@
+//===- tests/baselines/RnsTest.cpp - RNS baseline ------------------------------===//
+
+#include "baselines/Rns.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::baselines;
+using mw::Bignum;
+
+TEST(Rns, IsPrimeU32KnownValues) {
+  EXPECT_TRUE(isPrimeU32(2));
+  EXPECT_TRUE(isPrimeU32(3));
+  EXPECT_TRUE(isPrimeU32(61));
+  EXPECT_TRUE(isPrimeU32(2147483647u)); // 2^31 - 1
+  EXPECT_TRUE(isPrimeU32(4294967291u)); // largest prime < 2^32
+  EXPECT_FALSE(isPrimeU32(0));
+  EXPECT_FALSE(isPrimeU32(1));
+  EXPECT_FALSE(isPrimeU32(4294967295u)); // 3*5*17*257*65537
+  EXPECT_FALSE(isPrimeU32(2147483647u - 1));
+  EXPECT_FALSE(isPrimeU32(25326001u)); // strong pseudoprime to bases 2,3,5
+}
+
+TEST(Rns, ContextCoversRequestedRange) {
+  for (unsigned Bits : {64u, 128u, 256u, 520u}) {
+    RnsContext Ctx = RnsContext::withRangeBits(Bits);
+    EXPECT_GT(Ctx.range().bitWidth(), Bits);
+    for (std::uint32_t M : Ctx.moduli())
+      EXPECT_TRUE(isPrimeU32(M));
+    // Pairwise distinct (hence coprime, being primes).
+    for (size_t I = 0; I + 1 < Ctx.moduli().size(); ++I)
+      EXPECT_GT(Ctx.moduli()[I], Ctx.moduli()[I + 1]);
+  }
+}
+
+TEST(Rns, EncodeDecodeRoundTrip) {
+  RnsContext Ctx = RnsContext::forModulusBits(124);
+  Rng R(990);
+  for (int I = 0; I < 100; ++I) {
+    Bignum X = Bignum::random(R, Ctx.range());
+    EXPECT_EQ(Ctx.decode(Ctx.encode(X)), X);
+  }
+}
+
+TEST(Rns, AddSubMulMatchOracleWithinRange) {
+  RnsContext Ctx = RnsContext::forModulusBits(124);
+  Rng R(991);
+  for (int I = 0; I < 100; ++I) {
+    Bignum A = Bignum::randomBits(R, 120), B = Bignum::randomBits(R, 120);
+    auto RA = Ctx.encode(A), RB = Ctx.encode(B);
+    EXPECT_EQ(Ctx.decode(Ctx.add(RA, RB)), A + B);
+    EXPECT_EQ(Ctx.decode(Ctx.mul(RA, RB)), A * B);
+    if (A >= B) {
+      EXPECT_EQ(Ctx.decode(Ctx.sub(RA, RB)), A - B);
+    }
+  }
+}
+
+TEST(Rns, SubWrapsModM) {
+  RnsContext Ctx = RnsContext::forModulusBits(64);
+  Bignum A(5), B(9);
+  // 5 - 9 mod M = M - 4.
+  EXPECT_EQ(Ctx.decode(Ctx.sub(Ctx.encode(A), Ctx.encode(B))),
+            Ctx.range() - Bignum(4));
+}
+
+TEST(Rns, MulModQMatchesOracle) {
+  Rng R(992);
+  Bignum Q = Bignum::powerOfTwo(124) - Bignum(59);
+  RnsContext Ctx = RnsContext::forModulusBits(124);
+  for (int I = 0; I < 50; ++I) {
+    Bignum A = Bignum::random(R, Q), B = Bignum::random(R, Q);
+    auto C = Ctx.mulModQ(Ctx.encode(A), Ctx.encode(B), Q);
+    EXPECT_EQ(Ctx.decode(C), (A * B) % Q);
+  }
+}
+
+TEST(Rns, FlatVectorOps) {
+  RnsContext Ctx = RnsContext::forModulusBits(124);
+  sim::Device Dev;
+  Rng R(993);
+  Bignum Q = Bignum::powerOfTwo(124) - Bignum(59);
+  const size_t N = 33;
+  size_t K = Ctx.numChannels();
+  std::vector<std::uint64_t> A, B, C;
+  std::vector<Bignum> ABig(N), BBig(N);
+  for (size_t I = 0; I < N; ++I) {
+    ABig[I] = Bignum::random(R, Q);
+    BBig[I] = Bignum::random(R, Q);
+    auto RA = Ctx.encode(ABig[I]), RB = Ctx.encode(BBig[I]);
+    A.insert(A.end(), RA.begin(), RA.end());
+    B.insert(B.end(), RB.begin(), RB.end());
+  }
+  Ctx.vaddFlat(Dev, A, B, C);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<std::uint64_t> Ci(C.begin() + I * K, C.begin() + (I + 1) * K);
+    EXPECT_EQ(Ctx.decode(Ci), ABig[I] + BBig[I]);
+  }
+  Ctx.vmulModQFlat(Dev, A, B, C, Q);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<std::uint64_t> Ci(C.begin() + I * K, C.begin() + (I + 1) * K);
+    EXPECT_EQ(Ctx.decode(Ci), ABig[I].mulMod(BBig[I], Q));
+  }
+}

@@ -1,0 +1,86 @@
+//===- tests/field/PrimeFieldTest.cpp - field abstraction --------------------===//
+
+#include "field/PrimeField.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::field;
+using mw::Bignum;
+
+namespace {
+
+template <unsigned W> void fieldAxioms(std::uint64_t Seed) {
+  Rng R(Seed);
+  auto F = PrimeField<W>::evaluationField(12);
+  const Bignum &Q = F.modulusBig();
+  for (int I = 0; I < 100; ++I) {
+    auto A = F.fromBignum(Bignum::random(R, Q));
+    auto B = F.fromBignum(Bignum::random(R, Q));
+    auto C = F.fromBignum(Bignum::random(R, Q));
+    // Associativity and commutativity through the oracle.
+    EXPECT_EQ(F.add(A, B).toBignum(),
+              A.toBignum().addMod(B.toBignum(), Q));
+    EXPECT_EQ(F.mul(A, B).toBignum(),
+              A.toBignum().mulMod(B.toBignum(), Q));
+    // Distributivity: a*(b+c) == a*b + a*c.
+    EXPECT_EQ(F.mul(A, F.add(B, C)), F.add(F.mul(A, B), F.mul(A, C)));
+    // a - a == 0, a + (-a) == 0.
+    EXPECT_TRUE(F.sub(A, A).isZero());
+    EXPECT_TRUE(F.add(A, F.neg(A)).isZero());
+  }
+}
+
+} // namespace
+
+TEST(PrimeField, Axioms128) { fieldAxioms<2>(501); }
+TEST(PrimeField, Axioms256) { fieldAxioms<4>(502); }
+TEST(PrimeField, Axioms384) { fieldAxioms<6>(503); }
+
+TEST(PrimeField, InverseProperty) {
+  Rng R(510);
+  auto F = PrimeField<2>::evaluationField(12);
+  for (int I = 0; I < 50; ++I) {
+    auto A = F.fromBignum(Bignum::random(R, F.modulusBig() - Bignum(1)) +
+                          Bignum(1));
+    EXPECT_TRUE(F.mul(A, F.inv(A)).toBignum().isOne());
+  }
+}
+
+TEST(PrimeField, PowMatchesOracle) {
+  Rng R(511);
+  auto F = PrimeField<2>::evaluationField(12);
+  for (int I = 0; I < 50; ++I) {
+    Bignum A = Bignum::random(R, F.modulusBig());
+    Bignum E = Bignum::randomBits(R, 1 + R.below(64));
+    EXPECT_EQ(F.pow(F.fromBignum(A), E).toBignum(),
+              A.powMod(E, F.modulusBig()));
+  }
+}
+
+TEST(PrimeField, NthRootHasExactOrder) {
+  auto F = PrimeField<2>::evaluationField(20);
+  auto W = F.nthRoot(1 << 16);
+  EXPECT_TRUE(F.pow(W, Bignum(1 << 16)).toBignum().isOne());
+  EXPECT_FALSE(F.pow(W, Bignum(1 << 15)).toBignum().isOne());
+}
+
+TEST(PrimeField, FromBignumReduces) {
+  auto F = PrimeField<2>::evaluationField(12);
+  Bignum Huge = F.modulusBig() * Bignum(3) + Bignum(7);
+  EXPECT_EQ(F.fromBignum(Huge).toBignum(), Bignum(7));
+}
+
+TEST(PrimeField, KaratsubaFieldAgrees) {
+  Rng R(512);
+  Bignum Q = evalModulus(256, 12);
+  PrimeField<4> FS(Q, mw::MulAlgorithm::Schoolbook);
+  PrimeField<4> FK(Q, mw::MulAlgorithm::Karatsuba);
+  for (int I = 0; I < 100; ++I) {
+    auto A = FS.fromBignum(Bignum::random(R, Q));
+    auto B = FS.fromBignum(Bignum::random(R, Q));
+    EXPECT_EQ(FS.mul(A, B), FK.mul(A, B));
+  }
+}

@@ -1,0 +1,71 @@
+//===- tests/field/PrimeGenTest.cpp - prime generation -----------------------===//
+
+#include "field/PrimeGen.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::field;
+using mw::Bignum;
+
+TEST(PrimeGen, KnownPrimesPass) {
+  Rng R(401);
+  for (std::uint64_t P :
+       {2ull, 3ull, 5ull, 97ull, 65537ull, 2147483647ull /* 2^31-1 */,
+        (1ull << 61) - 1 /* Mersenne */}) {
+    EXPECT_TRUE(isProbablePrime(Bignum(P), R)) << P;
+  }
+}
+
+TEST(PrimeGen, KnownCompositesFail) {
+  Rng R(402);
+  for (std::uint64_t C : {1ull, 4ull, 100ull, 561ull /* Carmichael */,
+                          41041ull /* Carmichael */, 6601ull /* Carmichael */,
+                          (1ull << 32) + 1 /* F5 = 641*6700417 */}) {
+    EXPECT_FALSE(isProbablePrime(Bignum(C), R)) << C;
+  }
+}
+
+TEST(PrimeGen, LargeKnownPrime) {
+  Rng R(403);
+  // 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite.
+  EXPECT_TRUE(
+      isProbablePrime(Bignum::powerOfTwo(127) - Bignum(1), R));
+  EXPECT_FALSE(
+      isProbablePrime(Bignum::powerOfTwo(128) + Bignum(1), R));
+}
+
+TEST(PrimeGen, NttPrimeHasRequestedShape) {
+  Rng R(404);
+  for (unsigned Bits : {60u, 124u, 252u, 380u}) {
+    Bignum Q = nttPrime(Bits, 20);
+    EXPECT_EQ(Q.bitWidth(), Bits);
+    // q = 1 (mod 2^20).
+    EXPECT_TRUE((Q - Bignum(1)).truncate(20).isZero());
+    EXPECT_TRUE(isProbablePrime(Q, R));
+  }
+}
+
+TEST(PrimeGen, NttPrimeIsCachedAndDeterministic) {
+  Bignum A = nttPrime(124, 20);
+  Bignum B = nttPrime(124, 20);
+  EXPECT_EQ(A, B);
+}
+
+TEST(PrimeGen, DifferentSeedsDifferentPrimes) {
+  EXPECT_NE(nttPrime(124, 20, 1), nttPrime(124, 20, 2));
+}
+
+TEST(PrimeGen, EvalModulusLeavesBarrettHeadroom) {
+  for (unsigned Container : {128u, 256u, 512u, 1024u}) {
+    Bignum Q = evalModulus(Container);
+    EXPECT_EQ(Q.bitWidth(), Container - 4)
+        << "the paper's k-4 bit convention (5.2)";
+  }
+}
+
+TEST(PrimeGen, RejectsImpossibleRequest) {
+  EXPECT_DEATH((void)nttPrime(10, 20), "2-adicity");
+}

@@ -1,0 +1,127 @@
+//===- tests/ir/IrTest.cpp - IR construction and printing --------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace moma;
+using namespace moma::ir;
+using mw::Bignum;
+
+namespace {
+
+Kernel makeTinyKernel() {
+  Kernel K;
+  K.Name = "tiny";
+  ValueId A = K.newValue(128, "a");
+  K.addInput(A, "a");
+  ValueId B = K.newValue(128, "b");
+  K.addInput(B, "b");
+  Builder Bld(K);
+  CarryResult Sum = Bld.add(A, B);
+  K.addOutput(Sum.Value, "s");
+  K.addOutput(Sum.Carry, "c");
+  return K;
+}
+
+} // namespace
+
+TEST(Ir, ValuesCarryWidthAndKnownBits) {
+  Kernel K;
+  ValueId V = K.newValue(256, "x", 200);
+  EXPECT_EQ(K.value(V).Bits, 256u);
+  EXPECT_EQ(K.value(V).KnownBits, 200u);
+  ValueId W = K.newValue(64);
+  EXPECT_EQ(K.value(W).KnownBits, 64u) << "KnownBits defaults to Bits";
+}
+
+TEST(Ir, MaxBitsScansAllValues) {
+  Kernel K = makeTinyKernel();
+  EXPECT_EQ(K.maxBits(), 128u);
+}
+
+TEST(Ir, BuilderProducesExpectedShapes) {
+  Kernel K;
+  Builder B(K);
+  ValueId X = K.newValue(64, "x");
+  K.addInput(X, "x");
+  ValueId Y = K.newValue(64, "y");
+  K.addInput(Y, "y");
+
+  CarryResult Add = B.add(X, Y);
+  EXPECT_EQ(K.value(Add.Carry).Bits, 1u);
+  EXPECT_EQ(K.value(Add.Value).Bits, 64u);
+
+  HiLoResult Mul = B.mul(X, Y);
+  EXPECT_EQ(K.value(Mul.Hi).Bits, 64u);
+  EXPECT_EQ(K.value(Mul.Lo).Bits, 64u);
+
+  ValueId F = B.lt(X, Y);
+  EXPECT_EQ(K.value(F).Bits, 1u);
+
+  HiLoResult Sp = B.split(X);
+  EXPECT_EQ(K.value(Sp.Hi).Bits, 32u);
+  EXPECT_EQ(K.value(Sp.Lo).Bits, 32u);
+
+  ValueId Cat = B.concat(Sp.Hi, Sp.Lo);
+  EXPECT_EQ(K.value(Cat).Bits, 64u);
+}
+
+TEST(Ir, SplitDistributesKnownBits) {
+  Kernel K;
+  Builder B(K);
+  // 380 known bits in a 512 container: hi half knows 124, lo knows 256.
+  ValueId X = K.newValue(512, "x", 380);
+  K.addInput(X, "x");
+  HiLoResult Sp = B.split(X);
+  EXPECT_EQ(K.value(Sp.Hi).KnownBits, 124u);
+  EXPECT_EQ(K.value(Sp.Lo).KnownBits, 256u);
+}
+
+TEST(Ir, PrinterMentionsEverything) {
+  Kernel K = makeTinyKernel();
+  std::string Text = printKernel(K);
+  EXPECT_NE(Text.find("kernel tiny"), std::string::npos);
+  EXPECT_NE(Text.find("a: u128"), std::string::npos);
+  EXPECT_NE(Text.find("add"), std::string::npos);
+  EXPECT_NE(Text.find("return"), std::string::npos);
+}
+
+TEST(Ir, PrinterShowsShiftAmountAndModBits) {
+  Kernel K;
+  Builder B(K);
+  ValueId X = K.newValue(128, "x");
+  K.addInput(X, "x");
+  ValueId Q = K.newValue(128, "q", 124);
+  K.addInput(Q, "q");
+  ValueId Mu = K.newValue(128, "mu");
+  K.addInput(Mu, "mu");
+  ValueId Sh = B.shr(X, 17);
+  ValueId Mm = B.mulMod(X, X, Q, Mu, 124);
+  K.addOutput(Sh, "s");
+  K.addOutput(Mm, "m");
+  std::string Text = printKernel(K);
+  EXPECT_NE(Text.find(", 17"), std::string::npos);
+  EXPECT_NE(Text.find("(m=124)"), std::string::npos);
+}
+
+TEST(Ir, OpKindNamesAreUnique) {
+  std::set<std::string> Names;
+  for (int I = 0; I <= static_cast<int>(OpKind::Concat); ++I)
+    Names.insert(opKindName(static_cast<OpKind>(I)));
+  EXPECT_EQ(Names.size(), static_cast<size_t>(OpKind::Concat) + 1);
+}
+
+TEST(Ir, ConstantTracksLiteral) {
+  Kernel K;
+  Builder B(K);
+  ValueId C = B.constant(128, Bignum::fromHex("0xdeadbeef"));
+  K.addOutput(C, "c");
+  ASSERT_EQ(K.Body.size(), 1u);
+  EXPECT_EQ(K.Body[0].Kind, OpKind::Const);
+  EXPECT_EQ(K.Body[0].Literal.toHex(), "0xdeadbeef");
+  EXPECT_EQ(K.value(C).KnownBits, 32u);
+}

@@ -1,0 +1,130 @@
+//===- tests/kernels/KernelsTest.cpp - kernel builders -----------------------===//
+
+#include "kernels/BlasKernels.h"
+#include "kernels/BlasRuntime.h"
+#include "kernels/NttKernels.h"
+#include "kernels/ScalarKernels.h"
+
+#include "ir/Interp.h"
+#include "ir/Verifier.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::ir;
+using namespace moma::kernels;
+using mw::Bignum;
+
+TEST(ScalarKernels, AllBuildersVerify) {
+  for (unsigned Bits : {64u, 128u, 256u, 512u, 1024u}) {
+    ScalarKernelSpec Spec{Bits, 0};
+    EXPECT_TRUE(verify(buildAddModKernel(Spec)).empty()) << Bits;
+    EXPECT_TRUE(verify(buildSubModKernel(Spec)).empty()) << Bits;
+    EXPECT_TRUE(verify(buildMulModKernel(Spec)).empty()) << Bits;
+    EXPECT_TRUE(verify(buildMulFullKernel(Spec)).empty()) << Bits;
+    EXPECT_TRUE(verify(buildButterflyKernel(Spec)).empty()) << Bits;
+    EXPECT_TRUE(verify(buildAxpyKernel(Spec)).empty()) << Bits;
+  }
+}
+
+TEST(ScalarKernels, ButterflySemantics) {
+  // x' = x + w*y, y' = x - w*y (mod q).
+  ScalarKernelSpec Spec{128, 0};
+  Kernel K = buildButterflyKernel(Spec);
+  Bignum Q = Bignum::powerOfTwo(124) - Bignum(59);
+  Bignum Mu = Bignum::powerOfTwo(2 * 124 + 3) / Q;
+  Rng R(801);
+  for (int I = 0; I < 30; ++I) {
+    Bignum X = Bignum::random(R, Q), Y = Bignum::random(R, Q),
+           W = Bignum::random(R, Q);
+    auto Out = interpret(K, {X, Y, W, Q, Mu});
+    Bignum T = W.mulMod(Y, Q);
+    EXPECT_EQ(Out[0], X.addMod(T, Q));
+    EXPECT_EQ(Out[1], X.subMod(T, Q));
+  }
+}
+
+TEST(ScalarKernels, AxpySemantics) {
+  ScalarKernelSpec Spec{128, 0};
+  Kernel K = buildAxpyKernel(Spec);
+  Bignum Q = Bignum::powerOfTwo(124) - Bignum(59);
+  Bignum Mu = Bignum::powerOfTwo(2 * 124 + 3) / Q;
+  Rng R(802);
+  for (int I = 0; I < 30; ++I) {
+    Bignum A = Bignum::random(R, Q), X = Bignum::random(R, Q),
+           Y = Bignum::random(R, Q);
+    auto Out = interpret(K, {A, X, Y, Q, Mu});
+    EXPECT_EQ(Out[0], A.mulMod(X, Q).addMod(Y, Q));
+  }
+}
+
+TEST(ScalarKernels, RejectsTightModulus) {
+  EXPECT_DEATH((void)buildMulModKernel(ScalarKernelSpec{128, 126}),
+               "container - 4");
+}
+
+TEST(BlasKernels, NamesEncodeOpAndWidth) {
+  Kernel K = buildBlasElementKernel(BlasOp::VMul, ScalarKernelSpec{256, 0});
+  EXPECT_EQ(K.Name, "vmul_256");
+  EXPECT_EQ(std::string(blasOpName(BlasOp::Axpy)), "axpy");
+}
+
+TEST(BlasKernels, GeneratePipelineProducesNativeKernels) {
+  for (auto Op :
+       {BlasOp::VAdd, BlasOp::VSub, BlasOp::VMul, BlasOp::Axpy}) {
+    rewrite::LoweredKernel L =
+        generateBlasKernel(Op, ScalarKernelSpec{256, 0});
+    EXPECT_LE(L.K.maxBits(), 64u);
+    EXPECT_TRUE(verify(L.K).empty());
+  }
+}
+
+TEST(BlasRuntime, MatchesBignumOracle) {
+  using field::PrimeField;
+  auto F = PrimeField<4>::evaluationField(8);
+  BlasRuntime<4> Blas(F);
+  sim::Device Dev;
+  Rng R(803);
+  const Bignum &Q = F.modulusBig();
+  size_t N = 257; // odd size exercises the chunked parallel loop tails
+
+  std::vector<PrimeField<4>::Element> A(N), B(N), C;
+  std::vector<Bignum> ABig(N), BBig(N);
+  for (size_t I = 0; I < N; ++I) {
+    ABig[I] = Bignum::random(R, Q);
+    BBig[I] = Bignum::random(R, Q);
+    A[I] = F.fromBignum(ABig[I]);
+    B[I] = F.fromBignum(BBig[I]);
+  }
+
+  Blas.vadd(Dev, A, B, C);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(C[I].toBignum(), ABig[I].addMod(BBig[I], Q));
+
+  Blas.vsub(Dev, A, B, C);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(C[I].toBignum(), ABig[I].subMod(BBig[I], Q));
+
+  Blas.vmul(Dev, A, B, C);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(C[I].toBignum(), ABig[I].mulMod(BBig[I], Q));
+
+  Bignum SBig = Bignum::random(R, Q);
+  auto S = F.fromBignum(SBig);
+  std::vector<PrimeField<4>::Element> Y = B;
+  Blas.axpy(Dev, S, A, Y);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Y[I].toBignum(), SBig.mulMod(ABig[I], Q).addMod(BBig[I], Q));
+}
+
+TEST(NttKernels, GenerateButterflyAcrossWidths) {
+  for (unsigned Bits : {128u, 256u, 384u * 0 + 512u}) {
+    rewrite::LoweredKernel L =
+        generateButterflyKernel(ScalarKernelSpec{Bits, 0});
+    EXPECT_LE(L.K.maxBits(), 64u);
+    EXPECT_TRUE(verify(L.K).empty()) << Bits;
+    ASSERT_EQ(L.Outputs.size(), 2u);
+    EXPECT_EQ(L.Outputs[0].Name, "xo");
+  }
+}

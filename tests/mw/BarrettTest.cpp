@@ -1,0 +1,168 @@
+//===- tests/mw/BarrettTest.cpp - multi-word Barrett reduction ---------------===//
+//
+// Property tests of the generalized Listing 4 (paper §3.2): the Barrett
+// error bound must hold with a single conditional subtraction across all
+// word counts, moduli, and both multiplication rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mw/Barrett.h"
+
+#include "field/PrimeGen.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::mw;
+using mw::Bignum;
+
+namespace {
+
+template <unsigned W>
+void mulModProperty(unsigned MBits, MulAlgorithm Alg, std::uint64_t Seed,
+                    int Iters = 400) {
+  Rng R(Seed);
+  Bignum Q = field::nttPrime(MBits, 12, /*Seed=*/Seed);
+  Barrett<W> Ctx = Barrett<W>::create(Q, Alg);
+  EXPECT_EQ(Ctx.modulusBits(), MBits);
+  for (int I = 0; I < Iters; ++I) {
+    Bignum A = Bignum::random(R, Q), B = Bignum::random(R, Q);
+    auto MA = MWUInt<W>::fromBignum(A), MB = MWUInt<W>::fromBignum(B);
+    EXPECT_EQ(Ctx.mulMod(MA, MB).toBignum(), (A * B) % Q)
+        << "W=" << W << " m=" << MBits;
+  }
+}
+
+template <unsigned W> void addSubModProperty(unsigned MBits, std::uint64_t Seed) {
+  Rng R(Seed);
+  Bignum Q = field::nttPrime(MBits, 12, Seed);
+  Barrett<W> Ctx = Barrett<W>::create(Q);
+  for (int I = 0; I < 400; ++I) {
+    Bignum A = Bignum::random(R, Q), B = Bignum::random(R, Q);
+    auto MA = MWUInt<W>::fromBignum(A), MB = MWUInt<W>::fromBignum(B);
+    EXPECT_EQ(Ctx.addMod(MA, MB).toBignum(), (A + B) % Q);
+    EXPECT_EQ(Ctx.subMod(MA, MB).toBignum(), A.subMod(B, Q));
+  }
+}
+
+} // namespace
+
+TEST(Barrett, MulMod128Schoolbook) {
+  mulModProperty<2>(124, MulAlgorithm::Schoolbook, 201);
+}
+TEST(Barrett, MulMod128Karatsuba) {
+  mulModProperty<2>(124, MulAlgorithm::Karatsuba, 202);
+}
+TEST(Barrett, MulMod256Schoolbook) {
+  mulModProperty<4>(252, MulAlgorithm::Schoolbook, 203);
+}
+TEST(Barrett, MulMod256Karatsuba) {
+  mulModProperty<4>(252, MulAlgorithm::Karatsuba, 204);
+}
+TEST(Barrett, MulMod384Schoolbook) {
+  mulModProperty<6>(380, MulAlgorithm::Schoolbook, 205, 200);
+}
+TEST(Barrett, MulMod512Karatsuba) {
+  mulModProperty<8>(508, MulAlgorithm::Karatsuba, 206, 200);
+}
+TEST(Barrett, MulMod768Schoolbook) {
+  mulModProperty<12>(764, MulAlgorithm::Schoolbook, 207, 100);
+}
+TEST(Barrett, MulMod1024Schoolbook) {
+  mulModProperty<16>(1020, MulAlgorithm::Schoolbook, 208, 60);
+}
+
+// ZKP-style non-power-of-two widths (381-bit BLS12-381-like, 753-bit
+// MNT4753-like) in exact word containers.
+TEST(Barrett, MulMod381In6Words) {
+  mulModProperty<6>(377, MulAlgorithm::Schoolbook, 209, 200);
+}
+TEST(Barrett, MulMod753In12Words) {
+  mulModProperty<12>(749, MulAlgorithm::Schoolbook, 210, 80);
+}
+// Small moduli inside large containers (the padding case the rewrite
+// system prunes).
+TEST(Barrett, SmallModulusInWideContainer) {
+  mulModProperty<8>(124, MulAlgorithm::Schoolbook, 211, 200);
+}
+
+// Odd/irregular word counts: every FHE/ZKP width class between the
+// power-of-two containers.
+TEST(Barrett, MulMod320In5Words) {
+  mulModProperty<5>(316, MulAlgorithm::Karatsuba, 212, 150);
+}
+TEST(Barrett, MulMod448In7Words) {
+  mulModProperty<7>(444, MulAlgorithm::Schoolbook, 213, 150);
+}
+TEST(Barrett, MulMod576In9Words) {
+  mulModProperty<9>(572, MulAlgorithm::Schoolbook, 214, 100);
+}
+TEST(Barrett, MulMod640In10Words) {
+  mulModProperty<10>(636, MulAlgorithm::Karatsuba, 215, 100);
+}
+TEST(Barrett, MulMod896In14Words) {
+  mulModProperty<14>(892, MulAlgorithm::Karatsuba, 216, 60);
+}
+
+TEST(Barrett, AddSubMod128) { addSubModProperty<2>(124, 220); }
+TEST(Barrett, AddSubMod256) { addSubModProperty<4>(252, 221); }
+TEST(Barrett, AddSubMod768) { addSubModProperty<12>(764, 222); }
+
+TEST(Barrett, AddModWrapsExactlyToZero) {
+  Bignum Q = field::nttPrime(124, 12);
+  Barrett<2> Ctx = Barrett<2>::create(Q);
+  auto QM1 = MWUInt<2>::fromBignum(Q - Bignum(1));
+  auto One = MWUInt<2>::fromWord(1);
+  EXPECT_TRUE(Ctx.addMod(QM1, One).isZero());
+}
+
+TEST(Barrett, SubModZeroMinusX) {
+  Bignum Q = field::nttPrime(124, 12);
+  Barrett<2> Ctx = Barrett<2>::create(Q);
+  auto X = MWUInt<2>::fromWord(5);
+  EXPECT_EQ(Ctx.subMod(MWUInt<2>(), X).toBignum(), Q - Bignum(5));
+}
+
+TEST(Barrett, MulModCornerOperands) {
+  Bignum Q = field::nttPrime(252, 12);
+  Barrett<4> Ctx = Barrett<4>::create(Q);
+  auto Zero = MWUInt<4>();
+  auto One = MWUInt<4>::fromWord(1);
+  auto QM1 = MWUInt<4>::fromBignum(Q - Bignum(1));
+  EXPECT_TRUE(Ctx.mulMod(Zero, QM1).isZero());
+  EXPECT_EQ(Ctx.mulMod(One, QM1).toBignum(), Q - Bignum(1));
+  // (q-1)^2 mod q == 1.
+  EXPECT_TRUE(Ctx.mulMod(QM1, QM1).toBignum().isOne());
+}
+
+TEST(Barrett, PowModMatchesOracle) {
+  Rng R(230);
+  Bignum Q = field::nttPrime(124, 12);
+  Barrett<2> Ctx = Barrett<2>::create(Q);
+  for (int I = 0; I < 30; ++I) {
+    Bignum A = Bignum::random(R, Q);
+    Bignum E = Bignum::randomBits(R, 1 + R.below(80));
+    EXPECT_EQ(Ctx.powMod(MWUInt<2>::fromBignum(A), E).toBignum(),
+              A.powMod(E, Q));
+  }
+}
+
+TEST(Barrett, MuMatchesDefinition) {
+  // mu = floor(2^(2m+3) / q), Eq. 16 with k = 2m+3.
+  Bignum Q = field::nttPrime(252, 12);
+  Barrett<4> Ctx = Barrett<4>::create(Q);
+  EXPECT_EQ(Ctx.mu().toBignum(), Bignum::powerOfTwo(2 * 252 + 3) / Q);
+}
+
+using BarrettDeath = Barrett<2>;
+
+TEST(Barrett, RejectsOversizedModulus) {
+  // 126 bits > 128-4: Barrett headroom violated.
+  EXPECT_DEATH((void)Barrett<2>::create(Bignum::powerOfTwo(125) + Bignum(1)),
+               "outside");
+}
+
+TEST(Barrett, RejectsTinyModulus) {
+  EXPECT_DEATH((void)Barrett<2>::create(Bignum(1)), "outside");
+}

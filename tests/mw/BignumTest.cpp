@@ -1,0 +1,233 @@
+//===- tests/mw/BignumTest.cpp - arbitrary-precision oracle ------------------===//
+
+#include "mw/Bignum.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using mw::Bignum;
+
+TEST(Bignum, ConstructionAndObservers) {
+  Bignum Z;
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_EQ(Z.bitWidth(), 0u);
+  Bignum One(1);
+  EXPECT_TRUE(One.isOne());
+  EXPECT_TRUE(One.isOdd());
+  Bignum X(0xF0);
+  EXPECT_EQ(X.bitWidth(), 8u);
+  EXPECT_FALSE(X.isOdd());
+  EXPECT_EQ(X.low64(), 0xF0u);
+}
+
+TEST(Bignum, HexRoundTrip) {
+  for (const char *S :
+       {"0x0", "0x1", "0xdeadbeef", "0x123456789abcdef0123456789abcdef",
+        "0xffffffffffffffffffffffffffffffffffffffffffffffff"}) {
+    EXPECT_EQ(Bignum::fromHex(S).toHex(), S);
+  }
+}
+
+TEST(Bignum, DecimalRoundTrip) {
+  for (const char *S : {"0", "1", "9", "18446744073709551616",
+                        "340282366920938463463374607431768211457"}) {
+    EXPECT_EQ(Bignum::fromDecimal(S).toDecimal(), S);
+  }
+}
+
+TEST(Bignum, KnownDecimalHex) {
+  EXPECT_EQ(Bignum::fromDecimal("255").toHex(), "0xff");
+  EXPECT_EQ(Bignum::fromHex("0x100").toDecimal(), "256");
+  // 2^128.
+  EXPECT_EQ(Bignum::powerOfTwo(128).toDecimal(),
+            "340282366920938463463374607431768211456");
+}
+
+TEST(Bignum, CompareOrdering) {
+  Bignum A = Bignum::fromHex("0xffffffffffffffff");      // 2^64-1
+  Bignum B = Bignum::fromHex("0x10000000000000000");     // 2^64
+  EXPECT_LT(A.compare(B), 0);
+  EXPECT_GT(B.compare(A), 0);
+  EXPECT_EQ(A.compare(A), 0);
+  EXPECT_TRUE(A < B && B > A && A <= A && A >= A && A != B);
+}
+
+TEST(Bignum, AddSubRoundTripRandom) {
+  Rng R(21);
+  for (int I = 0; I < 500; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(512));
+    Bignum B = Bignum::randomBits(R, 1 + R.below(512));
+    Bignum S = A + B;
+    EXPECT_EQ(S - B, A);
+    EXPECT_EQ(S - A, B);
+    EXPECT_TRUE(S >= A && S >= B);
+  }
+}
+
+TEST(Bignum, MulDistributes) {
+  Rng R(22);
+  for (int I = 0; I < 200; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(300));
+    Bignum B = Bignum::randomBits(R, 1 + R.below(300));
+    Bignum C = Bignum::randomBits(R, 1 + R.below(300));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A * B, B * A);
+  }
+}
+
+TEST(Bignum, MulByZeroAndOne) {
+  Bignum A = Bignum::fromHex("0x123456789abcdef00fedcba987654321");
+  EXPECT_TRUE((A * Bignum(0)).isZero());
+  EXPECT_EQ(A * Bignum(1), A);
+}
+
+TEST(Bignum, ShiftsInverse) {
+  Rng R(23);
+  for (int I = 0; I < 300; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(700));
+    unsigned S = R.below(200);
+    EXPECT_EQ((A << S) >> S, A);
+    EXPECT_EQ(A << S, A * Bignum::powerOfTwo(S));
+  }
+}
+
+TEST(Bignum, TruncateMatchesMod) {
+  Rng R(24);
+  for (int I = 0; I < 300; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(500));
+    unsigned Bits = 1 + R.below(500);
+    EXPECT_EQ(A.truncate(Bits), A % Bignum::powerOfTwo(Bits));
+  }
+}
+
+TEST(Bignum, BitAccess) {
+  Bignum A = Bignum::fromHex("0x5"); // 101
+  EXPECT_TRUE(A.bit(0));
+  EXPECT_FALSE(A.bit(1));
+  EXPECT_TRUE(A.bit(2));
+  EXPECT_FALSE(A.bit(64));
+}
+
+TEST(Bignum, DivRemReconstructs) {
+  Rng R(25);
+  for (int I = 0; I < 500; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(768));
+    Bignum B = Bignum::randomBits(R, 1 + R.below(512));
+    auto [Q, Rem] = A.divRem(B);
+    EXPECT_EQ(Q * B + Rem, A);
+    EXPECT_LT(Rem.compare(B), 0);
+  }
+}
+
+TEST(Bignum, DivRemSmallDivisor) {
+  Rng R(26);
+  for (int I = 0; I < 300; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(768));
+    Bignum B(R.next64() | 1);
+    auto [Q, Rem] = A.divRem(B);
+    EXPECT_EQ(Q * B + Rem, A);
+    EXPECT_LT(Rem.compare(B), 0);
+  }
+}
+
+TEST(Bignum, DivRemKnuthAddBackCase) {
+  // Divisor with top limb 2^63 (normalized) and crafted dividend stress
+  // the "add back" branch of Algorithm D.
+  Bignum B = Bignum::powerOfTwo(127) + Bignum(1);
+  Bignum A = (B * Bignum::fromHex("0xfffffffffffffffe")) + (B - Bignum(1));
+  auto [Q, Rem] = A.divRem(B);
+  EXPECT_EQ(Q * B + Rem, A);
+  EXPECT_LT(Rem.compare(B), 0);
+}
+
+TEST(Bignum, DivideByLargerGivesZero) {
+  Bignum A(5), B = Bignum::powerOfTwo(100);
+  auto [Q, Rem] = A.divRem(B);
+  EXPECT_TRUE(Q.isZero());
+  EXPECT_EQ(Rem, A);
+}
+
+TEST(Bignum, DivideEqualGivesOne) {
+  Bignum A = Bignum::fromHex("0xabcdef0123456789abcdef0123456789");
+  auto [Q, Rem] = A.divRem(A);
+  EXPECT_TRUE(Q.isOne());
+  EXPECT_TRUE(Rem.isZero());
+}
+
+TEST(Bignum, ModularOpsDefinitions) {
+  Rng R(27);
+  for (int I = 0; I < 200; ++I) {
+    Bignum Q = Bignum::randomBits(R, 1 + R.below(300)) + Bignum(2);
+    Bignum A = Bignum::random(R, Q);
+    Bignum B = Bignum::random(R, Q);
+    EXPECT_EQ(A.addMod(B, Q), (A + B) % Q);
+    EXPECT_EQ(A.mulMod(B, Q), (A * B) % Q);
+    EXPECT_EQ(A.subMod(B, Q).addMod(B, Q), A % Q);
+  }
+}
+
+TEST(Bignum, PowModSmallCases) {
+  Bignum Q(97);
+  EXPECT_EQ(Bignum(3).powMod(Bignum(0), Q), Bignum(1));
+  EXPECT_EQ(Bignum(3).powMod(Bignum(1), Q), Bignum(3));
+  EXPECT_EQ(Bignum(3).powMod(Bignum(96), Q), Bignum(1)); // Fermat
+  EXPECT_EQ(Bignum(5).powMod(Bignum(2), Q), Bignum(25));
+}
+
+TEST(Bignum, PowModLawOfExponents) {
+  Rng R(28);
+  Bignum Q = Bignum::fromDecimal("100000000000000000039"); // prime
+  for (int I = 0; I < 30; ++I) {
+    Bignum A = Bignum::random(R, Q - Bignum(1)) + Bignum(1);
+    Bignum E1(R.below(1000)), E2(R.below(1000));
+    EXPECT_EQ(A.powMod(E1, Q).mulMod(A.powMod(E2, Q), Q),
+              A.powMod(E1 + E2, Q));
+  }
+}
+
+TEST(Bignum, InvModProperty) {
+  Rng R(29);
+  Bignum Q = Bignum::fromDecimal("100000000000000000039");
+  for (int I = 0; I < 50; ++I) {
+    Bignum A = Bignum::random(R, Q - Bignum(1)) + Bignum(1);
+    Bignum Inv = A.invMod(Q);
+    EXPECT_EQ(A.mulMod(Inv, Q), Bignum(1));
+    EXPECT_LT(Inv.compare(Q), 0);
+  }
+}
+
+TEST(Bignum, InvModPowerOfTwoModulus) {
+  // Extended Euclid also handles non-prime moduli for odd values.
+  Bignum Q = Bignum::powerOfTwo(64);
+  Rng R(30);
+  for (int I = 0; I < 50; ++I) {
+    Bignum A(R.next64() | 1);
+    EXPECT_EQ(A.mulMod(A.invMod(Q), Q), Bignum(1));
+  }
+}
+
+TEST(Bignum, WordsRoundTrip) {
+  Rng R(31);
+  for (int I = 0; I < 100; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(256));
+    std::uint64_t W[4];
+    A.toWords(W, 4);
+    EXPECT_EQ(Bignum::fromWords(W, 4), A);
+  }
+}
+
+TEST(Bignum, RandomBelowBound) {
+  Rng R(32);
+  Bignum Bound = Bignum::fromHex("0x10000000000000000000001");
+  for (int I = 0; I < 100; ++I)
+    EXPECT_LT(Bignum::random(R, Bound).compare(Bound), 0);
+}
+
+TEST(Bignum, RandomBitsExactWidth) {
+  Rng R(33);
+  for (unsigned Bits : {1u, 2u, 63u, 64u, 65u, 127u, 128u, 381u, 753u}) {
+    EXPECT_EQ(Bignum::randomBits(R, Bits).bitWidth(), Bits);
+  }
+}

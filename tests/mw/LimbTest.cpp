@@ -1,0 +1,139 @@
+//===- tests/mw/LimbTest.cpp - single-word primitives -----------------------===//
+//
+// Covers paper §3.1 / Listing 1: the machine-word base case of MoMA.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mw/Limb.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::mw;
+
+TEST(Limb, AddCarryBasic) {
+  Word C;
+  EXPECT_EQ(addCarry(1, 2, 0, C), 3u);
+  EXPECT_EQ(C, 0u);
+  EXPECT_EQ(addCarry(~0ull, 1, 0, C), 0u);
+  EXPECT_EQ(C, 1u);
+  EXPECT_EQ(addCarry(~0ull, ~0ull, 1, C), ~0ull);
+  EXPECT_EQ(C, 1u);
+}
+
+TEST(Limb, SubBorrowBasic) {
+  Word B;
+  EXPECT_EQ(subBorrow(5, 3, 0, B), 2u);
+  EXPECT_EQ(B, 0u);
+  EXPECT_EQ(subBorrow(3, 5, 0, B), static_cast<Word>(-2));
+  EXPECT_EQ(B, 1u);
+  EXPECT_EQ(subBorrow(0, 0, 1, B), ~0ull);
+  EXPECT_EQ(B, 1u);
+}
+
+TEST(Limb, AddSubRoundTrip) {
+  Rng R(1);
+  for (int I = 0; I < 1000; ++I) {
+    Word A = R.next64(), B = R.next64();
+    Word C, Bw;
+    Word Sum = addCarry(A, B, 0, C);
+    Word Back = subBorrow(Sum, B, 0, Bw);
+    EXPECT_EQ(Back, A);
+    EXPECT_EQ(C, Bw) << "carry out must equal borrow back";
+  }
+}
+
+TEST(Limb, MulWideAgainstInt128) {
+  Rng R(2);
+  for (int I = 0; I < 1000; ++I) {
+    Word A = R.next64(), B = R.next64();
+    Word Hi;
+    Word Lo = mulWide(A, B, Hi);
+    DWord P = static_cast<DWord>(A) * B;
+    EXPECT_EQ(Lo, static_cast<Word>(P));
+    EXPECT_EQ(Hi, static_cast<Word>(P >> 64));
+  }
+}
+
+TEST(Limb, AddModMatchesDefinition) {
+  Rng R(3);
+  for (int I = 0; I < 2000; ++I) {
+    Word Q = R.bits(60);
+    if (Q < 3)
+      continue;
+    Word A = R.below(Q), B = R.below(Q);
+    EXPECT_EQ(addMod(A, B, Q),
+              static_cast<Word>((static_cast<DWord>(A) + B) % Q));
+  }
+}
+
+TEST(Limb, AddModExactlyQGivesZero) {
+  // The t == q edge the paper's listing mishandles with '>' (DESIGN.md).
+  Word Q = (1ull << 59) + 9;
+  EXPECT_EQ(addMod(Q - 1, 1, Q), 0u);
+}
+
+TEST(Limb, SubModMatchesDefinition) {
+  Rng R(4);
+  for (int I = 0; I < 2000; ++I) {
+    Word Q = R.bits(60);
+    if (Q < 3)
+      continue;
+    Word A = R.below(Q), B = R.below(Q);
+    Word Expect = A >= B ? A - B : A + Q - B;
+    EXPECT_EQ(subMod(A, B, Q), Expect);
+  }
+}
+
+TEST(Limb, BarrettMuFitsWord) {
+  Rng R(5);
+  for (unsigned MBits : {16u, 31u, 48u, 60u}) {
+    for (int I = 0; I < 50; ++I) {
+      Word Q = R.bits(MBits) | 1;
+      WordBarrett P = makeWordBarrett(Q, MBits);
+      EXPECT_EQ(P.Q, Q);
+      // Mu < 2^(MBits+4), hence it fits a word for MBits <= 60.
+      EXPECT_LE(bitWidth(P.Mu), MBits + 4);
+    }
+  }
+}
+
+TEST(Limb, BarrettMatchesNaive) {
+  Rng R(6);
+  for (unsigned MBits : {8u, 20u, 40u, 59u, 60u}) {
+    for (int I = 0; I < 2000; ++I) {
+      Word Q = R.bits(MBits) | 1;
+      if (Q < 3)
+        continue;
+      WordBarrett P = makeWordBarrett(Q, MBits);
+      Word A = R.below(Q), B = R.below(Q);
+      EXPECT_EQ(mulModBarrett(A, B, P), mulModNaive(A, B, Q))
+          << "a=" << A << " b=" << B << " q=" << Q;
+    }
+  }
+}
+
+TEST(Limb, BarrettEdgeOperands) {
+  Rng R(7);
+  for (int I = 0; I < 200; ++I) {
+    Word Q = R.bits(60) | 1;
+    if (Q < 3)
+      continue;
+    WordBarrett P = makeWordBarrett(Q, 60);
+    for (Word A : {Word(0), Word(1), Q - 1}) {
+      for (Word B : {Word(0), Word(1), Q - 1}) {
+        EXPECT_EQ(mulModBarrett(A, B, P), mulModNaive(A, B, Q));
+      }
+    }
+  }
+}
+
+TEST(Limb, BitWidth) {
+  EXPECT_EQ(bitWidth(0), 0u);
+  EXPECT_EQ(bitWidth(1), 1u);
+  EXPECT_EQ(bitWidth(2), 2u);
+  EXPECT_EQ(bitWidth(255), 8u);
+  EXPECT_EQ(bitWidth(~0ull), 64u);
+}

@@ -1,0 +1,140 @@
+//===- tests/mw/MWUIntTest.cpp - fixed-width multi-word integers -------------===//
+//
+// Property tests of the MoMA runtime representation (paper Eq. 13/14)
+// against the Bignum oracle, parameterized over word counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mw/MWUInt.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::mw;
+using mw::Bignum;
+
+namespace {
+
+template <unsigned W> void addSubRoundTrip(std::uint64_t Seed) {
+  Rng R(Seed);
+  for (int I = 0; I < 300; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(64 * W));
+    Bignum B = Bignum::randomBits(R, 1 + R.below(64 * W));
+    auto MA = MWUInt<W>::fromBignum(A), MB = MWUInt<W>::fromBignum(B);
+    Word Carry, Borrow;
+    MWUInt<W> Sum = MA.addWithCarry(MB, Carry);
+    // Sum + carry*2^(64W) == A + B.
+    Bignum Expect = A + B;
+    EXPECT_EQ(Sum.toBignum() + (Bignum(Carry) << (64 * W)), Expect);
+    MWUInt<W> Back = Sum.subWithBorrow(MB, Borrow);
+    EXPECT_EQ(Back.toBignum(), (Expect - B).truncate(64 * W));
+  }
+}
+
+template <unsigned W> void mulBothAlgorithms(std::uint64_t Seed) {
+  Rng R(Seed);
+  for (int I = 0; I < 200; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(64 * W));
+    Bignum B = Bignum::randomBits(R, 1 + R.below(64 * W));
+    auto MA = MWUInt<W>::fromBignum(A), MB = MWUInt<W>::fromBignum(B);
+    auto School = MA.mulFull(MB, MulAlgorithm::Schoolbook);
+    auto Kara = MA.mulFull(MB, MulAlgorithm::Karatsuba);
+    EXPECT_EQ(School.toBignum(), A * B);
+    EXPECT_EQ(Kara.toBignum(), A * B) << "Karatsuba diverges at W=" << W;
+  }
+}
+
+template <unsigned W> void shiftsMatchOracle(std::uint64_t Seed) {
+  Rng R(Seed);
+  for (int I = 0; I < 200; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(64 * W));
+    auto MA = MWUInt<W>::fromBignum(A);
+    unsigned S = R.below(64 * W);
+    EXPECT_EQ(MA.shr(S).toBignum(), A >> S);
+    EXPECT_EQ(MA.shl(S).toBignum(), (A << S).truncate(64 * W));
+  }
+}
+
+} // namespace
+
+TEST(MWUInt, AddSubW2) { addSubRoundTrip<2>(101); }
+TEST(MWUInt, AddSubW3) { addSubRoundTrip<3>(102); }
+TEST(MWUInt, AddSubW4) { addSubRoundTrip<4>(103); }
+TEST(MWUInt, AddSubW6) { addSubRoundTrip<6>(104); }
+TEST(MWUInt, AddSubW8) { addSubRoundTrip<8>(105); }
+TEST(MWUInt, AddSubW12) { addSubRoundTrip<12>(106); }
+TEST(MWUInt, AddSubW16) { addSubRoundTrip<16>(107); }
+
+TEST(MWUInt, MulW1) { mulBothAlgorithms<1>(110); }
+TEST(MWUInt, MulW2) { mulBothAlgorithms<2>(111); }
+TEST(MWUInt, MulW3) { mulBothAlgorithms<3>(112); }
+TEST(MWUInt, MulW4) { mulBothAlgorithms<4>(113); }
+TEST(MWUInt, MulW6) { mulBothAlgorithms<6>(114); }
+TEST(MWUInt, MulW8) { mulBothAlgorithms<8>(115); }
+TEST(MWUInt, MulW12) { mulBothAlgorithms<12>(116); }
+TEST(MWUInt, MulW16) { mulBothAlgorithms<16>(117); }
+// Odd word counts drive the Karatsuba odd-size fallback and unbalanced
+// recursion (10 -> 5 -> schoolbook, 14 -> 7 -> schoolbook).
+TEST(MWUInt, MulW5) { mulBothAlgorithms<5>(118); }
+TEST(MWUInt, MulW7) { mulBothAlgorithms<7>(119); }
+TEST(MWUInt, MulW9) { mulBothAlgorithms<9>(125); }
+TEST(MWUInt, MulW10) { mulBothAlgorithms<10>(126); }
+TEST(MWUInt, MulW11) { mulBothAlgorithms<11>(127); }
+TEST(MWUInt, MulW13) { mulBothAlgorithms<13>(128); }
+TEST(MWUInt, MulW14) { mulBothAlgorithms<14>(129); }
+TEST(MWUInt, MulW15) { mulBothAlgorithms<15>(135); }
+
+TEST(MWUInt, ShiftsW2) { shiftsMatchOracle<2>(120); }
+TEST(MWUInt, ShiftsW4) { shiftsMatchOracle<4>(121); }
+TEST(MWUInt, ShiftsW6) { shiftsMatchOracle<6>(122); }
+TEST(MWUInt, ShiftsW16) { shiftsMatchOracle<16>(123); }
+
+TEST(MWUInt, CompareMatchesOracle) {
+  Rng R(130);
+  for (int I = 0; I < 500; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(256));
+    Bignum B = Bignum::randomBits(R, 1 + R.below(256));
+    auto MA = MWUInt<4>::fromBignum(A), MB = MWUInt<4>::fromBignum(B);
+    EXPECT_EQ(MA < MB, A < B);
+    EXPECT_EQ(MA == MB, A == B);
+    EXPECT_EQ(MA >= MB, A >= B);
+  }
+}
+
+TEST(MWUInt, MulLowMatchesTruncatedProduct) {
+  Rng R(131);
+  for (int I = 0; I < 300; ++I) {
+    Bignum A = Bignum::randomBits(R, 1 + R.below(256));
+    Bignum B = Bignum::randomBits(R, 1 + R.below(256));
+    auto MA = MWUInt<4>::fromBignum(A), MB = MWUInt<4>::fromBignum(B);
+    EXPECT_EQ(MA.mulLow(MB).toBignum(), (A * B).truncate(256));
+  }
+}
+
+TEST(MWUInt, ResizeTruncatesAndExtends) {
+  Rng R(132);
+  Bignum A = Bignum::randomBits(R, 250);
+  auto M4 = MWUInt<4>::fromBignum(A);
+  EXPECT_EQ(M4.resize<8>().toBignum(), A);
+  EXPECT_EQ(M4.resize<2>().toBignum(), A.truncate(128));
+}
+
+TEST(MWUInt, ZeroAndFromWord) {
+  MWUInt<3> Z;
+  EXPECT_TRUE(Z.isZero());
+  auto One = MWUInt<3>::fromWord(1);
+  EXPECT_FALSE(One.isZero());
+  EXPECT_TRUE(One.toBignum().isOne());
+}
+
+TEST(MWUInt, KaratsubaCarryStress) {
+  // All-ones halves force both half-sum carries in the Karatsuba rule.
+  for (unsigned Rep = 0; Rep < 4; ++Rep) {
+    Bignum A = Bignum::powerOfTwo(256) - Bignum(1 + Rep);
+    Bignum B = Bignum::powerOfTwo(256) - Bignum(17 + Rep);
+    auto MA = MWUInt<4>::fromBignum(A), MB = MWUInt<4>::fromBignum(B);
+    EXPECT_EQ(MA.mulFull(MB, MulAlgorithm::Karatsuba).toBignum(), A * B);
+  }
+}

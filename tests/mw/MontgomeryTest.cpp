@@ -1,0 +1,104 @@
+//===- tests/mw/MontgomeryTest.cpp - Montgomery reduction --------------------===//
+//
+// The full-bit-width modulus path mentioned in paper §5.2 (Barrett needs
+// m <= w-4; Montgomery does not).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mw/Montgomery.h"
+
+#include "field/PrimeGen.h"
+#include "mw/Barrett.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::mw;
+using mw::Bignum;
+
+TEST(Montgomery, NegInvModWord) {
+  Rng R(301);
+  for (int I = 0; I < 500; ++I) {
+    Word Q = R.next64() | 1;
+    Word Inv = negInvModWord(Q);
+    EXPECT_EQ(static_cast<Word>(Q * Inv), static_cast<Word>(-1))
+        << "q * (-q^-1) must be -1 mod 2^64";
+  }
+}
+
+namespace {
+
+template <unsigned W>
+void montgomeryProperty(unsigned MBits, std::uint64_t Seed, int Iters = 300) {
+  Rng R(Seed);
+  Bignum Q = field::nttPrime(MBits, 10, Seed);
+  Montgomery<W> M = Montgomery<W>::create(Q);
+  for (int I = 0; I < Iters; ++I) {
+    Bignum A = Bignum::random(R, Q), B = Bignum::random(R, Q);
+    auto MA = MWUInt<W>::fromBignum(A), MB = MWUInt<W>::fromBignum(B);
+    EXPECT_EQ(M.mulMod(MA, MB).toBignum(), (A * B) % Q);
+    // Round trip through the Montgomery domain.
+    EXPECT_EQ(M.fromMont(M.toMont(MA)).toBignum(), A);
+  }
+}
+
+} // namespace
+
+TEST(Montgomery, MulMod124In2Words) { montgomeryProperty<2>(124, 310); }
+TEST(Montgomery, MulMod252In4Words) { montgomeryProperty<4>(252, 311); }
+
+// Full-width moduli: exactly 64*W bits, which Barrett cannot host.
+TEST(Montgomery, FullWidth128) { montgomeryProperty<2>(128, 312); }
+TEST(Montgomery, FullWidth256) { montgomeryProperty<4>(256, 313, 150); }
+TEST(Montgomery, FullWidth512) { montgomeryProperty<8>(512, 314, 80); }
+
+TEST(Montgomery, MontDomainMulIsIsomorphic) {
+  Rng R(320);
+  Bignum Q = field::nttPrime(128, 10);
+  Montgomery<2> M = Montgomery<2>::create(Q);
+  for (int I = 0; I < 100; ++I) {
+    Bignum A = Bignum::random(R, Q), B = Bignum::random(R, Q);
+    auto MontA = M.toMont(MWUInt<2>::fromBignum(A));
+    auto MontB = M.toMont(MWUInt<2>::fromBignum(B));
+    auto MontC = M.mulMont(MontA, MontB);
+    EXPECT_EQ(M.fromMont(MontC).toBignum(), (A * B) % Q);
+  }
+}
+
+TEST(Montgomery, OneIsRModQ) {
+  Bignum Q = field::nttPrime(124, 10);
+  Montgomery<2> M = Montgomery<2>::create(Q);
+  EXPECT_EQ(M.one().toBignum(), Bignum::powerOfTwo(128) % Q);
+  // toMont(1) == R mod q.
+  EXPECT_EQ(M.toMont(MWUInt<2>::fromWord(1)).toBignum(),
+            Bignum::powerOfTwo(128) % Q);
+}
+
+TEST(Montgomery, AddSubModMatchOracle) {
+  Rng R(321);
+  Bignum Q = field::nttPrime(128, 10);
+  Montgomery<2> M = Montgomery<2>::create(Q);
+  for (int I = 0; I < 200; ++I) {
+    Bignum A = Bignum::random(R, Q), B = Bignum::random(R, Q);
+    auto MA = MWUInt<2>::fromBignum(A), MB = MWUInt<2>::fromBignum(B);
+    EXPECT_EQ(M.addMod(MA, MB).toBignum(), (A + B) % Q);
+    EXPECT_EQ(M.subMod(MA, MB).toBignum(), A.subMod(B, Q));
+  }
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_DEATH((void)Montgomery<2>::create(Bignum(100)), "odd");
+}
+
+TEST(Montgomery, AgreesWithBarrettWherBothApply) {
+  Rng R(322);
+  Bignum Q = field::nttPrime(124, 10);
+  Montgomery<2> M = Montgomery<2>::create(Q);
+  mw::Barrett<2> Bar = mw::Barrett<2>::create(Q);
+  for (int I = 0; I < 200; ++I) {
+    Bignum A = Bignum::random(R, Q), B = Bignum::random(R, Q);
+    auto MA = MWUInt<2>::fromBignum(A), MB = MWUInt<2>::fromBignum(B);
+    EXPECT_EQ(M.mulMod(MA, MB).toBignum(), Bar.mulMod(MA, MB).toBignum());
+  }
+}

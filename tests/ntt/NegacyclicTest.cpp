@@ -1,0 +1,108 @@
+//===- tests/ntt/NegacyclicTest.cpp - x^n + 1 transforms -----------------------===//
+
+#include "ntt/Negacyclic.h"
+
+#include "ntt/ReferenceDft.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::ntt;
+using field::PrimeField;
+using mw::Bignum;
+
+namespace {
+
+template <unsigned W>
+void negacyclicMatchesSchoolbook(size_t N, std::uint64_t Seed) {
+  auto F = PrimeField<W>::evaluationField(24);
+  NegacyclicPlan<W> Plan(F, N);
+  Rng R(Seed);
+  std::vector<Bignum> ABig(N), BBig(N);
+  std::vector<typename PrimeField<W>::Element> A, B;
+  for (size_t I = 0; I < N; ++I) {
+    ABig[I] = Bignum::random(R, F.modulusBig());
+    BBig[I] = Bignum::random(R, F.modulusBig());
+    A.push_back(F.fromBignum(ABig[I]));
+    B.push_back(F.fromBignum(BBig[I]));
+  }
+  auto C = polyMulNegacyclic<W>(Plan, A, B);
+  // In Z_q[x]/(x^n + 1), coefficient i of the full product wraps as
+  // c[i] = full[i] - full[i+n].
+  auto Full = referencePolyMul(ABig, BBig, F.modulusBig());
+  for (size_t I = 0; I < N; ++I) {
+    Bignum Expect = Full[I];
+    if (I + N < Full.size())
+      Expect = Expect.subMod(Full[I + N], F.modulusBig());
+    ASSERT_EQ(C[I].toBignum(), Expect) << "coefficient " << I;
+  }
+}
+
+} // namespace
+
+TEST(Negacyclic, RoundTrip) {
+  auto F = PrimeField<2>::evaluationField(24);
+  NegacyclicPlan<2> Plan(F, 128);
+  Rng R(1100);
+  std::vector<PrimeField<2>::Element> X(128);
+  for (auto &E : X)
+    E = F.fromBignum(Bignum::random(R, F.modulusBig()));
+  auto Orig = X;
+  Plan.forward(X.data());
+  EXPECT_NE(X, Orig);
+  Plan.inverse(X.data());
+  EXPECT_EQ(X, Orig);
+}
+
+TEST(Negacyclic, MatchesSchoolbook128) {
+  negacyclicMatchesSchoolbook<2>(16, 1101);
+  negacyclicMatchesSchoolbook<2>(64, 1102);
+}
+TEST(Negacyclic, MatchesSchoolbook256) {
+  negacyclicMatchesSchoolbook<4>(32, 1103);
+}
+TEST(Negacyclic, MatchesSchoolbook384) {
+  negacyclicMatchesSchoolbook<6>(16, 1104);
+}
+
+TEST(Negacyclic, XTimesXnMinus1IsMinusOne) {
+  // x * x^(n-1) = x^n = -1 in the ring.
+  auto F = PrimeField<2>::evaluationField(24);
+  size_t N = 32;
+  NegacyclicPlan<2> Plan(F, N);
+  std::vector<PrimeField<2>::Element> X(N, F.zero()), Y(N, F.zero());
+  X[1] = F.one();
+  Y[N - 1] = F.one();
+  auto C = polyMulNegacyclic<2>(Plan, X, Y);
+  EXPECT_EQ(C[0].toBignum(), F.modulusBig() - Bignum(1)) << "-1 expected";
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_TRUE(C[I].isZero());
+}
+
+TEST(Negacyclic, DiffersFromCyclic) {
+  // The same inputs through cyclic and negacyclic products must disagree
+  // whenever wraparound occurs.
+  auto F = PrimeField<2>::evaluationField(24);
+  size_t N = 16;
+  NegacyclicPlan<2> NPlan(F, N);
+  NttPlan<2> CPlan(F, N);
+  Rng R(1105);
+  std::vector<PrimeField<2>::Element> A(N), B(N);
+  for (size_t I = 0; I < N; ++I) {
+    A[I] = F.fromBignum(Bignum::random(R, F.modulusBig()));
+    B[I] = F.fromBignum(Bignum::random(R, F.modulusBig()));
+  }
+  auto CNega = polyMulNegacyclic<2>(NPlan, A, B);
+  auto CCycl = polyMulNtt<2>(CPlan, A, B);
+  EXPECT_NE(CNega, CCycl);
+}
+
+TEST(Negacyclic, RequiresTwiceTheTwoAdicity) {
+  // A field with 2-adicity exactly log2(n) supports the cyclic n-point
+  // transform but not the negacyclic one.
+  auto F = PrimeField<2>(field::nttPrime(124, 5));
+  NttPlan<2> Ok(F, 32);
+  (void)Ok;
+  EXPECT_DEATH((void)NegacyclicPlan<2>(F, 32), "2-adicity");
+}

@@ -1,0 +1,170 @@
+//===- tests/ntt/NttTest.cpp - NTT engine -------------------------------------===//
+//
+// The transform properties behind paper §5.3: inversion, agreement with
+// the direct Eq. 12 evaluation, linearity, batch and stage-parallel
+// execution equivalence — parameterized over widths and sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ntt/Ntt.h"
+
+#include "ntt/ReferenceDft.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::ntt;
+using field::PrimeField;
+using mw::Bignum;
+
+namespace {
+
+template <unsigned W>
+std::vector<typename PrimeField<W>::Element>
+randomVector(const PrimeField<W> &F, size_t N, Rng &R) {
+  std::vector<typename PrimeField<W>::Element> X(N);
+  for (auto &E : X)
+    E = F.fromBignum(Bignum::random(R, F.modulusBig()));
+  return X;
+}
+
+template <unsigned W> void roundTrip(size_t N, std::uint64_t Seed) {
+  auto F = PrimeField<W>::evaluationField(24);
+  NttPlan<W> Plan(F, N);
+  Rng R(Seed);
+  auto X = randomVector<W>(F, N, R);
+  auto Orig = X;
+  Plan.forward(X.data());
+  EXPECT_NE(X, Orig) << "forward must not be the identity";
+  Plan.inverse(X.data());
+  EXPECT_EQ(X, Orig) << "INTT(NTT(x)) != x";
+}
+
+template <unsigned W> void matchesReference(size_t N, std::uint64_t Seed) {
+  auto F = PrimeField<W>::evaluationField(24);
+  NttPlan<W> Plan(F, N);
+  Rng R(Seed);
+  auto X = randomVector<W>(F, N, R);
+  std::vector<Bignum> XBig;
+  for (const auto &E : X)
+    XBig.push_back(E.toBignum());
+  Bignum Omega = F.nthRoot(N).toBignum();
+  std::vector<Bignum> Ref = referenceDft(XBig, Omega, F.modulusBig());
+  Plan.forward(X.data());
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(X[I].toBignum(), Ref[I]) << "index " << I;
+}
+
+} // namespace
+
+TEST(Ntt, RoundTrip128) {
+  for (size_t N : {2u, 4u, 16u, 256u, 1024u})
+    roundTrip<2>(N, 900 + N);
+}
+TEST(Ntt, RoundTrip256) {
+  for (size_t N : {4u, 64u, 512u})
+    roundTrip<4>(N, 910 + N);
+}
+TEST(Ntt, RoundTrip384) { roundTrip<6>(128, 920); }
+TEST(Ntt, RoundTrip768) { roundTrip<12>(64, 930); }
+
+TEST(Ntt, MatchesReferenceDft128) {
+  for (size_t N : {2u, 8u, 32u, 128u})
+    matchesReference<2>(N, 940 + N);
+}
+TEST(Ntt, MatchesReferenceDft256) { matchesReference<4>(64, 950); }
+
+TEST(Ntt, ForwardOfDeltaIsAllOnes) {
+  // NTT(delta_0) = (1, 1, ..., 1): each evaluation sees x(0)*w^0.
+  auto F = PrimeField<2>::evaluationField(24);
+  NttPlan<2> Plan(F, 64);
+  std::vector<PrimeField<2>::Element> X(64, F.zero());
+  X[0] = F.one();
+  Plan.forward(X.data());
+  for (const auto &E : X)
+    EXPECT_EQ(E, F.one());
+}
+
+TEST(Ntt, Linearity) {
+  auto F = PrimeField<2>::evaluationField(24);
+  NttPlan<2> Plan(F, 128);
+  Rng R(960);
+  auto X = randomVector<2>(F, 128, R);
+  auto Y = randomVector<2>(F, 128, R);
+  auto C = F.fromBignum(Bignum::random(R, F.modulusBig()));
+  // Z = c*X + Y computed before the transform...
+  std::vector<PrimeField<2>::Element> Z(128);
+  for (size_t I = 0; I < 128; ++I)
+    Z[I] = F.add(F.mul(C, X[I]), Y[I]);
+  Plan.forward(Z.data());
+  // ... must equal c*NTT(X) + NTT(Y).
+  Plan.forward(X.data());
+  Plan.forward(Y.data());
+  for (size_t I = 0; I < 128; ++I)
+    EXPECT_EQ(Z[I], F.add(F.mul(C, X[I]), Y[I]));
+}
+
+TEST(Ntt, BatchMatchesSingle) {
+  auto F = PrimeField<2>::evaluationField(24);
+  NttPlan<2> Plan(F, 256);
+  sim::Device Dev;
+  Rng R(961);
+  const size_t Batch = 9;
+  auto Flat = randomVector<2>(F, 256 * Batch, R);
+  auto Singles = Flat;
+  Plan.forwardBatch(Dev, Flat.data(), Batch);
+  for (size_t B = 0; B < Batch; ++B)
+    Plan.forward(Singles.data() + B * 256);
+  EXPECT_EQ(Flat, Singles);
+  Plan.inverseBatch(Dev, Flat.data(), Batch);
+  for (size_t B = 0; B < Batch; ++B)
+    Plan.inverse(Singles.data() + B * 256);
+  EXPECT_EQ(Flat, Singles);
+}
+
+TEST(Ntt, StageParallelMatchesSerial) {
+  // The CUDA-mapping execution (one virtual thread per butterfly, one
+  // launch per stage) must produce the same transform.
+  auto F = PrimeField<2>::evaluationField(24);
+  NttPlan<2> Plan(F, 512);
+  sim::Device Dev;
+  Rng R(962);
+  auto X = randomVector<2>(F, 512, R);
+  auto Y = X;
+  Plan.forward(X.data());
+  Plan.forwardStageParallel(Dev, Y.data());
+  EXPECT_EQ(X, Y);
+}
+
+TEST(Ntt, KaratsubaFieldGivesSameTransform) {
+  Bignum Q = field::evalModulus(256, 24);
+  PrimeField<4> FS(Q, mw::MulAlgorithm::Schoolbook);
+  PrimeField<4> FK(Q, mw::MulAlgorithm::Karatsuba);
+  NttPlan<4> PS(FS, 128), PK(FK, 128);
+  Rng R(963);
+  auto X = randomVector<4>(FS, 128, R);
+  auto Y = X;
+  PS.forward(X.data());
+  PK.forward(Y.data());
+  EXPECT_EQ(X, Y);
+}
+
+TEST(Ntt, ButterflyCountFormula) {
+  auto F = PrimeField<2>::evaluationField(24);
+  NttPlan<2> P1(F, 256);
+  EXPECT_EQ(P1.butterflies(), 256u / 2 * 8);
+  NttPlan<2> P2(F, 4096);
+  EXPECT_EQ(P2.butterflies(), 4096u / 2 * 12);
+}
+
+TEST(Ntt, RejectsNonPowerOfTwoSize) {
+  auto F = PrimeField<2>::evaluationField(24);
+  EXPECT_DEATH((void)NttPlan<2>(F, 100), "power of two");
+}
+
+TEST(Ntt, RejectsSizeBeyondTwoAdicity) {
+  // Field with 2-adicity 8 cannot host a 2^9-point NTT.
+  auto F = PrimeField<2>(field::nttPrime(124, 8));
+  EXPECT_DEATH((void)NttPlan<2>(F, 1 << 9), "2-adicity");
+}

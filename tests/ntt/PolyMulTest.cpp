@@ -1,0 +1,105 @@
+//===- tests/ntt/PolyMulTest.cpp - NTT-based polynomial multiplication --------===//
+//
+// The convolution theorem in practice (paper §2.3): NTT-based polynomial
+// products must match the schoolbook Eq. 11 oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ntt/Ntt.h"
+#include "ntt/ReferenceDft.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::ntt;
+using field::PrimeField;
+using mw::Bignum;
+
+namespace {
+
+template <unsigned W>
+void polyMulMatchesSchoolbook(size_t DegA, size_t DegB, size_t PlanN,
+                              std::uint64_t Seed) {
+  auto F = PrimeField<W>::evaluationField(24);
+  NttPlan<W> Plan(F, PlanN);
+  Rng R(Seed);
+  std::vector<Bignum> ABig(DegA + 1), BBig(DegB + 1);
+  std::vector<typename PrimeField<W>::Element> A, B;
+  for (auto &C : ABig) {
+    C = Bignum::random(R, F.modulusBig());
+    A.push_back(F.fromBignum(C));
+  }
+  for (auto &C : BBig) {
+    C = Bignum::random(R, F.modulusBig());
+    B.push_back(F.fromBignum(C));
+  }
+  auto C = polyMulNtt<W>(Plan, A, B);
+  auto Ref = referencePolyMul(ABig, BBig, F.modulusBig());
+  ASSERT_LE(Ref.size(), C.size());
+  for (size_t I = 0; I < C.size(); ++I) {
+    Bignum Expect = I < Ref.size() ? Ref[I] : Bignum(0);
+    ASSERT_EQ(C[I].toBignum(), Expect) << "coefficient " << I;
+  }
+}
+
+} // namespace
+
+TEST(PolyMul, Matches128) { polyMulMatchesSchoolbook<2>(30, 32, 128, 970); }
+TEST(PolyMul, Matches256) { polyMulMatchesSchoolbook<4>(15, 15, 64, 971); }
+TEST(PolyMul, Matches384) { polyMulMatchesSchoolbook<6>(10, 20, 64, 972); }
+TEST(PolyMul, UnbalancedDegrees) {
+  polyMulMatchesSchoolbook<2>(1, 60, 128, 973);
+}
+TEST(PolyMul, FullPlanCapacity) {
+  // deg(A) + deg(B) = PlanN - 1: the last coefficient lands exactly at the
+  // end without cyclic wraparound.
+  polyMulMatchesSchoolbook<2>(31, 32, 64, 974);
+}
+
+TEST(PolyMul, MulByConstantPolynomial) {
+  auto F = PrimeField<2>::evaluationField(24);
+  NttPlan<2> Plan(F, 64);
+  Rng R(975);
+  std::vector<PrimeField<2>::Element> A;
+  for (int I = 0; I < 20; ++I)
+    A.push_back(F.fromBignum(Bignum::random(R, F.modulusBig())));
+  std::vector<PrimeField<2>::Element> K = {F.fromBignum(Bignum(3))};
+  auto C = polyMulNtt<2>(Plan, A, K);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(C[I], F.mul(A[I], K[0]));
+}
+
+TEST(PolyMul, CyclicWraparoundIsModXnMinus1) {
+  // With deg(A)+deg(B) >= n the NTT computes the product mod (x^n - 1);
+  // verify the wraparound explicitly (negacyclic variants are future work
+  // in DESIGN.md).
+  auto F = PrimeField<2>::evaluationField(24);
+  size_t N = 16;
+  NttPlan<2> Plan(F, N);
+  Rng R(976);
+  std::vector<Bignum> ABig(N), BBig(N);
+  std::vector<PrimeField<2>::Element> A, B;
+  for (size_t I = 0; I < N; ++I) {
+    ABig[I] = Bignum::random(R, F.modulusBig());
+    BBig[I] = Bignum::random(R, F.modulusBig());
+    A.push_back(F.fromBignum(ABig[I]));
+    B.push_back(F.fromBignum(BBig[I]));
+  }
+  auto C = polyMulNtt<2>(Plan, A, B);
+  auto Full = referencePolyMul(ABig, BBig, F.modulusBig());
+  for (size_t I = 0; I < N; ++I) {
+    Bignum Expect = Full[I];
+    if (I + N < Full.size())
+      Expect = Expect.addMod(Full[I + N], F.modulusBig());
+    EXPECT_EQ(C[I].toBignum(), Expect);
+  }
+}
+
+TEST(PolyMul, RejectsOversizedInputs) {
+  auto F = PrimeField<2>::evaluationField(24);
+  NttPlan<2> Plan(F, 16);
+  std::vector<PrimeField<2>::Element> A(17, F.one());
+  EXPECT_DEATH((void)polyMulNtt<2>(Plan, A, A), "longer than the plan");
+}

@@ -1,0 +1,139 @@
+//===- tests/sim/LaunchTest.cpp - simulated GPU launches ----------------------===//
+
+#include "sim/Launch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+using namespace moma;
+using namespace moma::sim;
+
+TEST(Device, ProfilesMatchPaperTable2) {
+  EXPECT_EQ(deviceH100().Cores, 16896u);
+  EXPECT_EQ(deviceH100().MaxFreqMHz, 1980u);
+  EXPECT_EQ(deviceRTX4090().Cores, 16384u);
+  EXPECT_EQ(deviceRTX4090().MaxFreqMHz, 2595u);
+  EXPECT_EQ(deviceV100().Cores, 5120u);
+  EXPECT_EQ(deviceV100().MaxFreqMHz, 1530u);
+  EXPECT_EQ(allDeviceProfiles().size(), 3u);
+  std::string Table = deviceTable();
+  EXPECT_NE(Table.find("H100"), std::string::npos);
+  EXPECT_NE(Table.find("RTX4090"), std::string::npos);
+  EXPECT_NE(Table.find("V100"), std::string::npos);
+}
+
+TEST(Launch, CoversEveryCoordinateExactlyOnce) {
+  Device Dev;
+  LaunchConfig Cfg;
+  Cfg.GridX = 5;
+  Cfg.GridY = 3;
+  Cfg.BlockDim = 7;
+  std::mutex M;
+  std::set<std::tuple<unsigned, unsigned, unsigned>> Seen;
+  Dev.launch(Cfg, [&](const LaunchCoord &C, SharedMem &) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto [It, Inserted] = Seen.insert({C.BlockX, C.BlockY, C.ThreadX});
+    EXPECT_TRUE(Inserted) << "duplicate coordinate";
+  });
+  EXPECT_EQ(Seen.size(), 5u * 3 * 7);
+}
+
+TEST(Launch, ValidateRejectsBadConfigs) {
+  Device Dev;
+  LaunchConfig Cfg;
+  Cfg.BlockDim = 0;
+  EXPECT_NE(Dev.validate(Cfg), "");
+  Cfg.BlockDim = 2048; // > 1024, the paper's per-block thread limit
+  EXPECT_NE(Dev.validate(Cfg), "");
+  Cfg.BlockDim = 1024;
+  Cfg.GridX = 0;
+  EXPECT_NE(Dev.validate(Cfg), "");
+  Cfg.GridX = 1;
+  EXPECT_EQ(Dev.validate(Cfg), "");
+}
+
+TEST(Launch, InvalidLaunchAborts) {
+  Device Dev;
+  LaunchConfig Cfg;
+  Cfg.BlockDim = 4096;
+  EXPECT_DEATH(Dev.launch(Cfg, [](const LaunchCoord &, SharedMem &) {}),
+               "exceeds the device limit");
+}
+
+TEST(SharedMem, AllocatesAlignedUntilExhausted) {
+  SharedMem Shm(64);
+  void *A = Shm.alloc(10);
+  ASSERT_NE(A, nullptr);
+  void *B = Shm.alloc(10);
+  ASSERT_NE(B, nullptr);
+  // 8-byte alignment between allocations.
+  EXPECT_EQ((reinterpret_cast<uintptr_t>(B) -
+             reinterpret_cast<uintptr_t>(A)) % 8, 0u);
+  // 16 (rounded) + 16 used; 40 more than capacity fails.
+  EXPECT_EQ(Shm.alloc(64), nullptr) << "over-capacity alloc must fail";
+  Shm.reset();
+  EXPECT_NE(Shm.alloc(64), nullptr) << "reset reclaims the arena";
+}
+
+TEST(SharedMem, PerBlockIsolation) {
+  // Each block starts with a clean arena: writes from one block must not
+  // be visible as leftover offsets in another.
+  Device Dev;
+  LaunchConfig Cfg;
+  Cfg.GridX = 16;
+  Cfg.BlockDim = 1;
+  std::atomic<int> Failures{0};
+  Dev.launch(Cfg, [&](const LaunchCoord &, SharedMem &Shm) {
+    if (Shm.used() != 0)
+      ++Failures; // arena must be reset per block
+    void *P = Shm.alloc(1024);
+    if (!P)
+      ++Failures;
+  });
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(Launch, ParallelForVisitsAll) {
+  Device Dev;
+  std::vector<std::atomic<int>> Hits(1000);
+  Dev.parallelFor(1000, [&](std::uint64_t I) { ++Hits[I]; });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(Launch, ParallelForZeroAndOne) {
+  Device Dev;
+  int Count = 0;
+  Dev.parallelFor(0, [&](std::uint64_t) { ++Count; });
+  EXPECT_EQ(Count, 0);
+  Dev.parallelFor(1, [&](std::uint64_t) { ++Count; });
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(Launch, SingleWorkerProfileIsSerial) {
+  DeviceProfile P = deviceV100(); // HostThreads = 1
+  Device Dev(P);
+  EXPECT_EQ(Dev.workerCount(), 1u);
+  // Serial execution preserves order within a block.
+  std::vector<unsigned> Order;
+  LaunchConfig Cfg;
+  Cfg.BlockDim = 8;
+  Dev.launch(Cfg, [&](const LaunchCoord &C, SharedMem &) {
+    Order.push_back(C.ThreadX);
+  });
+  for (unsigned I = 0; I < 8; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(Launch, DeterministicResultsAcrossRuns) {
+  Device Dev;
+  auto Run = [&] {
+    std::vector<std::uint64_t> Out(512);
+    Dev.parallelFor(512, [&](std::uint64_t I) { Out[I] = I * I + 7; });
+    return Out;
+  };
+  EXPECT_EQ(Run(), Run());
+}

@@ -1,0 +1,44 @@
+//===- tests/support/FormatTest.cpp - formatting helpers --------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+
+TEST(Format, FormatvBasic) {
+  EXPECT_EQ(formatv("x=%d", 42), "x=42");
+  EXPECT_EQ(formatv("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(formatv("%05u", 7u), "00007");
+}
+
+TEST(Format, FormatvEmptyAndLong) {
+  EXPECT_EQ(formatv("%s", ""), "");
+  std::string Long(500, 'x');
+  EXPECT_EQ(formatv("%s", Long.c_str()), Long);
+}
+
+TEST(Format, TextTableAlignsColumns) {
+  TextTable T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer-name"), std::string::npos);
+  // Header row and separator plus two data rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+}
+
+TEST(Format, TextTablePadsShortRows) {
+  TextTable T({"a", "b", "c"});
+  T.addRow({"only"});
+  EXPECT_EQ(T.numRows(), 1u);
+  EXPECT_NE(T.render().find("only"), std::string::npos);
+}
+
+TEST(Format, FormatNanosUnits) {
+  EXPECT_EQ(formatNanos(12.3), "12.3 ns");
+  EXPECT_EQ(formatNanos(1234.0), "1.23 us");
+  EXPECT_EQ(formatNanos(12345678.0), "12.35 ms");
+  EXPECT_EQ(formatNanos(2.5e9), "2.50 s");
+}

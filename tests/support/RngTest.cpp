@@ -1,0 +1,63 @@
+//===- tests/support/RngTest.cpp - deterministic RNG -------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace moma;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next64(), B.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next64() == B.next64();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (std::uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.below(Bound), Bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng R(9);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(R.below(1), 0u);
+}
+
+TEST(Rng, BitsSetsTopBit) {
+  Rng R(11);
+  for (unsigned Bits = 1; Bits <= 64; ++Bits) {
+    std::uint64_t V = R.bits(Bits);
+    EXPECT_NE(V >> (Bits - 1) & 1, 0u) << "top bit clear for " << Bits;
+    if (Bits < 64)
+      EXPECT_EQ(V >> Bits, 0u) << "extra bits set for " << Bits;
+  }
+}
+
+TEST(Rng, ReasonableSpread) {
+  Rng R(13);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.next64());
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng R(5);
+  std::uint64_t First = R.next64();
+  R.next64();
+  R.reseed(5);
+  EXPECT_EQ(R.next64(), First);
+}
