@@ -12,6 +12,7 @@
 #include "codegen/CEmitter.h"
 #include "codegen/CudaEmitter.h"
 #include "ir/Printer.h"
+#include "jit/HostJit.h"
 #include "kernels/NttKernels.h"
 #include "rewrite/Simplify.h"
 #include "rewrite/Stats.h"
@@ -65,7 +66,29 @@ int main(int argc, char **argv) {
   codegen::EmittedKernel EK = codegen::emitC(L);
   std::printf("%s\n", EK.Source.c_str());
 
+  // Inspection keeps going without a working host compiler — the CUDA
+  // dump below must still print — but the exit status reports the miss.
+  std::printf("== host JIT (src/jit/HostJit.h) ==\n");
+  int ExitCode = 0;
+  jit::HostJit Jit;
+  std::shared_ptr<jit::JitModule> M = Jit.load(EK.Source);
+  void *Sym = M ? M->symbol(EK.Symbol) : nullptr;
+  if (!M) {
+    std::fprintf(stderr, "host JIT failed:\n%s\n", Jit.error().c_str());
+    ExitCode = 1;
+  } else if (!Sym) {
+    std::fprintf(stderr, "host JIT loaded %s but symbol '%s' is missing\n",
+                 M->soPath().c_str(), EK.Symbol.c_str());
+    ExitCode = 1;
+  } else {
+    std::printf("  compiler   %s\n", Jit.compiler().c_str());
+    std::printf("  shared obj %s%s\n", M->soPath().c_str(),
+                M->fromDiskCache() ? " (reused from cache)"
+                                   : " (fresh compile)");
+    std::printf("  symbol     %s at %p\n\n", EK.Symbol.c_str(), Sym);
+  }
+
   std::printf("== emitted CUDA stage kernel ==\n");
   std::printf("%s\n", kernels::emitNttCuda(Spec).c_str());
-  return 0;
+  return ExitCode;
 }

@@ -148,7 +148,7 @@ void BodyEmitter::emitStmt(const Stmt &S) {
     // Listing 1 _ssubmod.
     std::string T = freshTemp();
     line(formatv("%s %s = %s;", WT, T.c_str(),
-                 masked(Op(0) + " - " + Op(1), Width(S.Results[0]))));
+                 masked(Op(0) + " - " + Op(1), Width(S.Results[0])).c_str()));
     def(S.Results[0],
         formatv("%s < %s ? %s : %s",
                 Op(0).c_str(), Op(1).c_str(),

@@ -1,0 +1,137 @@
+//===- jit/HostJit.h - Compile-and-dlopen runtime for emitted C -*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host-JIT runtime: turns a string of emitted C (the CEmitter's
+/// output, or any translation unit with `extern "C"` entry points) into a
+/// callable function by shelling out to a host compiler, dlopen-ing the
+/// resulting shared object, and resolving symbols.
+///
+/// This used to live as copy-pasted helpers inside the codegen tests; it is
+/// a subsystem in its own right so that tests, examples, and future
+/// dispatch layers (batched kernels, autotuning) share one implementation
+/// with temp-file management, compiler-error capture, and a content-hash
+/// .so cache: loading byte-identical source with identical compiler and
+/// flags reuses the previously built shared object instead of re-invoking
+/// the compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_JIT_HOSTJIT_H
+#define MOMA_JIT_HOSTJIT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace moma {
+namespace jit {
+
+/// Options controlling how HostJit builds shared objects.
+struct HostJitOptions {
+  /// Host compiler driver. Empty selects, in order: the $MOMA_HOST_CXX
+  /// environment variable, then the compiler the build was configured with
+  /// (the MOMA_HOST_CXX macro CMake defines), then "cc".
+  std::string Compiler;
+
+  /// Extra driver flags (part of the cache key). "-shared -fPIC" and the
+  /// output/input paths are appended automatically.
+  std::string Flags = "-O1";
+
+  /// Directory holding the cached sources, shared objects, and compiler
+  /// logs. Empty selects $MOMA_JIT_CACHE_DIR, then
+  /// <system-tmp>/moma-jit-cache. Created on demand.
+  std::string CacheDir;
+
+  /// When true, a .so already present in CacheDir under the matching
+  /// content hash is dlopen-ed directly without invoking the compiler.
+  bool UseDiskCache = true;
+};
+
+/// A compiled and loaded translation unit. Closes the dlopen handle on
+/// destruction, so keep the shared_ptr alive for as long as code obtained
+/// from symbol() may be called.
+class JitModule {
+public:
+  ~JitModule();
+  JitModule(const JitModule &) = delete;
+  JitModule &operator=(const JitModule &) = delete;
+
+  /// Resolves \p Name in this module; null when absent.
+  void *symbol(const std::string &Name) const;
+
+  /// Typed convenience wrapper over symbol().
+  template <typename Fn> Fn symbolAs(const std::string &Name) const {
+    return reinterpret_cast<Fn>(symbol(Name));
+  }
+
+  /// Paths of the shared object and the source it was built from (both
+  /// live in the owning HostJit's cache directory).
+  const std::string &soPath() const { return SoPath; }
+  const std::string &sourcePath() const { return SrcPath; }
+
+  /// True when this module reused a shared object found on disk instead of
+  /// running the host compiler.
+  bool fromDiskCache() const { return FromDiskCache; }
+
+private:
+  friend class HostJit;
+  JitModule(void *Handle, std::string SoPath, std::string SrcPath,
+            bool FromDiskCache)
+      : Handle(Handle), SoPath(std::move(SoPath)), SrcPath(std::move(SrcPath)),
+        FromDiskCache(FromDiskCache) {}
+
+  void *Handle = nullptr;
+  std::string SoPath;
+  std::string SrcPath;
+  bool FromDiskCache = false;
+};
+
+/// Compiles source strings into loaded modules, deduplicating both within
+/// this instance (modules stay loaded and are returned again for identical
+/// source) and across processes (content-addressed .so files in CacheDir).
+/// Not thread-safe; use one instance per thread.
+class HostJit {
+public:
+  explicit HostJit(HostJitOptions Opts = HostJitOptions());
+
+  /// Compiles \p Source into a shared object and loads it. Returns null on
+  /// failure, in which case error() carries the captured host-compiler
+  /// diagnostics (or the dlopen message).
+  std::shared_ptr<JitModule> load(const std::string &Source);
+
+  /// Diagnostics from the most recent failed load(); empty after success.
+  const std::string &error() const { return LastError; }
+
+  /// Cache behavior counters, exposed for tests and tooling.
+  struct Stats {
+    unsigned Compiles = 0;   ///< host compiler actually invoked
+    unsigned DiskHits = 0;   ///< .so reused from the cache directory
+    unsigned MemoryHits = 0; ///< module already loaded by this instance
+  };
+  const Stats &stats() const { return S; }
+
+  const std::string &compiler() const { return Opts.Compiler; }
+  const std::string &cacheDir() const { return Opts.CacheDir; }
+
+private:
+  bool compile(const std::string &Source, const std::string &SrcPath,
+               const std::string &SoPath, const std::string &LogPath);
+
+  HostJitOptions Opts;
+  Stats S;
+  std::string LastError;
+  /// Keyed by full source text: collisions in the on-disk content hash
+  /// can never alias two kernels within an instance.
+  std::unordered_map<std::string, std::shared_ptr<JitModule>> Loaded;
+};
+
+} // namespace jit
+} // namespace moma
+
+#endif // MOMA_JIT_HOSTJIT_H

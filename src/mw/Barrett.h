@@ -42,7 +42,10 @@ public:
 
   /// Builds the context for modulus \p Q. Aborts unless
   /// 2 <= bitWidth(Q) <= 64*W - 4 (so that μ fits W words and the shift
-  /// amounts are in range).
+  /// amounts are in range) and Q is not a power of two: for Q = 2^(m-1),
+  /// μ = 2^(m+4) exactly, which needs m+5 bits and overflows the W-word
+  /// container when m = 64W-4. (Powers of two are degenerate moduli here
+  /// anyway — every deployment modulus is an odd prime.)
   static Barrett create(const Bignum &Q,
                         MulAlgorithm Alg = MulAlgorithm::Schoolbook) {
     unsigned MBits = Q.bitWidth();
@@ -50,6 +53,10 @@ public:
       fatalError("Barrett<" + std::to_string(W) + ">: modulus bit-width " +
                  std::to_string(MBits) + " outside [2, " +
                  std::to_string(64 * W - 4) + "]");
+    if (Q == Bignum::powerOfTwo(MBits - 1))
+      fatalError("Barrett<" + std::to_string(W) +
+                 ">: power-of-two modulus 2^" + std::to_string(MBits - 1) +
+                 " unsupported (mu = 2^(m+4) can overflow the container)");
     Barrett B;
     B.ModBits = MBits;
     B.Alg = Alg;
@@ -99,12 +106,34 @@ public:
     MWUInt<W> E;
     detail::shrArr(R2.Limbs.data(), 2 * W, ModBits + 5, E.Limbs.data(), W);
 
-    // c = t - e*q fits in W words because t - e*q < 2q < 2^(64W).
+    // c = t - e*q fits in W words because t - e*q < 2q < 2^(64W), so the
+    // low W words of t and e*q suffice. The truncated subtraction
+    // legitimately borrows whenever t has nonzero high words (any product
+    // >= 2^(64W)): the borrow cancels against the discarded high words of
+    // e*q, and the low-word difference is already the exact remainder.
     MWUInt<W> TLow = T.template resize<W>();
     MWUInt<W> P = E.mulLow(Q);
     Word Borrow;
     MWUInt<W> C = TLow.subWithBorrow(P, Borrow);
-    assert(Borrow == 0 && "Barrett estimate exceeded the true quotient");
+    (void)Borrow;
+
+#ifndef NDEBUG
+    // Debug-only full-width validation of the two Barrett invariants: the
+    // quotient estimate never exceeds the true quotient (the 2W-word
+    // difference t - e*q cannot go negative), and the remainder stays
+    // below 2^(64W) (its high W words are zero), matching the truncated C.
+    {
+      MWUInt<2 * W> EQ = E.mulFull(Q, Alg);
+      Word FullBorrow;
+      MWUInt<2 * W> CFull = T.subWithBorrow(EQ, FullBorrow);
+      assert(FullBorrow == 0 &&
+             "Barrett estimate exceeded the true quotient");
+      for (unsigned I = W; I < 2 * W; ++I)
+        assert(CFull.Limbs[I] == 0 && "Barrett remainder exceeded W words");
+      assert(CFull.template resize<W>() == C &&
+             "truncated subtraction diverged from the full-width remainder");
+    }
+#endif
 
     if (C >= Q) {
       C = C.subWithBorrow(Q, Borrow);

@@ -11,8 +11,9 @@
 /// 64-bit machine word per digit.
 ///
 /// MWUInt<W> stores W little-endian limbs (limb 0 is least significant;
-/// note the paper's bracket notation is most-significant-first, see
-/// DESIGN.md). The operations here mirror the structure of the code the
+/// note the paper's bracket notation is most-significant-first, see the
+/// "Word order" section of README.md). The operations here mirror the
+/// structure of the code the
 /// rewrite system generates — carry chains for addition (Eq. 6 / rule 29),
 /// borrow chains for subtraction (Eq. 7 / rule 25), schoolbook (Eq. 8 /
 /// rule 28) and Karatsuba (Eq. 9) multiplication — and are validated

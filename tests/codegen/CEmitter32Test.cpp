@@ -11,14 +11,11 @@
 
 #include "codegen/CEmitter.h"
 #include "field/PrimeGen.h"
+#include "jit/HostJit.h"
 #include "kernels/ScalarKernels.h"
 #include "rewrite/Simplify.h"
 
 #include <gtest/gtest.h>
-
-#include <cstdlib>
-#include <dlfcn.h>
-#include <fstream>
 
 using namespace moma;
 using namespace moma::codegen;
@@ -45,21 +42,15 @@ TEST(CEmitter32, MulMod128OnThirtyTwoBitWords) {
   EXPECT_EQ(EK.Source.find("__int128"), std::string::npos)
       << "no 128-bit type needed at omega0 = 32";
 
-  std::string Base = ::testing::TempDir() + "/moma_w32";
-  {
-    std::ofstream Out(Base + ".c");
-    Out << EK.Source;
-  }
-  std::string Cmd = std::string(MOMA_HOST_CXX) + " -shared -fPIC -O1 -o " +
-                    Base + ".so " + Base + ".c 2>" + Base + ".log";
-  ASSERT_EQ(std::system(Cmd.c_str()), 0) << "see " << Base << ".log";
-  void *Handle = dlopen((Base + ".so").c_str(), RTLD_NOW);
-  ASSERT_NE(Handle, nullptr) << dlerror();
+  jit::HostJit Jit;
+  std::shared_ptr<jit::JitModule> M = Jit.load(EK.Source);
+  ASSERT_NE(M, nullptr) << Jit.error();
   using Fn = void (*)(std::uint32_t *, const std::uint32_t *,
                       const std::uint32_t *, const std::uint32_t *,
                       const std::uint32_t *);
-  auto MulMod = reinterpret_cast<Fn>(dlsym(Handle, EK.Symbol.c_str()));
-  ASSERT_NE(MulMod, nullptr) << dlerror();
+  auto MulMod = M->symbolAs<Fn>(EK.Symbol);
+  ASSERT_NE(MulMod, nullptr) << "symbol '" << EK.Symbol << "' not found in "
+                             << M->soPath();
 
   Bignum Q = field::nttPrime(124, 8, 99);
   Bignum Mu = Bignum::powerOfTwo(2 * 124 + 3) / Q;
@@ -82,7 +73,6 @@ TEST(CEmitter32, MulMod128OnThirtyTwoBitWords) {
       Got = (Got << 32) + Bignum(CW[W]);
     ASSERT_EQ(Got, (A * B) % Q) << "iteration " << I;
   }
-  dlclose(Handle);
 }
 
 TEST(CEmitter32, RejectsMismatchedWordWidth) {

@@ -1,9 +1,9 @@
-//===- tests/codegen/CEmitterTest.cpp - C emission + dlopen integration -------===//
+//===- tests/codegen/CEmitterTest.cpp - C emission + host-JIT integration -----===//
 //
-// Closes the code-generation loop: the emitted C is compiled with the host
-// compiler at test time, loaded with dlopen, and run against the IR
-// interpreter on random field inputs — the strongest statement this
-// repository makes about generated-code correctness.
+// Closes the code-generation loop: the emitted C is compiled and loaded
+// through the shared host-JIT runtime (src/jit/HostJit.h) at test time and
+// run against the IR interpreter on random field inputs — the strongest
+// statement this repository makes about generated-code correctness.
 //
 //===----------------------------------------------------------------------===//
 
@@ -11,6 +11,7 @@
 
 #include "codegen/CEmitter.h"
 #include "field/PrimeGen.h"
+#include "jit/HostJit.h"
 #include "kernels/BlasKernels.h"
 #include "kernels/NttKernels.h"
 #include "kernels/ScalarKernels.h"
@@ -18,10 +19,6 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <cstdlib>
-#include <dlfcn.h>
-#include <fstream>
 #include <string>
 
 using namespace moma;
@@ -34,33 +31,16 @@ using mw::Bignum;
 
 namespace {
 
-/// Compiles \p Source into a shared object and dlopens it. Returns the
-/// handle or null (with a gtest failure recorded).
-void *compileAndLoad(const std::string &Source, const std::string &Tag) {
-  std::string Dir = ::testing::TempDir();
-  std::string Base = Dir + "/moma_" + Tag;
-  std::string SrcPath = Base + ".c";
-  std::string SoPath = Base + ".so";
-  {
-    std::ofstream Out(SrcPath);
-    Out << Source;
-  }
-  std::string Cmd = std::string(MOMA_HOST_CXX) + " -shared -fPIC -O1 -o " +
-                    SoPath + " " + SrcPath + " 2>" + Base + ".log";
-  int Rc = std::system(Cmd.c_str());
-  EXPECT_EQ(Rc, 0) << "host compiler rejected emitted code; see " << Base
-                   << ".log\n"
-                   << Source;
-  if (Rc != 0)
-    return nullptr;
-  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW);
-  EXPECT_NE(Handle, nullptr) << dlerror();
-  return Handle;
+/// One shared JIT across the whole binary: identical kernels emitted by
+/// different tests reuse the loaded module, and reruns hit the .so cache.
+jit::HostJit &hostJit() {
+  static jit::HostJit Jit;
+  return Jit;
 }
 
 /// Runs the emitted kernel on word arrays decomposed from \p Inputs and
 /// compares every output against the interpreter.
-void checkEmittedAgainstInterp(const LoweredKernel &L, void *Handle,
+void checkEmittedAgainstInterp(const LoweredKernel &L, jit::JitModule &M,
                                const EmittedKernel &EK,
                                const std::vector<Bignum> &Inputs) {
   using U64 = std::uint64_t;
@@ -86,8 +66,9 @@ void checkEmittedAgainstInterp(const LoweredKernel &L, void *Handle,
   for (auto &B : InBufs)
     Args.push_back(B.data());
 
-  void *Sym = dlsym(Handle, EK.Symbol.c_str());
-  ASSERT_NE(Sym, nullptr) << dlerror();
+  void *Sym = M.symbol(EK.Symbol);
+  ASSERT_NE(Sym, nullptr) << "symbol '" << EK.Symbol << "' not found in "
+                          << M.soPath();
 
   switch (Args.size()) {
   case 3:
@@ -126,15 +107,15 @@ void checkEmittedAgainstInterp(const LoweredKernel &L, void *Handle,
   }
 }
 
-/// Full pipeline check for one kernel: lower, simplify, emit, compile,
+/// Full pipeline check for one kernel: lower, simplify, emit, JIT,
 /// compare on \p Iters random field inputs.
 void pipelineCheck(Kernel K, unsigned MBits, unsigned NumData, bool HasMu,
-                   const std::string &Tag, int Iters = 25) {
+                   int Iters = 25) {
   LoweredKernel L = lowerToWords(K, {});
   simplifyLowered(L);
   EmittedKernel EK = emitC(L);
-  void *Handle = compileAndLoad(EK.Source, Tag);
-  ASSERT_NE(Handle, nullptr);
+  std::shared_ptr<jit::JitModule> M = hostJit().load(EK.Source);
+  ASSERT_NE(M, nullptr) << hostJit().error() << "\n" << EK.Source;
 
   Bignum Q = field::nttPrime(MBits, 8, 55);
   Bignum Mu = Bignum::powerOfTwo(2 * MBits + 3) / Q;
@@ -146,9 +127,8 @@ void pipelineCheck(Kernel K, unsigned MBits, unsigned NumData, bool HasMu,
     In.push_back(Q);
     if (HasMu)
       In.push_back(Mu);
-    checkEmittedAgainstInterp(L, Handle, EK, In);
+    checkEmittedAgainstInterp(L, *M, EK, In);
   }
-  dlclose(Handle);
 }
 
 } // namespace
@@ -188,29 +168,24 @@ TEST(CEmitter, RejectsUnloweredKernel) {
   EXPECT_DEATH((void)emitC(Fake), "not lowered");
 }
 
-// dlopen integration: every generated kernel class at two widths.
+// Host-JIT integration: every generated kernel class at two widths.
 TEST(CEmitterIntegration, AddMod128) {
-  pipelineCheck(kernels::buildAddModKernel({128, 0}), 124, 2, false,
-                "addmod128");
+  pipelineCheck(kernels::buildAddModKernel({128, 0}), 124, 2, false);
 }
 TEST(CEmitterIntegration, SubMod128) {
-  pipelineCheck(kernels::buildSubModKernel({128, 0}), 124, 2, false,
-                "submod128");
+  pipelineCheck(kernels::buildSubModKernel({128, 0}), 124, 2, false);
 }
 TEST(CEmitterIntegration, MulMod128) {
-  pipelineCheck(kernels::buildMulModKernel({128, 0}), 124, 2, true,
-                "mulmod128");
+  pipelineCheck(kernels::buildMulModKernel({128, 0}), 124, 2, true);
 }
 TEST(CEmitterIntegration, MulMod256) {
-  pipelineCheck(kernels::buildMulModKernel({256, 0}), 252, 2, true,
-                "mulmod256");
+  pipelineCheck(kernels::buildMulModKernel({256, 0}), 252, 2, true);
 }
 TEST(CEmitterIntegration, Butterfly256) {
-  pipelineCheck(kernels::buildButterflyKernel({256, 0}), 252, 3, true,
-                "butterfly256", 15);
+  pipelineCheck(kernels::buildButterflyKernel({256, 0}), 252, 3, true, 15);
 }
 TEST(CEmitterIntegration, Axpy128) {
-  pipelineCheck(kernels::buildAxpyKernel({128, 0}), 124, 3, true, "axpy128");
+  pipelineCheck(kernels::buildAxpyKernel({128, 0}), 124, 3, true);
 }
 // The non-power-of-two pruning survives the full pipeline: 380-bit modulus
 // in a 512 container emits 6-word ports.
@@ -221,7 +196,7 @@ TEST(CEmitterIntegration, MulMod380In512) {
   EmittedKernel EK = emitC(L);
   EXPECT_NE(EK.Source.find("const uint64_t a[6]"), std::string::npos)
       << EK.Source.substr(0, 400);
-  pipelineCheck(std::move(K), 380, 2, true, "mulmod380", 15);
+  pipelineCheck(std::move(K), 380, 2, true, 15);
 }
 
 TEST(CEmitterIntegration, KaratsubaMulMod256) {
@@ -231,15 +206,40 @@ TEST(CEmitterIntegration, KaratsubaMulMod256) {
   LoweredKernel L = lowerToWords(K, Opts);
   simplifyLowered(L);
   EmittedKernel EK = emitC(L);
-  void *Handle = compileAndLoad(EK.Source, "kara256");
-  ASSERT_NE(Handle, nullptr);
+  std::shared_ptr<jit::JitModule> M = hostJit().load(EK.Source);
+  ASSERT_NE(M, nullptr) << hostJit().error();
   Bignum Q = field::nttPrime(252, 8, 55);
   Bignum Mu = Bignum::powerOfTwo(2 * 252 + 3) / Q;
   Rng R(0xCAFE);
   for (int I = 0; I < 20; ++I) {
     std::vector<Bignum> In = {Bignum::random(R, Q), Bignum::random(R, Q), Q,
                               Mu};
-    checkEmittedAgainstInterp(L, Handle, EK, In);
+    checkEmittedAgainstInterp(L, *M, EK, In);
   }
-  dlclose(Handle);
+}
+
+// The shared-cache statement the JIT makes possible: emitting the same
+// kernel twice compiles once. A second load in the same HostJit is a
+// memory hit; a fresh HostJit sharing the cache directory reuses the .so
+// from disk without reaching the compiler.
+TEST(CEmitterIntegration, IdenticalKernelReusesJitModule) {
+  LoweredKernel L = lowerToWords(kernels::buildMulModKernel({128, 0}), {});
+  simplifyLowered(L);
+  EmittedKernel EK = emitC(L);
+
+  std::shared_ptr<jit::JitModule> M1 = hostJit().load(EK.Source);
+  ASSERT_NE(M1, nullptr) << hostJit().error();
+  jit::HostJit::Stats Before = hostJit().stats();
+  std::shared_ptr<jit::JitModule> M2 = hostJit().load(EK.Source);
+  ASSERT_NE(M2, nullptr) << hostJit().error();
+  EXPECT_EQ(M1.get(), M2.get()) << "same source must map to one module";
+  EXPECT_EQ(hostJit().stats().MemoryHits, Before.MemoryHits + 1);
+  EXPECT_EQ(hostJit().stats().Compiles, Before.Compiles);
+
+  jit::HostJit Fresh;
+  std::shared_ptr<jit::JitModule> M3 = Fresh.load(EK.Source);
+  ASSERT_NE(M3, nullptr) << Fresh.error();
+  EXPECT_TRUE(M3->fromDiskCache());
+  EXPECT_EQ(Fresh.stats().DiskHits, 1u);
+  EXPECT_EQ(Fresh.stats().Compiles, 0u);
 }

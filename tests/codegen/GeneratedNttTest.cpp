@@ -1,25 +1,22 @@
 //===- tests/codegen/GeneratedNttTest.cpp - end-to-end generated pipeline ------===//
 //
 // The strongest integration statement in the suite: emit the butterfly
-// through the full pipeline (build -> lower -> simplify -> emit C),
-// compile it with the host compiler, dlopen it, and drive a complete
-// 64-point NTT through nothing but the generated function — then compare
-// against the engine and the reference DFT.
+// through the full pipeline (build -> lower -> simplify -> emit C), load
+// it through the host-JIT runtime (src/jit/HostJit.h), and drive a
+// complete 64-point NTT through nothing but the generated function — then
+// compare against the engine and the reference DFT.
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
 #include "field/PrimeField.h"
+#include "jit/HostJit.h"
 #include "kernels/NttKernels.h"
 #include "ntt/Ntt.h"
 #include "ntt/ReferenceDft.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
-
-#include <cstdlib>
-#include <dlfcn.h>
-#include <fstream>
 
 using namespace moma;
 using namespace moma::codegen;
@@ -58,19 +55,14 @@ TEST(GeneratedNtt, FullTransformThroughEmittedButterfly) {
   EmittedKernel EK = emitC(L);
   ASSERT_EQ(EK.Ports.size(), 7u); // xo yo | x y w q mu
 
-  std::string Base = ::testing::TempDir() + "/moma_genntt";
-  {
-    std::ofstream Out(Base + ".c");
-    Out << EK.Source;
-  }
-  std::string Cmd = std::string(MOMA_HOST_CXX) + " -shared -fPIC -O2 -o " +
-                    Base + ".so " + Base + ".c 2>" + Base + ".log";
-  ASSERT_EQ(std::system(Cmd.c_str()), 0) << "see " << Base << ".log";
-  void *Handle = dlopen((Base + ".so").c_str(), RTLD_NOW);
-  ASSERT_NE(Handle, nullptr) << dlerror();
-  auto Butterfly =
-      reinterpret_cast<ButterflyFn>(dlsym(Handle, EK.Symbol.c_str()));
-  ASSERT_NE(Butterfly, nullptr) << dlerror();
+  jit::HostJitOptions JitOpts;
+  JitOpts.Flags = "-O2";
+  jit::HostJit Jit(JitOpts);
+  std::shared_ptr<jit::JitModule> M = Jit.load(EK.Source);
+  ASSERT_NE(M, nullptr) << Jit.error();
+  auto Butterfly = M->symbolAs<ButterflyFn>(EK.Symbol);
+  ASSERT_NE(Butterfly, nullptr) << "symbol '" << EK.Symbol
+                                << "' not found in " << M->soPath();
 
   // Field and plan supply modulus, mu, and twiddles.
   auto F = PrimeField<4>::evaluationField(12);
@@ -90,7 +82,7 @@ TEST(GeneratedNtt, FullTransformThroughEmittedButterfly) {
   Plan.forward(Engine.data());
 
   // Drive the same transform through the generated butterfly only:
-  // bit-reverse, then the standard stage loops calling the dlopened
+  // bit-reverse, then the standard stage loops calling the JIT-loaded
   // function for every butterfly.
   unsigned LogN = 6;
   for (size_t I = 0; I < N; ++I) {
@@ -121,7 +113,6 @@ TEST(GeneratedNtt, FullTransformThroughEmittedButterfly) {
 
   for (size_t I = 0; I < N; ++I)
     ASSERT_EQ(X[I], Engine[I].toBignum()) << "index " << I;
-  dlclose(Handle);
 }
 
 TEST(GeneratedNtt, EmittedButterflyMatchesReferenceDftSmall) {
@@ -130,21 +121,10 @@ TEST(GeneratedNtt, EmittedButterflyMatchesReferenceDftSmall) {
   rewrite::LoweredKernel L = kernels::generateButterflyKernel(Spec);
   EmittedKernel EK = emitC(L);
 
-  std::string Base = ::testing::TempDir() + "/moma_genntt128";
-  {
-    std::ofstream Out(Base + ".c");
-    Out << EK.Source;
-  }
-  std::string Cmd = std::string(MOMA_HOST_CXX) + " -shared -fPIC -O1 -o " +
-                    Base + ".so " + Base + ".c 2>" + Base + ".log";
-  ASSERT_EQ(std::system(Cmd.c_str()), 0);
-  void *Handle = dlopen((Base + ".so").c_str(), RTLD_NOW);
-  ASSERT_NE(Handle, nullptr);
-  using Fn2 = void (*)(std::uint64_t *, std::uint64_t *,
-                       const std::uint64_t *, const std::uint64_t *,
-                       const std::uint64_t *, const std::uint64_t *,
-                       const std::uint64_t *);
-  auto Butterfly = reinterpret_cast<Fn2>(dlsym(Handle, EK.Symbol.c_str()));
+  jit::HostJit Jit;
+  std::shared_ptr<jit::JitModule> M = Jit.load(EK.Source);
+  ASSERT_NE(M, nullptr) << Jit.error();
+  auto Butterfly = M->symbolAs<ButterflyFn>(EK.Symbol);
   ASSERT_NE(Butterfly, nullptr);
 
   auto F = PrimeField<2>::evaluationField(12);
@@ -182,5 +162,4 @@ TEST(GeneratedNtt, EmittedButterflyMatchesReferenceDftSmall) {
   }
   for (size_t I = 0; I < N; ++I)
     EXPECT_EQ(X[I], Ref[I]) << "index " << I;
-  dlclose(Handle);
 }

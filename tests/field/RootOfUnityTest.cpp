@@ -32,9 +32,10 @@ TEST(RootOfUnity, ExactOrderLargePrimes) {
     for (unsigned S : {1u, 4u, 10u, 22u}) {
       Bignum W = rootOfUnityPow2(Q, S);
       EXPECT_TRUE(W.powMod(Bignum::powerOfTwo(S), Q).isOne());
-      if (S > 0)
+      if (S > 0) {
         EXPECT_FALSE(W.powMod(Bignum::powerOfTwo(S - 1), Q).isOne())
             << "order must be exactly 2^" << S;
+      }
     }
   }
 }

@@ -155,7 +155,46 @@ TEST(Barrett, MuMatchesDefinition) {
   EXPECT_EQ(Ctx.mu().toBignum(), Bignum::powerOfTwo(2 * 252 + 3) / Q);
 }
 
+// Regression for the truncated-subtraction crash: c = t - e*q is computed
+// on the low W words, and the W-word subtraction legitimately borrows
+// whenever the product t = a*b spills into the high words (any t >=
+// 2^(64W)). The old assert on that borrow aborted every such mulMod and
+// crashed PrimeField.Axioms128 and the NTT sweeps. These operands force
+// the spill deterministically.
+TEST(Barrett, MulModProductWithHighWordsW2) {
+  Bignum Q = field::nttPrime(124, 12, 301);
+  Barrett<2> Ctx = Barrett<2>::create(Q);
+  Bignum A = Q - Bignum(1), B = Q - Bignum(2);
+  ASSERT_GT((A * B).bitWidth(), 128u) << "product must have nonzero high words";
+  EXPECT_EQ(
+      Ctx.mulMod(MWUInt<2>::fromBignum(A), MWUInt<2>::fromBignum(B)).toBignum(),
+      (A * B) % Q);
+}
+
+TEST(Barrett, MulModProductWithHighWordsW4) {
+  Bignum Q = field::nttPrime(252, 12, 302);
+  Barrett<4> Ctx = Barrett<4>::create(Q, MulAlgorithm::Karatsuba);
+  Bignum A = Q - Bignum(1), B = Q - Bignum(1);
+  ASSERT_GT((A * B).bitWidth(), 256u) << "product must have nonzero high words";
+  EXPECT_EQ(
+      Ctx.mulMod(MWUInt<4>::fromBignum(A), MWUInt<4>::fromBignum(B)).toBignum(),
+      (A * B) % Q);
+}
+
 using BarrettDeath = Barrett<2>;
+
+// Regression for the power-of-two edge: with Q = 2^(m-1) at the width cap
+// m = 64W-4, mu = 2^(m+4) needs 64W+1 bits and used to trip the fromBignum
+// fit assert deep inside create(); it must be a clean rejection instead.
+TEST(Barrett, RejectsPowerOfTwoModulus) {
+  EXPECT_DEATH((void)Barrett<2>::create(Bignum::powerOfTwo(123)),
+               "power-of-two");
+  EXPECT_DEATH((void)Barrett<4>::create(Bignum::powerOfTwo(251)),
+               "power-of-two");
+  // Power-of-two moduli below the cap would fit but are rejected uniformly.
+  EXPECT_DEATH((void)Barrett<2>::create(Bignum::powerOfTwo(64)),
+               "power-of-two");
+}
 
 TEST(Barrett, RejectsOversizedModulus) {
   // 126 bits > 128-4: Barrett headroom violated.

@@ -73,8 +73,8 @@ TEST(PolyMul, MulByConstantPolynomial) {
 
 TEST(PolyMul, CyclicWraparoundIsModXnMinus1) {
   // With deg(A)+deg(B) >= n the NTT computes the product mod (x^n - 1);
-  // verify the wraparound explicitly (negacyclic variants are future work
-  // in DESIGN.md).
+  // verify the wraparound explicitly (the negacyclic x^n + 1 variant,
+  // DESIGN.md "Extensions", lives in ntt/Negacyclic.h).
   auto F = PrimeField<2>::evaluationField(24);
   size_t N = 16;
   NttPlan<2> Plan(F, N);

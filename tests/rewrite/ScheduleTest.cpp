@@ -142,8 +142,9 @@ TEST(Schedule, PressureGrowsLinearlyWithWidth) {
     LoweredKernel L = lowerToWords(kernels::buildButterflyKernel(Spec), {});
     simplifyLowered(L);
     unsigned Peak = measurePressure(L.K).MaxLiveWords;
-    if (Prev)
+    if (Prev) {
       EXPECT_GE(Peak, 2 * Prev - 4) << Container;
+    }
     Prev = Peak;
   }
   EXPECT_GE(Prev, 128u) << "1024-bit butterfly live set";

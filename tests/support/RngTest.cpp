@@ -41,8 +41,9 @@ TEST(Rng, BitsSetsTopBit) {
   for (unsigned Bits = 1; Bits <= 64; ++Bits) {
     std::uint64_t V = R.bits(Bits);
     EXPECT_NE(V >> (Bits - 1) & 1, 0u) << "top bit clear for " << Bits;
-    if (Bits < 64)
+    if (Bits < 64) {
       EXPECT_EQ(V >> Bits, 0u) << "extra bits set for " << Bits;
+    }
   }
 }
 
