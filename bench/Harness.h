@@ -25,13 +25,70 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <unistd.h>
 
 namespace moma {
 namespace bench {
+
+/// Report buffering: verdict/banner/table lines accumulate here and flush
+/// in one write. Under `ctest -j` (or any parallel driver) several bench
+/// processes share one pipe; per-line printf interleaved their verdict
+/// sections, garbling the EXPERIMENTS.md quotes. Flushing a whole section
+/// as a single write(2) keeps it contiguous: POSIX guarantees pipe
+/// atomicity only up to PIPE_BUF (4 KiB on Linux), so sections are kept
+/// below that by flushing at every banner, and anything larger degrades
+/// to best-effort rather than per-line shuffling.
+inline std::string &reportBuffer() {
+  static std::string Buf;
+  return Buf;
+}
+
+/// Writes the buffered report and clears the buffer. Bypasses stdio
+/// buffering (which would split the payload at its own buffer boundary):
+/// stdout is flushed first to preserve ordering with printf-style output,
+/// then the report goes out in as few write(2) calls as the kernel
+/// accepts.
+inline void flushReport() {
+  std::string &Buf = reportBuffer();
+  if (Buf.empty())
+    return;
+  std::fflush(stdout);
+  size_t Off = 0;
+  while (Off < Buf.size()) {
+    ssize_t N = ::write(STDOUT_FILENO, Buf.data() + Off, Buf.size() - Off);
+    if (N <= 0)
+      break;
+    Off += static_cast<size_t>(N);
+  }
+  Buf.clear();
+}
+
+/// Appends to the buffered report (registered to flush at exit, so benches
+/// that never call flushReport() still print).
+inline void report(const std::string &Text) {
+  // Construct the buffer BEFORE registering the exit handler: exit-time
+  // teardown runs in reverse registration order, so this guarantees
+  // flushReport runs while the buffer is still alive.
+  std::string &Buf = reportBuffer();
+  static bool Registered = (std::atexit(flushReport), true);
+  (void)Registered;
+  Buf += Text;
+}
+
+/// printf-style report().
+inline void reportf(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+inline void reportf(const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  report(vformatv(Fmt, Ap));
+  va_end(Ap);
+}
 
 /// True when the quick-mode env knob is set.
 inline bool fastMode() {
@@ -80,27 +137,35 @@ inline double lookupNs(const Collector &C, const std::string &Name) {
   return It == C.RealNs.end() ? -1.0 : It->second;
 }
 
-/// Prints one shape-verdict line: the paper claims Who wins by
-/// PaperFactor; we measured MeasuredFactor. "SHAPE OK" when the winner
-/// matches (factor sizes may differ across substrates — see DESIGN.md).
+/// Reports one shape-verdict line (buffered; see report()): the paper
+/// claims Who wins by PaperFactor; we measured MeasuredFactor. "SHAPE OK"
+/// when the winner matches (factor sizes may differ across substrates —
+/// see DESIGN.md).
 inline void verdict(const std::string &Label, double MeasuredFactor,
                     double PaperFactor) {
   bool SameWinner = (MeasuredFactor >= 1.0) == (PaperFactor >= 1.0);
-  std::printf("  %-58s measured %7.2fx   paper %7.2fx   %s\n", Label.c_str(),
-              MeasuredFactor, PaperFactor,
-              SameWinner ? "SHAPE OK" : "SHAPE DIVERGES");
+  reportf("  %-58s measured %7.2fx   paper %7.2fx   %s\n", Label.c_str(),
+          MeasuredFactor, PaperFactor,
+          SameWinner ? "SHAPE OK" : "SHAPE DIVERGES");
 }
 
-/// Prints a section banner.
+/// Reports a section banner. Flushes the previous section first: sections
+/// stay contiguous (and under the pipe-atomicity bound), and a bench that
+/// aborts mid-run — assertion, sanitizer — has lost at most the section
+/// in progress, not the whole report.
 inline void banner(const std::string &Title) {
-  std::printf("\n================================================================\n"
-              "%s\n"
-              "================================================================\n",
-              Title.c_str());
+  flushReport();
+  reportf("\n================================================================\n"
+          "%s\n"
+          "================================================================\n",
+          Title.c_str());
 }
 
 /// Runs all registered benchmarks through a Collector and returns it.
+/// Flushes the buffered report first so the google-benchmark console
+/// table, which writes stdout directly, lands after any opening banner.
 inline Collector runAll(int &Argc, char **Argv) {
+  flushReport();
   benchmark::Initialize(&Argc, Argv);
   Collector C;
   benchmark::RunSpecifiedBenchmarks(&C);

@@ -77,8 +77,8 @@ int main(int argc, char **argv) {
               Prev > 0 ? formatv("%.1fx", Full / Prev) : "-"});
     Prev = Full;
   }
-  std::printf("%s", T.render().c_str());
-  std::printf("\n  Paper A.2: \"code generation time increases exponentially"
+  bench::report(T.render());
+  bench::reportf("\n  Paper A.2: \"code generation time increases exponentially"
               " with the\n  input bit-width\" — the growth factor per width"
               " doubling should be\n  well above 2x (statement count grows"
               " ~4x per doubling).\n");

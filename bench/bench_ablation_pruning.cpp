@@ -88,7 +88,7 @@ int main(int argc, char **argv) {
                       100.0 * (1.0 - double(Pruned.Total) /
                                          double(Padded.Total)))});
   }
-  std::printf("%s", T.render().c_str());
+  bench::report(T.render());
 
   // Dynamic: exact-word vs padded runtime containers.
   registerMulModThroughput<6>("runtime/mulmod380/exact6words", 380);

@@ -94,7 +94,7 @@ int main(int argc, char **argv) {
               formatNanos(Div), formatv("%.1fx", Div / Bar),
               formatv("%.2fx", Mont / Bar)});
   }
-  std::printf("%s", T.render().c_str());
+  bench::report(T.render());
 
   banner("Shape verdicts");
   for (unsigned Bits : {128u, 256u, 512u, 1024u}) {
@@ -103,7 +103,7 @@ int main(int argc, char **argv) {
                 lookupNs(C, formatv("barrett/%u", Bits)),
             3.0);
   }
-  std::printf("  (Montgomery trades a cheaper inner loop for domain\n"
+  bench::reportf("  (Montgomery trades a cheaper inner loop for domain\n"
               "   conversions; in-domain throughput should be comparable\n"
               "   to Barrett, which is why the paper can pick either.)\n");
   benchmark::Shutdown();

@@ -44,7 +44,7 @@ int main(int, char **) {
                                                    double(Before.MaxLiveWords))),
               After.MaxLiveWords > 128 ? "tight (>half)" : "fits"});
   }
-  std::printf("%s", T.render().c_str());
+  bench::report(T.render());
 
   banner("Scheduling cost (one butterfly kernel)");
   TextTable T2({"bits", "schedule time"});
@@ -59,8 +59,8 @@ int main(int, char **) {
                     .count();
     T2.addRow({formatv("%u", Bits), formatNanos(Ns)});
   }
-  std::printf("%s", T2.render().c_str());
-  std::printf("\n  Findings: the lowering emits operation chains depth-first,\n"
+  bench::report(T2.render());
+  bench::reportf("\n  Findings: the lowering emits operation chains depth-first,\n"
               "  so its order is already near-optimal (the scheduler keeps it\n"
               "  when greedy reordering would not help). Pressure grows ~2.1x\n"
               "  per width doubling; a 768-bit butterfly alone holds ~143\n"

@@ -19,7 +19,7 @@ using namespace moma::bench;
 
 int main(int argc, char **argv) {
   banner("Figure 1: 256-bit NTT, runtime per butterfly vs size");
-  std::printf("%s", sim::deviceTable().c_str());
+  bench::report(sim::deviceTable());
 
   unsigned MaxLog = maxLog2N(14);
   size_t Batch = fastMode() ? 2 : 4;
@@ -49,10 +49,10 @@ int main(int argc, char **argv) {
               G > 0 ? formatNanos(G) : "-",
               G > 0 ? formatv("%.1fx", G / M) : "-"});
   }
-  std::printf("%s", T.render().c_str());
+  bench::report(T.render());
 
   banner("Paper-reported context (not measurable here; Figure 1 caption)");
-  std::printf(
+  bench::reportf(
       "  MoMA on RTX 4090 vs ICICLE on H100:        14x faster (average)\n"
       "  MoMA on RTX 4090 vs FPMM ASIC [63]:        near-ASIC performance\n");
 

@@ -179,7 +179,7 @@ int main(int argc, char **argv) {
   banner("Figure 2: BLAS operations over Z_q (ns per element)\n"
          "MoMA vs generic multiprecision (GMP stand-in) vs RNS (GRNS "
          "stand-in)");
-  std::printf("vector elements: %zu (RNS series uses a 1/64 slice)\n",
+  bench::reportf("vector elements: %zu (RNS series uses a 1/64 slice)\n",
               N);
 
   registerWidth<2>(N);
@@ -205,7 +205,7 @@ int main(int argc, char **argv) {
                 formatv("%.1fx", R / M)});
     }
   }
-  std::printf("%s", T.render().c_str());
+  bench::report(T.render());
 
   banner("Shape verdicts vs paper Figure 2");
   for (const char *Op : OpNames) {

@@ -81,8 +81,8 @@ int main(int argc, char **argv) {
                 G > 0 ? formatNanos(G) : "-",
                 G > 0 ? formatv("%.1fx", G / M) : "-"});
     }
-    std::printf("%s", T.render().c_str());
-    std::printf("  %s\n", SP.PaperContext);
+    bench::report(T.render());
+    bench::reportf("  %s\n", SP.PaperContext);
     verdict(formatv("%u-bit: MoMA beats the generic library", SP.Bits),
             Worst, SP.Bits == 384 ? 4.8 : 13.0);
   }
@@ -101,7 +101,7 @@ int main(int argc, char **argv) {
       if (M > 0)
         Prev = M;
     }
-    std::printf("  per-butterfly cost increases with width: %s\n",
+    bench::reportf("  per-butterfly cost increases with width: %s\n",
                 Monotone ? "yes (matches paper)" : "NO (diverges)");
   }
   benchmark::Shutdown();

@@ -54,10 +54,10 @@ int main(int argc, char **argv) {
               G > 0 ? formatNanos(G) : "-",
               G > 0 ? formatv("%.1fx", G / M) : "-"});
   }
-  std::printf("%s", T.render().c_str());
+  bench::report(T.render());
 
   banner("Paper-reported context for 2^16, 256-bit (Figure 4)");
-  std::printf("  ICICLE(H100) ~13x slower than MoMA; PipeZK/FPMM between\n"
+  bench::reportf("  ICICLE(H100) ~13x slower than MoMA; PipeZK/FPMM between\n"
               "  MoMA-GPU results; GMP NTT orders of magnitude slower\n");
 
   banner("Shape verdicts vs paper Figure 4");

@@ -18,7 +18,7 @@ int main(int argc, char **argv) {
   banner(formatv("Figure 5a: 2^%u-point NTT runtime vs input bit-width, "
                  "two device profiles",
                  LogN));
-  std::printf("%s", sim::deviceTable().c_str());
+  bench::report(sim::deviceTable());
 
   std::vector<unsigned> WordCounts;
   for (unsigned W = 1; W <= 16; W += fastMode() ? 3 : 1)
@@ -47,7 +47,7 @@ int main(int argc, char **argv) {
     T.addRow({formatv("%u", Bits), formatNanos(H), formatNanos(V),
               formatv("%.2fx", V / H)});
   }
-  std::printf("%s", T.render().c_str());
+  bench::report(T.render());
 
   banner("Doubling slowdowns vs paper (H100 column)");
   struct Step {
@@ -61,7 +61,7 @@ int main(int argc, char **argv) {
       verdict(formatv("%u -> %u bits slowdown", S.From, S.To),
               H100Ns[S.To] / H100Ns[S.From], S.PaperH100);
   }
-  std::printf("\n  (paper RTX 4090 slowdowns for reference: 2.7, 4.0, 4.6, "
+  bench::reportf("\n  (paper RTX 4090 slowdowns for reference: 2.7, 4.0, 4.6, "
               "3.5)\n");
   benchmark::Shutdown();
   return 0;

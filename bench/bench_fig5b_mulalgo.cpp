@@ -48,14 +48,14 @@ int main(int argc, char **argv) {
     T.addRow({formatv("%u", Bits), formatNanos(S), formatNanos(K),
               formatv("%.2fx", S / K)});
   }
-  std::printf("%s", T.render().c_str());
+  bench::report(T.render());
 
   banner("Shape verdicts vs paper Figure 5b");
   // Paper ratios (school/kara): 2.1 @128, 1.7 @256, ~1.0 @384, 0.63 @768.
   verdict("128-bit school/kara ratio", Ratio[128], 2.1);
   verdict("256-bit school/kara ratio", Ratio[256], 1.7);
   verdict("768-bit school/kara ratio", Ratio[768], 0.63);
-  std::printf(
+  bench::reportf(
       "  trend (advantage shrinks with width): %s\n",
       Ratio[128] >= Ratio[768] ? "matches paper" : "DIVERGES (see note)");
   benchmark::Shutdown();

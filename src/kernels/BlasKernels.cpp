@@ -41,21 +41,33 @@ Kernel moma::kernels::buildBlasElementKernel(BlasOp Op,
     K = buildAxpyKernel(Spec);
     break;
   }
-  K.Name = formatv("%s_%u", blasOpName(Op), Spec.ContainerBits);
+  bool Mont = Spec.Red == mw::Reduction::Montgomery &&
+              (Op == BlasOp::VMul || Op == BlasOp::Axpy);
+  K.Name = formatv("%s_%u%s", blasOpName(Op), Spec.ContainerBits,
+                   Mont ? "_mont" : "");
   return K;
+}
+
+rewrite::LoweredKernel
+moma::kernels::generateBlasKernel(BlasOp Op, const ScalarKernelSpec &Spec,
+                                  const rewrite::PlanOptions &Plan) {
+  // The plan is authoritative for the reduction strategy: it selects which
+  // element kernel gets built, not just how it lowers.
+  ScalarKernelSpec S = Spec;
+  S.Red = Plan.Red;
+  Kernel K = buildBlasElementKernel(Op, S);
+  return rewrite::lowerWithPlan(K, Plan);
 }
 
 rewrite::LoweredKernel
 moma::kernels::generateBlasKernel(BlasOp Op, const ScalarKernelSpec &Spec,
                                   mw::MulAlgorithm Alg,
                                   unsigned TargetWordBits) {
-  Kernel K = buildBlasElementKernel(Op, Spec);
-  rewrite::LowerOptions Opts;
-  Opts.TargetWordBits = TargetWordBits;
-  Opts.MulAlg = Alg;
-  rewrite::LoweredKernel L = rewrite::lowerToWords(K, Opts);
-  rewrite::simplifyLowered(L);
-  return L;
+  rewrite::PlanOptions Plan;
+  Plan.TargetWordBits = TargetWordBits;
+  Plan.MulAlg = Alg;
+  Plan.Red = Spec.Red;
+  return generateBlasKernel(Op, Spec, Plan);
 }
 
 std::string moma::kernels::emitBlasCuda(BlasOp Op,

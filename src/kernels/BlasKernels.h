@@ -23,6 +23,7 @@
 #include "codegen/CEmitter.h"
 #include "codegen/CudaEmitter.h"
 #include "kernels/ScalarKernels.h"
+#include "rewrite/PlanOptions.h"
 
 #include <string>
 
@@ -39,9 +40,16 @@ const char *blasOpName(BlasOp Op);
 /// a, x, y -> yo).
 ir::Kernel buildBlasElementKernel(BlasOp Op, const ScalarKernelSpec &Spec);
 
-/// Full pipeline: builds, lowers (recursively, with \p Alg for the
-/// multiplication rule), simplifies, and returns the lowered kernel ready
-/// for emission.
+/// Full pipeline under one set of plan knobs: builds the element kernel
+/// (with \p Plan's reduction strategy), then lowers/simplifies/schedules
+/// via rewrite::lowerWithPlan. This is the entry point the runtime's plan
+/// cache compiles through.
+rewrite::LoweredKernel generateBlasKernel(BlasOp Op,
+                                          const ScalarKernelSpec &Spec,
+                                          const rewrite::PlanOptions &Plan);
+
+/// Convenience overload with the historical knob set (always prunes,
+/// never schedules, reduction taken from \p Spec).
 rewrite::LoweredKernel
 generateBlasKernel(BlasOp Op, const ScalarKernelSpec &Spec,
                    mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook,

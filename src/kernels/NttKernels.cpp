@@ -10,16 +10,24 @@ using namespace moma::kernels;
 
 rewrite::LoweredKernel
 moma::kernels::generateButterflyKernel(const ScalarKernelSpec &Spec,
+                                       const rewrite::PlanOptions &Plan) {
+  ScalarKernelSpec S = Spec;
+  S.Red = Plan.Red;
+  ir::Kernel K = buildButterflyKernel(S);
+  K.Name = formatv("ntt_butterfly_%u%s", Spec.ContainerBits,
+                   Plan.Red == mw::Reduction::Montgomery ? "_mont" : "");
+  return rewrite::lowerWithPlan(K, Plan);
+}
+
+rewrite::LoweredKernel
+moma::kernels::generateButterflyKernel(const ScalarKernelSpec &Spec,
                                        mw::MulAlgorithm Alg,
                                        unsigned TargetWordBits) {
-  ir::Kernel K = buildButterflyKernel(Spec);
-  K.Name = formatv("ntt_butterfly_%u", Spec.ContainerBits);
-  rewrite::LowerOptions Opts;
-  Opts.TargetWordBits = TargetWordBits;
-  Opts.MulAlg = Alg;
-  rewrite::LoweredKernel L = rewrite::lowerToWords(K, Opts);
-  rewrite::simplifyLowered(L);
-  return L;
+  rewrite::PlanOptions Plan;
+  Plan.TargetWordBits = TargetWordBits;
+  Plan.MulAlg = Alg;
+  Plan.Red = Spec.Red;
+  return generateButterflyKernel(Spec, Plan);
 }
 
 std::string moma::kernels::emitNttCuda(const ScalarKernelSpec &Spec,

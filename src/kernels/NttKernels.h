@@ -17,13 +17,20 @@
 
 #include "codegen/CudaEmitter.h"
 #include "kernels/ScalarKernels.h"
+#include "rewrite/PlanOptions.h"
 
 #include <string>
 
 namespace moma {
 namespace kernels {
 
-/// Builds, lowers and simplifies the butterfly for the given widths.
+/// Builds the butterfly (with \p Plan's reduction strategy) and runs it
+/// through rewrite::lowerWithPlan.
+rewrite::LoweredKernel generateButterflyKernel(const ScalarKernelSpec &Spec,
+                                               const rewrite::PlanOptions &Plan);
+
+/// Convenience overload with the historical knob set (always prunes,
+/// never schedules, reduction taken from \p Spec).
 rewrite::LoweredKernel
 generateButterflyKernel(const ScalarKernelSpec &Spec,
                         mw::MulAlgorithm Alg = mw::MulAlgorithm::Schoolbook,

@@ -11,15 +11,36 @@ using namespace moma::kernels;
 
 namespace {
 
-/// Common setup: a kernel with reduced inputs a, b plus q and mu params.
+/// Common setup: a kernel with reduced inputs a, b plus the modulus and the
+/// reduction-specific auxiliary parameters (Barrett mu, or Montgomery
+/// qinv/r2).
 struct KernelFrame {
   Kernel K;
   ValueId A = NoValue, B = NoValue, Q = NoValue, Mu = NoValue;
+  ValueId QInv = NoValue, R2 = NoValue;
   unsigned ModBits = 0;
 };
 
+/// Appends the reduction-specific parameters for a kernel that multiplies.
+void addReductionInputs(KernelFrame &F, const ScalarKernelSpec &Spec) {
+  unsigned W = Spec.ContainerBits;
+  unsigned M = Spec.modBits();
+  if (Spec.Red == mw::Reduction::Barrett) {
+    // mu = floor(2^(2M+3) / q) < 2^(M+4).
+    F.Mu = F.K.newValue(W, "mu", M + 4);
+    F.K.addInput(F.Mu, "mu");
+  } else {
+    // qinv = -q^-1 mod 2^W occupies the full container; r2 = 2^(2W) mod q
+    // is reduced. Both derive from q alone (see runtime/Dispatcher).
+    F.QInv = F.K.newValue(W, "qinv", W);
+    F.K.addInput(F.QInv, "qinv");
+    F.R2 = F.K.newValue(W, "r2", M);
+    F.K.addInput(F.R2, "r2");
+  }
+}
+
 KernelFrame makeFrame(const ScalarKernelSpec &Spec, const char *Name,
-                      bool NeedsMu) {
+                      bool NeedsMul) {
   unsigned W = Spec.ContainerBits;
   unsigned M = Spec.modBits();
   if (M + 4 > W)
@@ -27,6 +48,8 @@ KernelFrame makeFrame(const ScalarKernelSpec &Spec, const char *Name,
   KernelFrame F;
   F.ModBits = M;
   F.K.Name = Name;
+  if (NeedsMul && Spec.Red == mw::Reduction::Montgomery)
+    F.K.Name += "_mont";
   // Reduced inputs are < q < 2^M; the modulus itself has exactly M bits.
   F.A = F.K.newValue(W, "a", M);
   F.K.addInput(F.A, "a");
@@ -34,18 +57,57 @@ KernelFrame makeFrame(const ScalarKernelSpec &Spec, const char *Name,
   F.K.addInput(F.B, "b");
   F.Q = F.K.newValue(W, "q", M);
   F.K.addInput(F.Q, "q");
-  if (NeedsMu) {
-    // mu = floor(2^(2M+3) / q) < 2^(M+4).
-    F.Mu = F.K.newValue(W, "mu", M + 4);
-    F.K.addInput(F.Mu, "mu");
-  }
+  if (NeedsMul)
+    addReductionInputs(F, Spec);
   return F;
+}
+
+/// One REDC pass: given the full product t = hi*2^W + lo of two values
+/// below q, returns t * 2^-W mod q. Straight-line Montgomery reduction:
+///   m = (t mod 2^W) * qinv mod 2^W
+///   u = (t + m*q) / 2^W          (low half cancels exactly; u < 2q)
+///   return u < q ? u : u - q
+ValueId emitRedc(Builder &B, ValueId Hi, ValueId Lo, ValueId Q, ValueId QInv,
+                 unsigned ModBits) {
+  ValueId M = B.mulLow(Lo, QInv);
+  HiLoResult MQ = B.mul(M, Q);
+  CarryResult S0 = B.add(Lo, MQ.Lo); // sum is 0 mod 2^W; only the carry
+                                     // propagates into the high half
+  CarryResult S1 = B.add(Hi, MQ.Hi, S0.Carry);
+  ValueId U = S1.Value; // the top-level carry is provably zero: u < 2q < 2^W
+  ValueId Keep = B.lt(U, Q);
+  CarryResult D = B.sub(U, Q);
+  ValueId R = B.select(Keep, U, D.Value);
+  // The selected value is < q in every execution (u when u < q, u - q
+  // otherwise), so the result carries the modulus bound like the Barrett
+  // macro-op does — this is what lets §4 pruning drop its top words.
+  B.kernel().value(R).KnownBits = ModBits;
+  return R;
+}
+
+/// Plain-domain Montgomery modular product: REDC(a*b) = a*b*2^-W mod q,
+/// then REDC(that * r2) multiplies the stray 2^-W back out. Two REDC
+/// passes instead of Barrett's three multiplies; same signature semantics.
+ValueId emitMulModMontgomery(Builder &B, const KernelFrame &F, ValueId A,
+                             ValueId BV) {
+  HiLoResult P1 = B.mul(A, BV);
+  ValueId T = emitRedc(B, P1.Hi, P1.Lo, F.Q, F.QInv, F.ModBits);
+  HiLoResult P2 = B.mul(T, F.R2);
+  return emitRedc(B, P2.Hi, P2.Lo, F.Q, F.QInv, F.ModBits);
+}
+
+/// Reduction-dispatching modular product used by every kernel builder.
+ValueId emitMulMod(Builder &B, const ScalarKernelSpec &Spec,
+                   const KernelFrame &F, ValueId A, ValueId BV) {
+  if (Spec.Red == mw::Reduction::Montgomery)
+    return emitMulModMontgomery(B, F, A, BV);
+  return B.mulMod(A, BV, F.Q, F.Mu, F.ModBits);
 }
 
 } // namespace
 
 Kernel moma::kernels::buildAddModKernel(const ScalarKernelSpec &Spec) {
-  KernelFrame F = makeFrame(Spec, "addmod", /*NeedsMu=*/false);
+  KernelFrame F = makeFrame(Spec, "addmod", /*NeedsMul=*/false);
   Builder B(F.K);
   ValueId C = B.addMod(F.A, F.B, F.Q);
   F.K.addOutput(C, "c");
@@ -53,7 +115,7 @@ Kernel moma::kernels::buildAddModKernel(const ScalarKernelSpec &Spec) {
 }
 
 Kernel moma::kernels::buildSubModKernel(const ScalarKernelSpec &Spec) {
-  KernelFrame F = makeFrame(Spec, "submod", /*NeedsMu=*/false);
+  KernelFrame F = makeFrame(Spec, "submod", /*NeedsMul=*/false);
   Builder B(F.K);
   ValueId C = B.subMod(F.A, F.B, F.Q);
   F.K.addOutput(C, "c");
@@ -61,9 +123,9 @@ Kernel moma::kernels::buildSubModKernel(const ScalarKernelSpec &Spec) {
 }
 
 Kernel moma::kernels::buildMulModKernel(const ScalarKernelSpec &Spec) {
-  KernelFrame F = makeFrame(Spec, "mulmod", /*NeedsMu=*/true);
+  KernelFrame F = makeFrame(Spec, "mulmod", /*NeedsMul=*/true);
   Builder B(F.K);
-  ValueId C = B.mulMod(F.A, F.B, F.Q, F.Mu, F.ModBits);
+  ValueId C = emitMulMod(B, Spec, F, F.A, F.B);
   F.K.addOutput(C, "c");
   return std::move(F.K);
 }
@@ -88,26 +150,28 @@ Kernel moma::kernels::buildButterflyKernel(const ScalarKernelSpec &Spec) {
   unsigned M = Spec.modBits();
   if (M + 4 > W)
     fatalError("butterfly: modulus bits must be <= container - 4");
-  Kernel K;
-  K.Name = "butterfly";
+  KernelFrame F;
+  F.ModBits = M;
+  Kernel &K = F.K;
+  K.Name = Spec.Red == mw::Reduction::Montgomery ? "butterfly_mont"
+                                                 : "butterfly";
   ValueId X = K.newValue(W, "x", M);
   K.addInput(X, "x");
   ValueId Y = K.newValue(W, "y", M);
   K.addInput(Y, "y");
   ValueId Wt = K.newValue(W, "w", M); // twiddle, reduced
   K.addInput(Wt, "w");
-  ValueId Q = K.newValue(W, "q", M);
-  K.addInput(Q, "q");
-  ValueId Mu = K.newValue(W, "mu", M + 4);
-  K.addInput(Mu, "mu");
+  F.Q = K.newValue(W, "q", M);
+  K.addInput(F.Q, "q");
+  addReductionInputs(F, Spec);
 
   Builder B(K);
-  ValueId T = B.mulMod(Y, Wt, Q, Mu, M);
-  ValueId XOut = B.addMod(X, T, Q);
-  ValueId YOut = B.subMod(X, T, Q);
+  ValueId T = emitMulMod(B, Spec, F, Y, Wt);
+  ValueId XOut = B.addMod(X, T, F.Q);
+  ValueId YOut = B.subMod(X, T, F.Q);
   K.addOutput(XOut, "xo");
   K.addOutput(YOut, "yo");
-  return K;
+  return std::move(F.K);
 }
 
 Kernel moma::kernels::buildAxpyKernel(const ScalarKernelSpec &Spec) {
@@ -115,22 +179,23 @@ Kernel moma::kernels::buildAxpyKernel(const ScalarKernelSpec &Spec) {
   unsigned M = Spec.modBits();
   if (M + 4 > W)
     fatalError("axpy: modulus bits must be <= container - 4");
-  Kernel K;
-  K.Name = "axpy";
+  KernelFrame F;
+  F.ModBits = M;
+  Kernel &K = F.K;
+  K.Name = Spec.Red == mw::Reduction::Montgomery ? "axpy_mont" : "axpy";
   ValueId A = K.newValue(W, "a", M);
   K.addInput(A, "a");
   ValueId X = K.newValue(W, "x", M);
   K.addInput(X, "x");
   ValueId Y = K.newValue(W, "y", M);
   K.addInput(Y, "y");
-  ValueId Q = K.newValue(W, "q", M);
-  K.addInput(Q, "q");
-  ValueId Mu = K.newValue(W, "mu", M + 4);
-  K.addInput(Mu, "mu");
+  F.Q = K.newValue(W, "q", M);
+  K.addInput(F.Q, "q");
+  addReductionInputs(F, Spec);
 
   Builder B(K);
-  ValueId AX = B.mulMod(A, X, Q, Mu, M);
-  ValueId Out = B.addMod(AX, Y, Q);
+  ValueId AX = emitMulMod(B, Spec, F, A, X);
+  ValueId Out = B.addMod(AX, Y, F.Q);
   K.addOutput(Out, "yo");
-  return K;
+  return std::move(F.K);
 }

@@ -21,6 +21,7 @@
 #define MOMA_KERNELS_SCALARKERNELS_H
 
 #include "ir/Ir.h"
+#include "mw/MWUInt.h"
 
 namespace moma {
 namespace kernels {
@@ -33,6 +34,13 @@ struct ScalarKernelSpec {
   /// Values a, b carry KnownBits = m so the non-power-of-two pruning
   /// applies automatically when m is far below λ.
   unsigned ModBits = 0;
+  /// Reduction strategy for kernels containing a modular multiplication.
+  /// Barrett (default) takes a `mu` parameter (Listing 4); Montgomery
+  /// replaces it with `qinv` = -q^-1 mod 2^λ and `r2` = 2^(2λ) mod q and
+  /// computes the plain-domain product via two REDC passes, so both
+  /// variants have identical input/output semantics. Kernels without a
+  /// multiplication (addmod/submod) ignore this knob.
+  mw::Reduction Red = mw::Reduction::Barrett;
 
   unsigned modBits() const {
     return ModBits == 0 ? ContainerBits - 4 : ModBits;

@@ -37,6 +37,19 @@ namespace mw {
 /// Selects the double-word multiplication rule, paper §2.2 / Fig. 5b.
 enum class MulAlgorithm { Schoolbook, Karatsuba };
 
+/// Selects the modular-reduction strategy a generated kernel bakes in:
+/// Barrett (the paper's default, Listing 4) or Montgomery (REDC with a
+/// plain-domain wrapper, the §5.2 alternative). Library-level contexts
+/// (`mw/Barrett.h`, `mw/Montgomery.h`) and the code generator both key off
+/// this enum so the ablation benches and the runtime autotuner can swap
+/// strategies on otherwise identical kernels.
+enum class Reduction { Barrett, Montgomery };
+
+/// Human-readable reduction name ("barrett" / "montgomery").
+inline const char *reductionName(Reduction R) {
+  return R == Reduction::Barrett ? "barrett" : "montgomery";
+}
+
 namespace detail {
 
 /// Out[0..N) = A[0..N) + B[0..N); returns the carry-out bit.

@@ -1,0 +1,33 @@
+//===- rewrite/PlanOptions.cpp - Unified generation-plan knobs ------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/PlanOptions.h"
+
+#include "rewrite/Schedule.h"
+#include "rewrite/Simplify.h"
+#include "support/Format.h"
+
+using namespace moma;
+using namespace moma::rewrite;
+
+std::string PlanOptions::str() const {
+  return formatv("w%u/%s/%s/%s/%s", TargetWordBits, mw::reductionName(Red),
+                 MulAlg == mw::MulAlgorithm::Karatsuba ? "karatsuba"
+                                                       : "schoolbook",
+                 Prune ? "prune" : "noprune",
+                 Schedule ? "schedule" : "noschedule");
+}
+
+LoweredKernel moma::rewrite::lowerWithPlan(const ir::Kernel &K,
+                                           const PlanOptions &Opts) {
+  LoweredKernel L = lowerToWords(K, Opts.lowerOptions());
+  if (Opts.Prune)
+    simplifyLowered(L);
+  if (Opts.Schedule)
+    scheduleForPressure(L.K, Opts.TargetWordBits);
+  return L;
+}

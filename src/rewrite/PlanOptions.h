@@ -1,0 +1,83 @@
+//===- rewrite/PlanOptions.h - Unified generation-plan knobs ---*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One struct for every knob that changes what code the pipeline generates
+/// for a kernel. These knobs existed before as scattered ablation flags
+/// (the `bench/bench_ablation_*` binaries each toggled one by hand);
+/// promoting them into `PlanOptions` gives the runtime's plan cache and
+/// autotuner (src/runtime/) a single canonical description of a lowering
+/// variant, and gives `lowerWithPlan` one entry point that drives
+/// Lower -> Simplify -> Schedule consistently everywhere (tests, tools,
+/// examples, benches, runtime).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_REWRITE_PLANOPTIONS_H
+#define MOMA_REWRITE_PLANOPTIONS_H
+
+#include "mw/MWUInt.h"
+#include "rewrite/Lower.h"
+
+#include <string>
+
+namespace moma {
+namespace rewrite {
+
+/// Every knob that selects a code-generation variant for one kernel.
+/// Default-constructed PlanOptions reproduce the paper's default pipeline:
+/// Barrett reduction, schoolbook multiply, pruning on, scheduling off.
+struct PlanOptions {
+  /// The machine word width ω₀ the recursion bottoms out at.
+  unsigned TargetWordBits = 64;
+
+  /// Modular-reduction strategy baked into generated mulmod/butterfly/axpy
+  /// kernels. Montgomery changes the kernel signature: the Barrett `mu`
+  /// parameter is replaced by `qinv` (-q^-1 mod 2^lambda) and `r2`
+  /// (2^(2*lambda) mod q); outputs stay in the plain domain.
+  mw::Reduction Red = mw::Reduction::Barrett;
+
+  /// Double-word multiplication rule (§2.2, Fig. 5b).
+  mw::MulAlgorithm MulAlg = mw::MulAlgorithm::Schoolbook;
+
+  /// Run Simplify to a fixed point after lowering (the §4 zero-word
+  /// pruning plus folding/DCE). Off reproduces the "no pruning" ablation.
+  bool Prune = true;
+
+  /// Run the pressure-aware list scheduler (rewrite/Schedule.h) after
+  /// simplification.
+  bool Schedule = false;
+
+  /// Stable text form used in plan-cache keys and the autotune JSON:
+  /// e.g. "w64/barrett/schoolbook/prune/noschedule".
+  std::string str() const;
+
+  /// The LowerOptions slice of this plan.
+  LowerOptions lowerOptions() const {
+    LowerOptions O;
+    O.TargetWordBits = TargetWordBits;
+    O.MulAlg = MulAlg;
+    return O;
+  }
+
+  bool operator==(const PlanOptions &O) const {
+    return TargetWordBits == O.TargetWordBits && Red == O.Red &&
+           MulAlg == O.MulAlg && Prune == O.Prune && Schedule == O.Schedule;
+  }
+  bool operator!=(const PlanOptions &O) const { return !(*this == O); }
+};
+
+/// The full generation pipeline under one set of knobs:
+/// lowerToWords, then (if Prune) simplifyLowered, then (if Schedule)
+/// scheduleForPressure. This is the one lowering entry point the runtime,
+/// tools, and tests share.
+LoweredKernel lowerWithPlan(const ir::Kernel &K, const PlanOptions &Opts);
+
+} // namespace rewrite
+} // namespace moma
+
+#endif // MOMA_REWRITE_PLANOPTIONS_H

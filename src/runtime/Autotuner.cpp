@@ -1,0 +1,405 @@
+//===- runtime/Autotuner.cpp - Per-problem variant selection --------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Autotuner.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+using namespace moma;
+using namespace moma::runtime;
+using mw::Bignum;
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON reader for the tune-cache format. Only what save() emits is
+// required, but the reader accepts general objects/arrays and skips
+// unknown keys so hand-edited caches keep loading.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<JValue> A;
+  std::vector<std::pair<std::string, JValue>> O;
+
+  const JValue *field(const std::string &Name) const {
+    if (K != Obj)
+      return nullptr;
+    for (const auto &P : O)
+      if (P.first == Name)
+        return &P.second;
+    return nullptr;
+  }
+};
+
+class JParser {
+public:
+  explicit JParser(const std::string &Text)
+      : C(Text.data()), E(Text.data() + Text.size()) {}
+
+  bool parse(JValue &Out) {
+    Out = value();
+    skipWs();
+    return Ok && C == E;
+  }
+
+private:
+  void skipWs() {
+    while (C != E && (*C == ' ' || *C == '\t' || *C == '\n' || *C == '\r'))
+      ++C;
+  }
+  bool eat(char Want) {
+    skipWs();
+    if (C == E || *C != Want) {
+      Ok = false;
+      return false;
+    }
+    ++C;
+    return true;
+  }
+  bool lit(const char *Word) {
+    for (const char *P = Word; *P; ++P, ++C)
+      if (C == E || *C != *P) {
+        Ok = false;
+        return false;
+      }
+    return true;
+  }
+
+  JValue value() {
+    skipWs();
+    JValue V;
+    if (!Ok || C == E) {
+      Ok = false;
+      return V;
+    }
+    switch (*C) {
+    case '{': {
+      ++C;
+      V.K = JValue::Obj;
+      skipWs();
+      if (C != E && *C == '}') {
+        ++C;
+        return V;
+      }
+      do {
+        JValue Key = value();
+        if (!Ok || Key.K != JValue::Str || !eat(':'))
+          return V;
+        V.O.emplace_back(Key.S, value());
+        skipWs();
+      } while (Ok && C != E && *C == ',' && (++C, true));
+      eat('}');
+      return V;
+    }
+    case '[': {
+      ++C;
+      V.K = JValue::Arr;
+      skipWs();
+      if (C != E && *C == ']') {
+        ++C;
+        return V;
+      }
+      do {
+        V.A.push_back(value());
+        skipWs();
+      } while (Ok && C != E && *C == ',' && (++C, true));
+      eat(']');
+      return V;
+    }
+    case '"': {
+      ++C;
+      V.K = JValue::Str;
+      while (C != E && *C != '"') {
+        if (*C == '\\' && C + 1 != E) {
+          ++C;
+          switch (*C) {
+          case 'n':
+            V.S += '\n';
+            break;
+          case 't':
+            V.S += '\t';
+            break;
+          default:
+            V.S += *C; // covers \" \\ \/ — all save() can need
+          }
+        } else {
+          V.S += *C;
+        }
+        ++C;
+      }
+      if (!eat('"'))
+        Ok = false;
+      return V;
+    }
+    case 't':
+      V.K = JValue::Bool;
+      V.B = true;
+      lit("true");
+      return V;
+    case 'f':
+      V.K = JValue::Bool;
+      lit("false");
+      return V;
+    case 'n':
+      lit("null");
+      return V;
+    default: {
+      char *End = nullptr;
+      V.K = JValue::Num;
+      V.N = std::strtod(C, &End);
+      if (End == C || End > E) {
+        Ok = false;
+        return V;
+      }
+      C = End;
+      return V;
+    }
+    }
+  }
+
+  const char *C, *E;
+  bool Ok = true;
+};
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-element data-input count for each op (a,b / x,y,w / a,x,y).
+unsigned numDataInputs(KernelOp Op) {
+  switch (Op) {
+  case KernelOp::Butterfly:
+  case KernelOp::Axpy:
+    return 3;
+  default:
+    return 2;
+  }
+}
+
+unsigned numOutputs(KernelOp Op) {
+  return Op == KernelOp::Butterfly ? 2 : 1;
+}
+
+} // namespace
+
+Autotuner::Autotuner(KernelRegistry &Reg, AutotunerOptions Opts)
+    : Reg(Reg), O(std::move(Opts)) {
+  if (!O.CachePath.empty())
+    (void)load(O.CachePath); // a missing cache file is a cold start
+}
+
+std::string Autotuner::decisionKey(KernelOp Op, const Bignum &Q,
+                                   const rewrite::PlanOptions &Base) const {
+  PlanKey K = PlanKey::forModulus(Op, Q, Base);
+  // Beyond the problem itself, pin every knob the sweep will NOT explore
+  // (canonicalized, so folded knobs never split entries): two dispatchers
+  // with conflicting base plans must never share a decision.
+  std::string Key = K.problemStr();
+  Key += K.Opts.MulAlg == mw::MulAlgorithm::Karatsuba ? "/karatsuba"
+                                                      : "/schoolbook";
+  if (!O.TuneReduction)
+    Key += std::string("/") + mw::reductionName(K.Opts.Red);
+  if (!O.TunePrune)
+    Key += K.Opts.Prune ? "/prune" : "/noprune";
+  if (!O.TuneSchedule)
+    Key += K.Opts.Schedule ? "/schedule" : "/noschedule";
+  return Key;
+}
+
+const TuneDecision *Autotuner::choose(KernelOp Op, const Bignum &Q,
+                                      const rewrite::PlanOptions &Base) {
+  LastError.clear();
+  std::string Problem = decisionKey(Op, Q, Base);
+  auto It = Decisions.find(Problem);
+  if (It != Decisions.end()) {
+    ++S.Reused;
+    return &It->second;
+  }
+  return tune(Op, Q, Base, Problem);
+}
+
+const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
+                                    const rewrite::PlanOptions &Base,
+                                    const std::string &Problem) {
+  // Candidate knob grid. Dimensions the options disable stay at the base
+  // plan's value; the reduction dimension only exists for multiplying
+  // kernels (PlanKey canonicalization folds it away otherwise).
+  std::vector<mw::Reduction> Reds = {Base.Red};
+  if (O.TuneReduction && kernelOpMultiplies(Op))
+    Reds = {mw::Reduction::Barrett, mw::Reduction::Montgomery};
+  if (!Q.isOdd()) {
+    // Montgomery needs -q^-1 mod 2^lambda; for an even modulus only the
+    // Barrett candidates are meaningful.
+    Reds = {mw::Reduction::Barrett};
+    if (Base.Red == mw::Reduction::Montgomery) {
+      LastError = "Autotuner: Montgomery base plan needs an odd modulus";
+      return nullptr;
+    }
+  }
+  std::vector<bool> Prunes = {Base.Prune};
+  if (O.TunePrune)
+    Prunes = {true, false};
+  std::vector<bool> Scheds = {Base.Schedule};
+  if (O.TuneSchedule)
+    Scheds = {false, true};
+
+  // One calibration batch shared by every candidate: random reduced
+  // elements, deterministic per problem.
+  unsigned ElemWords = (Q.bitWidth() + 63) / 64;
+  size_t N = O.CalibrationElems;
+  Rng R(0x7C5EDull ^ (Q.bitWidth() * 1315423911ull) ^
+        static_cast<std::uint64_t>(Op));
+  unsigned NumIns = numDataInputs(Op), NumOuts = numOutputs(Op);
+  std::vector<std::vector<std::uint64_t>> Ins(NumIns), Outs(NumOuts);
+  for (auto &Buf : Ins) {
+    Buf.reserve(N * ElemWords);
+    for (size_t I = 0; I < N; ++I) {
+      auto W = packWordsMsbFirst(Bignum::random(R, Q), ElemWords);
+      Buf.insert(Buf.end(), W.begin(), W.end());
+    }
+  }
+  for (auto &Buf : Outs)
+    Buf.assign(N * ElemWords, 0);
+
+  TuneDecision Best;
+  Best.NsPerElem = std::numeric_limits<double>::infinity();
+  bool Any = false;
+  std::string FirstError;
+
+  for (mw::Reduction Red : Reds)
+    for (bool Prune : Prunes)
+      for (bool Sched : Scheds) {
+        rewrite::PlanOptions C = Base;
+        C.Red = Red;
+        C.Prune = Prune;
+        C.Schedule = Sched;
+        PlanKey Key = PlanKey::forModulus(Op, Q, C);
+        std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
+        if (!Plan) {
+          if (FirstError.empty())
+            FirstError = Reg.error();
+          continue;
+        }
+        PlanAux Aux = makePlanAux(*Plan, Q);
+        BatchArgs Args;
+        for (auto &Buf : Outs)
+          Args.Outs.push_back(Buf.data());
+        for (auto &Buf : Ins)
+          Args.Ins.push_back(Buf.data());
+        Args.Aux = Aux.ptrs();
+
+        ++S.Candidates;
+        double BestSec = std::numeric_limits<double>::infinity();
+        bool RunOk = true;
+        for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
+          double T0 = nowSeconds();
+          RunOk = runBatch(*Plan, Args, N, &FirstError);
+          BestSec = std::min(BestSec, nowSeconds() - T0);
+        }
+        if (!RunOk)
+          continue;
+        double Ns = BestSec * 1e9 / static_cast<double>(N);
+        if (Ns < Best.NsPerElem) {
+          Best.Opts = C;
+          Best.NsPerElem = Ns;
+        }
+        Any = true;
+      }
+
+  if (!Any) {
+    LastError = "Autotuner: every candidate failed: " + FirstError;
+    return nullptr;
+  }
+  ++S.Tuned;
+  auto Ins2 = Decisions.emplace(Problem, Best);
+  if (!O.CachePath.empty())
+    (void)save(O.CachePath);
+  return &Ins2.first->second;
+}
+
+bool Autotuner::save(const std::string &Path) const {
+  std::ostringstream SS;
+  SS << "{\n  \"version\": 1,\n  \"entries\": [";
+  bool First = true;
+  for (const auto &E : Decisions) {
+    const TuneDecision &D = E.second;
+    SS << (First ? "" : ",") << "\n    {"
+       << "\"problem\": \"" << E.first << "\", "
+       << "\"word_bits\": " << D.Opts.TargetWordBits << ", "
+       << "\"reduction\": \"" << mw::reductionName(D.Opts.Red) << "\", "
+       << "\"mulalg\": \""
+       << (D.Opts.MulAlg == mw::MulAlgorithm::Karatsuba ? "karatsuba"
+                                                        : "schoolbook")
+       << "\", "
+       << "\"prune\": " << (D.Opts.Prune ? "true" : "false") << ", "
+       << "\"schedule\": " << (D.Opts.Schedule ? "true" : "false") << ", "
+       << "\"ns_per_elem\": " << formatv("%.3f", D.NsPerElem) << "}";
+    First = false;
+  }
+  SS << "\n  ]\n}\n";
+  std::ofstream Out(Path);
+  Out << SS.str();
+  return static_cast<bool>(Out);
+}
+
+bool Autotuner::load(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    LastError = "Autotuner: cannot open " + Path;
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  JValue Root;
+  if (!JParser(SS.str()).parse(Root) || Root.K != JValue::Obj) {
+    LastError = "Autotuner: " + Path + " is not valid tune-cache JSON";
+    return false;
+  }
+  const JValue *Entries = Root.field("entries");
+  if (!Entries || Entries->K != JValue::Arr) {
+    LastError = "Autotuner: " + Path + " has no entries array";
+    return false;
+  }
+  for (const JValue &E : Entries->A) {
+    const JValue *Problem = E.field("problem");
+    const JValue *Red = E.field("reduction");
+    if (!Problem || Problem->K != JValue::Str || !Red ||
+        Red->K != JValue::Str)
+      continue; // tolerate foreign entries
+    TuneDecision D;
+    D.FromCache = true;
+    D.Opts.Red = Red->S == "montgomery" ? mw::Reduction::Montgomery
+                                        : mw::Reduction::Barrett;
+    if (const JValue *V = E.field("word_bits"))
+      D.Opts.TargetWordBits = static_cast<unsigned>(V->N);
+    if (const JValue *V = E.field("mulalg"))
+      D.Opts.MulAlg = V->S == "karatsuba" ? mw::MulAlgorithm::Karatsuba
+                                          : mw::MulAlgorithm::Schoolbook;
+    if (const JValue *V = E.field("prune"))
+      D.Opts.Prune = V->B;
+    if (const JValue *V = E.field("schedule"))
+      D.Opts.Schedule = V->B;
+    if (const JValue *V = E.field("ns_per_elem"))
+      D.NsPerElem = V->N;
+    // Freshly tuned decisions win over persisted ones.
+    Decisions.emplace(Problem->S, D);
+  }
+  return true;
+}

@@ -1,0 +1,112 @@
+//===- runtime/Autotuner.h - Per-problem variant selection -----*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Picks the fastest generated-kernel variant per problem, the way the
+/// paper's per-configuration generation model implies: on the first
+/// request for a (kernel, widths) problem the tuner compiles every
+/// candidate knob combination (Barrett vs Montgomery, pruning on/off,
+/// scheduled vs unscheduled), times each over a calibration batch on this
+/// machine, and pins the winner. Decisions persist as JSON so a process
+/// restart reuses them instead of re-timing.
+///
+/// What the tuner measures on this CPU substrate — and what it does not —
+/// is recorded in DESIGN.md ("Runtime autotuning"): steady-state batched
+/// throughput of the compiled scalar kernel, not GPU occupancy or memory
+/// behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_RUNTIME_AUTOTUNER_H
+#define MOMA_RUNTIME_AUTOTUNER_H
+
+#include "runtime/KernelRegistry.h"
+
+#include <map>
+#include <string>
+
+namespace moma {
+namespace runtime {
+
+/// Tuning configuration.
+struct AutotunerOptions {
+  /// Elements in the calibration batch each candidate is timed on.
+  unsigned CalibrationElems = 256;
+  /// Timed repetitions per candidate; the minimum is kept.
+  unsigned Repeats = 3;
+  /// Dimensions to sweep. A disabled dimension keeps the base plan value.
+  bool TuneReduction = true;
+  bool TunePrune = true;
+  bool TuneSchedule = true;
+  /// When non-empty: load(CachePath) at construction and save(CachePath)
+  /// after every tuning run, so decisions survive process restarts.
+  std::string CachePath;
+};
+
+/// One pinned decision for a problem key.
+struct TuneDecision {
+  rewrite::PlanOptions Opts; ///< winning knob combination
+  double NsPerElem = 0;      ///< winner's measured per-element time
+  bool FromCache = false;    ///< loaded from persisted JSON, not re-timed
+};
+
+/// First-request autotuner over a KernelRegistry. Not thread-safe.
+class Autotuner {
+public:
+  explicit Autotuner(KernelRegistry &Reg,
+                     AutotunerOptions Opts = AutotunerOptions());
+
+  /// Returns the pinned variant for (Op, |Q| bits), tuning now on a first
+  /// request. \p Base supplies the values of knobs outside the swept
+  /// dimensions (word size, multiply rule). Null when every candidate
+  /// failed to compile; error() explains.
+  const TuneDecision *choose(KernelOp Op, const mw::Bignum &Q,
+                             const rewrite::PlanOptions &Base =
+                                 rewrite::PlanOptions());
+
+  /// Serializes all decisions as JSON. Returns false on I/O failure.
+  bool save(const std::string &Path) const;
+
+  /// Merges decisions from a JSON file produced by save(). Entries loaded
+  /// here are served with FromCache = true and are never re-timed.
+  /// Returns false (with error()) on I/O or parse failure; a missing file
+  /// is reported as failure but leaves the tuner usable.
+  bool load(const std::string &Path);
+
+  const std::string &error() const { return LastError; }
+
+  /// Tuning counters.
+  struct Stats {
+    unsigned Tuned = 0;     ///< problems tuned by timing candidates
+    unsigned Reused = 0;    ///< choose() served from a pinned decision
+    unsigned Candidates = 0; ///< total candidate variants timed
+  };
+  const Stats &stats() const { return S; }
+  size_t numDecisions() const { return Decisions.size(); }
+
+private:
+  /// Decision-table key: PlanKey::problemStr() plus every base knob the
+  /// sweep dimensions leave pinned, so conflicting base plans never
+  /// share a decision.
+  std::string decisionKey(KernelOp Op, const mw::Bignum &Q,
+                          const rewrite::PlanOptions &Base) const;
+  const TuneDecision *tune(KernelOp Op, const mw::Bignum &Q,
+                           const rewrite::PlanOptions &Base,
+                           const std::string &Problem);
+
+  KernelRegistry &Reg;
+  AutotunerOptions O;
+  Stats S;
+  std::string LastError;
+  /// Keyed by PlanKey::problemStr().
+  std::map<std::string, TuneDecision> Decisions;
+};
+
+} // namespace runtime
+} // namespace moma
+
+#endif // MOMA_RUNTIME_AUTOTUNER_H

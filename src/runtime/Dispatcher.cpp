@@ -1,0 +1,311 @@
+//===- runtime/Dispatcher.cpp - Batched kernel dispatch -------------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Dispatcher.h"
+
+#include "field/RootOfUnity.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace moma;
+using namespace moma::runtime;
+using mw::Bignum;
+
+std::vector<std::uint64_t>
+moma::runtime::packBatch(const std::vector<Bignum> &Elems,
+                         unsigned ElemWords) {
+  std::vector<std::uint64_t> Out;
+  Out.reserve(Elems.size() * ElemWords);
+  for (const Bignum &E : Elems) {
+    auto W = packWordsMsbFirst(E, ElemWords);
+    Out.insert(Out.end(), W.begin(), W.end());
+  }
+  return Out;
+}
+
+std::vector<Bignum>
+moma::runtime::unpackBatch(const std::vector<std::uint64_t> &Words,
+                           unsigned ElemWords) {
+  assert(Words.size() % ElemWords == 0 && "ragged batch");
+  std::vector<Bignum> Out;
+  Out.reserve(Words.size() / ElemWords);
+  for (size_t I = 0; I < Words.size(); I += ElemWords)
+    Out.push_back(unpackWordsMsbFirst(Words.data() + I, ElemWords));
+  return Out;
+}
+
+Dispatcher::Dispatcher(KernelRegistry &Reg, Autotuner *Tuner,
+                       rewrite::PlanOptions Base)
+    : Reg(Reg), Tuner(Tuner), Base(Base) {}
+
+Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q) {
+  // The documented contract: odd moduli only (Montgomery candidates need
+  // -q^-1 mod 2^lambda; every NTT-friendly prime is odd anyway). Checked
+  // here so all entry points fail with error() instead of aborting inside
+  // the constant computation.
+  if (!Q.isOdd())
+    return fail("Dispatcher: modulus must be odd"), nullptr;
+  rewrite::PlanOptions Opts = Base;
+  if (Tuner) {
+    const TuneDecision *D = Tuner->choose(Op, Q, Base);
+    if (!D)
+      return fail("Dispatcher: " + Tuner->error()), nullptr;
+    Opts = D->Opts;
+  }
+  PlanKey Key = PlanKey::forModulus(Op, Q, Opts);
+  std::string CacheKey = Key.problemStr() + "#" + Q.toHex();
+  auto It = Bound.find(CacheKey);
+  // Compare against the canonicalized key options: forModulus folds the
+  // knobs a non-multiplying op cannot use, and the cached plan stores the
+  // folded form.
+  if (It != Bound.end() && It->second.Plan->Key.Opts == Key.Opts) {
+    LastOpts = Opts;
+    return &It->second;
+  }
+  std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
+  if (!Plan)
+    return fail("Dispatcher: " + Reg.error()), nullptr;
+  BoundPlan BP;
+  BP.Plan = std::move(Plan);
+  BP.Aux = makePlanAux(*BP.Plan, Q);
+  BP.AuxPtrs = BP.Aux.ptrs();
+  LastOpts = Opts;
+  auto Ins = Bound.insert_or_assign(CacheKey, std::move(BP));
+  return &Ins.first->second;
+}
+
+bool Dispatcher::runElementwise(KernelOp Op, const Bignum &Q,
+                                const std::uint64_t *A,
+                                const std::uint64_t *B, std::uint64_t *C,
+                                size_t N) {
+  LastError.clear();
+  BoundPlan *BP = bind(Op, Q);
+  if (!BP)
+    return false;
+  BatchArgs Args;
+  Args.Outs = {C};
+  Args.Ins = {A, B};
+  Args.Aux = BP->AuxPtrs;
+  return runBatch(*BP->Plan, Args, N, &LastError);
+}
+
+bool Dispatcher::vadd(const Bignum &Q, const std::uint64_t *A,
+                      const std::uint64_t *B, std::uint64_t *C, size_t N) {
+  return runElementwise(KernelOp::AddMod, Q, A, B, C, N);
+}
+
+bool Dispatcher::vsub(const Bignum &Q, const std::uint64_t *A,
+                      const std::uint64_t *B, std::uint64_t *C, size_t N) {
+  return runElementwise(KernelOp::SubMod, Q, A, B, C, N);
+}
+
+bool Dispatcher::vmul(const Bignum &Q, const std::uint64_t *A,
+                      const std::uint64_t *B, std::uint64_t *C, size_t N) {
+  return runElementwise(KernelOp::MulMod, Q, A, B, C, N);
+}
+
+bool Dispatcher::axpy(const Bignum &Q, const std::uint64_t *AScalar,
+                      const std::uint64_t *X, std::uint64_t *Y, size_t N) {
+  LastError.clear();
+  BoundPlan *BP = bind(KernelOp::Axpy, Q);
+  if (!BP)
+    return false;
+  BatchArgs Args;
+  Args.Outs = {Y}; // yo aliases y: inputs load before the store
+  Args.Ins = {AScalar, X, Y};
+  Args.InStrides = {0, BP->Plan->ElemWords, BP->Plan->ElemWords};
+  Args.Aux = BP->AuxPtrs;
+  return runBatch(*BP->Plan, Args, N, &LastError);
+}
+
+bool Dispatcher::butterfly(const Bignum &Q, std::uint64_t *X,
+                           std::uint64_t *Y, const std::uint64_t *W,
+                           size_t N) {
+  LastError.clear();
+  BoundPlan *BP = bind(KernelOp::Butterfly, Q);
+  if (!BP)
+    return false;
+  BatchArgs Args;
+  Args.Outs = {X, Y}; // in place: kernels load inputs before storing
+  Args.Ins = {X, Y, W};
+  Args.Aux = BP->AuxPtrs;
+  return runBatch(*BP->Plan, Args, N, &LastError);
+}
+
+Dispatcher::NttTables *Dispatcher::tables(const Bignum &Q, size_t NPoints) {
+  std::string Key = Q.toHex() + ":" + std::to_string(NPoints);
+  auto It = NttCtx.find(Key);
+  if (It != NttCtx.end())
+    return &It->second;
+
+  unsigned LogN = 0;
+  while ((size_t(1) << LogN) < NPoints)
+    ++LogN;
+  if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0)
+    return fail("Dispatcher: NTT size must be a power of two >= 2"), nullptr;
+  if (field::twoAdicity(Q) < LogN)
+    return fail(formatv("Dispatcher: modulus 2-adicity %u < log2(n) = %u",
+                        field::twoAdicity(Q), LogN)),
+           nullptr;
+
+  unsigned K = elemWords(Q);
+  NttTables T;
+  T.BitRev.resize(NPoints);
+  for (size_t I = 0; I < NPoints; ++I) {
+    size_t R = 0;
+    for (unsigned B = 0; B < LogN; ++B)
+      R |= ((I >> B) & 1) << (LogN - 1 - B);
+    T.BitRev[I] = static_cast<std::uint32_t>(R);
+  }
+
+  // Stage-major twiddle tables matching ntt::NttPlan: stage len uses
+  // w_{2len}^j at offset (len - 1) + j.
+  Bignum Root = field::rootOfUnity(Q, NPoints);
+  Bignum RootInv = Root.invMod(Q);
+  T.Tw.resize((NPoints - 1) * K);
+  T.InvTw.resize((NPoints - 1) * K);
+  for (size_t Len = 1; Len < NPoints; Len <<= 1) {
+    Bignum WLen = Root.powMod(Bignum(NPoints / (2 * Len)), Q);
+    Bignum WLenInv = RootInv.powMod(Bignum(NPoints / (2 * Len)), Q);
+    Bignum Cur(1), CurInv(1);
+    for (size_t J = 0; J < Len; ++J) {
+      auto CW = packWordsMsbFirst(Cur, K);
+      auto CIW = packWordsMsbFirst(CurInv, K);
+      std::copy(CW.begin(), CW.end(), T.Tw.begin() + (Len - 1 + J) * K);
+      std::copy(CIW.begin(), CIW.end(),
+                T.InvTw.begin() + (Len - 1 + J) * K);
+      Cur = Cur.mulMod(WLen, Q);
+      CurInv = CurInv.mulMod(WLenInv, Q);
+    }
+  }
+  T.NInv = packWordsMsbFirst(Bignum(NPoints).invMod(Q), K);
+  auto Ins = NttCtx.emplace(std::move(Key), std::move(T));
+  return &Ins.first->second;
+}
+
+bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
+                           size_t NPoints, size_t Batch, bool Inverse) {
+  NttTables *T = tables(Q, NPoints);
+  if (!T)
+    return false;
+  BoundPlan *BP = bind(KernelOp::Butterfly, Q);
+  if (!BP)
+    return false;
+  const CompiledPlan &P = *BP->Plan;
+  unsigned K = P.ElemWords;
+  const std::vector<std::uint64_t> &Tw = Inverse ? T->InvTw : T->Tw;
+
+  // Port frame reused across every butterfly: xo yo | x y w | q aux...
+  void *Ports[8];
+  size_t NumPorts = P.numPorts();
+  for (size_t I = 0; I < BP->AuxPtrs.size(); ++I)
+    Ports[5 + I] = const_cast<std::uint64_t *>(BP->AuxPtrs[I]);
+
+  for (size_t B = 0; B < Batch; ++B) {
+    std::uint64_t *Poly = Data + B * NPoints * K;
+    for (size_t I = 0; I < NPoints; ++I) {
+      size_t R = T->BitRev[I];
+      if (I < R)
+        std::swap_ranges(Poly + I * K, Poly + (I + 1) * K, Poly + R * K);
+    }
+    for (size_t Len = 1; Len < NPoints; Len <<= 1) {
+      const std::uint64_t *Stage = Tw.data() + (Len - 1) * K;
+      for (size_t I0 = 0; I0 < NPoints; I0 += 2 * Len) {
+        for (size_t J = 0; J < Len; ++J) {
+          std::uint64_t *X = Poly + (I0 + J) * K;
+          std::uint64_t *Y = Poly + (I0 + J + Len) * K;
+          Ports[0] = X;
+          Ports[1] = Y;
+          Ports[2] = X;
+          Ports[3] = Y;
+          Ports[4] = const_cast<std::uint64_t *>(Stage + J * K);
+          if (!callPlan(P, Ports))
+            return fail(formatv("Dispatcher: unsupported butterfly arity "
+                                "%zu",
+                                NumPorts));
+        }
+      }
+    }
+  }
+  if (Inverse) {
+    // Scale by n^-1 through the vmul plan with a broadcast operand.
+    BoundPlan *MP = bind(KernelOp::MulMod, Q);
+    if (!MP)
+      return false;
+    BatchArgs Args;
+    Args.Outs = {Data};
+    Args.Ins = {Data, T->NInv.data()};
+    Args.InStrides = {K, 0};
+    Args.Aux = MP->AuxPtrs;
+    return runBatch(*MP->Plan, Args, NPoints * Batch, &LastError);
+  }
+  return true;
+}
+
+bool Dispatcher::nttForward(const Bignum &Q, std::uint64_t *Data,
+                            size_t NPoints, size_t Batch) {
+  LastError.clear();
+  return transform(Q, Data, NPoints, Batch, /*Inverse=*/false);
+}
+
+bool Dispatcher::nttInverse(const Bignum &Q, std::uint64_t *Data,
+                            size_t NPoints, size_t Batch) {
+  LastError.clear();
+  return transform(Q, Data, NPoints, Batch, /*Inverse=*/true);
+}
+
+bool Dispatcher::polyMul(const Bignum &Q, const std::uint64_t *A,
+                         const std::uint64_t *B, std::uint64_t *C,
+                         size_t NPoints, size_t Batch) {
+  LastError.clear();
+  unsigned K = elemWords(Q);
+  size_t Total = NPoints * Batch * K;
+  // A's transform runs directly in the output buffer (dead until the
+  // point-wise product); only B needs a scratch copy.
+  if (C != A)
+    std::copy(A, A + Total, C);
+  std::vector<std::uint64_t> TB(B, B + Total);
+  if (!nttForward(Q, C, NPoints, Batch) ||
+      !nttForward(Q, TB.data(), NPoints, Batch))
+    return false;
+  if (!vmul(Q, C, TB.data(), C, NPoints * Batch))
+    return false;
+  return nttInverse(Q, C, NPoints, Batch);
+}
+
+bool Dispatcher::vmul(const Bignum &Q, const std::vector<Bignum> &A,
+                      const std::vector<Bignum> &B,
+                      std::vector<Bignum> &C) {
+  if (A.size() != B.size())
+    return fail("Dispatcher: vmul length mismatch");
+  unsigned K = elemWords(Q);
+  std::vector<std::uint64_t> AW = packBatch(A, K), BW = packBatch(B, K),
+                             CW(A.size() * K);
+  if (!vmul(Q, AW.data(), BW.data(), CW.data(), A.size()))
+    return false;
+  C = unpackBatch(CW, K);
+  return true;
+}
+
+bool Dispatcher::polyMul(const Bignum &Q, const std::vector<Bignum> &A,
+                         const std::vector<Bignum> &B,
+                         std::vector<Bignum> &C, size_t NPoints) {
+  if (A.size() > NPoints || B.size() > NPoints)
+    return fail("Dispatcher: inputs longer than the transform size");
+  unsigned K = elemWords(Q);
+  std::vector<Bignum> APad = A, BPad = B;
+  APad.resize(NPoints, Bignum(0));
+  BPad.resize(NPoints, Bignum(0));
+  std::vector<std::uint64_t> AW = packBatch(APad, K),
+                             BW = packBatch(BPad, K), CW(NPoints * K);
+  if (!polyMul(Q, AW.data(), BW.data(), CW.data(), NPoints, 1))
+    return false;
+  C = unpackBatch(CW, K);
+  return true;
+}

@@ -1,0 +1,154 @@
+//===- runtime/Dispatcher.h - Batched kernel dispatch ----------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer of the runtime: batched modular BLAS, butterfly, NTT
+/// and polynomial-product requests executed through cached compiled plans
+/// (KernelRegistry) with per-problem variants picked by the Autotuner.
+/// Many elements — or many polynomials — per call is the point: the JIT
+/// and tuning cost is paid once per (kernel, width) and amortized over
+/// every later batch, the steady-state model the paper's
+/// generated-kernel-per-configuration approach implies.
+///
+/// Data convention: a batch is one flat array of N elements, each
+/// elemWords(q) = ceil(bits(q)/64) machine words, most significant word
+/// first (the emitted-kernel port convention). packBatch/unpackBatch
+/// convert Bignum vectors. Polynomial batches concatenate coefficient
+/// vectors: Batch x NPoints elements.
+///
+/// Every entry point returns false on failure with error() set; moduli
+/// must be odd (Montgomery candidates) and NTT entry points additionally
+/// need 2^log2(n) | q - 1, checked up front.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_RUNTIME_DISPATCHER_H
+#define MOMA_RUNTIME_DISPATCHER_H
+
+#include "runtime/Autotuner.h"
+#include "runtime/KernelRegistry.h"
+
+#include <map>
+#include <vector>
+
+namespace moma {
+namespace runtime {
+
+/// Flattens \p Elems into a batch array of \p ElemWords words each.
+std::vector<std::uint64_t> packBatch(const std::vector<mw::Bignum> &Elems,
+                                     unsigned ElemWords);
+
+/// Splits a batch array back into Bignum elements.
+std::vector<mw::Bignum> unpackBatch(const std::vector<std::uint64_t> &Words,
+                                    unsigned ElemWords);
+
+/// Batched dispatch through the plan cache. Not thread-safe; one
+/// dispatcher per thread (plans are shared across processes through the
+/// JIT disk cache).
+class Dispatcher {
+public:
+  /// \p Tuner may be null: every request then uses \p Base verbatim
+  /// (the paper's default plan unless the caller overrides knobs).
+  explicit Dispatcher(KernelRegistry &Reg, Autotuner *Tuner = nullptr,
+                      rewrite::PlanOptions Base = rewrite::PlanOptions());
+
+  /// Words per element for modulus \p Q.
+  static unsigned elemWords(const mw::Bignum &Q) {
+    return (Q.bitWidth() + 63) / 64;
+  }
+
+  // -- Batched element-wise BLAS (paper §5.2) ----------------------------
+  // A, B, C hold N elements; C may alias A or B.
+
+  bool vadd(const mw::Bignum &Q, const std::uint64_t *A,
+            const std::uint64_t *B, std::uint64_t *C, size_t N);
+  bool vsub(const mw::Bignum &Q, const std::uint64_t *A,
+            const std::uint64_t *B, std::uint64_t *C, size_t N);
+  bool vmul(const mw::Bignum &Q, const std::uint64_t *A,
+            const std::uint64_t *B, std::uint64_t *C, size_t N);
+  /// y[i] = (a * x[i] + y[i]) mod q with one broadcast scalar a.
+  bool axpy(const mw::Bignum &Q, const std::uint64_t *AScalar,
+            const std::uint64_t *X, std::uint64_t *Y, size_t N);
+
+  // -- Batched NTT engine (paper §5.3) -----------------------------------
+
+  /// One butterfly per element triple, in place: (x, y) <- (x + w*y,
+  /// x - w*y) mod q.
+  bool butterfly(const mw::Bignum &Q, std::uint64_t *X, std::uint64_t *Y,
+                 const std::uint64_t *W, size_t N);
+
+  /// In-place forward/inverse NTT over \p Batch contiguous \p NPoints
+  /// transforms (inverse includes the 1/n scaling).
+  bool nttForward(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
+                  size_t Batch);
+  bool nttInverse(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
+                  size_t Batch);
+
+  /// Batched cyclic polynomial product (Eq. 11/12): per batch entry,
+  /// C = A * B mod (x^n - 1) over Z_q. A and B hold Batch x NPoints
+  /// coefficients each (low degree first); C likewise. C may alias A
+  /// (its transform runs in the output buffer) but must not alias B.
+  bool polyMul(const mw::Bignum &Q, const std::uint64_t *A,
+               const std::uint64_t *B, std::uint64_t *C, size_t NPoints,
+               size_t Batch);
+
+  // -- Bignum conveniences (examples/tests) ------------------------------
+
+  bool vmul(const mw::Bignum &Q, const std::vector<mw::Bignum> &A,
+            const std::vector<mw::Bignum> &B, std::vector<mw::Bignum> &C);
+  bool polyMul(const mw::Bignum &Q, const std::vector<mw::Bignum> &A,
+               const std::vector<mw::Bignum> &B,
+               std::vector<mw::Bignum> &C, size_t NPoints);
+
+  /// Diagnostics from the most recent failed call; empty after success.
+  const std::string &error() const { return LastError; }
+
+  /// The plan variant the last successful call dispatched through
+  /// (autotuned or base). Useful for logging and tests.
+  const rewrite::PlanOptions &lastPlanOptions() const { return LastOpts; }
+
+  KernelRegistry &registry() { return Reg; }
+
+private:
+  /// A compiled plan bound to one modulus value: broadcast tail packed.
+  struct BoundPlan {
+    std::shared_ptr<const CompiledPlan> Plan;
+    PlanAux Aux;
+    std::vector<const std::uint64_t *> AuxPtrs;
+  };
+  /// Twiddle/bit-reversal tables for one (modulus, size) pair.
+  struct NttTables {
+    std::vector<std::uint32_t> BitRev;
+    std::vector<std::uint64_t> Tw, InvTw; ///< (n-1) x ElemWords, stage-major
+    std::vector<std::uint64_t> NInv;      ///< ElemWords
+  };
+
+  BoundPlan *bind(KernelOp Op, const mw::Bignum &Q);
+  NttTables *tables(const mw::Bignum &Q, size_t NPoints);
+  bool runElementwise(KernelOp Op, const mw::Bignum &Q,
+                      const std::uint64_t *A, const std::uint64_t *B,
+                      std::uint64_t *C, size_t N);
+  bool transform(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
+                 size_t Batch, bool Inverse);
+  bool fail(const std::string &Msg) {
+    LastError = Msg;
+    return false;
+  }
+
+  KernelRegistry &Reg;
+  Autotuner *Tuner;
+  rewrite::PlanOptions Base;
+  std::string LastError;
+  rewrite::PlanOptions LastOpts;
+  std::map<std::string, BoundPlan> Bound;   ///< by problemStr + modulus
+  std::map<std::string, NttTables> NttCtx;  ///< by modulus + size
+};
+
+} // namespace runtime
+} // namespace moma
+
+#endif // MOMA_RUNTIME_DISPATCHER_H

@@ -1,0 +1,252 @@
+//===- runtime/KernelRegistry.cpp - Compiled-plan cache -------------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/KernelRegistry.h"
+
+#include "kernels/NttKernels.h"
+#include "kernels/ScalarKernels.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace moma;
+using namespace moma::runtime;
+
+namespace {
+
+ir::Kernel buildOpKernel(const PlanKey &Key) {
+  kernels::ScalarKernelSpec Spec{Key.ContainerBits, Key.ModBits,
+                                 Key.Opts.Red};
+  switch (Key.Op) {
+  case KernelOp::AddMod:
+    return kernels::buildAddModKernel(Spec);
+  case KernelOp::SubMod:
+    return kernels::buildSubModKernel(Spec);
+  case KernelOp::MulMod:
+    return kernels::buildMulModKernel(Spec);
+  case KernelOp::Butterfly:
+    return kernels::buildButterflyKernel(Spec);
+  case KernelOp::Axpy:
+    return kernels::buildAxpyKernel(Spec);
+  }
+  moma_unreachable("unknown kernel op");
+}
+
+/// Calls \p Fn with \p Args.size() pointer arguments. The emitted-kernel
+/// ABI is void(f)(port0*, port1*, ...); arities cover every runtime
+/// kernel shape (butterfly/montgomery peaks at 8 ports).
+bool callPorts(void *Fn, void *const *A, size_t N) {
+  using P = void *;
+  switch (N) {
+  case 3:
+    reinterpret_cast<void (*)(P, P, P)>(Fn)(A[0], A[1], A[2]);
+    return true;
+  case 4:
+    reinterpret_cast<void (*)(P, P, P, P)>(Fn)(A[0], A[1], A[2], A[3]);
+    return true;
+  case 5:
+    reinterpret_cast<void (*)(P, P, P, P, P)>(Fn)(A[0], A[1], A[2], A[3],
+                                                  A[4]);
+    return true;
+  case 6:
+    reinterpret_cast<void (*)(P, P, P, P, P, P)>(Fn)(A[0], A[1], A[2], A[3],
+                                                     A[4], A[5]);
+    return true;
+  case 7:
+    reinterpret_cast<void (*)(P, P, P, P, P, P, P)>(Fn)(A[0], A[1], A[2],
+                                                        A[3], A[4], A[5],
+                                                        A[6]);
+    return true;
+  case 8:
+    reinterpret_cast<void (*)(P, P, P, P, P, P, P, P)>(Fn)(
+        A[0], A[1], A[2], A[3], A[4], A[5], A[6], A[7]);
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool moma::runtime::callPlan(const CompiledPlan &P, void *const *Ports) {
+  return P.Fn && callPorts(P.Fn, Ports, P.numPorts());
+}
+
+bool moma::runtime::runBatch(const CompiledPlan &P, const BatchArgs &Args,
+                             size_t N, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = "runBatch: " + Msg;
+    return false;
+  };
+  if (Args.Outs.size() != P.NumOutputs)
+    return Fail(formatv("expected %u output arrays, got %zu", P.NumOutputs,
+                        Args.Outs.size()));
+  if (Args.Ins.size() != P.NumDataInputs)
+    return Fail(formatv("expected %u input arrays, got %zu", P.NumDataInputs,
+                        Args.Ins.size()));
+  if (!Args.InStrides.empty() && Args.InStrides.size() != Args.Ins.size())
+    return Fail("InStrides must be empty or match Ins");
+  if (Args.Aux.size() != P.AuxWords.size())
+    return Fail(formatv("expected %zu broadcast aux arrays, got %zu",
+                        P.AuxWords.size(), Args.Aux.size()));
+
+  size_t NumPorts = P.numPorts();
+  void *Ports[8];
+  if (NumPorts > 8 || !P.Fn)
+    return Fail("unsupported plan shape");
+
+  for (size_t I = 0; I < N; ++I) {
+    size_t Slot = 0;
+    for (std::uint64_t *Out : Args.Outs)
+      Ports[Slot++] = Out + I * P.ElemWords;
+    for (size_t J = 0; J < Args.Ins.size(); ++J) {
+      size_t Stride =
+          Args.InStrides.empty() ? P.ElemWords : Args.InStrides[J];
+      Ports[Slot++] =
+          const_cast<std::uint64_t *>(Args.Ins[J] + I * Stride);
+    }
+    for (const std::uint64_t *A : Args.Aux)
+      Ports[Slot++] = const_cast<std::uint64_t *>(A);
+    if (!callPorts(P.Fn, Ports, NumPorts))
+      return Fail(formatv("unsupported arity %zu", NumPorts));
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> moma::runtime::packWordsMsbFirst(const mw::Bignum &V,
+                                                            unsigned Words) {
+  assert(V.bitWidth() <= Words * 64 && "value does not fit its port");
+  std::vector<std::uint64_t> Out(Words);
+  for (unsigned I = 0; I < Words; ++I)
+    Out[I] = V.limb(Words - 1 - I);
+  return Out;
+}
+
+mw::Bignum moma::runtime::unpackWordsMsbFirst(const std::uint64_t *W,
+                                              unsigned Words) {
+  mw::Bignum Acc;
+  for (unsigned I = 0; I < Words; ++I)
+    Acc = (Acc << 64) + mw::Bignum(W[I]);
+  return Acc;
+}
+
+PlanAux moma::runtime::makePlanAux(const CompiledPlan &P,
+                                   const mw::Bignum &Q) {
+  assert(Q.bitWidth() == P.Key.ModBits && "modulus width must match plan");
+  PlanAux Aux;
+  size_t QAt = P.Lowered.Inputs.size() - P.AuxWords.size();
+  for (size_t I = 0; I < P.AuxWords.size(); ++I) {
+    const std::string &Name = P.Lowered.Inputs[QAt + I].Name;
+    mw::Bignum V;
+    if (Name == "q") {
+      V = Q;
+    } else if (Name == "mu") {
+      V = mw::Bignum::powerOfTwo(2 * P.Key.ModBits + 3) / Q;
+    } else if (Name == "qinv") {
+      assert(Q.isOdd() && "Montgomery plans need an odd modulus");
+      mw::Bignum R = mw::Bignum::powerOfTwo(P.Key.ContainerBits);
+      V = R - Q.invMod(R);
+    } else if (Name == "r2") {
+      mw::Bignum R = mw::Bignum::powerOfTwo(P.Key.ContainerBits);
+      V = (R * R) % Q;
+    } else {
+      fatalError("makePlanAux: unknown auxiliary port '" + Name + "'");
+    }
+    Aux.Buffers.push_back(packWordsMsbFirst(V, P.AuxWords[I]));
+  }
+  return Aux;
+}
+
+KernelRegistry::KernelRegistry(jit::HostJitOptions JitOpts)
+    : Jit(std::move(JitOpts)) {}
+
+std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
+  LastError.clear();
+  std::string K = Key.str();
+  auto It = Plans.find(K);
+  if (It != Plans.end()) {
+    ++S.Hits;
+    return It->second;
+  }
+  std::shared_ptr<CompiledPlan> P = build(Key);
+  if (!P)
+    return nullptr;
+  ++S.Builds;
+  Plans.emplace(std::move(K), P);
+  return P;
+}
+
+std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
+  if (Key.Opts.TargetWordBits != 64) {
+    // The flat-batch ABI is 64-bit words; 16/32-bit lowerings remain
+    // available through the direct emitters.
+    LastError = "KernelRegistry: batched dispatch requires 64-bit words";
+    return nullptr;
+  }
+  if (Key.ModBits + 4 > Key.ContainerBits) {
+    LastError = formatv("KernelRegistry: modulus (%u bits) does not fit "
+                        "container (%u bits) with four free top bits",
+                        Key.ModBits, Key.ContainerBits);
+    return nullptr;
+  }
+
+  auto P = std::make_shared<CompiledPlan>();
+  P->Key = Key;
+  ir::Kernel K = buildOpKernel(Key);
+  K.Name = formatv("%s_c%u_m%u", K.Name.c_str(), Key.ContainerBits,
+                   Key.ModBits);
+  P->Lowered = rewrite::lowerWithPlan(K, Key.Opts);
+  P->Emitted = codegen::emitC(P->Lowered);
+
+  P->Module = Jit.load(P->Emitted.Source);
+  if (!P->Module) {
+    LastError = "KernelRegistry: " + Jit.error();
+    return nullptr;
+  }
+  P->Fn = P->Module->symbol(P->Emitted.Symbol);
+  if (!P->Fn) {
+    LastError = formatv("KernelRegistry: symbol '%s' missing from %s",
+                        P->Emitted.Symbol.c_str(),
+                        P->Module->soPath().c_str());
+    return nullptr;
+  }
+
+  // Port layout: outputs, per-element data inputs, then the broadcast
+  // tail starting at the modulus port.
+  P->NumOutputs = static_cast<unsigned>(P->Lowered.Outputs.size());
+  P->ElemWords = (Key.ModBits + 63) / 64;
+  size_t QAt = P->Lowered.Inputs.size();
+  for (size_t I = 0; I < P->Lowered.Inputs.size(); ++I)
+    if (P->Lowered.Inputs[I].Name == "q") {
+      QAt = I;
+      break;
+    }
+  if (QAt == P->Lowered.Inputs.size()) {
+    LastError = "KernelRegistry: kernel has no modulus port";
+    return nullptr;
+  }
+  P->NumDataInputs = static_cast<unsigned>(QAt);
+  for (size_t I = QAt; I < P->Lowered.Inputs.size(); ++I)
+    P->AuxWords.push_back(P->Lowered.Inputs[I].storedWords());
+  for (const rewrite::LoweredPort &Port : P->Lowered.Outputs)
+    if (Port.storedWords() != P->ElemWords) {
+      LastError = "KernelRegistry: output port width mismatch";
+      return nullptr;
+    }
+  for (size_t I = 0; I < QAt; ++I)
+    if (P->Lowered.Inputs[I].storedWords() != P->ElemWords) {
+      LastError = "KernelRegistry: data input port width mismatch";
+      return nullptr;
+    }
+  if (P->numPorts() != P->Emitted.Ports.size() || P->numPorts() > 8) {
+    LastError = "KernelRegistry: unsupported port shape";
+    return nullptr;
+  }
+  return P;
+}

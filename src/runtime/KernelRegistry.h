@@ -1,0 +1,142 @@
+//===- runtime/KernelRegistry.h - Compiled-plan cache ----------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The plan cache of the batched-dispatch runtime: maps a canonical
+/// PlanKey to a compiled, loaded, ready-to-call kernel. The expensive part
+/// of serving a request — build the IR, run the rewrite system, emit C,
+/// invoke the host compiler, dlopen — happens once per key; every later
+/// batch through the same key is a hash lookup plus N function calls.
+/// HostJit's content-hash disk cache additionally carries compiled objects
+/// across processes, so a warmed cache directory makes even the first
+/// request of a process cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_RUNTIME_KERNELREGISTRY_H
+#define MOMA_RUNTIME_KERNELREGISTRY_H
+
+#include "codegen/CEmitter.h"
+#include "jit/HostJit.h"
+#include "runtime/PlanKey.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace moma {
+namespace runtime {
+
+/// One compiled kernel variant: metadata plus the callable entry point.
+/// Kept alive by shared_ptr so a batch in flight survives registry
+/// eviction; the loaded JitModule is released with the last plan user.
+struct CompiledPlan {
+  PlanKey Key;
+  rewrite::LoweredKernel Lowered; ///< port layout source of truth
+  codegen::EmittedKernel Emitted; ///< source + symbol + port signature
+  std::shared_ptr<jit::JitModule> Module;
+  void *Fn = nullptr; ///< resolved entry point (pointer-per-port ABI)
+
+  unsigned NumOutputs = 0;    ///< leading per-element output ports
+  unsigned NumDataInputs = 0; ///< per-element input ports (before q)
+  unsigned ElemWords = 0;     ///< stored words per data element
+  /// Stored word counts of the trailing broadcast ports, in port order:
+  /// q, then mu (Barrett) or qinv, r2 (Montgomery) for multiplying ops.
+  std::vector<unsigned> AuxWords;
+
+  size_t numPorts() const {
+    return NumOutputs + NumDataInputs + AuxWords.size();
+  }
+};
+
+/// Batched call description for runBatch: flat arrays of N elements with
+/// ElemWords words each (most significant word first, the emitted-kernel
+/// convention), plus the broadcast auxiliary ports.
+struct BatchArgs {
+  std::vector<std::uint64_t *> Outs;      ///< NumOutputs arrays
+  std::vector<const std::uint64_t *> Ins; ///< NumDataInputs arrays
+  /// Per-input word stride between consecutive elements: ElemWords for
+  /// vector inputs, 0 to broadcast one element to the whole batch (the
+  /// axpy scalar). Empty means all-vector.
+  std::vector<size_t> InStrides;
+  std::vector<const std::uint64_t *> Aux; ///< AuxWords.size() arrays
+};
+
+/// Invokes \p P.Fn once per element over \p N elements. Returns false on a
+/// shape mismatch (wrong pointer counts or unsupported arity), with a
+/// message in \p Err when non-null. Output may alias input arrays: the
+/// emitted kernels load every input word before storing any output word.
+bool runBatch(const CompiledPlan &P, const BatchArgs &Args, size_t N,
+              std::string *Err = nullptr);
+
+/// Calls \p P.Fn once with pre-assembled port pointers (P.numPorts()
+/// entries: outputs, data inputs, broadcast tail). The zero-allocation
+/// path for inner loops (the NTT stage driver); batch entry points should
+/// prefer runBatch. Returns false on unsupported arity.
+bool callPlan(const CompiledPlan &P, void *const *Ports);
+
+/// Packs \p V into \p Words 64-bit words, most significant first (the
+/// emitted-kernel port convention). \p V must fit.
+std::vector<std::uint64_t> packWordsMsbFirst(const mw::Bignum &V,
+                                             unsigned Words);
+
+/// Inverse of packWordsMsbFirst.
+mw::Bignum unpackWordsMsbFirst(const std::uint64_t *W, unsigned Words);
+
+/// The broadcast tail for running \p P with modulus \p Q: the packed
+/// modulus plus the reduction constants its variant needs — Barrett
+/// mu = floor(2^(2m+3)/q), or Montgomery qinv = -q^-1 mod 2^lambda and
+/// r2 = 2^(2*lambda) mod q. Montgomery requires an odd modulus.
+struct PlanAux {
+  std::vector<std::vector<std::uint64_t>> Buffers; ///< one per aux port
+  /// Pointer view matching BatchArgs::Aux, in port order.
+  std::vector<const std::uint64_t *> ptrs() const {
+    std::vector<const std::uint64_t *> P;
+    for (const auto &B : Buffers)
+      P.push_back(B.data());
+    return P;
+  }
+};
+PlanAux makePlanAux(const CompiledPlan &P, const mw::Bignum &Q);
+
+/// Compiles and caches kernel plans. Not thread-safe (as HostJit); use one
+/// registry per thread, they share compiled objects through the disk cache.
+class KernelRegistry {
+public:
+  explicit KernelRegistry(jit::HostJitOptions JitOpts = jit::HostJitOptions());
+
+  /// Returns the compiled plan for \p Key, building it on first request.
+  /// Null on failure (error() carries the pipeline or compiler message).
+  std::shared_ptr<const CompiledPlan> get(const PlanKey &Key);
+
+  /// Diagnostics from the most recent failed get(); empty after success.
+  const std::string &error() const { return LastError; }
+
+  /// Cache behavior counters.
+  struct Stats {
+    unsigned Builds = 0; ///< plans built (lower + emit + compile + load)
+    unsigned Hits = 0;   ///< plans served from the in-memory cache
+  };
+  const Stats &stats() const { return S; }
+
+  size_t size() const { return Plans.size(); }
+  jit::HostJit &jit() { return Jit; }
+
+private:
+  std::shared_ptr<CompiledPlan> build(const PlanKey &Key);
+
+  jit::HostJit Jit;
+  Stats S;
+  std::string LastError;
+  std::unordered_map<std::string, std::shared_ptr<CompiledPlan>> Plans;
+};
+
+} // namespace runtime
+} // namespace moma
+
+#endif // MOMA_RUNTIME_KERNELREGISTRY_H

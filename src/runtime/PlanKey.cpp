@@ -1,0 +1,70 @@
+//===- runtime/PlanKey.cpp - Canonical plan-cache keys --------------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PlanKey.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+using namespace moma;
+using namespace moma::runtime;
+
+const char *moma::runtime::kernelOpName(KernelOp Op) {
+  switch (Op) {
+  case KernelOp::AddMod:
+    return "addmod";
+  case KernelOp::SubMod:
+    return "submod";
+  case KernelOp::MulMod:
+    return "mulmod";
+  case KernelOp::Butterfly:
+    return "butterfly";
+  case KernelOp::Axpy:
+    return "axpy";
+  }
+  moma_unreachable("unknown kernel op");
+}
+
+bool moma::runtime::kernelOpMultiplies(KernelOp Op) {
+  return Op == KernelOp::MulMod || Op == KernelOp::Butterfly ||
+         Op == KernelOp::Axpy;
+}
+
+unsigned PlanKey::canonicalContainerBits(unsigned ModBits, unsigned WordBits) {
+  unsigned Container = WordBits;
+  while (Container < ModBits + 4)
+    Container *= 2;
+  return Container;
+}
+
+PlanKey PlanKey::forModulus(KernelOp Op, const mw::Bignum &Q,
+                            const rewrite::PlanOptions &Opts) {
+  if (Q.bitWidth() < 2)
+    fatalError("PlanKey: modulus must be at least two bits");
+  PlanKey K;
+  K.Op = Op;
+  K.ModBits = Q.bitWidth();
+  K.ContainerBits = canonicalContainerBits(K.ModBits, Opts.TargetWordBits);
+  K.Opts = Opts;
+  if (!kernelOpMultiplies(Op)) {
+    // The knobs cannot change an add/sub kernel; fold them so every
+    // variant maps onto one cache entry.
+    K.Opts.Red = mw::Reduction::Barrett;
+    K.Opts.MulAlg = mw::MulAlgorithm::Schoolbook;
+  }
+  return K;
+}
+
+std::string PlanKey::problemStr() const {
+  return formatv("%s/c%u/m%u/w%u", kernelOpName(Op), ContainerBits, ModBits,
+                 Opts.TargetWordBits);
+}
+
+std::string PlanKey::str() const {
+  return formatv("%s/c%u/m%u/%s", kernelOpName(Op), ContainerBits, ModBits,
+                 Opts.str().c_str());
+}

@@ -1,0 +1,85 @@
+//===- runtime/PlanKey.h - Canonical plan-cache keys -----------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache key of the batched-dispatch runtime. A PlanKey names one
+/// generated-kernel variant: the operation, the canonical widths, and the
+/// PlanOptions knobs (reduction, multiply rule, pruning, scheduling).
+///
+/// Canonicalization (see DESIGN.md "PlanKey canonicalization"):
+///  * ModBits is the exact modulus bit-width; the container is the
+///    smallest 2^k-word power-of-two width with ModBits + 4 <= container
+///    (the paper's evaluation shape: four free top bits for Barrett).
+///  * The modulus *value* is NOT part of the key. Generated kernels take
+///    q (and mu / qinv / r2) as runtime parameters, so one compiled plan
+///    serves every modulus of the same bit-width.
+///  * Operations without a modular multiplication (addmod/submod) pin the
+///    reduction knob to Barrett and the multiply rule to schoolbook: the
+///    knobs cannot change the generated code, and folding them keeps one
+///    cache entry per distinct kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_RUNTIME_PLANKEY_H
+#define MOMA_RUNTIME_PLANKEY_H
+
+#include "mw/Bignum.h"
+#include "rewrite/PlanOptions.h"
+
+#include <cstdint>
+#include <string>
+
+namespace moma {
+namespace runtime {
+
+/// The scalar kernels the runtime dispatches in batch. The element-wise
+/// BLAS vector operations alias onto these (vadd -> AddMod, vsub ->
+/// SubMod, vmul -> MulMod); the NTT engine runs on Butterfly.
+enum class KernelOp : std::uint8_t { AddMod, SubMod, MulMod, Butterfly, Axpy };
+
+/// Mnemonic kernel-op name ("addmod", ..., "butterfly").
+const char *kernelOpName(KernelOp Op);
+
+/// True for kernels containing a modular multiplication (the ones whose
+/// generated code depends on the reduction strategy and multiply rule).
+bool kernelOpMultiplies(KernelOp Op);
+
+/// Canonical description of one compiled kernel variant.
+struct PlanKey {
+  KernelOp Op = KernelOp::MulMod;
+  unsigned ContainerBits = 128; ///< canonical power-of-two-word container
+  unsigned ModBits = 124;       ///< exact modulus bit-width
+  rewrite::PlanOptions Opts;    ///< generation knobs (canonicalized)
+
+  /// Smallest 2^k * WordBits container with ModBits + 4 <= container.
+  static unsigned canonicalContainerBits(unsigned ModBits, unsigned WordBits);
+
+  /// Builds the canonical key for \p Op over modulus \p Q with the knob
+  /// values of \p Opts (container derived, knobs folded per the rules
+  /// above).
+  static PlanKey forModulus(KernelOp Op, const mw::Bignum &Q,
+                            const rewrite::PlanOptions &Opts = {});
+
+  /// The problem part of the key (no variant knobs except the word size):
+  /// "mulmod/c128/m124/w64". Autotune decisions are stored per problem.
+  std::string problemStr() const;
+
+  /// The full canonical key: problemStr() + "/" + variant knobs, e.g.
+  /// "mulmod/c128/m124/w64/barrett/schoolbook/prune/noschedule".
+  std::string str() const;
+
+  bool operator==(const PlanKey &K) const {
+    return Op == K.Op && ContainerBits == K.ContainerBits &&
+           ModBits == K.ModBits && Opts == K.Opts;
+  }
+  bool operator!=(const PlanKey &K) const { return !(*this == K); }
+};
+
+} // namespace runtime
+} // namespace moma
+
+#endif // MOMA_RUNTIME_PLANKEY_H

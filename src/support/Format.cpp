@@ -6,13 +6,10 @@
 
 using namespace moma;
 
-std::string moma::formatv(const char *Fmt, ...) {
-  va_list Args;
-  va_start(Args, Fmt);
+std::string moma::vformatv(const char *Fmt, va_list Args) {
   va_list ArgsCopy;
   va_copy(ArgsCopy, Args);
   int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
-  va_end(Args);
   std::string Result;
   if (Needed > 0) {
     Result.resize(static_cast<size_t>(Needed) + 1);
@@ -20,6 +17,14 @@ std::string moma::formatv(const char *Fmt, ...) {
     Result.resize(static_cast<size_t>(Needed));
   }
   va_end(ArgsCopy);
+  return Result;
+}
+
+std::string moma::formatv(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = vformatv(Fmt, Args);
+  va_end(Args);
   return Result;
 }
 

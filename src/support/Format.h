@@ -24,6 +24,11 @@ namespace moma {
 std::string formatv(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// va_list form of formatv, for wrappers that take `...` themselves
+/// (e.g. bench/Harness.h's reportf). Leaves \p Args consumed, as vsnprintf
+/// does; callers own va_start/va_end.
+std::string vformatv(const char *Fmt, va_list Args);
+
 /// A minimal column-aligned text table. Benchmarks use it to print one
 /// paper figure/table per binary in a stable, diffable layout.
 class TextTable {

@@ -18,11 +18,43 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <vector>
 
 namespace moma {
 namespace testutil {
+
+/// The single seed source for every randomized test: the per-test default
+/// unless the MOMA_TEST_SEED environment variable overrides it (decimal or
+/// 0x-hex). Reproducing a CI failure is therefore always
+/// `MOMA_TEST_SEED=<printed seed> ctest -R <test>`.
+inline std::uint64_t testSeed(std::uint64_t Default) {
+  const char *Env = std::getenv("MOMA_TEST_SEED");
+  if (Env && *Env)
+    return std::strtoull(Env, nullptr, 0);
+  return Default;
+}
+
+/// Rng for randomized tests: resolves its seed through testSeed() and
+/// pushes it onto the gtest trace stack, so every assertion failure in
+/// scope reports the seed that reproduces it.
+class SeededRng : public Rng {
+public:
+  explicit SeededRng(std::uint64_t Default,
+                     const char *File = __builtin_FILE(),
+                     int Line = __builtin_LINE())
+      : Rng(testSeed(Default)), Seed(testSeed(Default)),
+        Trace(File, Line,
+              ::testing::Message()
+                  << "reproduce with MOMA_TEST_SEED=" << Seed) {}
+
+  std::uint64_t seed() const { return Seed; }
+
+private:
+  std::uint64_t Seed;
+  ::testing::ScopedTrace Trace;
+};
 
 /// Generates one random input vector for \p K: uniformly below
 /// 2^KnownBits per input. Kernels with modulus ports need makeFieldInputs.

@@ -1,0 +1,118 @@
+//===- tests/ntt/NttPropertyTest.cpp - transform algebra properties ------------===//
+//
+// Property tests extending the NTT suites to the sizes and modulus class
+// the runtime's batched engine serves: negacyclic psi-twist roundtrips and
+// four-step vs direct agreement at n in {32, 256, 1024} over a full
+// 128-bit modulus (three-word elements — the first width class past the
+// paper's 128-bit container).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "field/PrimeGen.h"
+#include "ntt/FourStep.h"
+#include "ntt/Negacyclic.h"
+#include "ntt/ReferenceDft.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::ntt;
+using namespace moma::testutil;
+using field::PrimeField;
+using mw::Bignum;
+
+namespace {
+
+/// A 128-bit NTT-friendly prime: 2-adicity 12 covers n = 1024 negacyclic
+/// (which needs 2n | q - 1).
+template <unsigned W> PrimeField<W> field128() {
+  return PrimeField<W>(field::nttPrime(128, 12));
+}
+
+template <unsigned W>
+void negacyclicRoundTrip(size_t N, std::uint64_t Seed) {
+  auto F = field128<W>();
+  ASSERT_EQ(F.modulusBig().bitWidth(), 128u);
+  NegacyclicPlan<W> Plan(F, N);
+  SeededRng R(Seed);
+  std::vector<typename PrimeField<W>::Element> X(N);
+  for (auto &E : X)
+    E = F.fromBignum(Bignum::random(R, F.modulusBig()));
+  auto Orig = X;
+  Plan.forward(X.data());
+  EXPECT_NE(X, Orig) << "forward psi-twist transform must move the data";
+  Plan.inverse(X.data());
+  ASSERT_EQ(X, Orig) << "psi-twist roundtrip at n = " << N;
+}
+
+template <unsigned W>
+void fourStepMatchesDirect(size_t N1, size_t N2, std::uint64_t Seed) {
+  auto F = field128<W>();
+  FourStepPlan<W> Four(F, N1, N2);
+  NttPlan<W> Direct(F, N1 * N2);
+  SeededRng R(Seed);
+  std::vector<typename PrimeField<W>::Element> X(N1 * N2), Out(N1 * N2);
+  for (auto &E : X)
+    E = F.fromBignum(Bignum::random(R, F.modulusBig()));
+  auto Ref = X;
+  Direct.forward(Ref.data());
+  Four.forward(X.data(), Out.data());
+  for (size_t I = 0; I < N1 * N2; ++I)
+    ASSERT_EQ(Out[I], Ref[I])
+        << "index " << I << " (n1=" << N1 << ", n2=" << N2 << ")";
+}
+
+} // namespace
+
+// Negacyclic psi-twist roundtrip, 128-bit modulus, the runtime sizes.
+TEST(NttProperty, NegacyclicRoundTrip32At128Bit) {
+  negacyclicRoundTrip<3>(32, 0x1401);
+}
+TEST(NttProperty, NegacyclicRoundTrip256At128Bit) {
+  negacyclicRoundTrip<3>(256, 0x1402);
+}
+TEST(NttProperty, NegacyclicRoundTrip1024At128Bit) {
+  negacyclicRoundTrip<3>(1024, 0x1403);
+}
+
+// Negacyclic products still match the wrapped schoolbook result at the
+// new modulus class (sampled small to keep the O(n^2) reference cheap).
+TEST(NttProperty, NegacyclicMatchesSchoolbookAt128Bit) {
+  auto F = field128<3>();
+  const size_t N = 32;
+  NegacyclicPlan<3> Plan(F, N);
+  SeededRng R(0x1404);
+  std::vector<Bignum> ABig(N), BBig(N);
+  std::vector<PrimeField<3>::Element> A, B;
+  for (size_t I = 0; I < N; ++I) {
+    ABig[I] = Bignum::random(R, F.modulusBig());
+    BBig[I] = Bignum::random(R, F.modulusBig());
+    A.push_back(F.fromBignum(ABig[I]));
+    B.push_back(F.fromBignum(BBig[I]));
+  }
+  auto C = polyMulNegacyclic<3>(Plan, A, B);
+  auto Full = referencePolyMul(ABig, BBig, F.modulusBig());
+  for (size_t I = 0; I < N; ++I) {
+    Bignum Expect = Full[I];
+    if (I + N < Full.size())
+      Expect = Expect.subMod(Full[I + N], F.modulusBig());
+    ASSERT_EQ(C[I].toBignum(), Expect) << "coefficient " << I;
+  }
+}
+
+// Four-step agreement with the direct radix-2 transform at the same
+// sizes: square and rectangular factorizations of each n.
+TEST(NttProperty, FourStep32At128Bit) {
+  fourStepMatchesDirect<3>(4, 8, 0x1411);
+  fourStepMatchesDirect<3>(8, 4, 0x1412);
+}
+TEST(NttProperty, FourStep256At128Bit) {
+  fourStepMatchesDirect<3>(16, 16, 0x1413);
+  fourStepMatchesDirect<3>(4, 64, 0x1414);
+}
+TEST(NttProperty, FourStep1024At128Bit) {
+  fourStepMatchesDirect<3>(32, 32, 0x1415);
+  fourStepMatchesDirect<3>(8, 128, 0x1416);
+}

@@ -1,0 +1,203 @@
+//===- tests/runtime/DifferentialFuzzTest.cpp - 3-way differential fuzz --------===//
+//
+// The hardening companion of the batched runtime: the runtime multiplies
+// the number of generated-code paths (reduction x schedule x pruning x
+// width), so this suite drives randomized modmul and butterfly kernels
+// through all three executions we have —
+//
+//   1. the IR interpreter on the lowered kernel (rewrite-system truth),
+//   2. the JIT-compiled C through the runtime plan cache (what dispatch
+//      actually runs), and
+//   3. the Bignum oracle (mathematical truth)
+//
+// — across widths {1, 2, 4, 8, 12} words and both reduction strategies,
+// with random moduli (odd, exact bit-width, not necessarily prime) and
+// random reduced inputs. Per configuration, a few kernel variants are
+// generated (random modulus width in the word-count window, random
+// scheduling, occasional pruning-off) and at least MOMA_FUZZ_ITERS trials
+// (default 500) run across them.
+//
+// On a mismatch the test prints the reproducing seed (via TestUtil's
+// SeededRng trace), the exact trial values, and the path of the emitted
+// source the JIT compiled — everything needed to replay offline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "runtime/KernelRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace moma;
+using namespace moma::runtime;
+using namespace moma::testutil;
+using mw::Bignum;
+
+namespace {
+
+/// Total trials per (op, width, reduction) configuration.
+int fuzzIters() {
+  const char *Env = std::getenv("MOMA_FUZZ_ITERS");
+  if (Env && *Env)
+    return std::max(1, std::atoi(Env));
+  return 500;
+}
+
+/// One registry per test binary: identical kernel variants across
+/// configurations share compiled modules and the on-disk cache.
+KernelRegistry &registry() {
+  static KernelRegistry Reg;
+  return Reg;
+}
+
+/// The Bignum-oracle evaluation of one kernel op.
+std::vector<Bignum> oracle(KernelOp Op, const std::vector<Bignum> &In,
+                           const Bignum &Q) {
+  switch (Op) {
+  case KernelOp::MulMod:
+    return {In[0].mulMod(In[1], Q)};
+  case KernelOp::Butterfly: {
+    Bignum T = In[2].mulMod(In[1], Q); // t = w * y
+    return {In[0].addMod(T, Q), In[0].subMod(T, Q)};
+  }
+  default:
+    ADD_FAILURE() << "unsupported fuzz op";
+    return {};
+  }
+}
+
+/// Runs \p Trials random (modulus, inputs) instances against one compiled
+/// kernel variant, three ways.
+void fuzzVariant(KernelOp Op, const CompiledPlan &Plan, int Trials,
+                 SeededRng &R) {
+  const Bignum One(1);
+  unsigned M = Plan.Key.ModBits;
+  unsigned K = Plan.ElemWords;
+  unsigned NumIns = Plan.NumDataInputs;
+
+  for (int T = 0; T < Trials; ++T) {
+    // Random odd modulus of exactly M bits; inputs reduced below it.
+    Bignum Q = Bignum::randomBits(R, M);
+    if (!Q.isOdd())
+      Q = Q + One; // even with the top bit set means Q <= 2^M - 2, so
+                   // +1 stays at exactly M bits (while -1 could drop to
+                   // M-1 bits when Q == 2^(M-1))
+    std::vector<Bignum> In;
+    for (unsigned I = 0; I < NumIns; ++I)
+      In.push_back(Bignum::random(R, Q));
+
+    // Oracle.
+    std::vector<Bignum> Want = oracle(Op, In, Q);
+
+    // Lowered-kernel interpreter. The kernel's trailing inputs are the
+    // modulus and the reduction constants, in port order.
+    PlanAux Aux = makePlanAux(Plan, Q);
+    std::vector<Bignum> InterpIn = In;
+    size_t QAt = Plan.Lowered.Inputs.size() - Plan.AuxWords.size();
+    for (size_t I = 0; I < Plan.AuxWords.size(); ++I)
+      InterpIn.push_back(
+          unpackWordsMsbFirst(Aux.Buffers[I].data(), Plan.AuxWords[I]));
+    (void)QAt;
+    std::vector<Bignum> Interp = interpretLowered(Plan.Lowered, InterpIn);
+
+    // JIT-compiled C through the runtime batch path (batch of one).
+    std::vector<std::vector<std::uint64_t>> InW, OutW(Plan.NumOutputs);
+    for (unsigned I = 0; I < NumIns; ++I)
+      InW.push_back(packWordsMsbFirst(In[I], K));
+    for (auto &O : OutW)
+      O.assign(K, 0);
+    BatchArgs Args;
+    for (auto &O : OutW)
+      Args.Outs.push_back(O.data());
+    for (auto &I : InW)
+      Args.Ins.push_back(I.data());
+    Args.Aux = Aux.ptrs();
+    std::string Err;
+    ASSERT_TRUE(runBatch(Plan, Args, 1, &Err)) << Err;
+
+    for (size_t O = 0; O < Want.size(); ++O) {
+      Bignum Jit = unpackWordsMsbFirst(OutW[O].data(), K);
+      std::string Ctx = "trial " + std::to_string(T) + " of plan " +
+                        Plan.Key.str() + "\n  q = " + Q.toHex();
+      for (unsigned I = 0; I < NumIns; ++I)
+        Ctx += "\n  in[" + std::to_string(I) + "] = " + In[I].toHex();
+      Ctx += "\n  emitted source: " + Plan.Module->sourcePath();
+      ASSERT_EQ(Interp[O], Want[O])
+          << "INTERPRETER diverges from oracle on output " << O << "\n"
+          << Ctx;
+      ASSERT_EQ(Jit, Want[O])
+          << "JIT-COMPILED C diverges from oracle on output " << O << "\n"
+          << Ctx;
+    }
+  }
+}
+
+/// One fuzz configuration: a word count and a reduction strategy. A few
+/// kernel variants (random modulus width inside the word-count window,
+/// random scheduling, pruning mostly on) split the trial budget.
+void fuzzConfig(KernelOp Op, unsigned Words, mw::Reduction Red,
+                std::uint64_t SeedDefault) {
+  SeededRng R(SeedDefault);
+  unsigned ContainerWords = 1;
+  while (ContainerWords < Words)
+    ContainerWords *= 2;
+  unsigned Container = 64 * ContainerWords;
+  // Modulus widths whose stored word count is exactly Words.
+  unsigned LoM = std::max(4u, (Words - 1) * 64 + 1);
+  unsigned HiM = std::min(Words * 64, Container - 4);
+
+  int Iters = fuzzIters();
+  // Large widths interpret slowly; two variants keep the suite quick
+  // while still varying the generated kernel.
+  int Variants = Words >= 8 ? 2 : 3;
+  int PerVariant = (Iters + Variants - 1) / Variants;
+
+  for (int V = 0; V < Variants; ++V) {
+    unsigned M = LoM + static_cast<unsigned>(R.below(HiM - LoM + 1));
+    rewrite::PlanOptions Opts;
+    Opts.Red = Red;
+    Opts.Schedule = R.below(2) == 1;
+    // Unpruned kernels at large widths are enormous; exercise the
+    // pruning-off path only where it stays cheap.
+    Opts.Prune = Words >= 4 || R.below(4) != 0;
+
+    PlanKey Key;
+    Key.Op = Op;
+    Key.ContainerBits = Container;
+    Key.ModBits = M;
+    Key.Opts = Opts;
+    std::shared_ptr<const CompiledPlan> Plan = registry().get(Key);
+    ASSERT_NE(Plan, nullptr) << registry().error();
+    ASSERT_EQ(Plan->ElemWords, Words);
+    fuzzVariant(Op, *Plan, PerVariant, R);
+  }
+}
+
+} // namespace
+
+#define MOMA_FUZZ_TEST(OP, WORDS, RED, SEED)                                   \
+  TEST(DifferentialFuzz, OP##_w##WORDS##_##RED) {                              \
+    fuzzConfig(KernelOp::OP, WORDS, mw::Reduction::RED, SEED);                 \
+  }
+
+MOMA_FUZZ_TEST(MulMod, 1, Barrett, 0xF0221)
+MOMA_FUZZ_TEST(MulMod, 2, Barrett, 0xF0222)
+MOMA_FUZZ_TEST(MulMod, 4, Barrett, 0xF0224)
+MOMA_FUZZ_TEST(MulMod, 8, Barrett, 0xF0228)
+MOMA_FUZZ_TEST(MulMod, 12, Barrett, 0xF022C)
+MOMA_FUZZ_TEST(MulMod, 1, Montgomery, 0xF0231)
+MOMA_FUZZ_TEST(MulMod, 2, Montgomery, 0xF0232)
+MOMA_FUZZ_TEST(MulMod, 4, Montgomery, 0xF0234)
+MOMA_FUZZ_TEST(MulMod, 8, Montgomery, 0xF0238)
+MOMA_FUZZ_TEST(MulMod, 12, Montgomery, 0xF023C)
+MOMA_FUZZ_TEST(Butterfly, 1, Barrett, 0xF0241)
+MOMA_FUZZ_TEST(Butterfly, 2, Barrett, 0xF0242)
+MOMA_FUZZ_TEST(Butterfly, 4, Barrett, 0xF0244)
+MOMA_FUZZ_TEST(Butterfly, 8, Barrett, 0xF0248)
+MOMA_FUZZ_TEST(Butterfly, 12, Barrett, 0xF024C)
+MOMA_FUZZ_TEST(Butterfly, 1, Montgomery, 0xF0251)
+MOMA_FUZZ_TEST(Butterfly, 2, Montgomery, 0xF0252)
+MOMA_FUZZ_TEST(Butterfly, 4, Montgomery, 0xF0254)
+MOMA_FUZZ_TEST(Butterfly, 8, Montgomery, 0xF0258)
+MOMA_FUZZ_TEST(Butterfly, 12, Montgomery, 0xF025C)

@@ -2,7 +2,8 @@
 //
 // The reproduction's equivalent of the paper artifact's entry point
 // (benchmark.sh -d <bits> ...): generate a cryptographic kernel at a
-// chosen bit-width and print IR, C, or CUDA.
+// chosen bit-width and print IR, C, or CUDA — or run the runtime
+// autotuner for the configuration and report the pinned variant.
 //
 // Usage:
 //   moma-gen -k <addmod|submod|mulmod|butterfly|axpy|vadd|vsub|vmul>
@@ -10,22 +11,30 @@
 //            [-m <modulus-bits>]         (default container-4; e.g. 377)
 //            [-w <machine-word-bits>]    (16, 32 or 64; default 64)
 //            [--karatsuba]               (Eq. 9 multiply rule)
-//            [--emit ir|c|cuda|stats]    (default c)
+//            [--reduction barrett|montgomery]  (default barrett)
+//            [--no-prune]                (skip the §4 zero-word pruning)
+//            [--schedule]                (pressure-aware list scheduling)
+//            [--emit ir|c|cuda|stats|tune]     (default c)
+//            [--tune-cache <path>]       (persist/reuse autotune JSON)
 //
 // Examples:
 //   moma-gen -k mulmod -d 256 --emit cuda
+//   moma-gen -k mulmod -d 256 --reduction montgomery --emit c
 //   moma-gen -k butterfly -d 512 -m 377 --emit stats   # BLS12-381 class
+//   moma-gen -k mulmod -m 380 --emit tune --tune-cache tune.json
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
 #include "codegen/CudaEmitter.h"
+#include "field/PrimeGen.h"
 #include "ir/Printer.h"
 #include "kernels/BlasKernels.h"
 #include "kernels/NttKernels.h"
+#include "rewrite/PlanOptions.h"
 #include "rewrite/Schedule.h"
-#include "rewrite/Simplify.h"
 #include "rewrite/Stats.h"
+#include "runtime/Autotuner.h"
 
 #include <cstdio>
 #include <cstring>
@@ -39,18 +48,37 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s -k <kernel> [-d bits] [-m modbits] [-w wordbits]\n"
-      "          [--karatsuba] [--emit ir|c|cuda|stats]\n"
+      "          [--karatsuba] [--reduction barrett|montgomery]\n"
+      "          [--no-prune] [--schedule] [--emit ir|c|cuda|stats|tune]\n"
+      "          [--tune-cache <path>]\n"
       "kernels: addmod submod mulmod butterfly axpy vadd vsub vmul\n",
       Argv0);
   std::exit(2);
 }
 
+/// Maps a kernel name onto the runtime dispatch op for --emit tune.
+bool kernelOpFor(const std::string &Name, runtime::KernelOp &Op) {
+  if (Name == "addmod" || Name == "vadd")
+    Op = runtime::KernelOp::AddMod;
+  else if (Name == "submod" || Name == "vsub")
+    Op = runtime::KernelOp::SubMod;
+  else if (Name == "mulmod" || Name == "vmul")
+    Op = runtime::KernelOp::MulMod;
+  else if (Name == "butterfly")
+    Op = runtime::KernelOp::Butterfly;
+  else if (Name == "axpy")
+    Op = runtime::KernelOp::Axpy;
+  else
+    return false;
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string KernelName = "mulmod", Emit = "c";
+  std::string KernelName = "mulmod", Emit = "c", TuneCache;
   unsigned Bits = 128, ModBits = 0, WordBits = 64;
-  bool Karatsuba = false;
+  rewrite::PlanOptions Plan;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -68,14 +96,58 @@ int main(int argc, char **argv) {
     else if (Arg == "-w")
       WordBits = std::strtoul(Next(), nullptr, 10);
     else if (Arg == "--karatsuba")
-      Karatsuba = true;
+      Plan.MulAlg = mw::MulAlgorithm::Karatsuba;
+    else if (Arg == "--reduction") {
+      std::string R = Next();
+      if (R == "barrett")
+        Plan.Red = mw::Reduction::Barrett;
+      else if (R == "montgomery")
+        Plan.Red = mw::Reduction::Montgomery;
+      else
+        usage(argv[0]);
+    } else if (Arg == "--no-prune")
+      Plan.Prune = false;
+    else if (Arg == "--schedule")
+      Plan.Schedule = true;
     else if (Arg == "--emit")
       Emit = Next();
+    else if (Arg == "--tune-cache")
+      TuneCache = Next();
     else
       usage(argv[0]);
   }
+  Plan.TargetWordBits = WordBits;
 
-  kernels::ScalarKernelSpec Spec{Bits, ModBits};
+  kernels::ScalarKernelSpec Spec{Bits, ModBits, Plan.Red};
+
+  if (Emit == "tune") {
+    // Autotune the runtime problem this spec canonicalizes to, with a
+    // representative NTT-friendly modulus of the requested width.
+    runtime::KernelOp Op;
+    if (!kernelOpFor(KernelName, Op))
+      usage(argv[0]);
+    mw::Bignum Q = field::nttPrime(Spec.modBits(), 8);
+    runtime::KernelRegistry Reg;
+    runtime::AutotunerOptions TO;
+    TO.CachePath = TuneCache;
+    runtime::Autotuner Tuner(Reg, TO);
+    const runtime::TuneDecision *D = Tuner.choose(Op, Q, Plan);
+    if (!D) {
+      std::fprintf(stderr, "autotune failed: %s\n", Tuner.error().c_str());
+      return 1;
+    }
+    std::printf("problem:  %s\n",
+                runtime::PlanKey::forModulus(Op, Q, Plan).problemStr()
+                    .c_str());
+    std::printf("decision: %s\n", D->Opts.str().c_str());
+    std::printf("measured: %.1f ns/element over %u candidates%s\n",
+                D->NsPerElem, Tuner.stats().Candidates,
+                D->FromCache ? " (reloaded from tune cache)" : "");
+    if (!TuneCache.empty())
+      std::printf("persisted to %s\n", TuneCache.c_str());
+    return 0;
+  }
+
   ir::Kernel K;
   bool IsButterfly = false;
   if (KernelName == "addmod" || KernelName == "vadd")
@@ -93,27 +165,24 @@ int main(int argc, char **argv) {
     usage(argv[0]);
   K.Name = KernelName + "_" + std::to_string(Bits);
 
-  mw::MulAlgorithm Alg =
-      Karatsuba ? mw::MulAlgorithm::Karatsuba : mw::MulAlgorithm::Schoolbook;
-
   if (Emit == "ir") {
     std::printf("%s", ir::printKernel(K).c_str());
     return 0;
   }
 
-  rewrite::LowerOptions Opts;
-  Opts.TargetWordBits = WordBits;
-  Opts.MulAlg = Alg;
-  rewrite::LoweredKernel L = rewrite::lowerToWords(K, Opts);
-  rewrite::simplifyLowered(L);
+  rewrite::LoweredKernel L = rewrite::lowerWithPlan(K, Plan);
 
   if (Emit == "stats") {
     rewrite::OpStats S = rewrite::countOps(L.K);
     rewrite::PressureStats P = rewrite::measurePressure(L.K, WordBits);
     std::printf("kernel %s: %u-bit container, %u-bit modulus, "
-                "omega0 = %u, %s multiply\n",
+                "omega0 = %u, %s multiply, %s reduction%s%s\n",
                 K.Name.c_str(), Bits, Spec.modBits(), WordBits,
-                Karatsuba ? "Karatsuba" : "schoolbook");
+                Plan.MulAlg == mw::MulAlgorithm::Karatsuba ? "Karatsuba"
+                                                           : "schoolbook",
+                mw::reductionName(Plan.Red),
+                Plan.Prune ? "" : ", pruning off",
+                Plan.Schedule ? ", scheduled" : "");
     std::printf("lowered in %u rounds\n%s", L.Rounds, S.report().c_str());
     std::printf("peak live words: %u\n", P.MaxLiveWords);
     for (const auto &Port : L.Inputs)
@@ -130,7 +199,7 @@ int main(int argc, char **argv) {
   }
   if (Emit == "cuda") {
     if (IsButterfly)
-      std::printf("%s", kernels::emitNttCuda(Spec, Alg).c_str());
+      std::printf("%s", kernels::emitNttCuda(Spec, Plan.MulAlg).c_str());
     else {
       codegen::CudaEmitOptions COpts;
       std::printf("%s", codegen::emitCudaElementwise(L, COpts).c_str());
