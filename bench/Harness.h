@@ -21,6 +21,7 @@
 #ifndef MOMA_BENCH_HARNESS_H
 #define MOMA_BENCH_HARNESS_H
 
+#include "sim/Device.h"
 #include "support/Format.h"
 
 #include <benchmark/benchmark.h>
@@ -159,6 +160,16 @@ inline void banner(const std::string &Title) {
           "%s\n"
           "================================================================\n",
           Title.c_str());
+}
+
+/// Reports a section banner immediately followed by the sim device table
+/// (paper Table 2), both appended to the same buffered section. Benches
+/// must use this instead of a banner()/printf pair: the table then flushes
+/// atomically with its banner, so a parallel driver (`ctest -j`, make -j
+/// wrappers) can never interleave another process's lines between the two.
+inline void deviceSection(const std::string &Title) {
+  banner(Title);
+  report(sim::deviceTable());
 }
 
 /// Runs all registered benchmarks through a Collector and returns it.

@@ -18,8 +18,7 @@ using namespace moma;
 using namespace moma::bench;
 
 int main(int argc, char **argv) {
-  banner("Figure 1: 256-bit NTT, runtime per butterfly vs size");
-  bench::report(sim::deviceTable());
+  deviceSection("Figure 1: 256-bit NTT, runtime per butterfly vs size");
 
   unsigned MaxLog = maxLog2N(14);
   size_t Batch = fastMode() ? 2 : 4;

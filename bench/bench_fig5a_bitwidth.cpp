@@ -15,10 +15,9 @@ using namespace moma::bench;
 int main(int argc, char **argv) {
   unsigned LogN = fastMode() ? 10 : 12; // paper: 4096 = 2^12
   size_t Batch = 2;
-  banner(formatv("Figure 5a: 2^%u-point NTT runtime vs input bit-width, "
-                 "two device profiles",
-                 LogN));
-  bench::report(sim::deviceTable());
+  deviceSection(formatv("Figure 5a: 2^%u-point NTT runtime vs input "
+                        "bit-width, two device profiles",
+                        LogN));
 
   std::vector<unsigned> WordCounts;
   for (unsigned W = 1; W <= 16; W += fastMode() ? 3 : 1)

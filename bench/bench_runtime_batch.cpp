@@ -1,19 +1,23 @@
-//===- bench/bench_runtime_batch.cpp - plan cache vs per-call compile ----------===//
+//===- bench/bench_runtime_batch.cpp - backends + plan cache on batches --------===//
 //
-// The headline claim of the batched-dispatch runtime (src/runtime/): a
-// production server amortizes JIT cost across requests. This bench runs a
-// 1000-polynomial product batch two ways:
+// The headline claims of the batched-dispatch runtime (src/runtime/):
 //
-//   a) WARM  — one Dispatcher over a warmed KernelRegistry: plans compile
-//      once (autotuned on first request), then the whole batch dispatches
-//      through cached function pointers;
-//   b) COLD  — the pre-runtime model: every polynomial product re-emits
-//      and re-compiles its kernels (fresh registry, disk cache off),
-//      measured on a sample and projected to the full batch.
+//   1. BACKENDS — on large batches the sim-GPU backend (grid-shaped §5.1
+//      kernels over the thread-pool substrate) beats the serial host-JIT
+//      backend, and the autotuner selects it automatically from a cold
+//      cache (backend choice and block dim are tuning axes);
+//   2. PLAN CACHE — a production server amortizes JIT cost across
+//      requests: a warm plan cache beats per-call emit+compile by orders
+//      of magnitude;
+//   3. PERSISTENCE — autotune decisions (including backend fields) reload
+//      from JSON without re-timing.
 //
-// It also demonstrates autotune persistence: the decision JSON written by
-// the first tuner is reloaded by a second one, which must reuse it
-// without re-timing.
+// The workload is a batch of cyclic polynomial products, run three ways
+// (serial-pinned, sim-GPU-pinned, autotuned) plus the cold per-call model.
+//
+// `--smoke` runs a tiny wiring check (serial == sim-GPU bit-for-bit,
+// tune-cache round-trip) with no performance assertions — the CI step
+// that catches backend regressions without timing flakiness.
 //
 // Not google-benchmark based: the cold path costs ~1 s per iteration, so
 // manual chrono timing over explicit sample counts is the honest tool.
@@ -29,12 +33,14 @@
 #include "support/Rng.h"
 
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 
 using namespace moma;
 using namespace moma::bench;
 using namespace moma::runtime;
 using mw::Bignum;
+using rewrite::ExecBackend;
 
 namespace {
 
@@ -43,19 +49,46 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
       .count();
 }
 
+rewrite::PlanOptions pinned(ExecBackend B) {
+  rewrite::PlanOptions O;
+  O.Backend = B;
+  return O;
+}
+
+/// One timed full-batch polyMul through \p D (plans pre-compiled by an
+/// untimed single-product warmup). Returns seconds, negative on failure.
+double timedPolyMul(Dispatcher &D, const Bignum &Q,
+                    const std::uint64_t *A, const std::uint64_t *B,
+                    std::uint64_t *C, size_t N, size_t Batch) {
+  if (!D.polyMul(Q, A, B, C, N, 1)) // warm the binding cache
+    return -1;
+  auto T0 = std::chrono::steady_clock::now();
+  if (!D.polyMul(Q, A, B, C, N, Batch))
+    return -1;
+  return secondsSince(T0);
+}
+
 } // namespace
 
-int main(int, char **) {
+int main(int argc, char **argv) {
   namespace fs = std::filesystem;
-  banner("Runtime: batched dispatch through the plan cache vs per-call "
-         "emit+compile");
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
 
   const Bignum Q = field::nttPrime(124, 16);
-  const size_t N = 64; // coefficients per polynomial
-  const size_t Batch = fastMode() ? 100 : envUnsigned("MOMA_BENCH_POLYS", 1000);
-  const size_t ColdSamples = fastMode() ? 2 : 4;
+  const size_t N = Smoke ? 16 : 64; // coefficients per polynomial
+  const size_t Batch = Smoke ? 8
+                       : fastMode() ? 100
+                                    : envUnsigned("MOMA_BENCH_POLYS", 1000);
+  const size_t ColdSamples = fastMode() || Smoke ? 1 : 4;
   const unsigned K = Dispatcher::elemWords(Q);
 
+  deviceSection(Smoke ? "Runtime backend smoke check (tiny sizes, wiring "
+                        "only)"
+                      : "Runtime: execution backends and the plan cache on "
+                        "batched dispatch");
   reportf("workload: %zu cyclic polynomial products, n = %zu, q = %u bits "
           "(%u-word elements)\n",
           Batch, N, Q.bitWidth(), K);
@@ -71,31 +104,26 @@ int main(int, char **) {
   std::vector<std::uint64_t> AW = packBatch(A, K), BW = packBatch(B, K),
                              CW(Batch * N * K);
 
-  // -- a) Warm path: registry + autotuner + dispatcher -------------------
-  std::string TunePath =
-      (fs::temp_directory_path() / "moma-bench-tune.json").string();
-  std::remove(TunePath.c_str());
-
   KernelRegistry Reg;
-  AutotunerOptions TO;
-  TO.CachePath = TunePath;
-  Autotuner Tuner(Reg, TO);
-  Dispatcher D(Reg, &Tuner);
 
-  // First request pays tuning + compilation; that is the amortized cost.
-  auto TWarmup = std::chrono::steady_clock::now();
-  if (!D.polyMul(Q, AW.data(), BW.data(), CW.data(), N, 1)) {
-    reportf("dispatch failed: %s\n", D.error().c_str());
+  // -- 1) Backend comparison on the full batch ---------------------------
+  Dispatcher DSerial(Reg, nullptr, pinned(ExecBackend::Serial));
+  Dispatcher DSimGpu(Reg, nullptr, pinned(ExecBackend::SimGpu));
+
+  std::vector<std::uint64_t> CSerial(CW.size());
+  double SerialSec = timedPolyMul(DSerial, Q, AW.data(), BW.data(),
+                                  CSerial.data(), N, Batch);
+  if (SerialSec < 0) {
+    reportf("serial dispatch failed: %s\n", DSerial.error().c_str());
     return 1;
   }
-  double WarmupSec = secondsSince(TWarmup);
-
-  auto TWarm = std::chrono::steady_clock::now();
-  if (!D.polyMul(Q, AW.data(), BW.data(), CW.data(), N, Batch)) {
-    reportf("dispatch failed: %s\n", D.error().c_str());
+  double SimGpuSec = timedPolyMul(DSimGpu, Q, AW.data(), BW.data(),
+                                  CW.data(), N, Batch);
+  if (SimGpuSec < 0) {
+    reportf("sim-GPU dispatch failed: %s\n", DSimGpu.error().c_str());
     return 1;
   }
-  double WarmSec = secondsSince(TWarm);
+  bool BackendsAgree = CW == CSerial;
 
   // Correctness spot check against the O(n^2) reference on one entry:
   // the cyclic product folds full[i + n] back onto coefficient i.
@@ -116,7 +144,48 @@ int main(int, char **) {
     }
   }
 
-  // -- b) Cold path: fresh registry per polynomial, compiler every time --
+  // -- 2) Autotuned path from a cold cache + warm plan cache -------------
+  std::string TunePath =
+      (fs::temp_directory_path() / "moma-bench-tune.json").string();
+  std::remove(TunePath.c_str());
+
+  AutotunerOptions TO;
+  TO.CachePath = TunePath;
+  if (Smoke) { // keep the sweep tiny: wiring, not measurement
+    TO.CalibrationElems = 32;
+    TO.MaxCalibrationElems = 64;
+    TO.Repeats = 1;
+    TO.BlockDims = {128};
+  }
+  Autotuner Tuner(Reg, TO);
+  Dispatcher D(Reg, &Tuner);
+
+  // First request pays tuning + compilation; that is the amortized cost.
+  auto TWarmup = std::chrono::steady_clock::now();
+  if (!D.polyMul(Q, AW.data(), BW.data(), CW.data(), N, Batch)) {
+    reportf("autotuned dispatch failed: %s\n", D.error().c_str());
+    return 1;
+  }
+  double WarmupSec = secondsSince(TWarmup);
+  bool TunedAgrees = CW == CSerial;
+
+  auto TWarm = std::chrono::steady_clock::now();
+  if (!D.polyMul(Q, AW.data(), BW.data(), CW.data(), N, Batch)) {
+    reportf("autotuned dispatch failed: %s\n", D.error().c_str());
+    return 1;
+  }
+  double WarmSec = secondsSince(TWarm);
+
+  // What did the tuner pick for the batch-sized problems?
+  const TuneDecision *MulDec =
+      Tuner.choose(KernelOp::MulMod, Q, {}, N * Batch);
+  const TuneDecision *BflyDec =
+      Tuner.choose(KernelOp::Butterfly, Q, {}, (N / 2) * Batch);
+  bool PickedSimGpu = MulDec && BflyDec &&
+                      MulDec->Opts.Backend == ExecBackend::SimGpu &&
+                      BflyDec->Opts.Backend == ExecBackend::SimGpu;
+
+  // -- 3) Cold path: fresh registry per polynomial, compiler every time --
   std::string ColdDir =
       (fs::temp_directory_path() / "moma-bench-coldjit").string();
   double ColdSec = 0;
@@ -143,38 +212,68 @@ int main(int, char **) {
   double ColdProjected = ColdPerPoly * double(Batch);
 
   banner("Results");
-  TextTable T({"path", "per poly", "full batch", "what it includes"});
-  T.addRow({"warm plan cache", formatNanos(WarmSec * 1e9 / double(Batch)),
-            formatNanos(WarmSec * 1e9),
-            "dispatch only (plans cached)"});
-  T.addRow({"warm-up (first req)", formatNanos(WarmupSec * 1e9), "-",
-            formatv("autotune %u candidates + JIT",
+  TextTable T({"path", "backend", "per poly", "full batch",
+               "what it includes"});
+  T.addRow({"pinned serial", "serial",
+            formatNanos(SerialSec * 1e9 / double(Batch)),
+            formatNanos(SerialSec * 1e9), "dispatch only (plans cached)"});
+  T.addRow({"pinned sim-GPU", "simgpu",
+            formatNanos(SimGpuSec * 1e9 / double(Batch)),
+            formatNanos(SimGpuSec * 1e9), "dispatch only (plans cached)"});
+  T.addRow({"autotuned warm",
+            MulDec ? rewrite::execBackendName(MulDec->Opts.Backend) : "?",
+            formatNanos(WarmSec * 1e9 / double(Batch)),
+            formatNanos(WarmSec * 1e9), "dispatch only (tuned variants)"});
+  T.addRow({"autotuned warm-up", "-", "-", formatNanos(WarmupSec * 1e9),
+            formatv("autotune %u candidates + JIT + first batch",
                     Tuner.stats().Candidates)});
-  T.addRow({"per-call emit+compile", formatNanos(ColdPerPoly * 1e9),
+  T.addRow({"per-call emit+compile", "serial", formatNanos(ColdPerPoly * 1e9),
             formatNanos(ColdProjected * 1e9),
             formatv("measured on %zu samples, projected", ColdSamples)});
   report(T.render());
   reportf("plan cache: %u plans built, %u cache hits; host compiler "
-          "invoked %u times for the warm path\n",
+          "invoked %u times for the warm paths\n",
           Reg.stats().Builds, Reg.stats().Hits, Reg.jit().stats().Compiles);
+  if (MulDec && BflyDec)
+    reportf("tuned variants: mulmod %s, butterfly %s\n",
+            MulDec->Opts.str().c_str(), BflyDec->Opts.str().c_str());
+
+  // -- Autotune persistence: a second process-equivalent reloads ---------
+  Autotuner Tuner2(Reg, TO); // constructor loads TunePath
+  const TuneDecision *Dec =
+      Tuner2.choose(KernelOp::MulMod, Q, {}, N * Batch);
+  bool Reloaded = Dec && Dec->FromCache && Tuner2.stats().Tuned == 0 &&
+                  MulDec && Dec->Opts == MulDec->Opts;
+  std::remove(TunePath.c_str());
+
+  if (Smoke) {
+    banner("Smoke verdicts (wiring only, no performance assertions)");
+    verdict("sim-GPU backend bit-identical to serial",
+            BackendsAgree ? 1.0 : 0.0, 1.0);
+    verdict("autotuned dispatch bit-identical to serial",
+            TunedAgrees ? 1.0 : 0.0, 1.0);
+    verdict("tune cache round-trips with backend fields",
+            Reloaded ? 1.0 : 0.0, 1.0);
+    flushReport();
+    return BackendsAgree && TunedAgrees && Reloaded ? 0 : 1;
+  }
 
   banner("Verdicts");
+  verdict("sim-GPU backend bit-identical to serial",
+          BackendsAgree ? 1.0 : 0.0, 1.0);
+  verdict(formatv("%zu-poly batch: sim-GPU backend beats serial", Batch),
+          SerialSec / SimGpuSec, 1.0);
+  verdict("autotuner picks the sim-GPU backend from a cold cache",
+          PickedSimGpu ? 1.0 : 0.0, 1.0);
   verdict(formatv("%zu-poly batch: warm cache beats per-call emit+compile",
                   Batch),
           ColdProjected / WarmSec, 10.0);
-
-  // -- Autotune persistence: a second process-equivalent reloads --------
-  Autotuner Tuner2(Reg, TO); // constructor loads TunePath
-  const TuneDecision *Dec = Tuner2.choose(KernelOp::MulMod, Q);
-  const TuneDecision *DecB = Tuner2.choose(KernelOp::Butterfly, Q);
-  bool Reloaded = Dec && DecB && Dec->FromCache && DecB->FromCache &&
-                  Tuner2.stats().Tuned == 0;
   verdict("persisted autotune decisions reload without re-timing",
           Reloaded ? 1.0 : 0.0, 1.0);
-  if (Dec)
-    reportf("  pinned mulmod variant: %s (%.1f ns/elem when tuned)\n",
-            Dec->Opts.str().c_str(), Dec->NsPerElem);
-  std::remove(TunePath.c_str());
   flushReport();
-  return Reloaded && ColdProjected / WarmSec >= 10.0 ? 0 : 1;
+  return BackendsAgree && TunedAgrees && Reloaded &&
+                 SerialSec / SimGpuSec > 1.0 && PickedSimGpu &&
+                 ColdProjected / WarmSec >= 10.0
+             ? 0
+             : 1;
 }

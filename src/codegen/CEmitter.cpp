@@ -230,6 +230,61 @@ std::string moma::codegen::emitScalarBody(const Kernel &K, unsigned WordBits,
   return BodyEmitter(K, WordBits, Indent).run();
 }
 
+std::string moma::codegen::emitScalarFunction(const LoweredKernel &L,
+                                              unsigned WordBits,
+                                              const std::string &FnName,
+                                              const std::string &Qualifiers,
+                                              const std::string &WordType) {
+  std::string Params;
+  for (const LoweredPort &P : L.Outputs) {
+    unsigned Stored = P.storedWords();
+    unsigned Skip = static_cast<unsigned>(P.Words.size()) - Stored;
+    for (size_t I = Skip; I < P.Words.size(); ++I) {
+      if (!Params.empty())
+        Params += ", ";
+      Params += formatv("%s *%s%zu", WordType.c_str(), P.Name.c_str(),
+                        I - Skip);
+    }
+  }
+  for (const LoweredPort &P : L.Inputs) {
+    for (size_t I = 0; I < P.Words.size(); ++I) {
+      if (P.IsConstZero[I])
+        continue;
+      if (!Params.empty())
+        Params += ", ";
+      Params += formatv("%s v%d", WordType.c_str(), P.Words[I]);
+    }
+  }
+
+  std::string Src = formatv("%s void %s(%s) {\n", Qualifiers.c_str(),
+                            FnName.c_str(), Params.c_str());
+  Src += emitScalarBody(L.K, WordBits, "  ");
+  for (const LoweredPort &P : L.Outputs) {
+    unsigned Stored = P.storedWords();
+    unsigned Skip = static_cast<unsigned>(P.Words.size()) - Stored;
+    for (size_t I = Skip; I < P.Words.size(); ++I)
+      Src += formatv("  *%s%zu = v%d;\n", P.Name.c_str(), I - Skip,
+                     P.Words[I]);
+  }
+  Src += "}\n\n";
+  return Src;
+}
+
+std::string moma::codegen::portLoadArgs(const LoweredPort &P,
+                                        const std::string &BaseExpr) {
+  std::string Args;
+  unsigned Stored = P.storedWords();
+  unsigned Skip = static_cast<unsigned>(P.Words.size()) - Stored;
+  for (size_t I = 0; I < P.Words.size(); ++I) {
+    if (P.IsConstZero[I])
+      continue;
+    if (!Args.empty())
+      Args += ", ";
+    Args += formatv("%s[%zu]", BaseExpr.c_str(), I - Skip);
+  }
+  return Args;
+}
+
 EmittedKernel moma::codegen::emitC(const LoweredKernel &L,
                                    const CEmitOptions &Opts) {
   const Kernel &K = L.K;

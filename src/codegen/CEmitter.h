@@ -67,6 +67,24 @@ EmittedKernel emitC(const rewrite::LoweredKernel &L,
 std::string emitScalarBody(const ir::Kernel &K, unsigned WordBits,
                            const std::string &Indent);
 
+/// Emits a self-contained scalar helper function for \p L: outputs as
+/// word pointers named "<port><index>", non-pruned input words as
+/// by-value parameters named after their value ids, body from
+/// emitScalarBody. Shared by the CUDA emitter (qualifiers "__device__
+/// static __forceinline__") and the grid-shaped C emitter ("static
+/// inline"); \p WordType spells the word type ("u64" under the emitters'
+/// typedef).
+std::string emitScalarFunction(const rewrite::LoweredKernel &L,
+                               unsigned WordBits, const std::string &FnName,
+                               const std::string &Qualifiers,
+                               const std::string &WordType);
+
+/// Comma-separated scalar-call arguments loading \p P's non-pruned words
+/// from \p BaseExpr (an expression for the pointer to the port's first
+/// stored word). Shared by the CUDA and grid emitters.
+std::string portLoadArgs(const rewrite::LoweredPort &P,
+                         const std::string &BaseExpr);
+
 } // namespace codegen
 } // namespace moma
 

@@ -1,0 +1,89 @@
+//===- codegen/GridEmitter.h - Grid-shaped C emission ---------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the paper's §5.1 CUDA thread mapping as host-JIT-compilable C:
+/// the same scalar arithmetic body the C and CUDA emitters share, wrapped
+/// in functions taking (blockIdx, threadIdx) coordinates so the sim::
+/// substrate can launch them grid/block-shaped on a CPU thread pool. This
+/// is what the runtime's sim-GPU ExecutionBackend compiles and runs —
+/// structurally the CudaEmitter's __global__ kernels, minus the GPU.
+///
+/// Two entry points per translation unit:
+///
+///  * the *grid* function — one virtual thread per vector element
+///    (BLAS mapping), grid dimension y indexing the batch row;
+///  * for butterfly kernels additionally the *stage* function — one
+///    virtual thread per butterfly of one NTT stage (n/2 butterflies),
+///    grid dimension y indexing the batch.
+///
+/// Unlike CUDA, one call processes one whole block (the sim substrate
+/// serializes a block's threads on one worker anyway), so the per-call
+/// JIT-pointer overhead amortizes over blockDim elements and the
+/// broadcast ports (q, mu / qinv, r2) are loaded once per block instead
+/// of once per element.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_CODEGEN_GRIDEMITTER_H
+#define MOMA_CODEGEN_GRIDEMITTER_H
+
+#include "codegen/CEmitter.h"
+#include "rewrite/Lower.h"
+
+#include <string>
+#include <vector>
+
+namespace moma {
+namespace codegen {
+
+/// Grid emission options.
+struct GridEmitOptions {
+  /// Machine word width; must equal the lowering target (the runtime's
+  /// flat-batch ABI is 64-bit words).
+  unsigned WordBits = 64;
+  /// Optional file-level banner comment.
+  std::string Banner;
+};
+
+/// A complete emitted translation unit for one grid-shaped kernel.
+struct EmittedGridKernel {
+  std::string Source;      ///< self-contained C/C++ source text
+  std::string GridSymbol;  ///< element-wise block entry (C linkage)
+  std::string StageSymbol; ///< NTT-stage block entry; empty unless the
+                           ///< kernel has the butterfly port shape
+  std::vector<PortSig> Ports; ///< outputs first, then inputs (as emitC)
+};
+
+/// Emits \p L as a grid-shaped C translation unit. \p L must be fully
+/// lowered to Opts.WordBits (aborts otherwise). Ports from "q" onward are
+/// broadcast; earlier inputs and all outputs are per-element arrays.
+///
+/// Grid-function ABI (all entry points, C linkage):
+///
+///   void grid(u64 blockIdxX, u64 blockIdxY, u64 blockDim, u64 n,
+///             u64 *const *outs, const u64 *const *ins,
+///             const u64 *instride, const u64 *const *aux);
+///
+/// processes elements i in [blockIdxX*blockDim, min(n, +blockDim)) of
+/// batch row blockIdxY: element index e = blockIdxY*n + i, output k at
+/// outs[k] + e*storedWords, data input j at ins[j] + e*instride[j]
+/// (stride 0 broadcasts one element, the axpy scalar).
+///
+///   void stage(u64 blockIdxX, u64 blockIdxY, u64 blockDim, u64 n,
+///              u64 len, u64 *X, const u64 *Wst, const u64 *const *aux);
+///
+/// processes butterflies t in [blockIdxX*blockDim, min(n/2, +blockDim))
+/// of stage half-distance len over batch row blockIdxY of the in-place
+/// array X (n elements per row); Wst points at the stage's twiddle table.
+EmittedGridKernel emitGridC(const rewrite::LoweredKernel &L,
+                            const GridEmitOptions &Opts = {});
+
+} // namespace codegen
+} // namespace moma
+
+#endif // MOMA_CODEGEN_GRIDEMITTER_H

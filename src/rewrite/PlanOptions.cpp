@@ -14,12 +14,22 @@
 using namespace moma;
 using namespace moma::rewrite;
 
+const char *moma::rewrite::execBackendName(ExecBackend B) {
+  return B == ExecBackend::SimGpu ? "simgpu" : "serial";
+}
+
 std::string PlanOptions::str() const {
-  return formatv("w%u/%s/%s/%s/%s", TargetWordBits, mw::reductionName(Red),
-                 MulAlg == mw::MulAlgorithm::Karatsuba ? "karatsuba"
-                                                       : "schoolbook",
-                 Prune ? "prune" : "noprune",
-                 Schedule ? "schedule" : "noschedule");
+  std::string S =
+      formatv("w%u/%s/%s/%s/%s", TargetWordBits, mw::reductionName(Red),
+              MulAlg == mw::MulAlgorithm::Karatsuba ? "karatsuba"
+                                                    : "schoolbook",
+              Prune ? "prune" : "noprune",
+              Schedule ? "schedule" : "noschedule");
+  // Serial plans keep the historical five-token form so every cache key
+  // minted before the backend knob existed still names the same plan.
+  if (Backend != ExecBackend::Serial)
+    S += formatv("/%s/b%u", execBackendName(Backend), BlockDim);
+  return S;
 }
 
 LoweredKernel moma::rewrite::lowerWithPlan(const ir::Kernel &K,

@@ -23,10 +23,24 @@
 #include "mw/MWUInt.h"
 #include "rewrite/Lower.h"
 
+#include <cstdint>
 #include <string>
 
 namespace moma {
 namespace rewrite {
+
+/// Which execution substrate a generated kernel targets. Serial is the
+/// host-JIT scalar loop (one call per element); SimGpu is the same scalar
+/// body wrapped in a grid-shaped (blockIdx, threadIdx) C function (the
+/// paper's §5.1 CUDA thread mapping) launched over the sim:: thread-pool
+/// substrate. The lowering pipeline ignores this knob — it selects which
+/// wrapper the runtime emits around the lowered body and how the
+/// dispatcher executes it — but it lives here so one PlanOptions names a
+/// complete variant for the plan cache and autotuner.
+enum class ExecBackend : std::uint8_t { Serial, SimGpu };
+
+/// Mnemonic backend name ("serial" / "simgpu").
+const char *execBackendName(ExecBackend B);
 
 /// Every knob that selects a code-generation variant for one kernel.
 /// Default-constructed PlanOptions reproduce the paper's default pipeline:
@@ -52,8 +66,19 @@ struct PlanOptions {
   /// simplification.
   bool Schedule = false;
 
+  /// Execution backend the runtime compiles this variant for.
+  ExecBackend Backend = ExecBackend::Serial;
+
+  /// Launch geometry for the SimGpu backend: threads per block (the
+  /// paper's §5.1 block dimension, at most 1024). Meaningless on the
+  /// serial backend; PlanKey canonicalization folds it to 0 there, and to
+  /// the 256 default when a SimGpu plan leaves it 0.
+  unsigned BlockDim = 0;
+
   /// Stable text form used in plan-cache keys and the autotune JSON:
-  /// e.g. "w64/barrett/schoolbook/prune/noschedule".
+  /// e.g. "w64/barrett/schoolbook/prune/noschedule". Serial plans keep
+  /// the historical five-token form (so pre-backend cache keys stay
+  /// readable); SimGpu plans append "/simgpu/b<dim>".
   std::string str() const;
 
   /// The LowerOptions slice of this plan.
@@ -66,7 +91,9 @@ struct PlanOptions {
 
   bool operator==(const PlanOptions &O) const {
     return TargetWordBits == O.TargetWordBits && Red == O.Red &&
-           MulAlg == O.MulAlg && Prune == O.Prune && Schedule == O.Schedule;
+           MulAlg == O.MulAlg && Prune == O.Prune &&
+           Schedule == O.Schedule && Backend == O.Backend &&
+           BlockDim == O.BlockDim;
   }
   bool operator!=(const PlanOptions &O) const { return !(*this == O); }
 };

@@ -7,9 +7,11 @@
 
 #include "runtime/Autotuner.h"
 
+#include "runtime/Backend.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -205,13 +207,23 @@ Autotuner::Autotuner(KernelRegistry &Reg, AutotunerOptions Opts)
     (void)load(O.CachePath); // a missing cache file is a cold start
 }
 
+unsigned Autotuner::sizeBucket(size_t SizeHint) {
+  unsigned B = 64;
+  while (B < SizeHint && B < 16384)
+    B *= 2;
+  return B;
+}
+
 std::string Autotuner::decisionKey(KernelOp Op, const Bignum &Q,
-                                   const rewrite::PlanOptions &Base) const {
+                                   const rewrite::PlanOptions &Base,
+                                   unsigned Bucket) const {
   PlanKey K = PlanKey::forModulus(Op, Q, Base);
   // Beyond the problem itself, pin every knob the sweep will NOT explore
   // (canonicalized, so folded knobs never split entries): two dispatchers
-  // with conflicting base plans must never share a decision.
-  std::string Key = K.problemStr();
+  // with conflicting base plans must never share a decision. The size
+  // bucket is always part of the key — the serial/sim-GPU crossover is a
+  // function of the batch size.
+  std::string Key = K.problemStr() + formatv("/n%u", Bucket);
   Key += K.Opts.MulAlg == mw::MulAlgorithm::Karatsuba ? "/karatsuba"
                                                       : "/schoolbook";
   if (!O.TuneReduction)
@@ -220,23 +232,31 @@ std::string Autotuner::decisionKey(KernelOp Op, const Bignum &Q,
     Key += K.Opts.Prune ? "/prune" : "/noprune";
   if (!O.TuneSchedule)
     Key += K.Opts.Schedule ? "/schedule" : "/noschedule";
+  if (!O.TuneBackend) {
+    Key += std::string("/") + rewrite::execBackendName(K.Opts.Backend);
+    if (K.Opts.Backend != rewrite::ExecBackend::Serial)
+      Key += formatv("/b%u", K.Opts.BlockDim);
+  }
   return Key;
 }
 
 const TuneDecision *Autotuner::choose(KernelOp Op, const Bignum &Q,
-                                      const rewrite::PlanOptions &Base) {
+                                      const rewrite::PlanOptions &Base,
+                                      size_t SizeHint) {
   LastError.clear();
-  std::string Problem = decisionKey(Op, Q, Base);
+  unsigned Bucket = sizeBucket(SizeHint ? SizeHint : O.CalibrationElems);
+  std::string Problem = decisionKey(Op, Q, Base, Bucket);
   auto It = Decisions.find(Problem);
   if (It != Decisions.end()) {
     ++S.Reused;
     return &It->second;
   }
-  return tune(Op, Q, Base, Problem);
+  return tune(Op, Q, Base, Bucket, Problem);
 }
 
 const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
                                     const rewrite::PlanOptions &Base,
+                                    unsigned Bucket,
                                     const std::string &Problem) {
   // Candidate knob grid. Dimensions the options disable stay at the base
   // plan's value; the reduction dimension only exists for multiplying
@@ -259,11 +279,26 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
   std::vector<bool> Scheds = {Base.Schedule};
   if (O.TuneSchedule)
     Scheds = {false, true};
+  // Backend × geometry candidates. Sweeping is a timing-only cost beyond
+  // one extra compile per knob combination: block dim is a launch
+  // parameter of the grid ABI, so every sim-GPU geometry shares one
+  // module.
+  struct BackendCand {
+    rewrite::ExecBackend Backend;
+    unsigned BlockDim;
+  };
+  std::vector<BackendCand> Backends = {{Base.Backend, Base.BlockDim}};
+  if (O.TuneBackend) {
+    Backends = {{rewrite::ExecBackend::Serial, 0}};
+    for (unsigned BD : O.BlockDims)
+      Backends.push_back({rewrite::ExecBackend::SimGpu, BD});
+  }
 
   // One calibration batch shared by every candidate: random reduced
-  // elements, deterministic per problem.
+  // elements, deterministic per problem, sized to the problem's batch
+  // class so the serial/sim-GPU ranking reflects real dispatch sizes.
   unsigned ElemWords = (Q.bitWidth() + 63) / 64;
-  size_t N = O.CalibrationElems;
+  size_t N = std::min<size_t>(Bucket, std::max(1u, O.MaxCalibrationElems));
   Rng R(0x7C5EDull ^ (Q.bitWidth() * 1315423911ull) ^
         static_cast<std::uint64_t>(Op));
   unsigned NumIns = numDataInputs(Op), NumOuts = numOutputs(Op);
@@ -285,43 +320,49 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
 
   for (mw::Reduction Red : Reds)
     for (bool Prune : Prunes)
-      for (bool Sched : Scheds) {
-        rewrite::PlanOptions C = Base;
-        C.Red = Red;
-        C.Prune = Prune;
-        C.Schedule = Sched;
-        PlanKey Key = PlanKey::forModulus(Op, Q, C);
-        std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
-        if (!Plan) {
-          if (FirstError.empty())
-            FirstError = Reg.error();
-          continue;
-        }
-        PlanAux Aux = makePlanAux(*Plan, Q);
-        BatchArgs Args;
-        for (auto &Buf : Outs)
-          Args.Outs.push_back(Buf.data());
-        for (auto &Buf : Ins)
-          Args.Ins.push_back(Buf.data());
-        Args.Aux = Aux.ptrs();
+      for (bool Sched : Scheds)
+        for (const BackendCand &BC : Backends) {
+          rewrite::PlanOptions C = Base;
+          C.Red = Red;
+          C.Prune = Prune;
+          C.Schedule = Sched;
+          C.Backend = BC.Backend;
+          C.BlockDim = BC.BlockDim;
+          PlanKey Key = PlanKey::forModulus(Op, Q, C);
+          std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
+          if (!Plan) {
+            if (FirstError.empty())
+              FirstError = Reg.error();
+            continue;
+          }
+          PlanAux Aux = makePlanAux(*Plan, Q);
+          BatchArgs Args;
+          for (auto &Buf : Outs)
+            Args.Outs.push_back(Buf.data());
+          for (auto &Buf : Ins)
+            Args.Ins.push_back(Buf.data());
+          Args.Aux = Aux.ptrs();
 
-        ++S.Candidates;
-        double BestSec = std::numeric_limits<double>::infinity();
-        bool RunOk = true;
-        for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
-          double T0 = nowSeconds();
-          RunOk = runBatch(*Plan, Args, N, &FirstError);
-          BestSec = std::min(BestSec, nowSeconds() - T0);
+          ExecutionBackend &EB = Reg.backendFor(Key);
+          ++S.Candidates;
+          double BestSec = std::numeric_limits<double>::infinity();
+          bool RunOk = true;
+          for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
+            double T0 = nowSeconds();
+            RunOk = EB.runBatch(*Plan, Args, N, /*Rows=*/1, &FirstError);
+            BestSec = std::min(BestSec, nowSeconds() - T0);
+          }
+          if (!RunOk)
+            continue;
+          double Ns = BestSec * 1e9 / static_cast<double>(N);
+          if (Ns < Best.NsPerElem) {
+            // Keep the canonicalized form so the decision round-trips
+            // through PlanKey and the JSON cache unchanged.
+            Best.Opts = Key.Opts;
+            Best.NsPerElem = Ns;
+          }
+          Any = true;
         }
-        if (!RunOk)
-          continue;
-        double Ns = BestSec * 1e9 / static_cast<double>(N);
-        if (Ns < Best.NsPerElem) {
-          Best.Opts = C;
-          Best.NsPerElem = Ns;
-        }
-        Any = true;
-      }
 
   if (!Any) {
     LastError = "Autotuner: every candidate failed: " + FirstError;
@@ -335,8 +376,12 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
 }
 
 bool Autotuner::save(const std::string &Path) const {
+  // Version 2 adds the backend and block_dim fields (and size-bucketed
+  // problem keys). The reader skips unknown fields and defaults absent
+  // ones, so version-1 files keep loading — their entries simply never
+  // match a bucketed problem key and are ignored.
   std::ostringstream SS;
-  SS << "{\n  \"version\": 1,\n  \"entries\": [";
+  SS << "{\n  \"version\": 2,\n  \"entries\": [";
   bool First = true;
   for (const auto &E : Decisions) {
     const TuneDecision &D = E.second;
@@ -350,6 +395,9 @@ bool Autotuner::save(const std::string &Path) const {
        << "\", "
        << "\"prune\": " << (D.Opts.Prune ? "true" : "false") << ", "
        << "\"schedule\": " << (D.Opts.Schedule ? "true" : "false") << ", "
+       << "\"backend\": \"" << rewrite::execBackendName(D.Opts.Backend)
+       << "\", "
+       << "\"block_dim\": " << D.Opts.BlockDim << ", "
        << "\"ns_per_elem\": " << formatv("%.3f", D.NsPerElem) << "}";
     First = false;
   }
@@ -396,6 +444,11 @@ bool Autotuner::load(const std::string &Path) {
       D.Opts.Prune = V->B;
     if (const JValue *V = E.field("schedule"))
       D.Opts.Schedule = V->B;
+    if (const JValue *V = E.field("backend"))
+      D.Opts.Backend = V->S == "simgpu" ? rewrite::ExecBackend::SimGpu
+                                        : rewrite::ExecBackend::Serial;
+    if (const JValue *V = E.field("block_dim"))
+      D.Opts.BlockDim = static_cast<unsigned>(V->N);
     if (const JValue *V = E.field("ns_per_elem"))
       D.NsPerElem = V->N;
     // Freshly tuned decisions win over persisted ones.

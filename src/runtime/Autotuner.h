@@ -8,9 +8,10 @@
 /// \file
 /// Picks the fastest generated-kernel variant per problem, the way the
 /// paper's per-configuration generation model implies: on the first
-/// request for a (kernel, widths) problem the tuner compiles every
-/// candidate knob combination (Barrett vs Montgomery, pruning on/off,
-/// scheduled vs unscheduled), times each over a calibration batch on this
+/// request for a (kernel, widths, batch-size class) problem the tuner
+/// compiles every candidate knob combination (Barrett vs Montgomery,
+/// pruning on/off, scheduled vs unscheduled, serial vs sim-GPU backend ×
+/// block dim {64..1024}), times each over a calibration batch on this
 /// machine, and pins the winner. Decisions persist as JSON so a process
 /// restart reuses them instead of re-timing.
 ///
@@ -34,14 +35,27 @@ namespace runtime {
 
 /// Tuning configuration.
 struct AutotunerOptions {
-  /// Elements in the calibration batch each candidate is timed on.
+  /// Elements in the calibration batch each candidate is timed on when
+  /// the caller gives no batch-size hint (also the effective bucket
+  /// floor).
   unsigned CalibrationElems = 256;
+  /// Upper bound on the calibration batch when a large size hint arrives
+  /// (the bucket itself is unbounded only up to 16384; see choose()).
+  unsigned MaxCalibrationElems = 4096;
   /// Timed repetitions per candidate; the minimum is kept.
   unsigned Repeats = 3;
   /// Dimensions to sweep. A disabled dimension keeps the base plan value.
   bool TuneReduction = true;
   bool TunePrune = true;
   bool TuneSchedule = true;
+  /// Sweep the execution backend (serial vs sim-GPU grid) and, for the
+  /// sim-GPU candidates, the block dimensions below. Off pins the base
+  /// plan's backend and geometry.
+  bool TuneBackend = true;
+  /// Block dimensions swept for sim-GPU candidates (paper §5.1: at most
+  /// 1024 threads per block). Geometry is a launch parameter of the grid
+  /// ABI, so these share one compiled module per knob combination.
+  std::vector<unsigned> BlockDims = {64, 128, 256, 512, 1024};
   /// When non-empty: load(CachePath) at construction and save(CachePath)
   /// after every tuning run, so decisions survive process restarts.
   std::string CachePath;
@@ -60,13 +74,22 @@ public:
   explicit Autotuner(KernelRegistry &Reg,
                      AutotunerOptions Opts = AutotunerOptions());
 
-  /// Returns the pinned variant for (Op, |Q| bits), tuning now on a first
-  /// request. \p Base supplies the values of knobs outside the swept
-  /// dimensions (word size, multiply rule). Null when every candidate
-  /// failed to compile; error() explains.
+  /// Returns the pinned variant for (Op, |Q| bits) at the batch size
+  /// class of \p SizeHint, tuning now on a first request. Decisions are
+  /// per *problem size*: the hint (elements per dispatch; 0 means
+  /// CalibrationElems) rounds up to a power-of-two bucket in [64, 16384],
+  /// because the serial/sim-GPU crossover moves with the batch size. The
+  /// calibration batch matches the bucket (capped at
+  /// MaxCalibrationElems). \p Base supplies the values of knobs outside
+  /// the swept dimensions (word size, multiply rule). Null when every
+  /// candidate failed to compile; error() explains.
   const TuneDecision *choose(KernelOp Op, const mw::Bignum &Q,
                              const rewrite::PlanOptions &Base =
-                                 rewrite::PlanOptions());
+                                 rewrite::PlanOptions(),
+                             size_t SizeHint = 0);
+
+  /// The power-of-two batch-size class \p SizeHint falls into.
+  static unsigned sizeBucket(size_t SizeHint);
 
   /// Serializes all decisions as JSON. Returns false on I/O failure.
   bool save(const std::string &Path) const;
@@ -89,14 +112,15 @@ public:
   size_t numDecisions() const { return Decisions.size(); }
 
 private:
-  /// Decision-table key: PlanKey::problemStr() plus every base knob the
-  /// sweep dimensions leave pinned, so conflicting base plans never
-  /// share a decision.
+  /// Decision-table key: PlanKey::problemStr() plus the size bucket plus
+  /// every base knob the sweep dimensions leave pinned, so conflicting
+  /// base plans never share a decision.
   std::string decisionKey(KernelOp Op, const mw::Bignum &Q,
-                          const rewrite::PlanOptions &Base) const;
+                          const rewrite::PlanOptions &Base,
+                          unsigned Bucket) const;
   const TuneDecision *tune(KernelOp Op, const mw::Bignum &Q,
                            const rewrite::PlanOptions &Base,
-                           const std::string &Problem);
+                           unsigned Bucket, const std::string &Problem);
 
   KernelRegistry &Reg;
   AutotunerOptions O;

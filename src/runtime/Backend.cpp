@@ -1,0 +1,187 @@
+//===- runtime/Backend.cpp - Execution backends ---------------------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Backend.h"
+
+#include "support/Format.h"
+
+#include <cstdint>
+#include <limits>
+
+using namespace moma;
+using namespace moma::runtime;
+
+namespace {
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// The JIT-compiled grid ABI (codegen/GridEmitter.h).
+using GridFnTy = void (*)(std::uint64_t, std::uint64_t, std::uint64_t,
+                          std::uint64_t, std::uint64_t *const *,
+                          const std::uint64_t *const *,
+                          const std::uint64_t *,
+                          const std::uint64_t *const *);
+using StageFnTy = void (*)(std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::uint64_t, std::uint64_t, std::uint64_t *,
+                           const std::uint64_t *,
+                           const std::uint64_t *const *);
+
+bool checkButterflyShape(const CompiledPlan &P, std::string *Err) {
+  if (P.NumOutputs != 2 || P.NumDataInputs != 3)
+    return fail(Err, "runStage: plan is not a butterfly kernel");
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SerialBackend
+//===----------------------------------------------------------------------===//
+
+bool SerialBackend::runBatch(const CompiledPlan &P, const BatchArgs &Args,
+                             size_t N, size_t Rows, std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
+    return fail(Err, formatv("serial backend cannot run a %s plan",
+                             rewrite::execBackendName(P.Key.Opts.Backend)));
+  // Row-major batch rows are contiguous, so the serial element loop is the
+  // flat product; broadcast (stride 0) inputs broadcast across every row
+  // exactly as the grid's e = by*n + i indexing does.
+  return moma::runtime::runBatch(P, Args, N * Rows, Err);
+}
+
+bool SerialBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
+                             const std::uint64_t *StageTw,
+                             const std::vector<const std::uint64_t *> &Aux,
+                             size_t NPoints, size_t Len, size_t Batch,
+                             std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
+    return fail(Err, formatv("serial backend cannot run a %s plan",
+                             rewrite::execBackendName(P.Key.Opts.Backend)));
+  if (!checkButterflyShape(P, Err))
+    return false;
+  unsigned K = P.ElemWords;
+  size_t NumPorts = P.numPorts();
+  if (Aux.size() != P.AuxWords.size() || NumPorts > 8)
+    return fail(Err, "runStage: aux/port shape mismatch");
+
+  // Port frame reused across every butterfly: xo yo | x y w | q aux...
+  void *Ports[8];
+  for (size_t I = 0; I < Aux.size(); ++I)
+    Ports[5 + I] = const_cast<std::uint64_t *>(Aux[I]);
+  for (size_t B = 0; B < Batch; ++B) {
+    std::uint64_t *Poly = Data + B * NPoints * K;
+    for (size_t I0 = 0; I0 < NPoints; I0 += 2 * Len) {
+      for (size_t J = 0; J < Len; ++J) {
+        std::uint64_t *X = Poly + (I0 + J) * K;
+        std::uint64_t *Y = X + Len * K;
+        Ports[0] = X;
+        Ports[1] = Y;
+        Ports[2] = X;
+        Ports[3] = Y;
+        Ports[4] = const_cast<std::uint64_t *>(StageTw + J * K);
+        if (!callPlan(P, Ports))
+          return fail(Err, formatv("runStage: unsupported butterfly arity "
+                                   "%zu",
+                                   NumPorts));
+      }
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SimGpuBackend
+//===----------------------------------------------------------------------===//
+
+SimGpuBackend::SimGpuBackend(const sim::DeviceProfile &Profile)
+    : Dev(Profile) {}
+
+bool SimGpuBackend::validGeometry(const CompiledPlan &P,
+                                  std::string *Err) const {
+  unsigned BD = P.Key.Opts.BlockDim;
+  if (BD == 0 || BD > Dev.profile().MaxThreadsPerBlock)
+    return fail(Err,
+                formatv("sim-GPU launch: block dimension %u outside "
+                        "[1, %u] on %s",
+                        BD, Dev.profile().MaxThreadsPerBlock,
+                        Dev.profile().Name.c_str()));
+  return true;
+}
+
+bool SimGpuBackend::runBatch(const CompiledPlan &P, const BatchArgs &Args,
+                             size_t N, size_t Rows, std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::SimGpu || !P.GridFn)
+    return fail(Err, "sim-GPU backend needs a plan compiled with a grid "
+                     "entry point");
+  if (!validGeometry(P, Err))
+    return false;
+  if (Args.Outs.size() != P.NumOutputs ||
+      Args.Ins.size() != P.NumDataInputs ||
+      Args.Aux.size() != P.AuxWords.size() ||
+      (!Args.InStrides.empty() && Args.InStrides.size() != Args.Ins.size()))
+    return fail(Err, "sim-GPU runBatch: argument shape mismatch");
+  if (N == 0 || Rows == 0)
+    return true;
+
+  std::vector<std::uint64_t> Strides(Args.Ins.size(), P.ElemWords);
+  for (size_t I = 0; I < Args.InStrides.size(); ++I)
+    Strides[I] = Args.InStrides[I];
+
+  unsigned BD = P.Key.Opts.BlockDim;
+  std::uint64_t GridX = (N + BD - 1) / BD;
+  if (GridX > std::numeric_limits<std::uint32_t>::max() ||
+      Rows > std::numeric_limits<std::uint32_t>::max())
+    return fail(Err, "sim-GPU runBatch: grid too large");
+
+  sim::LaunchConfig Cfg;
+  Cfg.GridX = static_cast<std::uint32_t>(GridX);
+  Cfg.GridY = static_cast<std::uint32_t>(Rows);
+  Cfg.BlockDim = BD;
+  auto Fn = reinterpret_cast<GridFnTy>(P.GridFn);
+  Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
+    Fn(BX, BY, BD, N, Args.Outs.data(), Args.Ins.data(), Strides.data(),
+       Args.Aux.data());
+  });
+  return true;
+}
+
+bool SimGpuBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
+                             const std::uint64_t *StageTw,
+                             const std::vector<const std::uint64_t *> &Aux,
+                             size_t NPoints, size_t Len, size_t Batch,
+                             std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::SimGpu || !P.StageFn)
+    return fail(Err, "sim-GPU backend needs a plan compiled with a stage "
+                     "entry point");
+  if (!checkButterflyShape(P, Err) || !validGeometry(P, Err))
+    return false;
+  if (Aux.size() != P.AuxWords.size())
+    return fail(Err, "runStage: aux shape mismatch");
+  if (Batch == 0 || NPoints < 2)
+    return true;
+
+  unsigned BD = P.Key.Opts.BlockDim;
+  std::uint64_t Butterflies = NPoints / 2;
+  std::uint64_t GridX = (Butterflies + BD - 1) / BD;
+  if (GridX > std::numeric_limits<std::uint32_t>::max() ||
+      Batch > std::numeric_limits<std::uint32_t>::max())
+    return fail(Err, "sim-GPU runStage: grid too large");
+
+  sim::LaunchConfig Cfg;
+  Cfg.GridX = static_cast<std::uint32_t>(GridX);
+  Cfg.GridY = static_cast<std::uint32_t>(Batch); // paper 5.1 batch dim
+  Cfg.BlockDim = BD;
+  auto Fn = reinterpret_cast<StageFnTy>(P.StageFn);
+  Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
+    Fn(BX, BY, BD, NPoints, Len, Data, StageTw, Aux.data());
+  });
+  return true;
+}

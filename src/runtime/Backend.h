@@ -1,0 +1,117 @@
+//===- runtime/Backend.h - Execution backends ------------------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution layer of the runtime: a compiled plan is run through an
+/// ExecutionBackend, of which there are two —
+///
+///  * SerialBackend: the original host-JIT model, one scalar call per
+///    element (per butterfly for NTT stages) on the calling thread;
+///  * SimGpuBackend: the paper's §5.1 grid/block mapping — the plan's
+///    grid-shaped entry points (codegen/GridEmitter.h) launched block-wise
+///    over a sim::Device thread pool, grid y indexing the batch.
+///
+/// Which backend a plan runs on is part of its PlanKey
+/// (PlanOptions::Backend + BlockDim), so the autotuner can sweep backend
+/// choice and launch geometry per problem exactly like the reduction /
+/// pruning / scheduling knobs. Backends are stateless with respect to
+/// plans: one backend instance serves every plan of its kind (the sim-GPU
+/// backend owns the worker pool).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_RUNTIME_BACKEND_H
+#define MOMA_RUNTIME_BACKEND_H
+
+#include "runtime/KernelRegistry.h"
+#include "sim/Launch.h"
+
+#include <string>
+#include <vector>
+
+namespace moma {
+namespace runtime {
+
+/// Abstract execution substrate for compiled plans. Implementations are
+/// not thread-safe with respect to one plan's buffers (callers own the
+/// batch memory), but hold no per-call state of their own.
+class ExecutionBackend {
+public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual rewrite::ExecBackend kind() const = 0;
+  const char *name() const { return rewrite::execBackendName(kind()); }
+
+  /// Batched element-wise execution of \p P over \p Rows batch rows of
+  /// \p N elements each (total Rows * N elements; flat callers pass
+  /// Rows = 1). Returns false on a shape/geometry mismatch with a message
+  /// in \p Err when non-null.
+  virtual bool runBatch(const CompiledPlan &P, const BatchArgs &Args,
+                        size_t N, size_t Rows,
+                        std::string *Err = nullptr) const = 0;
+
+  /// One in-place NTT butterfly stage (half-distance \p Len) over
+  /// \p Batch rows of \p NPoints elements in \p Data; \p StageTw points at
+  /// the stage's twiddle table (Len entries of ElemWords words), \p Aux at
+  /// the plan's broadcast tail. \p P must be a butterfly plan.
+  virtual bool runStage(const CompiledPlan &P, std::uint64_t *Data,
+                        const std::uint64_t *StageTw,
+                        const std::vector<const std::uint64_t *> &Aux,
+                        size_t NPoints, size_t Len, size_t Batch,
+                        std::string *Err = nullptr) const = 0;
+};
+
+/// The original serial host-JIT execution: scalar calls on the calling
+/// thread. Runs plans compiled for ExecBackend::Serial.
+class SerialBackend final : public ExecutionBackend {
+public:
+  rewrite::ExecBackend kind() const override {
+    return rewrite::ExecBackend::Serial;
+  }
+  bool runBatch(const CompiledPlan &P, const BatchArgs &Args, size_t N,
+                size_t Rows, std::string *Err = nullptr) const override;
+  bool runStage(const CompiledPlan &P, std::uint64_t *Data,
+                const std::uint64_t *StageTw,
+                const std::vector<const std::uint64_t *> &Aux,
+                size_t NPoints, size_t Len, size_t Batch,
+                std::string *Err = nullptr) const override;
+};
+
+/// Grid-shaped execution on the sim-GPU substrate: launches the plan's
+/// grid/stage entry points block-wise over a sim::Device pool, one block
+/// per call (threads serialized inside the JIT-compiled block loop, as on
+/// a time-sliced SM). Runs plans compiled for ExecBackend::SimGpu.
+class SimGpuBackend final : public ExecutionBackend {
+public:
+  explicit SimGpuBackend(
+      const sim::DeviceProfile &Profile = sim::deviceHostDefault());
+
+  rewrite::ExecBackend kind() const override {
+    return rewrite::ExecBackend::SimGpu;
+  }
+  const sim::Device &device() const { return Dev; }
+
+  bool runBatch(const CompiledPlan &P, const BatchArgs &Args, size_t N,
+                size_t Rows, std::string *Err = nullptr) const override;
+  bool runStage(const CompiledPlan &P, std::uint64_t *Data,
+                const std::uint64_t *StageTw,
+                const std::vector<const std::uint64_t *> &Aux,
+                size_t NPoints, size_t Len, size_t Batch,
+                std::string *Err = nullptr) const override;
+
+private:
+  /// Geometry check shared by both entry points: the plan's block dim
+  /// must fit the device (at most MaxThreadsPerBlock = 1024, §5.1).
+  bool validGeometry(const CompiledPlan &P, std::string *Err) const;
+
+  sim::Device Dev;
+};
+
+} // namespace runtime
+} // namespace moma
+
+#endif // MOMA_RUNTIME_BACKEND_H

@@ -8,6 +8,7 @@
 #include "runtime/Dispatcher.h"
 
 #include "field/RootOfUnity.h"
+#include "runtime/Backend.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -44,7 +45,8 @@ Dispatcher::Dispatcher(KernelRegistry &Reg, Autotuner *Tuner,
                        rewrite::PlanOptions Base)
     : Reg(Reg), Tuner(Tuner), Base(Base) {}
 
-Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q) {
+Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q,
+                                        size_t SizeHint) {
   // The documented contract: odd moduli only (Montgomery candidates need
   // -q^-1 mod 2^lambda; every NTT-friendly prime is odd anyway). Checked
   // here so all entry points fail with error() instead of aborting inside
@@ -53,19 +55,20 @@ Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q) {
     return fail("Dispatcher: modulus must be odd"), nullptr;
   rewrite::PlanOptions Opts = Base;
   if (Tuner) {
-    const TuneDecision *D = Tuner->choose(Op, Q, Base);
+    const TuneDecision *D = Tuner->choose(Op, Q, Base, SizeHint);
     if (!D)
       return fail("Dispatcher: " + Tuner->error()), nullptr;
     Opts = D->Opts;
   }
   PlanKey Key = PlanKey::forModulus(Op, Q, Opts);
-  std::string CacheKey = Key.problemStr() + "#" + Q.toHex();
+  // The binding cache is keyed by the full canonical variant string, so
+  // differently-tuned variants of one problem (e.g. serial for small
+  // batches, sim-GPU for large) coexist without rebinding churn; folded
+  // knobs never split entries because str() is canonical.
+  std::string CacheKey = Key.str() + "#" + Q.toHex();
   auto It = Bound.find(CacheKey);
-  // Compare against the canonicalized key options: forModulus folds the
-  // knobs a non-multiplying op cannot use, and the cached plan stores the
-  // folded form.
-  if (It != Bound.end() && It->second.Plan->Key.Opts == Key.Opts) {
-    LastOpts = Opts;
+  if (It != Bound.end()) {
+    LastOpts = It->second.Plan->Key.Opts;
     return &It->second;
   }
   std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
@@ -75,7 +78,7 @@ Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q) {
   BP.Plan = std::move(Plan);
   BP.Aux = makePlanAux(*BP.Plan, Q);
   BP.AuxPtrs = BP.Aux.ptrs();
-  LastOpts = Opts;
+  LastOpts = BP.Plan->Key.Opts;
   auto Ins = Bound.insert_or_assign(CacheKey, std::move(BP));
   return &Ins.first->second;
 }
@@ -85,14 +88,15 @@ bool Dispatcher::runElementwise(KernelOp Op, const Bignum &Q,
                                 const std::uint64_t *B, std::uint64_t *C,
                                 size_t N) {
   LastError.clear();
-  BoundPlan *BP = bind(Op, Q);
+  BoundPlan *BP = bind(Op, Q, N);
   if (!BP)
     return false;
   BatchArgs Args;
   Args.Outs = {C};
   Args.Ins = {A, B};
   Args.Aux = BP->AuxPtrs;
-  return runBatch(*BP->Plan, Args, N, &LastError);
+  return Reg.backendFor(BP->Plan->Key)
+      .runBatch(*BP->Plan, Args, N, /*Rows=*/1, &LastError);
 }
 
 bool Dispatcher::vadd(const Bignum &Q, const std::uint64_t *A,
@@ -113,7 +117,7 @@ bool Dispatcher::vmul(const Bignum &Q, const std::uint64_t *A,
 bool Dispatcher::axpy(const Bignum &Q, const std::uint64_t *AScalar,
                       const std::uint64_t *X, std::uint64_t *Y, size_t N) {
   LastError.clear();
-  BoundPlan *BP = bind(KernelOp::Axpy, Q);
+  BoundPlan *BP = bind(KernelOp::Axpy, Q, N);
   if (!BP)
     return false;
   BatchArgs Args;
@@ -121,21 +125,23 @@ bool Dispatcher::axpy(const Bignum &Q, const std::uint64_t *AScalar,
   Args.Ins = {AScalar, X, Y};
   Args.InStrides = {0, BP->Plan->ElemWords, BP->Plan->ElemWords};
   Args.Aux = BP->AuxPtrs;
-  return runBatch(*BP->Plan, Args, N, &LastError);
+  return Reg.backendFor(BP->Plan->Key)
+      .runBatch(*BP->Plan, Args, N, /*Rows=*/1, &LastError);
 }
 
 bool Dispatcher::butterfly(const Bignum &Q, std::uint64_t *X,
                            std::uint64_t *Y, const std::uint64_t *W,
                            size_t N) {
   LastError.clear();
-  BoundPlan *BP = bind(KernelOp::Butterfly, Q);
+  BoundPlan *BP = bind(KernelOp::Butterfly, Q, N);
   if (!BP)
     return false;
   BatchArgs Args;
   Args.Outs = {X, Y}; // in place: kernels load inputs before storing
   Args.Ins = {X, Y, W};
   Args.Aux = BP->AuxPtrs;
-  return runBatch(*BP->Plan, Args, N, &LastError);
+  return Reg.backendFor(BP->Plan->Key)
+      .runBatch(*BP->Plan, Args, N, /*Rows=*/1, &LastError);
 }
 
 Dispatcher::NttTables *Dispatcher::tables(const Bignum &Q, size_t NPoints) {
@@ -194,18 +200,14 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
   NttTables *T = tables(Q, NPoints);
   if (!T)
     return false;
-  BoundPlan *BP = bind(KernelOp::Butterfly, Q);
+  // Size hint: butterflies per stage launch across the whole batch (what
+  // one backend dispatch actually executes).
+  BoundPlan *BP = bind(KernelOp::Butterfly, Q, (NPoints / 2) * Batch);
   if (!BP)
     return false;
   const CompiledPlan &P = *BP->Plan;
   unsigned K = P.ElemWords;
   const std::vector<std::uint64_t> &Tw = Inverse ? T->InvTw : T->Tw;
-
-  // Port frame reused across every butterfly: xo yo | x y w | q aux...
-  void *Ports[8];
-  size_t NumPorts = P.numPorts();
-  for (size_t I = 0; I < BP->AuxPtrs.size(); ++I)
-    Ports[5 + I] = const_cast<std::uint64_t *>(BP->AuxPtrs[I]);
 
   for (size_t B = 0; B < Batch; ++B) {
     std::uint64_t *Poly = Data + B * NPoints * K;
@@ -214,28 +216,22 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
       if (I < R)
         std::swap_ranges(Poly + I * K, Poly + (I + 1) * K, Poly + R * K);
     }
-    for (size_t Len = 1; Len < NPoints; Len <<= 1) {
-      const std::uint64_t *Stage = Tw.data() + (Len - 1) * K;
-      for (size_t I0 = 0; I0 < NPoints; I0 += 2 * Len) {
-        for (size_t J = 0; J < Len; ++J) {
-          std::uint64_t *X = Poly + (I0 + J) * K;
-          std::uint64_t *Y = Poly + (I0 + J + Len) * K;
-          Ports[0] = X;
-          Ports[1] = Y;
-          Ports[2] = X;
-          Ports[3] = Y;
-          Ports[4] = const_cast<std::uint64_t *>(Stage + J * K);
-          if (!callPlan(P, Ports))
-            return fail(formatv("Dispatcher: unsupported butterfly arity "
-                                "%zu",
-                                NumPorts));
-        }
-      }
-    }
   }
+
+  // One backend dispatch per stage: the serial backend walks the
+  // butterflies on the calling thread; the sim-GPU backend launches one
+  // virtual thread per butterfly with grid y = batch index (paper 5.1).
+  ExecutionBackend &EB = Reg.backendFor(P.Key);
+  for (size_t Len = 1; Len < NPoints; Len <<= 1) {
+    const std::uint64_t *Stage = Tw.data() + (Len - 1) * K;
+    if (!EB.runStage(P, Data, Stage, BP->AuxPtrs, NPoints, Len, Batch,
+                     &LastError))
+      return false;
+  }
+
   if (Inverse) {
     // Scale by n^-1 through the vmul plan with a broadcast operand.
-    BoundPlan *MP = bind(KernelOp::MulMod, Q);
+    BoundPlan *MP = bind(KernelOp::MulMod, Q, NPoints * Batch);
     if (!MP)
       return false;
     BatchArgs Args;
@@ -243,7 +239,8 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
     Args.Ins = {Data, T->NInv.data()};
     Args.InStrides = {K, 0};
     Args.Aux = MP->AuxPtrs;
-    return runBatch(*MP->Plan, Args, NPoints * Batch, &LastError);
+    return Reg.backendFor(MP->Plan->Key)
+        .runBatch(*MP->Plan, Args, NPoints * Batch, /*Rows=*/1, &LastError);
   }
   return true;
 }

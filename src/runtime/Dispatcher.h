@@ -14,6 +14,14 @@
 /// every later batch, the steady-state model the paper's
 /// generated-kernel-per-configuration approach implies.
 ///
+/// Every request routes through the plan's ExecutionBackend
+/// (runtime/Backend.h): serial host-JIT scalar calls, or the grid-shaped
+/// sim-GPU substrate (paper §5.1 thread mapping — NTT stages launch with
+/// grid y = batch index, so large batches parallelize over the worker
+/// pool). The backend and launch geometry are plan knobs: set them on the
+/// base PlanOptions to pin a backend, or attach an Autotuner to pick the
+/// winner per problem and batch-size class automatically.
+///
 /// Data convention: a batch is one flat array of N elements, each
 /// elemWords(q) = ceil(bits(q)/64) machine words, most significant word
 /// first (the emitted-kernel port convention). packBatch/unpackBatch
@@ -127,7 +135,9 @@ private:
     std::vector<std::uint64_t> NInv;      ///< ElemWords
   };
 
-  BoundPlan *bind(KernelOp Op, const mw::Bignum &Q);
+  /// \p SizeHint is the elements-per-dispatch estimate handed to the
+  /// autotuner (decisions are per batch-size class).
+  BoundPlan *bind(KernelOp Op, const mw::Bignum &Q, size_t SizeHint);
   NttTables *tables(const mw::Bignum &Q, size_t NPoints);
   bool runElementwise(KernelOp Op, const mw::Bignum &Q,
                       const std::uint64_t *A, const std::uint64_t *B,
@@ -144,8 +154,8 @@ private:
   rewrite::PlanOptions Base;
   std::string LastError;
   rewrite::PlanOptions LastOpts;
-  std::map<std::string, BoundPlan> Bound;   ///< by problemStr + modulus
-  std::map<std::string, NttTables> NttCtx;  ///< by modulus + size
+  std::map<std::string, BoundPlan> Bound;  ///< by full plan key + modulus
+  std::map<std::string, NttTables> NttCtx; ///< by modulus + size
 };
 
 } // namespace runtime

@@ -7,8 +7,10 @@
 
 #include "runtime/KernelRegistry.h"
 
+#include "codegen/GridEmitter.h"
 #include "kernels/NttKernels.h"
 #include "kernels/ScalarKernels.h"
+#include "runtime/Backend.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -84,6 +86,10 @@ bool moma::runtime::runBatch(const CompiledPlan &P, const BatchArgs &Args,
       *Err = "runBatch: " + Msg;
     return false;
   };
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
+    return Fail(formatv("plan compiled for the %s backend; route it "
+                        "through its ExecutionBackend",
+                        rewrite::execBackendName(P.Key.Opts.Backend)));
   if (Args.Outs.size() != P.NumOutputs)
     return Fail(formatv("expected %u output arrays, got %zu", P.NumOutputs,
                         Args.Outs.size()));
@@ -164,7 +170,24 @@ PlanAux moma::runtime::makePlanAux(const CompiledPlan &P,
 }
 
 KernelRegistry::KernelRegistry(jit::HostJitOptions JitOpts)
-    : Jit(std::move(JitOpts)) {}
+    : Jit(std::move(JitOpts)), Profile(sim::deviceHostDefault()),
+      Serial(new SerialBackend()) {}
+
+KernelRegistry::~KernelRegistry() = default;
+
+ExecutionBackend &KernelRegistry::backendFor(const PlanKey &Key) {
+  if (Key.Opts.Backend == rewrite::ExecBackend::SimGpu) {
+    if (!SimGpu)
+      SimGpu.reset(new SimGpuBackend(Profile));
+    return *SimGpu;
+  }
+  return *Serial;
+}
+
+void KernelRegistry::setDeviceProfile(const sim::DeviceProfile &P) {
+  Profile = P;
+  SimGpu.reset(); // rebuilt lazily against the new profile
+}
 
 std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
   LastError.clear();
@@ -196,25 +219,65 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
     return nullptr;
   }
 
+  bool IsSimGpu = Key.Opts.Backend == rewrite::ExecBackend::SimGpu;
+  if (IsSimGpu && (Key.Opts.BlockDim == 0 ||
+                   Key.Opts.BlockDim > Profile.MaxThreadsPerBlock)) {
+    // The CUDA rule the paper relies on (5.1): at most MaxThreadsPerBlock
+    // = 1024 threads per block. Checked at plan build so a bad geometry
+    // is a clean error instead of a launch abort.
+    LastError = formatv("KernelRegistry: block dimension %u outside "
+                        "[1, %u] for the sim-GPU backend",
+                        Key.Opts.BlockDim, Profile.MaxThreadsPerBlock);
+    return nullptr;
+  }
+
   auto P = std::make_shared<CompiledPlan>();
   P->Key = Key;
   ir::Kernel K = buildOpKernel(Key);
   K.Name = formatv("%s_c%u_m%u", K.Name.c_str(), Key.ContainerBits,
                    Key.ModBits);
   P->Lowered = rewrite::lowerWithPlan(K, Key.Opts);
-  P->Emitted = codegen::emitC(P->Lowered);
+
+  std::string StageSymbol;
+  if (IsSimGpu) {
+    // Grid-shaped artifact (paper 5.1 thread mapping as host-JIT C). The
+    // block dimension is a runtime launch parameter of the grid ABI, so
+    // plans differing only in BlockDim share one module through HostJit's
+    // source-identity dedup while remaining distinct cache entries.
+    codegen::EmittedGridKernel G = codegen::emitGridC(P->Lowered);
+    P->Emitted.Source = std::move(G.Source);
+    P->Emitted.Symbol = G.GridSymbol;
+    P->Emitted.Ports = std::move(G.Ports);
+    StageSymbol = G.StageSymbol;
+  } else {
+    P->Emitted = codegen::emitC(P->Lowered);
+  }
 
   P->Module = Jit.load(P->Emitted.Source);
   if (!P->Module) {
     LastError = "KernelRegistry: " + Jit.error();
     return nullptr;
   }
-  P->Fn = P->Module->symbol(P->Emitted.Symbol);
-  if (!P->Fn) {
+  void *Entry = P->Module->symbol(P->Emitted.Symbol);
+  if (!Entry) {
     LastError = formatv("KernelRegistry: symbol '%s' missing from %s",
                         P->Emitted.Symbol.c_str(),
                         P->Module->soPath().c_str());
     return nullptr;
+  }
+  if (IsSimGpu) {
+    P->GridFn = Entry;
+    if (!StageSymbol.empty()) {
+      P->StageFn = P->Module->symbol(StageSymbol);
+      if (!P->StageFn) {
+        LastError = formatv("KernelRegistry: symbol '%s' missing from %s",
+                            StageSymbol.c_str(),
+                            P->Module->soPath().c_str());
+        return nullptr;
+      }
+    }
+  } else {
+    P->Fn = Entry;
   }
 
   // Port layout: outputs, per-element data inputs, then the broadcast
@@ -244,6 +307,8 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
       LastError = "KernelRegistry: data input port width mismatch";
       return nullptr;
     }
+  // The 8-port bound is the serial callPorts arity limit; the grid ABI
+  // passes port arrays but shares it for the serial stage fallback.
   if (P->numPorts() != P->Emitted.Ports.size() || P->numPorts() > 8) {
     LastError = "KernelRegistry: unsupported port shape";
     return nullptr;

@@ -23,6 +23,7 @@
 #include "codegen/CEmitter.h"
 #include "jit/HostJit.h"
 #include "runtime/PlanKey.h"
+#include "sim/Device.h"
 
 #include <memory>
 #include <string>
@@ -32,15 +33,23 @@
 namespace moma {
 namespace runtime {
 
-/// One compiled kernel variant: metadata plus the callable entry point.
-/// Kept alive by shared_ptr so a batch in flight survives registry
-/// eviction; the loaded JitModule is released with the last plan user.
+class ExecutionBackend;
+
+/// One compiled kernel variant: metadata plus the callable entry points.
+/// Which set is populated depends on the key's backend — serial plans
+/// resolve Fn (pointer-per-port scalar ABI), sim-GPU plans resolve GridFn
+/// and, for butterfly kernels, StageFn (the grid ABI of
+/// codegen/GridEmitter.h). Kept alive by shared_ptr so a batch in flight
+/// survives registry eviction; the loaded JitModule is released with the
+/// last plan user.
 struct CompiledPlan {
   PlanKey Key;
   rewrite::LoweredKernel Lowered; ///< port layout source of truth
   codegen::EmittedKernel Emitted; ///< source + symbol + port signature
   std::shared_ptr<jit::JitModule> Module;
-  void *Fn = nullptr; ///< resolved entry point (pointer-per-port ABI)
+  void *Fn = nullptr;      ///< serial entry point (pointer-per-port ABI)
+  void *GridFn = nullptr;  ///< sim-GPU element-wise block entry
+  void *StageFn = nullptr; ///< sim-GPU NTT-stage block entry (butterfly)
 
   unsigned NumOutputs = 0;    ///< leading per-element output ports
   unsigned NumDataInputs = 0; ///< per-element input ports (before q)
@@ -67,7 +76,9 @@ struct BatchArgs {
   std::vector<const std::uint64_t *> Aux; ///< AuxWords.size() arrays
 };
 
-/// Invokes \p P.Fn once per element over \p N elements. Returns false on a
+/// Invokes \p P.Fn once per element over \p N elements — the serial
+/// execution path (\p P must be a serial plan; sim-GPU plans route
+/// through their ExecutionBackend, runtime/Backend.h). Returns false on a
 /// shape mismatch (wrong pointer counts or unsupported arity), with a
 /// message in \p Err when non-null. Output may alias input arrays: the
 /// emitted kernels load every input word before storing any output word.
@@ -109,10 +120,22 @@ PlanAux makePlanAux(const CompiledPlan &P, const mw::Bignum &Q);
 class KernelRegistry {
 public:
   explicit KernelRegistry(jit::HostJitOptions JitOpts = jit::HostJitOptions());
+  ~KernelRegistry();
 
   /// Returns the compiled plan for \p Key, building it on first request.
   /// Null on failure (error() carries the pipeline or compiler message).
   std::shared_ptr<const CompiledPlan> get(const PlanKey &Key);
+
+  /// The execution backend plans with \p Key run on. Backends live as
+  /// long as the registry; the sim-GPU backend (and its worker pool) is
+  /// created on first use against the configured device profile.
+  ExecutionBackend &backendFor(const PlanKey &Key);
+
+  /// Selects the device profile the sim-GPU backend emulates (paper
+  /// Table 2). Resets an already-created sim-GPU backend, so call it
+  /// before dispatching; plans themselves are profile-independent.
+  void setDeviceProfile(const sim::DeviceProfile &Profile);
+  const sim::DeviceProfile &deviceProfile() const { return Profile; }
 
   /// Diagnostics from the most recent failed get(); empty after success.
   const std::string &error() const { return LastError; }
@@ -134,6 +157,9 @@ private:
   Stats S;
   std::string LastError;
   std::unordered_map<std::string, std::shared_ptr<CompiledPlan>> Plans;
+  sim::DeviceProfile Profile;
+  std::unique_ptr<ExecutionBackend> Serial; ///< created with the registry
+  std::unique_ptr<ExecutionBackend> SimGpu; ///< created on first use
 };
 
 } // namespace runtime

@@ -56,6 +56,15 @@ PlanKey PlanKey::forModulus(KernelOp Op, const mw::Bignum &Q,
     K.Opts.Red = mw::Reduction::Barrett;
     K.Opts.MulAlg = mw::MulAlgorithm::Schoolbook;
   }
+  // Launch geometry is a SimGpu-only knob: fold it to 0 on serial plans
+  // (one cache entry regardless of the caller's block dim), and give
+  // SimGpu plans the paper's 256-thread default when left unset. Keys
+  // stay canonical either way, and serial keys keep their pre-backend
+  // string form.
+  if (K.Opts.Backend == rewrite::ExecBackend::Serial)
+    K.Opts.BlockDim = 0;
+  else if (K.Opts.BlockDim == 0)
+    K.Opts.BlockDim = 256;
   return K;
 }
 

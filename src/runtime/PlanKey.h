@@ -21,6 +21,12 @@
 ///    reduction knob to Barrett and the multiply rule to schoolbook: the
 ///    knobs cannot change the generated code, and folding them keeps one
 ///    cache entry per distinct kernel.
+///  * Backend and launch geometry are part of the key (a serial and a
+///    sim-GPU compilation of the same kernel are distinct artifacts).
+///    Serial plans fold BlockDim to 0 and keep the historical key string
+///    (backward-readable: every pre-backend key names a serial plan);
+///    SimGpu plans default an unset BlockDim to 256 and append
+///    "/simgpu/b<dim>".
 ///
 //===----------------------------------------------------------------------===//
 

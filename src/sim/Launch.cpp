@@ -34,6 +34,27 @@ ThreadPool::~ThreadPool() {
     T.join();
 }
 
+namespace {
+
+/// The pool whose job the current thread is executing, set for the
+/// duration of every RangeFn scope (caller and workers alike). run() uses
+/// it to turn the documented "not reentrant" contract from a silent
+/// deadlock into an immediate, explained failure. The scope restores the
+/// previous marker (not nullptr): driving a second pool from inside a
+/// job is legal, and the outer pool's marker must survive the inner
+/// run() so later self-nesting on the outer pool is still caught.
+thread_local const ThreadPool *ActivePool = nullptr;
+
+struct ActivePoolScope {
+  explicit ActivePoolScope(const ThreadPool *P) : Prev(ActivePool) {
+    ActivePool = P;
+  }
+  ~ActivePoolScope() { ActivePool = Prev; }
+  const ThreadPool *Prev;
+};
+
+} // namespace
+
 void ThreadPool::drain() {
   for (;;) {
     std::uint64_t Begin = Next.fetch_add(JobChunk, std::memory_order_relaxed);
@@ -56,7 +77,10 @@ void ThreadPool::workerLoop() {
         return;
       SeenGeneration = Generation;
     }
-    drain();
+    {
+      ActivePoolScope Scope(this);
+      drain();
+    }
     if (Active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> Lock(M);
       DoneCV.notify_all();
@@ -67,9 +91,19 @@ void ThreadPool::workerLoop() {
 void ThreadPool::run(
     std::uint64_t N, std::uint64_t Chunk,
     const std::function<void(std::uint64_t, std::uint64_t)> &RangeFn) {
+  // Nested entry — run() called from inside a RangeFn of this same pool —
+  // would overwrite the active job state and leave the outer run() (and
+  // on a worker thread, the whole pool) deadlocked. Detect it here, on
+  // the serial fallback too, so the contract violation fails identically
+  // on every machine instead of only where auxiliary workers exist.
+  if (ActivePool == this)
+    fatalError("sim thread pool: nested run() from inside a running job "
+               "(ThreadPool::run is not reentrant; use a second pool or "
+               "restructure the kernel)");
   if (N == 0)
     return;
   if (Aux.empty()) {
+    ActivePoolScope Scope(this);
     for (std::uint64_t Begin = 0; Begin < N; Begin += Chunk)
       RangeFn(Begin, std::min(N, Begin + Chunk));
     return;
@@ -85,7 +119,10 @@ void ThreadPool::run(
     ++Generation;
   }
   WakeCV.notify_all();
-  drain(); // the caller is a worker too
+  {
+    ActivePoolScope Scope(this);
+    drain(); // the caller is a worker too
+  }
   std::unique_lock<std::mutex> Lock(M);
   DoneCV.wait(Lock, [&] { return Active.load() == 0; });
   Fn = nullptr;
@@ -141,6 +178,29 @@ void Device::launch(
     }
   };
 
+  if (Workers <= 1 || NumBlocks <= 1) {
+    RunBlocks(0, NumBlocks);
+    return;
+  }
+  std::uint64_t Chunk =
+      std::max<std::uint64_t>(1, NumBlocks / (Workers * 4));
+  pool().run(NumBlocks, Chunk, RunBlocks);
+}
+
+void Device::launchBlocks(
+    const LaunchConfig &Cfg,
+    const std::function<void(std::uint32_t, std::uint32_t)> &BlockFn) const {
+  std::string Err = validate(Cfg);
+  if (!Err.empty())
+    fatalError("sim launch: " + Err);
+
+  const std::uint64_t NumBlocks =
+      static_cast<std::uint64_t>(Cfg.GridX) * Cfg.GridY;
+  auto RunBlocks = [&](std::uint64_t Begin, std::uint64_t End) {
+    for (std::uint64_t B = Begin; B < End; ++B)
+      BlockFn(static_cast<std::uint32_t>(B % Cfg.GridX),
+              static_cast<std::uint32_t>(B / Cfg.GridX));
+  };
   if (Workers <= 1 || NumBlocks <= 1) {
     RunBlocks(0, NumBlocks);
     return;

@@ -51,7 +51,10 @@ public:
 
   /// Executes RangeFn over [0, N) split into chunks of \p Chunk indices,
   /// work-stealing via an atomic cursor. Blocks until every index ran.
-  /// Not reentrant (no nested run() from inside RangeFn).
+  /// Not reentrant: a nested run() from inside RangeFn (which would
+  /// corrupt the job state and deadlock the pool) is detected via a
+  /// thread-local active-pool marker and reported through
+  /// support::fatalError with a clear message instead of hanging.
   void run(std::uint64_t N, std::uint64_t Chunk,
            const std::function<void(std::uint64_t, std::uint64_t)> &RangeFn);
 
@@ -125,6 +128,16 @@ public:
   void launch(const LaunchConfig &Cfg,
               const std::function<void(const LaunchCoord &, SharedMem &)>
                   &Kernel) const;
+
+  /// Runs \p BlockFn once per (blockX, blockY) coordinate, blocks spread
+  /// over the pool. The block function iterates its own threads — the
+  /// ABI of the JIT-compiled grid kernels (codegen/GridEmitter.h), which
+  /// amortizes the per-call dispatch cost over a whole block. Validates
+  /// \p Cfg like launch() (call validate() first to handle errors
+  /// gracefully).
+  void launchBlocks(
+      const LaunchConfig &Cfg,
+      const std::function<void(std::uint32_t, std::uint32_t)> &BlockFn) const;
 
   /// Convenience: parallel loop over [0, N) with one virtual thread per
   /// index (the BLAS "one thread per element" mapping).

@@ -1,14 +1,16 @@
-//===- tests/runtime/DifferentialFuzzTest.cpp - 3-way differential fuzz --------===//
+//===- tests/runtime/DifferentialFuzzTest.cpp - 4-way differential fuzz --------===//
 //
 // The hardening companion of the batched runtime: the runtime multiplies
-// the number of generated-code paths (reduction x schedule x pruning x
-// width), so this suite drives randomized modmul and butterfly kernels
-// through all three executions we have —
+// the number of generated-code paths (backend x reduction x schedule x
+// pruning x width), so this suite drives randomized modmul and butterfly
+// kernels through all four executions we have —
 //
 //   1. the IR interpreter on the lowered kernel (rewrite-system truth),
-//   2. the JIT-compiled C through the runtime plan cache (what dispatch
-//      actually runs), and
-//   3. the Bignum oracle (mathematical truth)
+//   2. the serial JIT-compiled C through the runtime plan cache,
+//   3. the sim-GPU grid-shaped JIT (the 5.1 thread mapping, what the
+//      sim-GPU ExecutionBackend dispatches; widths {1, 2, 4, 8}, with a
+//      random block dimension per variant), and
+//   4. the Bignum oracle (mathematical truth)
 //
 // — across widths {1, 2, 4, 8, 12} words and both reduction strategies,
 // with random moduli (odd, exact bit-width, not necessarily prime) and
@@ -25,6 +27,7 @@
 
 #include "../TestUtil.h"
 
+#include "runtime/Backend.h"
 #include "runtime/KernelRegistry.h"
 
 #include <gtest/gtest.h>
@@ -68,9 +71,10 @@ std::vector<Bignum> oracle(KernelOp Op, const std::vector<Bignum> &In,
 }
 
 /// Runs \p Trials random (modulus, inputs) instances against one compiled
-/// kernel variant, three ways.
-void fuzzVariant(KernelOp Op, const CompiledPlan &Plan, int Trials,
-                 SeededRng &R) {
+/// kernel variant, four ways (three when \p GridPlan is null: large
+/// widths skip the sim-GPU leg to bound suite time).
+void fuzzVariant(KernelOp Op, const CompiledPlan &Plan,
+                 const CompiledPlan *GridPlan, int Trials, SeededRng &R) {
   const Bignum One(1);
   unsigned M = Plan.Key.ModBits;
   unsigned K = Plan.ElemWords;
@@ -116,6 +120,25 @@ void fuzzVariant(KernelOp Op, const CompiledPlan &Plan, int Trials,
     std::string Err;
     ASSERT_TRUE(runBatch(Plan, Args, 1, &Err)) << Err;
 
+    // Sim-GPU grid-shaped JIT through its ExecutionBackend (batch of one
+    // exercises the block guard: one block, one live thread).
+    std::vector<std::vector<std::uint64_t>> GridOutW(Plan.NumOutputs);
+    if (GridPlan) {
+      PlanAux GAux = makePlanAux(*GridPlan, Q);
+      for (auto &O : GridOutW)
+        O.assign(K, 0);
+      BatchArgs GArgs;
+      for (auto &O : GridOutW)
+        GArgs.Outs.push_back(O.data());
+      for (auto &I : InW)
+        GArgs.Ins.push_back(I.data());
+      GArgs.Aux = GAux.ptrs();
+      ASSERT_TRUE(registry()
+                      .backendFor(GridPlan->Key)
+                      .runBatch(*GridPlan, GArgs, 1, 1, &Err))
+          << Err;
+    }
+
     for (size_t O = 0; O < Want.size(); ++O) {
       Bignum Jit = unpackWordsMsbFirst(OutW[O].data(), K);
       std::string Ctx = "trial " + std::to_string(T) + " of plan " +
@@ -129,6 +152,14 @@ void fuzzVariant(KernelOp Op, const CompiledPlan &Plan, int Trials,
       ASSERT_EQ(Jit, Want[O])
           << "JIT-COMPILED C diverges from oracle on output " << O << "\n"
           << Ctx;
+      if (GridPlan) {
+        Bignum Grid = unpackWordsMsbFirst(GridOutW[O].data(), K);
+        ASSERT_EQ(Grid, Want[O])
+            << "SIM-GPU GRID JIT diverges from oracle on output " << O
+            << " (plan " << GridPlan->Key.str()
+            << ", source: " << GridPlan->Module->sourcePath() << ")\n"
+            << Ctx;
+      }
     }
   }
 }
@@ -170,7 +201,20 @@ void fuzzConfig(KernelOp Op, unsigned Words, mw::Reduction Red,
     std::shared_ptr<const CompiledPlan> Plan = registry().get(Key);
     ASSERT_NE(Plan, nullptr) << registry().error();
     ASSERT_EQ(Plan->ElemWords, Words);
-    fuzzVariant(Op, *Plan, PerVariant, R);
+
+    // The sim-GPU leg of the oracle: same knobs compiled grid-shaped,
+    // with a random launch geometry per variant. Widths above 8 words
+    // stay 3-way (the interpreter dominates there anyway).
+    std::shared_ptr<const CompiledPlan> GridPlan;
+    if (Words <= 8) {
+      const unsigned Dims[] = {64, 128, 256, 512, 1024};
+      PlanKey GKey = Key;
+      GKey.Opts.Backend = rewrite::ExecBackend::SimGpu;
+      GKey.Opts.BlockDim = Dims[R.below(5)];
+      GridPlan = registry().get(GKey);
+      ASSERT_NE(GridPlan, nullptr) << registry().error();
+    }
+    fuzzVariant(Op, *Plan, GridPlan.get(), PerVariant, R);
   }
 }
 

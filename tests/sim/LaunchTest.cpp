@@ -128,6 +128,100 @@ TEST(Launch, SingleWorkerProfileIsSerial) {
     EXPECT_EQ(Order[I], I);
 }
 
+TEST(Launch, NestedRunFailsFastInsteadOfDeadlocking) {
+  // The documented contract: ThreadPool::run is not reentrant. A nested
+  // run() used to corrupt the job state and deadlock silently; it must
+  // now abort with a clear message — from the caller-as-worker thread...
+  // (threadsafe style: the fork must not inherit a mutex a live aux
+  // worker holds, which the default "fast" style risks.)
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool Pool(2);
+  EXPECT_DEATH(Pool.run(4, 1,
+                        [&](std::uint64_t, std::uint64_t) {
+                          Pool.run(1, 1,
+                                   [](std::uint64_t, std::uint64_t) {});
+                        }),
+               "not reentrant");
+}
+
+TEST(Launch, NestedRunFailsFastOnTheSerialFallbackToo) {
+  // ...and identically on a pool with no auxiliary workers (where the
+  // nested call would happen to "work"), so the contract violation is
+  // caught on every machine, not only multi-core ones.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool Pool(1);
+  EXPECT_DEATH(Pool.run(4, 1,
+                        [&](std::uint64_t, std::uint64_t) {
+                          Pool.run(1, 1,
+                                   [](std::uint64_t, std::uint64_t) {});
+                        }),
+               "not reentrant");
+}
+
+TEST(Launch, SelfNestingIsStillCaughtAfterAnInnerPoolRan) {
+  // The reentrancy marker restores the *previous* pool when an inner
+  // pool's run() returns: Outer -> Inner -> Outer self-nesting must
+  // still die, not slip past a cleared marker.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool Outer(1), Inner(1);
+  EXPECT_DEATH(
+      Outer.run(2, 1,
+                [&](std::uint64_t, std::uint64_t) {
+                  Inner.run(1, 1, [](std::uint64_t, std::uint64_t) {});
+                  Outer.run(1, 1, [](std::uint64_t, std::uint64_t) {});
+                }),
+      "not reentrant");
+}
+
+TEST(Launch, TwoPoolsMayNest) {
+  // Only self-nesting is a bug; driving a second pool from inside a job
+  // is legal (the sim-GPU backend's pool under a caller's pool).
+  ThreadPool Outer(2), Inner(2);
+  std::atomic<int> Count{0};
+  Outer.run(2, 1, [&](std::uint64_t, std::uint64_t) {
+    Inner.run(8, 1, [&](std::uint64_t B, std::uint64_t E) {
+      Count += static_cast<int>(E - B);
+    });
+  });
+  EXPECT_EQ(Count.load(), 16);
+}
+
+TEST(Launch, SequentialRunsAfterAFinishedRunStillWork) {
+  // The reentrancy marker must clear when run() returns.
+  ThreadPool Pool(2);
+  for (int I = 0; I < 3; ++I) {
+    std::atomic<int> Count{0};
+    Pool.run(10, 2, [&](std::uint64_t B, std::uint64_t E) {
+      Count += static_cast<int>(E - B);
+    });
+    EXPECT_EQ(Count.load(), 10);
+  }
+}
+
+TEST(Launch, LaunchBlocksCoversEveryBlockExactlyOnce) {
+  Device Dev;
+  LaunchConfig Cfg;
+  Cfg.GridX = 7;
+  Cfg.GridY = 4;
+  Cfg.BlockDim = 256; // the block fn owns its threads; not iterated here
+  std::mutex M;
+  std::set<std::pair<unsigned, unsigned>> Seen;
+  Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto [It, Inserted] = Seen.insert({BX, BY});
+    EXPECT_TRUE(Inserted) << "duplicate block coordinate";
+  });
+  EXPECT_EQ(Seen.size(), 7u * 4);
+}
+
+TEST(Launch, LaunchBlocksValidatesGeometry) {
+  Device Dev;
+  LaunchConfig Cfg;
+  Cfg.BlockDim = 4096;
+  EXPECT_DEATH(Dev.launchBlocks(Cfg, [](std::uint32_t, std::uint32_t) {}),
+               "exceeds the device limit");
+}
+
 TEST(Launch, DeterministicResultsAcrossRuns) {
   Device Dev;
   auto Run = [&] {

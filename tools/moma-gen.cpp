@@ -14,19 +14,29 @@
 //            [--reduction barrett|montgomery]  (default barrett)
 //            [--no-prune]                (skip the §4 zero-word pruning)
 //            [--schedule]                (pressure-aware list scheduling)
+//            [--backend serial|simgpu]   (execution backend; default serial)
+//            [--block-dim <n>]           (simgpu threads/block, <= 1024)
+//            [--device h100|rtx4090|v100|host] (simgpu device profile)
 //            [--emit ir|c|cuda|stats|tune]     (default c)
 //            [--tune-cache <path>]       (persist/reuse autotune JSON)
+//
+// `--emit c` with `--backend simgpu` prints the grid-shaped source (the
+// §5.1 CUDA thread mapping as host-JIT C); `--emit tune` sweeps the
+// backend and block-dim axes alongside reduction/pruning/scheduling.
 //
 // Examples:
 //   moma-gen -k mulmod -d 256 --emit cuda
 //   moma-gen -k mulmod -d 256 --reduction montgomery --emit c
 //   moma-gen -k butterfly -d 512 -m 377 --emit stats   # BLS12-381 class
+//   moma-gen -k butterfly -d 128 --backend simgpu --emit c
 //   moma-gen -k mulmod -m 380 --emit tune --tune-cache tune.json
+//   moma-gen -k vmul -m 252 --device rtx4090 --emit tune
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CEmitter.h"
 #include "codegen/CudaEmitter.h"
+#include "codegen/GridEmitter.h"
 #include "field/PrimeGen.h"
 #include "ir/Printer.h"
 #include "kernels/BlasKernels.h"
@@ -35,6 +45,7 @@
 #include "rewrite/Schedule.h"
 #include "rewrite/Stats.h"
 #include "runtime/Autotuner.h"
+#include "support/Format.h"
 
 #include <cstdio>
 #include <cstring>
@@ -49,11 +60,25 @@ namespace {
       stderr,
       "usage: %s -k <kernel> [-d bits] [-m modbits] [-w wordbits]\n"
       "          [--karatsuba] [--reduction barrett|montgomery]\n"
-      "          [--no-prune] [--schedule] [--emit ir|c|cuda|stats|tune]\n"
-      "          [--tune-cache <path>]\n"
+      "          [--no-prune] [--schedule]\n"
+      "          [--backend serial|simgpu] [--block-dim <n>]\n"
+      "          [--device h100|rtx4090|v100|host]\n"
+      "          [--emit ir|c|cuda|stats|tune] [--tune-cache <path>]\n"
       "kernels: addmod submod mulmod butterfly axpy vadd vsub vmul\n",
       Argv0);
   std::exit(2);
+}
+
+const sim::DeviceProfile *deviceFor(const std::string &Name) {
+  if (Name == "h100")
+    return &sim::deviceH100();
+  if (Name == "rtx4090")
+    return &sim::deviceRTX4090();
+  if (Name == "v100")
+    return &sim::deviceV100();
+  if (Name == "host")
+    return &sim::deviceHostDefault();
+  return nullptr;
 }
 
 /// Maps a kernel name onto the runtime dispatch op for --emit tune.
@@ -77,6 +102,7 @@ bool kernelOpFor(const std::string &Name, runtime::KernelOp &Op) {
 
 int main(int argc, char **argv) {
   std::string KernelName = "mulmod", Emit = "c", TuneCache;
+  std::string DeviceName = "host";
   unsigned Bits = 128, ModBits = 0, WordBits = 64;
   rewrite::PlanOptions Plan;
 
@@ -109,7 +135,21 @@ int main(int argc, char **argv) {
       Plan.Prune = false;
     else if (Arg == "--schedule")
       Plan.Schedule = true;
-    else if (Arg == "--emit")
+    else if (Arg == "--backend") {
+      std::string B = Next();
+      if (B == "serial")
+        Plan.Backend = rewrite::ExecBackend::Serial;
+      else if (B == "simgpu")
+        Plan.Backend = rewrite::ExecBackend::SimGpu;
+      else
+        usage(argv[0]);
+    } else if (Arg == "--block-dim")
+      Plan.BlockDim = std::strtoul(Next(), nullptr, 10);
+    else if (Arg == "--device") {
+      DeviceName = Next();
+      if (!deviceFor(DeviceName))
+        usage(argv[0]);
+    } else if (Arg == "--emit")
       Emit = Next();
     else if (Arg == "--tune-cache")
       TuneCache = Next();
@@ -128,6 +168,7 @@ int main(int argc, char **argv) {
       usage(argv[0]);
     mw::Bignum Q = field::nttPrime(Spec.modBits(), 8);
     runtime::KernelRegistry Reg;
+    Reg.setDeviceProfile(*deviceFor(DeviceName));
     runtime::AutotunerOptions TO;
     TO.CachePath = TuneCache;
     runtime::Autotuner Tuner(Reg, TO);
@@ -136,10 +177,16 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "autotune failed: %s\n", Tuner.error().c_str());
       return 1;
     }
-    std::printf("problem:  %s\n",
+    std::printf("problem:  %s (device %s)\n",
                 runtime::PlanKey::forModulus(Op, Q, Plan).problemStr()
-                    .c_str());
+                    .c_str(),
+                Reg.deviceProfile().Name.c_str());
     std::printf("decision: %s\n", D->Opts.str().c_str());
+    std::printf("backend:  %s%s\n",
+                rewrite::execBackendName(D->Opts.Backend),
+                D->Opts.Backend == rewrite::ExecBackend::SimGpu
+                    ? formatv(" (block dim %u)", D->Opts.BlockDim).c_str()
+                    : "");
     std::printf("measured: %.1f ns/element over %u candidates%s\n",
                 D->NsPerElem, Tuner.stats().Candidates,
                 D->FromCache ? " (reloaded from tune cache)" : "");
@@ -194,7 +241,13 @@ int main(int argc, char **argv) {
     return 0;
   }
   if (Emit == "c") {
-    std::printf("%s", codegen::emitC(L).Source.c_str());
+    if (Plan.Backend == rewrite::ExecBackend::SimGpu)
+      // The grid-shaped source the sim-GPU backend compiles: the 5.1
+      // thread mapping as host-JIT C (element-wise entry, plus the NTT
+      // stage entry for butterfly kernels).
+      std::printf("%s", codegen::emitGridC(L).Source.c_str());
+    else
+      std::printf("%s", codegen::emitC(L).Source.c_str());
     return 0;
   }
   if (Emit == "cuda") {
