@@ -29,9 +29,13 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <map>
 #include <string>
 #include <unistd.h>
+#include <utility>
+#include <vector>
 
 namespace moma {
 namespace bench {
@@ -89,6 +93,58 @@ inline void reportf(const char *Fmt, ...) {
   va_start(Ap, Fmt);
   report(vformatv(Fmt, Ap));
   va_end(Ap);
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-readable results: `--json <path>` support. Benches record named
+// scalar metrics as they measure and write one flat JSON document at the
+// end, giving CI an artifact to trend (the perf trajectory) without
+// scraping console tables.
+//===----------------------------------------------------------------------===//
+
+/// The metric sink, in recording order.
+inline std::vector<std::pair<std::string, double>> &jsonMetrics() {
+  static std::vector<std::pair<std::string, double>> M;
+  return M;
+}
+
+/// Records one scalar metric (typically nanoseconds or a ratio) for the
+/// JSON report. No-op semantics otherwise: console reporting is
+/// unaffected.
+inline void recordMetric(const std::string &Name, double Value) {
+  jsonMetrics().emplace_back(Name, Value);
+}
+
+/// Extracts the `--json <path>` argument if present ("" otherwise).
+inline std::string jsonPathFromArgs(int argc, char **argv) {
+  for (int I = 1; I + 1 < argc; ++I)
+    if (std::string(argv[I]) == "--json")
+      return argv[I + 1];
+  return "";
+}
+
+/// Writes the recorded metrics as `{"bench": ..., "unix_time": ...,
+/// "metrics": {...}}`. Returns false on I/O failure. Metric names are
+/// emitted verbatim (benches use [a-z0-9_/.] names; keep them
+/// quote-free).
+inline bool writeJsonReport(const std::string &Path,
+                            const std::string &BenchName) {
+  if (Path.empty())
+    return true;
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << "{\n  \"bench\": \"" << BenchName << "\",\n  \"unix_time\": "
+      << static_cast<long long>(std::time(nullptr))
+      << ",\n  \"metrics\": {";
+  bool First = true;
+  for (const auto &M : jsonMetrics()) {
+    Out << (First ? "" : ",") << "\n    \"" << M.first
+        << "\": " << formatv("%.3f", M.second);
+    First = false;
+  }
+  Out << "\n  }\n}\n";
+  return static_cast<bool>(Out);
 }
 
 /// True when the quick-mode env knob is set.

@@ -20,6 +20,7 @@
 
 #include "baselines/GmpLike.h"
 #include "ntt/Ntt.h"
+#include "runtime/Dispatcher.h"
 #include "support/Rng.h"
 
 #include <memory>
@@ -87,6 +88,48 @@ inline std::string registerGmpLikeNtt(unsigned Bits, unsigned LogN) {
   benchmark::RegisterBenchmark(Name.c_str(), [Plan, Data](benchmark::State &S) {
     for (auto _ : S)
       Plan->forward(*Data);
+  })->Unit(benchmark::kMillisecond)->UseRealTime();
+  return Name;
+}
+
+/// Registers "runtime/ntt/<bits>/n<logn>/f<depth>": batched forward NTTs
+/// through the runtime's fused stage pipeline (sim-GPU backend pinned to
+/// \p FuseDepth), i.e. ceil(logn/depth) stage-group dispatches per
+/// transform with the bit-reversal gather folded into the first group's
+/// loads. Plans, twiddle tables and scratch are warmed before the timed
+/// loop (one registry shared by every series in the binary). Returns the
+/// series name for later lookup.
+inline std::string registerRuntimeNtt(unsigned Bits, unsigned LogN,
+                                      size_t Batch, unsigned FuseDepth) {
+  static runtime::KernelRegistry Reg;
+  mw::Bignum Q = field::evalModulus(Bits, std::max(24u, LogN + 1));
+  std::string Name = formatv("runtime/ntt/%u/n%u/f%u", Bits, LogN,
+                             FuseDepth);
+  rewrite::PlanOptions PO;
+  PO.Backend = rewrite::ExecBackend::SimGpu;
+  PO.FuseDepth = FuseDepth;
+  auto D = std::make_shared<runtime::Dispatcher>(Reg, nullptr, PO);
+  unsigned K = runtime::Dispatcher::elemWords(Q);
+  size_t N = size_t(1) << LogN;
+  auto Data =
+      std::make_shared<std::vector<std::uint64_t>>(N * Batch * K);
+  Rng R(0xF05E + Bits + LogN);
+  for (size_t I = 0; I < N * Batch; ++I) {
+    auto W = runtime::packWordsMsbFirst(mw::Bignum::random(R, Q), K);
+    std::copy(W.begin(), W.end(), Data->begin() + I * K);
+  }
+  if (!D->nttForward(Q, Data->data(), N, Batch)) { // warm, untimed
+    std::fprintf(stderr, "runtime NTT warmup failed: %s\n",
+                 D->error().c_str());
+    std::abort();
+  }
+  benchmark::RegisterBenchmark(Name.c_str(), [D, Data, Q, N,
+                                              Batch](benchmark::State &S) {
+    for (auto _ : S)
+      if (!D->nttForward(Q, Data->data(), N, Batch)) {
+        S.SkipWithError(D->error().c_str());
+        return;
+      }
   })->Unit(benchmark::kMillisecond)->UseRealTime();
   return Name;
 }

@@ -26,11 +26,22 @@ int main(int argc, char **argv) {
   for (unsigned L = 8; L <= MaxLog; L += 2)
     Sizes.push_back(L);
 
+  // The fused-runtime series: batched transforms through the dispatch
+  // runtime at stage-fusion depths 1 and 3 (log2(n) vs ceil(log2(n)/3)
+  // dispatches per transform).
+  std::vector<unsigned> RtSizes;
+  for (unsigned L = 8; L <= std::min(MaxLog, 12u); L += 2)
+    RtSizes.push_back(L);
+  size_t RtBatch = fastMode() ? 2 : 8;
+
   for (unsigned L : Sizes) {
     registerMomaNtt<4>(L, Batch, sim::deviceH100());
     if (L <= 12)
       registerGmpLikeNtt(256, L);
   }
+  for (unsigned L : RtSizes)
+    for (unsigned Depth : {1u, 3u})
+      registerRuntimeNtt(256, L, RtBatch, Depth);
 
   Collector C = runAll(argc, argv);
 
@@ -50,6 +61,25 @@ int main(int argc, char **argv) {
   }
   bench::report(T.render());
 
+  banner("Fused runtime pipeline (256-bit batched transforms, ns per "
+         "butterfly)");
+  TextTable RT({"log2(n)", "dispatches f1 -> f3", "depth 1", "depth 3",
+                "fusion speedup"});
+  double BestFuse = 0;
+  for (unsigned L : RtSizes) {
+    double F1 = nsPerButterfly(
+        C, formatv("runtime/ntt/256/n%u/f1", L), L, RtBatch);
+    double F3 = nsPerButterfly(
+        C, formatv("runtime/ntt/256/n%u/f3", L), L, RtBatch);
+    if (F1 > 0 && F3 > 0)
+      BestFuse = std::max(BestFuse, F1 / F3);
+    RT.addRow({formatv("%u", L), formatv("%u -> %u", L, (L + 2) / 3),
+               F1 > 0 ? formatNanos(F1) : "-",
+               F3 > 0 ? formatNanos(F3) : "-",
+               F1 > 0 && F3 > 0 ? formatv("%.2fx", F1 / F3) : "-"});
+  }
+  bench::report(RT.render());
+
   banner("Paper-reported context (not measurable here; Figure 1 caption)");
   bench::reportf(
       "  MoMA on RTX 4090 vs ICICLE on H100:        14x faster (average)\n"
@@ -58,6 +88,8 @@ int main(int argc, char **argv) {
   banner("Shape verdicts vs paper Figure 1");
   verdict("256-bit NTT: MoMA beats the generic multiprecision library",
           WorstSpeedup, 14.0);
+  verdict("fused stages: depth 3 beats depth 1 on a 256-bit batch",
+          BestFuse, 1.0);
   benchmark::Shutdown();
   return 0;
 }

@@ -62,6 +62,19 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Fused-runtime series: one representative size per width, stage
+  // fusion depth 1 vs 3 through the batched dispatch runtime (modulus
+  // width ContainerBits-4, the paper's evaluation shape). The runtime
+  // canonicalizes 384/768-bit containers up to the next power-of-two
+  // word count, so 768 (a c1024/m764 kernel) is skipped for bench time —
+  // the library path above still measures it exactly.
+  unsigned RtLog = std::min(10u, MaxLog);
+  size_t RtBatch = fastMode() ? 2 : 8;
+  for (const Subplot &SP : Subplots)
+    if (SP.Bits < 768)
+      for (unsigned Depth : {1u, 3u})
+        registerRuntimeNtt(SP.Bits, RtLog, RtBatch, Depth);
+
   Collector C = runAll(argc, argv);
 
   for (const Subplot &SP : Subplots) {
@@ -85,6 +98,35 @@ int main(int argc, char **argv) {
     bench::reportf("  %s\n", SP.PaperContext);
     verdict(formatv("%u-bit: MoMA beats the generic library", SP.Bits),
             Worst, SP.Bits == 384 ? 4.8 : 13.0);
+  }
+
+  banner(formatv("Fused runtime pipeline (n = 2^%u batched transforms, ns "
+                 "per butterfly)",
+                 RtLog));
+  {
+    TextTable RT({"bits", "dispatches f1 -> f3", "depth 1", "depth 3",
+                  "fusion speedup"});
+    double BestFuse = 0;
+    for (const Subplot &SP : Subplots) {
+      if (SP.Bits >= 768)
+        continue;
+      double F1 = nsPerButterfly(
+          C, formatv("runtime/ntt/%u/n%u/f1", SP.Bits, RtLog), RtLog,
+          RtBatch);
+      double F3 = nsPerButterfly(
+          C, formatv("runtime/ntt/%u/n%u/f3", SP.Bits, RtLog), RtLog,
+          RtBatch);
+      if (F1 > 0 && F3 > 0)
+        BestFuse = std::max(BestFuse, F1 / F3);
+      RT.addRow({formatv("%u", SP.Bits),
+                 formatv("%u -> %u", RtLog, (RtLog + 2) / 3),
+                 F1 > 0 ? formatNanos(F1) : "-",
+                 F3 > 0 ? formatNanos(F3) : "-",
+                 F1 > 0 && F3 > 0 ? formatv("%.2fx", F1 / F3) : "-"});
+    }
+    bench::report(RT.render());
+    verdict("fused stages: depth 3 beats depth 1 on a batched transform",
+            BestFuse, 1.0);
   }
 
   banner("Cross-width scaling check (paper: wider elements cost more per "

@@ -12,12 +12,20 @@
 //   3. PERSISTENCE — autotune decisions (including backend fields) reload
 //      from JSON without re-timing.
 //
+//   4. STAGE FUSION — the fused NTT pipeline turns a batched transform's
+//      log2(n) stage dispatches into ceil(log2(n)/FuseDepth); on at
+//      least one size bucket a fused depth > 1 beats depth 1 in
+//      wall-clock, and the autotuner picks it from a cold cache.
+//
 // The workload is a batch of cyclic polynomial products, run three ways
-// (serial-pinned, sim-GPU-pinned, autotuned) plus the cold per-call model.
+// (serial-pinned, sim-GPU-pinned, autotuned) plus the cold per-call
+// model, followed by a batched-forward-NTT fusion sweep.
 //
 // `--smoke` runs a tiny wiring check (serial == sim-GPU bit-for-bit,
 // tune-cache round-trip) with no performance assertions — the CI step
 // that catches backend regressions without timing flakiness.
+// `--json <path>` additionally writes the measured metrics as a flat
+// JSON document (the CI perf-trajectory artifact).
 //
 // Not google-benchmark based: the cold path costs ~1 s per iteration, so
 // manual chrono timing over explicit sample counts is the honest tool.
@@ -76,6 +84,7 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I)
     if (std::strcmp(argv[I], "--smoke") == 0)
       Smoke = true;
+  std::string JsonPath = jsonPathFromArgs(argc, argv);
 
   const Bignum Q = field::nttPrime(124, 16);
   const size_t N = Smoke ? 16 : 64; // coefficients per polynomial
@@ -179,8 +188,7 @@ int main(int argc, char **argv) {
   // What did the tuner pick for the batch-sized problems?
   const TuneDecision *MulDec =
       Tuner.choose(KernelOp::MulMod, Q, {}, N * Batch);
-  const TuneDecision *BflyDec =
-      Tuner.choose(KernelOp::Butterfly, Q, {}, (N / 2) * Batch);
+  const TuneDecision *BflyDec = Tuner.chooseNtt(Q, {}, N, Batch);
   bool PickedSimGpu = MulDec && BflyDec &&
                       MulDec->Opts.Backend == ExecBackend::SimGpu &&
                       BflyDec->Opts.Backend == ExecBackend::SimGpu;
@@ -211,6 +219,79 @@ int main(int argc, char **argv) {
   double ColdPerPoly = ColdSec / double(ColdSamples);
   double ColdProjected = ColdPerPoly * double(Batch);
 
+  // -- 4) Stage fusion: batched forward NTTs, depth sweep vs the tuner --
+  struct FuseRow {
+    size_t NttN;
+    size_t NttBatch;
+    double Sec[3]; // pinned sim-GPU depth 1..3
+    unsigned TunedDepth;
+  };
+  std::vector<FuseRow> FuseRows;
+  bool FusionWins = false, TunerPicksFusion = false;
+  {
+    const std::vector<size_t> NttSizes =
+        Smoke ? std::vector<size_t>{16}
+              : std::vector<size_t>{64, 256, 1024};
+    // Fixed element budget per timing so every size sees the same work.
+    const size_t ElemBudget = Smoke ? 1024 : fastMode() ? 32768 : 262144;
+    Rng RN(0xF05E);
+    AutotunerOptions FTO; // cold every run: fusion choice is re-measured
+    if (Smoke) {
+      FTO.CalibrationElems = 32;
+      FTO.MaxCalibrationElems = 64;
+      FTO.Repeats = 1;
+      FTO.BlockDims = {128};
+    }
+    Autotuner FuseTuner(Reg, FTO);
+    for (size_t NttN : NttSizes) {
+      FuseRow Row;
+      Row.NttN = NttN;
+      Row.NttBatch = std::max<size_t>(1, ElemBudget / NttN);
+      std::vector<Bignum> Polys;
+      for (size_t I = 0; I < NttN * Row.NttBatch; ++I)
+        Polys.push_back(Bignum::random(RN, Q));
+      auto Packed = packBatch(Polys, K);
+      for (unsigned Depth = 1; Depth <= 3; ++Depth) {
+        rewrite::PlanOptions PO = pinned(ExecBackend::SimGpu);
+        PO.FuseDepth = Depth;
+        Dispatcher DF(Reg, nullptr, PO);
+        auto Warm = Packed; // first call pays plan/table binding
+        if (!DF.nttForward(Q, Warm.data(), NttN, 1)) {
+          reportf("fused dispatch failed: %s\n", DF.error().c_str());
+          return 1;
+        }
+        // Min over repeats: these timings feed the fusion verdicts (and
+        // the exit code), so one scheduler hiccup must not decide them.
+        const unsigned FuseRepeats = Smoke ? 1 : 3;
+        double BestSec = 1e30;
+        for (unsigned Rep = 0; Rep < FuseRepeats; ++Rep) {
+          auto Data = Packed;
+          auto T0 = std::chrono::steady_clock::now();
+          if (!DF.nttForward(Q, Data.data(), NttN, Row.NttBatch)) {
+            reportf("fused dispatch failed: %s\n", DF.error().c_str());
+            return 1;
+          }
+          BestSec = std::min(BestSec, secondsSince(T0));
+        }
+        Row.Sec[Depth - 1] = BestSec;
+        recordMetric(formatv("ntt/n%zu/simgpu/f%u_ns", NttN, Depth),
+                     Row.Sec[Depth - 1] * 1e9);
+      }
+      const TuneDecision *FD =
+          FuseTuner.chooseNtt(Q, {}, NttN, Row.NttBatch);
+      Row.TunedDepth = FD ? FD->Opts.FuseDepth : 0;
+      recordMetric(formatv("ntt/n%zu/tuned_depth", NttN),
+                   double(Row.TunedDepth));
+      double Best23 = std::min(Row.Sec[1], Row.Sec[2]);
+      if (Best23 < Row.Sec[0]) {
+        FusionWins = true;
+        if (Row.TunedDepth > 1)
+          TunerPicksFusion = true;
+      }
+      FuseRows.push_back(Row);
+    }
+  }
+
   banner("Results");
   TextTable T({"path", "backend", "per poly", "full batch",
                "what it includes"});
@@ -235,8 +316,30 @@ int main(int argc, char **argv) {
           "invoked %u times for the warm paths\n",
           Reg.stats().Builds, Reg.stats().Hits, Reg.jit().stats().Compiles);
   if (MulDec && BflyDec)
-    reportf("tuned variants: mulmod %s, butterfly %s\n",
+    reportf("tuned variants: mulmod %s, ntt butterfly %s\n",
             MulDec->Opts.str().c_str(), BflyDec->Opts.str().c_str());
+  recordMetric("polymul/serial_batch_ns", SerialSec * 1e9);
+  recordMetric("polymul/simgpu_batch_ns", SimGpuSec * 1e9);
+  recordMetric("polymul/tuned_warm_ns", WarmSec * 1e9);
+  recordMetric("polymul/tuned_warmup_ns", WarmupSec * 1e9);
+  recordMetric("polymul/cold_per_poly_ns", ColdPerPoly * 1e9);
+
+  banner("Fused NTT stage pipeline (batched forward transforms)");
+  TextTable FT({"n", "batch", "dispatches f1/f2/f3", "depth 1", "depth 2",
+                "depth 3", "tuned depth"});
+  for (const FuseRow &Row : FuseRows) {
+    unsigned LogN = 0;
+    while ((size_t(1) << LogN) < Row.NttN)
+      ++LogN;
+    FT.addRow({formatv("%zu", Row.NttN), formatv("%zu", Row.NttBatch),
+               formatv("%u/%u/%u", LogN, (LogN + 1) / 2, (LogN + 2) / 3),
+               formatNanos(Row.Sec[0] * 1e9),
+               formatNanos(Row.Sec[1] * 1e9),
+               formatNanos(Row.Sec[2] * 1e9),
+               Row.TunedDepth ? formatv("%u", Row.TunedDepth)
+                              : std::string("?")});
+  }
+  report(FT.render());
 
   // -- Autotune persistence: a second process-equivalent reloads ---------
   Autotuner Tuner2(Reg, TO); // constructor loads TunePath
@@ -255,6 +358,12 @@ int main(int argc, char **argv) {
     verdict("tune cache round-trips with backend fields",
             Reloaded ? 1.0 : 0.0, 1.0);
     flushReport();
+    if (!writeJsonReport(JsonPath, "bench_runtime_batch")) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    if (!JsonPath.empty())
+      std::printf("wrote %s\n", JsonPath.c_str());
     return BackendsAgree && TunedAgrees && Reloaded ? 0 : 1;
   }
 
@@ -270,10 +379,21 @@ int main(int argc, char **argv) {
           ColdProjected / WarmSec, 10.0);
   verdict("persisted autotune decisions reload without re-timing",
           Reloaded ? 1.0 : 0.0, 1.0);
+  verdict("stage fusion: depth > 1 beats depth 1 on >= 1 size bucket",
+          FusionWins ? 1.0 : 0.0, 1.0);
+  verdict("autotuner picks a fused depth where fusion wins (cold cache)",
+          TunerPicksFusion ? 1.0 : 0.0, 1.0);
   flushReport();
+  if (!writeJsonReport(JsonPath, "bench_runtime_batch")) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  if (!JsonPath.empty())
+    std::printf("wrote %s\n", JsonPath.c_str());
   return BackendsAgree && TunedAgrees && Reloaded &&
                  SerialSec / SimGpuSec > 1.0 && PickedSimGpu &&
-                 ColdProjected / WarmSec >= 10.0
+                 ColdProjected / WarmSec >= 10.0 && FusionWins &&
+                 TunerPicksFusion
              ? 0
              : 1;
 }

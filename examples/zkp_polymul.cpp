@@ -104,10 +104,13 @@ int main(int argc, char **argv) {
   std::printf("\nruntime (JIT plan cache) product: %.2f ms warm "
               "(%.2f ms first request incl. autotune+compile)\n",
               Ms(RtDone - RtWarm), Ms(RtWarm - RtStart));
+  // The transform-shaped decision polyMul's NTTs actually ran with
+  // (served from the tuner's cache — the same key the dispatcher used).
   if (const runtime::TuneDecision *D =
-          Tuner.choose(runtime::KernelOp::Butterfly, F.modulusBig()))
-    std::printf("  butterfly variant: %s (%.0f ns/butterfly tuned)\n",
-                D->Opts.str().c_str(), D->NsPerElem);
+          Tuner.chooseNtt(F.modulusBig(), {}, N, 1))
+    std::printf("  ntt butterfly variant: %s, fuse depth %u "
+                "(%.0f ns/element tuned)\n",
+                D->Opts.str().c_str(), D->Opts.FuseDepth, D->NsPerElem);
   std::printf("  engine vs runtime agreement: %s\n",
               RtOk ? "bit-for-bit" : "MISMATCH");
   return Ok ? 0 : 1;

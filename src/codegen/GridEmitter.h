@@ -54,8 +54,10 @@ struct GridEmitOptions {
 struct EmittedGridKernel {
   std::string Source;      ///< self-contained C/C++ source text
   std::string GridSymbol;  ///< element-wise block entry (C linkage)
-  std::string StageSymbol; ///< NTT-stage block entry; empty unless the
-                           ///< kernel has the butterfly port shape
+  std::string StageSymbol; ///< radix-2 NTT-stage block entry; empty unless
+                           ///< the kernel has the butterfly port shape
+  std::string FusedSymbol; ///< fused radix-2^k stage-group entry (same
+                           ///< butterfly-shape condition as StageSymbol)
   std::vector<PortSig> Ports; ///< outputs first, then inputs (as emitC)
 };
 
@@ -80,6 +82,39 @@ struct EmittedGridKernel {
 /// processes butterflies t in [blockIdxX*blockDim, min(n/2, +blockDim))
 /// of stage half-distance len over batch row blockIdxY of the in-place
 /// array X (n elements per row); Wst points at the stage's twiddle table.
+///
+///   void fused(u64 blockIdxX, u64 blockIdxY, u64 blockDim,
+///              u64 n, u64 len0, u64 depth, u64 *Dst, const u64 *Src,
+///              const u64 *Tw, const u32 *rev, const u64 *ninv,
+///              const u64 *const *aux);
+///
+/// runs `depth` consecutive butterfly stages (half-distances len0,
+/// 2*len0, ..., 2^(depth-1)*len0) as one dispatch: each of the n/2^depth
+/// virtual threads per batch row owns the 2^depth-point sub-transform
+/// over elements {g*(len0<<depth) + r + j*len0 : j}, held in registers
+/// between sub-stages. Tw is the *full* stage-major twiddle table (the
+/// stage of half-distance L starts at word offset (L-1)*elemWords).
+/// `depth` is a launch parameter bounded by
+/// rewrite::PlanOptions::MaxFuseDepth — like blockDim, it does not shape
+/// the source, so every fusion depth of one kernel shares one compiled
+/// module. The edge-stage folds are runtime arguments too:
+///
+///  * rev non-null (first stage group only, len0 == 1): loads gather
+///    Src[rev[e]] — the bit-reversal permutation rides the first loads
+///    instead of a host-side swap pass;
+///  * ninv non-null (last inverse stage group): every output is
+///    multiplied by ninv before the store, through the shared scalar
+///    butterfly body with x = 0 (xo = 0 + ninv*y picks out the product;
+///    ninv is expected in the kernel's twiddle domain, i.e.
+///    Montgomery-form for Montgomery plans);
+///  * Src != Dst runs the group out-of-place (the dispatcher ping-pongs
+///    edge groups through a scratch buffer so no cross-thread in-place
+///    hazard exists when rev permutes the read set).
+///
+/// Threads load every input element into registers before their first
+/// store, so Src == Dst is safe whenever each thread's read and write
+/// sets coincide (any group without rev, or a single-group transform
+/// where one thread owns the whole row).
 EmittedGridKernel emitGridC(const rewrite::LoweredKernel &L,
                             const GridEmitOptions &Opts = {});
 

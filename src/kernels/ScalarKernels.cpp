@@ -150,23 +150,41 @@ Kernel moma::kernels::buildButterflyKernel(const ScalarKernelSpec &Spec) {
   unsigned M = Spec.modBits();
   if (M + 4 > W)
     fatalError("butterfly: modulus bits must be <= container - 4");
+  bool Mont = Spec.Red == mw::Reduction::Montgomery;
   KernelFrame F;
   F.ModBits = M;
   Kernel &K = F.K;
-  K.Name = Spec.Red == mw::Reduction::Montgomery ? "butterfly_mont"
-                                                 : "butterfly";
+  K.Name = Mont ? "butterfly_mont" : "butterfly";
   ValueId X = K.newValue(W, "x", M);
   K.addInput(X, "x");
   ValueId Y = K.newValue(W, "y", M);
   K.addInput(Y, "y");
-  ValueId Wt = K.newValue(W, "w", M); // twiddle, reduced
+  ValueId Wt = K.newValue(W, "w", M); // twiddle, reduced; Montgomery-form
+                                      // (w * 2^W mod q) for Montgomery
   K.addInput(Wt, "w");
   F.Q = K.newValue(W, "q", M);
   K.addInput(F.Q, "q");
-  addReductionInputs(F, Spec);
+  if (Mont) {
+    // Unlike mulmod, the Montgomery butterfly takes its twiddle already
+    // in the Montgomery domain (the twiddle table is precomputed once per
+    // (q, n), so the domain conversion is free): a single REDC then lands
+    // the plain-domain product directly, REDC(y * w*2^W) = y*w mod q.
+    // No r2 port — the second REDC pass of the plain-domain mulmod is
+    // exactly what the precomputed table removes from the hot path.
+    F.QInv = K.newValue(W, "qinv", W);
+    K.addInput(F.QInv, "qinv");
+  } else {
+    addReductionInputs(F, Spec);
+  }
 
   Builder B(K);
-  ValueId T = emitMulMod(B, Spec, F, Y, Wt);
+  ValueId T;
+  if (Mont) {
+    HiLoResult P = B.mul(Y, Wt);
+    T = emitRedc(B, P.Hi, P.Lo, F.Q, F.QInv, M);
+  } else {
+    T = emitMulMod(B, Spec, F, Y, Wt);
+  }
   ValueId XOut = B.addMod(X, T, F.Q);
   ValueId YOut = B.subMod(X, T, F.Q);
   K.addOutput(XOut, "xo");

@@ -60,6 +60,11 @@ ir::Kernel buildMulModKernel(const ScalarKernelSpec &Spec);
 ir::Kernel buildMulFullKernel(const ScalarKernelSpec &Spec);
 
 /// NTT butterfly: t = w*y mod q; x' = x + t mod q; y' = x - t mod q.
+/// Under Montgomery reduction the twiddle port `w` expects the
+/// Montgomery-domain form w*2^λ mod q (precomputed twiddle tables make
+/// the conversion free), so a single REDC yields the plain-domain
+/// product; the kernel then takes qinv but no r2, and x/y/outputs stay
+/// plain-domain like the Barrett variant.
 ir::Kernel buildButterflyKernel(const ScalarKernelSpec &Spec);
 
 /// axpy element: y' = (a*x + y) mod q (BLAS Level 1, Eq. 10).

@@ -29,6 +29,10 @@ std::string PlanOptions::str() const {
   // minted before the backend knob existed still names the same plan.
   if (Backend != ExecBackend::Serial)
     S += formatv("/%s/b%u", execBackendName(Backend), BlockDim);
+  // Depth 1 is the historical radix-2 shape; only deeper fusion extends
+  // the key, so pre-fusion cache keys stay readable.
+  if (FuseDepth > 1)
+    S += formatv("/f%u", FuseDepth);
   return S;
 }
 

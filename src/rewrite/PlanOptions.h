@@ -75,10 +75,24 @@ struct PlanOptions {
   /// the 256 default when a SimGpu plan leaves it 0.
   unsigned BlockDim = 0;
 
+  /// NTT stage-fusion depth k: one virtual thread performs a 2^k-point
+  /// sub-transform in registers, so a transform walks its log2(n) stages
+  /// in ceil(log2(n)/k) backend dispatches. Only butterfly plans consume
+  /// it (PlanKey canonicalization folds it to 1 everywhere else); the
+  /// emitters support k in [1, MaxFuseDepth]. Depth 1 is still the fused
+  /// pipeline — the edge-stage bit-reversal gather and inverse n^-1
+  /// scaling folds apply at every depth.
+  unsigned FuseDepth = 1;
+
+  /// Largest stage-fusion depth the emitters unroll (2^k points held in
+  /// registers per virtual thread).
+  static constexpr unsigned MaxFuseDepth = 3;
+
   /// Stable text form used in plan-cache keys and the autotune JSON:
   /// e.g. "w64/barrett/schoolbook/prune/noschedule". Serial plans keep
   /// the historical five-token form (so pre-backend cache keys stay
-  /// readable); SimGpu plans append "/simgpu/b<dim>".
+  /// readable); SimGpu plans append "/simgpu/b<dim>", and butterfly
+  /// plans fused deeper than one stage append "/f<depth>".
   std::string str() const;
 
   /// The LowerOptions slice of this plan.
@@ -93,7 +107,7 @@ struct PlanOptions {
     return TargetWordBits == O.TargetWordBits && Red == O.Red &&
            MulAlg == O.MulAlg && Prune == O.Prune &&
            Schedule == O.Schedule && Backend == O.Backend &&
-           BlockDim == O.BlockDim;
+           BlockDim == O.BlockDim && FuseDepth == O.FuseDepth;
   }
   bool operator!=(const PlanOptions &O) const { return !(*this == O); }
 };

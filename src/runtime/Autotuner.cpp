@@ -8,6 +8,7 @@
 #include "runtime/Autotuner.h"
 
 #include "runtime/Backend.h"
+#include "runtime/NttPipeline.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
@@ -254,10 +255,10 @@ const TuneDecision *Autotuner::choose(KernelOp Op, const Bignum &Q,
   return tune(Op, Q, Base, Bucket, Problem);
 }
 
-const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
-                                    const rewrite::PlanOptions &Base,
-                                    unsigned Bucket,
-                                    const std::string &Problem) {
+std::vector<rewrite::PlanOptions>
+Autotuner::candidates(KernelOp Op, const Bignum &Q,
+                      const rewrite::PlanOptions &Base, bool SweepFuse,
+                      std::string *Err) const {
   // Candidate knob grid. Dimensions the options disable stay at the base
   // plan's value; the reduction dimension only exists for multiplying
   // kernels (PlanKey canonicalization folds it away otherwise).
@@ -269,8 +270,9 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
     // Barrett candidates are meaningful.
     Reds = {mw::Reduction::Barrett};
     if (Base.Red == mw::Reduction::Montgomery) {
-      LastError = "Autotuner: Montgomery base plan needs an odd modulus";
-      return nullptr;
+      if (Err)
+        *Err = "Autotuner: Montgomery base plan needs an odd modulus";
+      return {};
     }
   }
   std::vector<bool> Prunes = {Base.Prune};
@@ -293,6 +295,39 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
     for (unsigned BD : O.BlockDims)
       Backends.push_back({rewrite::ExecBackend::SimGpu, BD});
   }
+  // The stage-fusion axis only exists for transform-shaped problems;
+  // like block dim it is a launch parameter, so the sweep adds timing
+  // runs but no compiles.
+  std::vector<unsigned> Fuses = {Base.FuseDepth};
+  if (SweepFuse && O.TuneFuseDepth && !O.FuseDepths.empty())
+    Fuses = O.FuseDepths;
+
+  std::vector<rewrite::PlanOptions> Out;
+  for (mw::Reduction Red : Reds)
+    for (bool Prune : Prunes)
+      for (bool Sched : Scheds)
+        for (const BackendCand &BC : Backends)
+          for (unsigned FD : Fuses) {
+            rewrite::PlanOptions C = Base;
+            C.Red = Red;
+            C.Prune = Prune;
+            C.Schedule = Sched;
+            C.Backend = BC.Backend;
+            C.BlockDim = BC.BlockDim;
+            C.FuseDepth = FD;
+            Out.push_back(C);
+          }
+  return Out;
+}
+
+const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
+                                    const rewrite::PlanOptions &Base,
+                                    unsigned Bucket,
+                                    const std::string &Problem) {
+  std::vector<rewrite::PlanOptions> Cands =
+      candidates(Op, Q, Base, /*SweepFuse=*/false, &LastError);
+  if (Cands.empty())
+    return nullptr;
 
   // One calibration batch shared by every candidate: random reduced
   // elements, deterministic per problem, sized to the problem's batch
@@ -318,51 +353,169 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
   bool Any = false;
   std::string FirstError;
 
-  for (mw::Reduction Red : Reds)
-    for (bool Prune : Prunes)
-      for (bool Sched : Scheds)
-        for (const BackendCand &BC : Backends) {
-          rewrite::PlanOptions C = Base;
-          C.Red = Red;
-          C.Prune = Prune;
-          C.Schedule = Sched;
-          C.Backend = BC.Backend;
-          C.BlockDim = BC.BlockDim;
-          PlanKey Key = PlanKey::forModulus(Op, Q, C);
-          std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
-          if (!Plan) {
-            if (FirstError.empty())
-              FirstError = Reg.error();
-            continue;
-          }
-          PlanAux Aux = makePlanAux(*Plan, Q);
-          BatchArgs Args;
-          for (auto &Buf : Outs)
-            Args.Outs.push_back(Buf.data());
-          for (auto &Buf : Ins)
-            Args.Ins.push_back(Buf.data());
-          Args.Aux = Aux.ptrs();
+  for (const rewrite::PlanOptions &C : Cands) {
+    PlanKey Key = PlanKey::forModulus(Op, Q, C);
+    std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
+    if (!Plan) {
+      if (FirstError.empty())
+        FirstError = Reg.error();
+      continue;
+    }
+    PlanAux Aux = makePlanAux(*Plan, Q);
+    BatchArgs Args;
+    for (auto &Buf : Outs)
+      Args.Outs.push_back(Buf.data());
+    for (auto &Buf : Ins)
+      Args.Ins.push_back(Buf.data());
+    Args.Aux = Aux.ptrs();
 
-          ExecutionBackend &EB = Reg.backendFor(Key);
-          ++S.Candidates;
-          double BestSec = std::numeric_limits<double>::infinity();
-          bool RunOk = true;
-          for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
-            double T0 = nowSeconds();
-            RunOk = EB.runBatch(*Plan, Args, N, /*Rows=*/1, &FirstError);
-            BestSec = std::min(BestSec, nowSeconds() - T0);
-          }
-          if (!RunOk)
-            continue;
-          double Ns = BestSec * 1e9 / static_cast<double>(N);
-          if (Ns < Best.NsPerElem) {
-            // Keep the canonicalized form so the decision round-trips
-            // through PlanKey and the JSON cache unchanged.
-            Best.Opts = Key.Opts;
-            Best.NsPerElem = Ns;
-          }
-          Any = true;
-        }
+    ExecutionBackend &EB = Reg.backendFor(Key);
+    ++S.Candidates;
+    double BestSec = std::numeric_limits<double>::infinity();
+    bool RunOk = true;
+    for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
+      double T0 = nowSeconds();
+      RunOk = EB.runBatch(*Plan, Args, N, /*Rows=*/1, &FirstError);
+      BestSec = std::min(BestSec, nowSeconds() - T0);
+    }
+    if (!RunOk)
+      continue;
+    double Ns = BestSec * 1e9 / static_cast<double>(N);
+    if (Ns < Best.NsPerElem) {
+      // Keep the canonicalized form so the decision round-trips
+      // through PlanKey and the JSON cache unchanged.
+      Best.Opts = Key.Opts;
+      Best.NsPerElem = Ns;
+    }
+    Any = true;
+  }
+
+  if (!Any) {
+    LastError = "Autotuner: every candidate failed: " + FirstError;
+    return nullptr;
+  }
+  ++S.Tuned;
+  auto Ins2 = Decisions.emplace(Problem, Best);
+  if (!O.CachePath.empty())
+    (void)save(O.CachePath);
+  return &Ins2.first->second;
+}
+
+const TuneDecision *Autotuner::chooseNtt(const Bignum &Q,
+                                         const rewrite::PlanOptions &Base,
+                                         size_t NPoints, size_t Batch) {
+  LastError.clear();
+  if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0) {
+    LastError = "Autotuner: NTT size must be a power of two >= 2";
+    return nullptr;
+  }
+  unsigned LogN = 0;
+  while ((size_t(1) << LogN) < NPoints)
+    ++LogN;
+  // The size class is butterflies per stage dispatch — what one backend
+  // launch actually executes — and the transform size is its own key
+  // dimension: the winning fusion depth is a function of log2(n).
+  size_t Hint = (NPoints / 2) * std::max<size_t>(1, Batch);
+  unsigned Bucket = sizeBucket(Hint);
+  std::string Problem =
+      decisionKey(KernelOp::Butterfly, Q, Base, Bucket) +
+      formatv("/ntt%u", LogN);
+  if (!O.TuneFuseDepth)
+    Problem += formatv(
+        "/f%u", PlanKey::forModulus(KernelOp::Butterfly, Q, Base)
+                    .Opts.FuseDepth);
+  auto It = Decisions.find(Problem);
+  if (It != Decisions.end()) {
+    ++S.Reused;
+    return &It->second;
+  }
+  return tuneNtt(Q, Base, NPoints, Bucket, Problem);
+}
+
+const TuneDecision *Autotuner::tuneNtt(const Bignum &Q,
+                                       const rewrite::PlanOptions &Base,
+                                       size_t NPoints, unsigned Bucket,
+                                       const std::string &Problem) {
+  std::vector<rewrite::PlanOptions> Cands =
+      candidates(KernelOp::Butterfly, Q, Base, /*SweepFuse=*/true,
+                 &LastError);
+  if (Cands.empty())
+    return nullptr;
+
+  // Twiddle tables per reduction domain the candidate set needs, built
+  // once and shared across every timing run (matching how the dispatcher
+  // serves transforms).
+  NttTables Tables[2]; // [0] Barrett/plain, [1] Montgomery
+  bool Built[2] = {false, false};
+  for (const rewrite::PlanOptions &C : Cands) {
+    int D = C.Red == mw::Reduction::Montgomery ? 1 : 0;
+    if (Built[D])
+      continue;
+    std::string Err;
+    if (!buildNttTables(Q, NPoints, C.Red, Tables[D], &Err)) {
+      LastError = "Autotuner: " + Err;
+      return nullptr;
+    }
+    Built[D] = true;
+  }
+
+  // Calibration shape: the real transform size, batched up to the
+  // element budget so stage dispatches see representative grid sizes.
+  unsigned ElemWords = (Q.bitWidth() + 63) / 64;
+  size_t CalBatch = std::max<size_t>(
+      1, std::max(1u, O.MaxCalibrationElems) / NPoints);
+  size_t ImpliedBatch = std::max<size_t>(1, (2 * size_t(Bucket)) / NPoints);
+  CalBatch = std::min(CalBatch, ImpliedBatch);
+  size_t Elems = NPoints * CalBatch;
+
+  Rng R(0x7C5EDull ^ (Q.bitWidth() * 1315423911ull) ^ (NPoints * 31ull));
+  std::vector<std::uint64_t> Data;
+  Data.reserve(Elems * ElemWords);
+  for (size_t I = 0; I < Elems; ++I) {
+    auto W = packWordsMsbFirst(Bignum::random(R, Q), ElemWords);
+    Data.insert(Data.end(), W.begin(), W.end());
+  }
+  std::vector<std::uint64_t> Scratch(Elems * ElemWords);
+
+  TuneDecision Best;
+  Best.NsPerElem = std::numeric_limits<double>::infinity();
+  bool Any = false;
+  std::string FirstError;
+
+  for (const rewrite::PlanOptions &C : Cands) {
+    PlanKey Key = PlanKey::forModulus(KernelOp::Butterfly, Q, C);
+    std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
+    if (!Plan) {
+      if (FirstError.empty())
+        FirstError = Reg.error();
+      continue;
+    }
+    PlanAux Aux = makePlanAux(*Plan, Q);
+    std::vector<const std::uint64_t *> AuxPtrs = Aux.ptrs();
+    const NttTables &T =
+        Tables[Key.Opts.Red == mw::Reduction::Montgomery ? 1 : 0];
+    ExecutionBackend &EB = Reg.backendFor(Key);
+    ++S.Candidates;
+    double BestSec = std::numeric_limits<double>::infinity();
+    bool RunOk = true;
+    for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
+      // Re-transforming transformed data is fine — inputs are arbitrary
+      // reduced vectors, and every candidate sees the same evolution.
+      double T0 = nowSeconds();
+      RunOk = runTransform(EB, *Plan, T, AuxPtrs, Data.data(),
+                           Scratch.data(), NPoints, CalBatch,
+                           /*Inverse=*/false, &FirstError);
+      BestSec = std::min(BestSec, nowSeconds() - T0);
+    }
+    if (!RunOk)
+      continue;
+    double Ns = BestSec * 1e9 / static_cast<double>(Elems);
+    if (Ns < Best.NsPerElem) {
+      Best.Opts = Key.Opts;
+      Best.NsPerElem = Ns;
+    }
+    Any = true;
+  }
 
   if (!Any) {
     LastError = "Autotuner: every candidate failed: " + FirstError;
@@ -376,12 +529,14 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
 }
 
 bool Autotuner::save(const std::string &Path) const {
-  // Version 2 adds the backend and block_dim fields (and size-bucketed
-  // problem keys). The reader skips unknown fields and defaults absent
-  // ones, so version-1 files keep loading — their entries simply never
-  // match a bucketed problem key and are ignored.
+  // Version 2 added the backend and block_dim fields (and size-bucketed
+  // problem keys); version 3 adds fuse_depth (and /ntt<logn>-keyed
+  // transform problems). The reader skips unknown fields and defaults
+  // absent ones, so older files keep loading — version-1 entries simply
+  // never match a bucketed problem key and are ignored, version-2
+  // entries default to the unfused depth.
   std::ostringstream SS;
-  SS << "{\n  \"version\": 2,\n  \"entries\": [";
+  SS << "{\n  \"version\": 3,\n  \"entries\": [";
   bool First = true;
   for (const auto &E : Decisions) {
     const TuneDecision &D = E.second;
@@ -398,6 +553,7 @@ bool Autotuner::save(const std::string &Path) const {
        << "\"backend\": \"" << rewrite::execBackendName(D.Opts.Backend)
        << "\", "
        << "\"block_dim\": " << D.Opts.BlockDim << ", "
+       << "\"fuse_depth\": " << D.Opts.FuseDepth << ", "
        << "\"ns_per_elem\": " << formatv("%.3f", D.NsPerElem) << "}";
     First = false;
   }
@@ -449,6 +605,8 @@ bool Autotuner::load(const std::string &Path) {
                                         : rewrite::ExecBackend::Serial;
     if (const JValue *V = E.field("block_dim"))
       D.Opts.BlockDim = static_cast<unsigned>(V->N);
+    if (const JValue *V = E.field("fuse_depth"))
+      D.Opts.FuseDepth = std::max(1u, static_cast<unsigned>(V->N));
     if (const JValue *V = E.field("ns_per_elem"))
       D.NsPerElem = V->N;
     // Freshly tuned decisions win over persisted ones.

@@ -56,6 +56,13 @@ struct AutotunerOptions {
   /// 1024 threads per block). Geometry is a launch parameter of the grid
   /// ABI, so these share one compiled module per knob combination.
   std::vector<unsigned> BlockDims = {64, 128, 256, 512, 1024};
+  /// Sweep the NTT stage-fusion depth for transform-shaped problems
+  /// (chooseNtt). Off pins the base plan's FuseDepth. Like the block
+  /// dimension, depth is a launch parameter — the sweep costs timing
+  /// only, no extra compiles.
+  bool TuneFuseDepth = true;
+  /// Fusion depths swept (clamped to PlanOptions::MaxFuseDepth).
+  std::vector<unsigned> FuseDepths = {1, 2, 3};
   /// When non-empty: load(CachePath) at construction and save(CachePath)
   /// after every tuning run, so decisions survive process restarts.
   std::string CachePath;
@@ -87,6 +94,19 @@ public:
                              const rewrite::PlanOptions &Base =
                                  rewrite::PlanOptions(),
                              size_t SizeHint = 0);
+
+  /// The transform-shaped companion of choose(): picks the butterfly
+  /// variant for whole batched NTTs of \p NPoints points (candidates are
+  /// timed on real fused stage-group walks — bit-reversal gather,
+  /// in-register sub-stages, domain-matched twiddle tables — so the
+  /// FuseDepth axis is measured, not guessed). Decisions key on the
+  /// butterfly problem, the transform size, and the batch-size class of
+  /// (NPoints/2) * Batch butterflies per stage dispatch. \p Q must be
+  /// NTT-friendly for \p NPoints (2-adicity >= log2 n); null with
+  /// error() set otherwise.
+  const TuneDecision *chooseNtt(const mw::Bignum &Q,
+                                const rewrite::PlanOptions &Base,
+                                size_t NPoints, size_t Batch);
 
   /// The power-of-two batch-size class \p SizeHint falls into.
   static unsigned sizeBucket(size_t SizeHint);
@@ -121,6 +141,18 @@ private:
   const TuneDecision *tune(KernelOp Op, const mw::Bignum &Q,
                            const rewrite::PlanOptions &Base,
                            unsigned Bucket, const std::string &Problem);
+  const TuneDecision *tuneNtt(const mw::Bignum &Q,
+                              const rewrite::PlanOptions &Base,
+                              size_t NPoints, unsigned Bucket,
+                              const std::string &Problem);
+  /// Shared knob-grid enumeration (reduction x prune x schedule x
+  /// backend/geometry [x fuse depth for transform problems]).
+  std::vector<rewrite::PlanOptions> candidates(KernelOp Op,
+                                               const mw::Bignum &Q,
+                                               const rewrite::PlanOptions
+                                                   &Base,
+                                               bool SweepFuse,
+                                               std::string *Err) const;
 
   KernelRegistry &Reg;
   AutotunerOptions O;

@@ -33,10 +33,35 @@ using StageFnTy = void (*)(std::uint64_t, std::uint64_t, std::uint64_t,
                            std::uint64_t, std::uint64_t, std::uint64_t *,
                            const std::uint64_t *,
                            const std::uint64_t *const *);
+using FusedFnTy = void (*)(std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::uint64_t *, const std::uint64_t *,
+                           const std::uint64_t *, const std::uint32_t *,
+                           const std::uint64_t *,
+                           const std::uint64_t *const *);
 
 bool checkButterflyShape(const CompiledPlan &P, std::string *Err) {
   if (P.NumOutputs != 2 || P.NumDataInputs != 3)
     return fail(Err, "runStage: plan is not a butterfly kernel");
+  return true;
+}
+
+/// Shared validation of one fused stage-group request against the
+/// transform size: the group must cover whole stages inside the
+/// transform, with the bit-reversal gather only on the first stage.
+bool checkStageGroup(const StageGroup &G, size_t NPoints, std::string *Err) {
+  if (G.Depth < 1 || G.Depth > rewrite::PlanOptions::MaxFuseDepth)
+    return fail(Err, formatv("runStageGroup: depth %u outside [1, %u]",
+                             G.Depth, rewrite::PlanOptions::MaxFuseDepth));
+  if (!G.Src || !G.Dst)
+    return fail(Err, "runStageGroup: null data pointer");
+  if (G.Len0 == 0 || (G.Len0 << G.Depth) > NPoints)
+    return fail(Err, formatv("runStageGroup: group [len0 %zu, depth %u] "
+                             "does not fit n = %zu",
+                             G.Len0, G.Depth, NPoints));
+  if (G.Gather && G.Len0 != 1)
+    return fail(Err, "runStageGroup: the bit-reversal gather only folds "
+                     "into the first stage group");
   return true;
 }
 
@@ -91,6 +116,119 @@ bool SerialBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
           return fail(Err, formatv("runStage: unsupported butterfly arity "
                                    "%zu",
                                    NumPorts));
+      }
+    }
+  }
+  return true;
+}
+
+bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                                  const std::uint64_t *Tw,
+                                  const std::vector<const std::uint64_t *>
+                                      &Aux,
+                                  size_t NPoints, size_t Batch,
+                                  std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
+    return fail(Err, formatv("serial backend cannot run a %s plan",
+                             rewrite::execBackendName(P.Key.Opts.Backend)));
+  if (!checkButterflyShape(P, Err) || !checkStageGroup(G, NPoints, Err))
+    return false;
+  unsigned K = P.ElemWords;
+  size_t NumPorts = P.numPorts();
+  if (Aux.size() != P.AuxWords.size() || NumPorts > 8)
+    return fail(Err, "runStageGroup: aux/port shape mismatch");
+  if (Batch == 0 || NPoints < 2)
+    return true;
+
+  // In-place groups without edge folds need no staging at all on the
+  // serial substrate: walk the sub-stages as plain radix-2 passes over
+  // the buffer (identical butterfly sequence, so bit-identical results,
+  // at the historical per-stage cost with zero copies).
+  if (!G.Gather && !G.Scale && G.Src == G.Dst) {
+    unsigned KW = P.ElemWords;
+    void *Ports[8];
+    for (size_t I = 0; I < Aux.size(); ++I)
+      Ports[5 + I] = const_cast<std::uint64_t *>(Aux[I]);
+    for (size_t B = 0; B < Batch; ++B) {
+      std::uint64_t *Poly = G.Dst + B * NPoints * KW;
+      for (unsigned D = 0; D < G.Depth; ++D) {
+        size_t L = G.Len0 << D;
+        const std::uint64_t *Stage = Tw + (L - 1) * KW;
+        for (size_t I0 = 0; I0 < NPoints; I0 += 2 * L)
+          for (size_t J = 0; J < L; ++J) {
+            std::uint64_t *X = Poly + (I0 + J) * KW;
+            Ports[0] = Ports[2] = X;
+            Ports[1] = Ports[3] = X + L * KW;
+            Ports[4] = const_cast<std::uint64_t *>(Stage + J * KW);
+            if (!callPlan(P, Ports))
+              return fail(Err, "runStageGroup: unsupported butterfly "
+                               "arity");
+          }
+      }
+    }
+    return true;
+  }
+
+  // The host-side mirror of the emitted fused kernel (same geometry, same
+  // butterfly order — bit-identical by construction): 2^depth elements
+  // per virtual thread staged through a register block, gather on the
+  // loads, n^-1 on the stores via the zero-x butterfly. One allocation
+  // per dispatch, amortized over the whole batch.
+  size_t M = size_t(1) << G.Depth;
+  size_t NT = NPoints >> G.Depth;
+  std::vector<std::uint64_t> Regs(M * K), Dump(K), Zero(K, 0);
+  void *Ports[8];
+  for (size_t I = 0; I < Aux.size(); ++I)
+    Ports[5 + I] = const_cast<std::uint64_t *>(Aux[I]);
+
+  for (size_t B = 0; B < Batch; ++B) {
+    const std::uint64_t *SrcRow = G.Src + B * NPoints * K;
+    std::uint64_t *DstRow = G.Dst + B * NPoints * K;
+    size_t Grp = 0, R = 0; // thread t = Grp * Len0 + R
+    for (size_t T = 0; T < NT; ++T) {
+      size_t Base = Grp * (G.Len0 << G.Depth) + R;
+      for (size_t J = 0; J < M; ++J) {
+        size_t E = Base + J * G.Len0;
+        const std::uint64_t *Src =
+            SrcRow + (G.Gather ? size_t(G.Gather[E]) : E) * K;
+        std::copy(Src, Src + K, Regs.begin() + J * K);
+      }
+      for (unsigned D = 0; D < G.Depth; ++D) {
+        size_t H = size_t(1) << D;
+        size_t L = G.Len0 << D;
+        for (size_t J0 = 0; J0 < M; J0 += 2 * H)
+          for (size_t J = J0; J < J0 + H; ++J) {
+            std::uint64_t *X = Regs.data() + J * K;
+            std::uint64_t *Y = Regs.data() + (J + H) * K;
+            Ports[0] = X;
+            Ports[1] = Y;
+            Ports[2] = X;
+            Ports[3] = Y;
+            Ports[4] = const_cast<std::uint64_t *>(
+                Tw + (L - 1 + R + (J - J0) * G.Len0) * K);
+            if (!callPlan(P, Ports))
+              return fail(Err,
+                          formatv("runStageGroup: unsupported butterfly "
+                                  "arity %zu",
+                                  NumPorts));
+          }
+      }
+      if (G.Scale)
+        for (size_t J = 0; J < M; ++J) {
+          Ports[0] = Regs.data() + J * K;
+          Ports[1] = Dump.data();
+          Ports[2] = Zero.data();
+          Ports[3] = Regs.data() + J * K;
+          Ports[4] = const_cast<std::uint64_t *>(G.Scale);
+          if (!callPlan(P, Ports))
+            return fail(Err, "runStageGroup: unsupported butterfly arity");
+        }
+      for (size_t J = 0; J < M; ++J)
+        std::copy(Regs.begin() + J * K, Regs.begin() + (J + 1) * K,
+                  DstRow + (Base + J * G.Len0) * K);
+      if (++R == G.Len0) {
+        R = 0;
+        ++Grp;
       }
     }
   }
@@ -182,6 +320,42 @@ bool SimGpuBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
   auto Fn = reinterpret_cast<StageFnTy>(P.StageFn);
   Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
     Fn(BX, BY, BD, NPoints, Len, Data, StageTw, Aux.data());
+  });
+  return true;
+}
+
+bool SimGpuBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                                  const std::uint64_t *Tw,
+                                  const std::vector<const std::uint64_t *>
+                                      &Aux,
+                                  size_t NPoints, size_t Batch,
+                                  std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::SimGpu || !P.FusedFn)
+    return fail(Err, "sim-GPU backend needs a plan compiled with a fused "
+                     "stage-group entry point");
+  if (!checkButterflyShape(P, Err) || !validGeometry(P, Err) ||
+      !checkStageGroup(G, NPoints, Err))
+    return false;
+  if (Aux.size() != P.AuxWords.size())
+    return fail(Err, "runStageGroup: aux shape mismatch");
+  if (Batch == 0 || NPoints < 2)
+    return true;
+
+  unsigned BD = P.Key.Opts.BlockDim;
+  std::uint64_t Threads = NPoints >> G.Depth; // one per 2^depth points
+  std::uint64_t GridX = (Threads + BD - 1) / BD;
+  if (GridX > std::numeric_limits<std::uint32_t>::max() ||
+      Batch > std::numeric_limits<std::uint32_t>::max())
+    return fail(Err, "sim-GPU runStageGroup: grid too large");
+
+  sim::LaunchConfig Cfg;
+  Cfg.GridX = static_cast<std::uint32_t>(GridX);
+  Cfg.GridY = static_cast<std::uint32_t>(Batch); // paper 5.1 batch dim
+  Cfg.BlockDim = BD;
+  auto Fn = reinterpret_cast<FusedFnTy>(P.FusedFn);
+  Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
+    Fn(BX, BY, BD, NPoints, G.Len0, G.Depth, G.Dst, G.Src, Tw, G.Gather,
+       G.Scale, Aux.data());
   });
   return true;
 }

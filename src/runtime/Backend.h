@@ -36,6 +36,24 @@
 namespace moma {
 namespace runtime {
 
+/// One fused NTT stage-group launch (the codegen/GridEmitter.h fused-ABI
+/// contract): `Depth` consecutive butterfly stages starting at
+/// half-distance `Len0`, each virtual thread transforming 2^Depth points
+/// in registers. `Gather` (bit-reversal table, first group only) folds
+/// the input permutation into the loads; `Scale` (n^-1 in the plan's
+/// twiddle domain, last inverse group only) folds the final multiply
+/// into the stores. Src == Dst is only safe when every thread's read set
+/// equals its write set: any group without Gather, or a single-group
+/// transform (Depth == log2(n), one thread per row).
+struct StageGroup {
+  size_t Len0 = 1;    ///< half-distance of the group's first stage
+  unsigned Depth = 1; ///< fused stages, in [1, PlanOptions::MaxFuseDepth]
+  const std::uint64_t *Src = nullptr;
+  std::uint64_t *Dst = nullptr;
+  const std::uint32_t *Gather = nullptr; ///< NPoints-entry bit-rev table
+  const std::uint64_t *Scale = nullptr;  ///< ElemWords scale factor
+};
+
 /// Abstract execution substrate for compiled plans. Implementations are
 /// not thread-safe with respect to one plan's buffers (callers own the
 /// batch memory), but hold no per-call state of their own.
@@ -63,6 +81,17 @@ public:
                         const std::vector<const std::uint64_t *> &Aux,
                         size_t NPoints, size_t Len, size_t Batch,
                         std::string *Err = nullptr) const = 0;
+
+  /// One fused stage-group dispatch over \p Batch rows of \p NPoints
+  /// elements (see StageGroup). \p Tw is the *full* stage-major twiddle
+  /// table for the transform direction — each fused sub-stage of
+  /// half-distance L indexes its slice at word offset (L-1)*ElemWords —
+  /// and \p Aux the plan's broadcast tail. \p P must be a butterfly plan.
+  virtual bool runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                             const std::uint64_t *Tw,
+                             const std::vector<const std::uint64_t *> &Aux,
+                             size_t NPoints, size_t Batch,
+                             std::string *Err = nullptr) const = 0;
 };
 
 /// The original serial host-JIT execution: scalar calls on the calling
@@ -79,6 +108,11 @@ public:
                 const std::vector<const std::uint64_t *> &Aux,
                 size_t NPoints, size_t Len, size_t Batch,
                 std::string *Err = nullptr) const override;
+  bool runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                     const std::uint64_t *Tw,
+                     const std::vector<const std::uint64_t *> &Aux,
+                     size_t NPoints, size_t Batch,
+                     std::string *Err = nullptr) const override;
 };
 
 /// Grid-shaped execution on the sim-GPU substrate: launches the plan's
@@ -102,6 +136,11 @@ public:
                 const std::vector<const std::uint64_t *> &Aux,
                 size_t NPoints, size_t Len, size_t Batch,
                 std::string *Err = nullptr) const override;
+  bool runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                     const std::uint64_t *Tw,
+                     const std::vector<const std::uint64_t *> &Aux,
+                     size_t NPoints, size_t Batch,
+                     std::string *Err = nullptr) const override;
 
 private:
   /// Geometry check shared by both entry points: the plan's block dim

@@ -41,25 +41,69 @@ moma::runtime::unpackBatch(const std::vector<std::uint64_t> &Words,
   return Out;
 }
 
+namespace {
+
+/// Evicts least-recently-used entries until \p M holds at most \p Cap,
+/// bumping \p Evictions per erased entry. Entries carry a LastUse stamp
+/// (directly or via .LastUse of a wrapper member).
+template <typename Map, typename StampOf>
+void evictOver(Map &M, size_t Cap, std::uint64_t &Evictions,
+               StampOf Stamp) {
+  while (M.size() > Cap) {
+    auto Victim = M.begin();
+    for (auto It = M.begin(); It != M.end(); ++It)
+      if (Stamp(It->second) < Stamp(Victim->second))
+        Victim = It;
+    M.erase(Victim);
+    ++Evictions;
+  }
+}
+
+} // namespace
+
 Dispatcher::Dispatcher(KernelRegistry &Reg, Autotuner *Tuner,
                        rewrite::PlanOptions Base)
     : Reg(Reg), Tuner(Tuner), Base(Base) {}
 
+Dispatcher::CacheCounters Dispatcher::cacheCounters() const {
+  CacheCounters C = Evictions;
+  C.BoundEntries = Bound.size();
+  C.TableEntries = NttCtx.size();
+  return C;
+}
+
+void Dispatcher::setCacheCaps(size_t MaxBoundPlans, size_t MaxNttTables) {
+  MaxBound = std::max<size_t>(1, MaxBoundPlans);
+  MaxTables = std::max<size_t>(1, MaxNttTables);
+  evictOver(Bound, MaxBound, Evictions.BoundEvictions,
+            [](const BoundPlan &B) { return B.LastUse; });
+  evictOver(NttCtx, MaxTables, Evictions.TableEvictions,
+            [](const TablesEntry &T) { return T.LastUse; });
+}
+
 Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q,
                                         size_t SizeHint) {
+  rewrite::PlanOptions Opts = Base;
+  if (Tuner) {
+    if (!Q.isOdd())
+      return fail("Dispatcher: modulus must be odd"), nullptr;
+    const TuneDecision *D = Tuner->choose(Op, Q, Base, SizeHint);
+    if (!D)
+      return fail("Dispatcher: " + Tuner->error()), nullptr;
+    Opts = D->Opts;
+  }
+  return bindPlan(Op, Q, Opts);
+}
+
+Dispatcher::BoundPlan *Dispatcher::bindPlan(KernelOp Op, const Bignum &Q,
+                                            const rewrite::PlanOptions
+                                                &Opts) {
   // The documented contract: odd moduli only (Montgomery candidates need
   // -q^-1 mod 2^lambda; every NTT-friendly prime is odd anyway). Checked
   // here so all entry points fail with error() instead of aborting inside
   // the constant computation.
   if (!Q.isOdd())
     return fail("Dispatcher: modulus must be odd"), nullptr;
-  rewrite::PlanOptions Opts = Base;
-  if (Tuner) {
-    const TuneDecision *D = Tuner->choose(Op, Q, Base, SizeHint);
-    if (!D)
-      return fail("Dispatcher: " + Tuner->error()), nullptr;
-    Opts = D->Opts;
-  }
   PlanKey Key = PlanKey::forModulus(Op, Q, Opts);
   // The binding cache is keyed by the full canonical variant string, so
   // differently-tuned variants of one problem (e.g. serial for small
@@ -68,6 +112,7 @@ Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q,
   std::string CacheKey = Key.str() + "#" + Q.toHex();
   auto It = Bound.find(CacheKey);
   if (It != Bound.end()) {
+    It->second.LastUse = ++UseTick;
     LastOpts = It->second.Plan->Key.Opts;
     return &It->second;
   }
@@ -78,8 +123,13 @@ Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q,
   BP.Plan = std::move(Plan);
   BP.Aux = makePlanAux(*BP.Plan, Q);
   BP.AuxPtrs = BP.Aux.ptrs();
+  BP.LastUse = ++UseTick;
   LastOpts = BP.Plan->Key.Opts;
   auto Ins = Bound.insert_or_assign(CacheKey, std::move(BP));
+  // The freshest stamp is the entry just inserted, so LRU eviction never
+  // invalidates the pointer handed back here.
+  evictOver(Bound, MaxBound, Evictions.BoundEvictions,
+            [](const BoundPlan &B) { return B.LastUse; });
   return &Ins.first->second;
 }
 
@@ -95,6 +145,7 @@ bool Dispatcher::runElementwise(KernelOp Op, const Bignum &Q,
   Args.Outs = {C};
   Args.Ins = {A, B};
   Args.Aux = BP->AuxPtrs;
+  ++DStats.Batches;
   return Reg.backendFor(BP->Plan->Key)
       .runBatch(*BP->Plan, Args, N, /*Rows=*/1, &LastError);
 }
@@ -125,6 +176,7 @@ bool Dispatcher::axpy(const Bignum &Q, const std::uint64_t *AScalar,
   Args.Ins = {AScalar, X, Y};
   Args.InStrides = {0, BP->Plan->ElemWords, BP->Plan->ElemWords};
   Args.Aux = BP->AuxPtrs;
+  ++DStats.Batches;
   return Reg.backendFor(BP->Plan->Key)
       .runBatch(*BP->Plan, Args, N, /*Rows=*/1, &LastError);
 }
@@ -136,112 +188,101 @@ bool Dispatcher::butterfly(const Bignum &Q, std::uint64_t *X,
   BoundPlan *BP = bind(KernelOp::Butterfly, Q, N);
   if (!BP)
     return false;
+  // The butterfly kernel reads its twiddle in the plan's reduction
+  // domain; this entry point takes plain values, so Montgomery plans get
+  // a converted scratch copy (the batched NTT path never pays this — its
+  // tables are precomputed in-domain).
+  const std::uint64_t *WPtr = W;
+  if (BP->Plan->Key.Opts.Red == mw::Reduction::Montgomery) {
+    unsigned K = BP->Plan->ElemWords;
+    unsigned Lambda = BP->Plan->Key.ContainerBits;
+    if (TwScratch.size() < N * K)
+      TwScratch.resize(N * K);
+    for (size_t I = 0; I < N; ++I) {
+      Bignum Wi = unpackWordsMsbFirst(W + I * K, K);
+      auto WM = packWordsMsbFirst((Wi << Lambda) % Q, K);
+      std::copy(WM.begin(), WM.end(), TwScratch.begin() + I * K);
+    }
+    WPtr = TwScratch.data();
+  }
   BatchArgs Args;
   Args.Outs = {X, Y}; // in place: kernels load inputs before storing
-  Args.Ins = {X, Y, W};
+  Args.Ins = {X, Y, WPtr};
   Args.Aux = BP->AuxPtrs;
+  ++DStats.Batches;
   return Reg.backendFor(BP->Plan->Key)
       .runBatch(*BP->Plan, Args, N, /*Rows=*/1, &LastError);
 }
 
-Dispatcher::NttTables *Dispatcher::tables(const Bignum &Q, size_t NPoints) {
-  std::string Key = Q.toHex() + ":" + std::to_string(NPoints);
+const NttTables *Dispatcher::tables(const Bignum &Q, size_t NPoints,
+                                    mw::Reduction Domain) {
+  std::string Key = Q.toHex() + ":" + std::to_string(NPoints) + ":" +
+                    mw::reductionName(Domain);
   auto It = NttCtx.find(Key);
-  if (It != NttCtx.end())
-    return &It->second;
-
-  unsigned LogN = 0;
-  while ((size_t(1) << LogN) < NPoints)
-    ++LogN;
-  if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0)
-    return fail("Dispatcher: NTT size must be a power of two >= 2"), nullptr;
-  if (field::twoAdicity(Q) < LogN)
-    return fail(formatv("Dispatcher: modulus 2-adicity %u < log2(n) = %u",
-                        field::twoAdicity(Q), LogN)),
-           nullptr;
-
-  unsigned K = elemWords(Q);
-  NttTables T;
-  T.BitRev.resize(NPoints);
-  for (size_t I = 0; I < NPoints; ++I) {
-    size_t R = 0;
-    for (unsigned B = 0; B < LogN; ++B)
-      R |= ((I >> B) & 1) << (LogN - 1 - B);
-    T.BitRev[I] = static_cast<std::uint32_t>(R);
+  if (It != NttCtx.end()) {
+    It->second.LastUse = ++UseTick;
+    return &It->second.T;
   }
-
-  // Stage-major twiddle tables matching ntt::NttPlan: stage len uses
-  // w_{2len}^j at offset (len - 1) + j.
-  Bignum Root = field::rootOfUnity(Q, NPoints);
-  Bignum RootInv = Root.invMod(Q);
-  T.Tw.resize((NPoints - 1) * K);
-  T.InvTw.resize((NPoints - 1) * K);
-  for (size_t Len = 1; Len < NPoints; Len <<= 1) {
-    Bignum WLen = Root.powMod(Bignum(NPoints / (2 * Len)), Q);
-    Bignum WLenInv = RootInv.powMod(Bignum(NPoints / (2 * Len)), Q);
-    Bignum Cur(1), CurInv(1);
-    for (size_t J = 0; J < Len; ++J) {
-      auto CW = packWordsMsbFirst(Cur, K);
-      auto CIW = packWordsMsbFirst(CurInv, K);
-      std::copy(CW.begin(), CW.end(), T.Tw.begin() + (Len - 1 + J) * K);
-      std::copy(CIW.begin(), CIW.end(),
-                T.InvTw.begin() + (Len - 1 + J) * K);
-      Cur = Cur.mulMod(WLen, Q);
-      CurInv = CurInv.mulMod(WLenInv, Q);
-    }
-  }
-  T.NInv = packWordsMsbFirst(Bignum(NPoints).invMod(Q), K);
-  auto Ins = NttCtx.emplace(std::move(Key), std::move(T));
-  return &Ins.first->second;
+  TablesEntry E;
+  std::string Err;
+  if (!buildNttTables(Q, NPoints, Domain, E.T, &Err))
+    return fail("Dispatcher: " + Err), nullptr;
+  E.LastUse = ++UseTick;
+  auto Ins = NttCtx.emplace(std::move(Key), std::move(E));
+  evictOver(NttCtx, MaxTables, Evictions.TableEvictions,
+            [](const TablesEntry &T) { return T.LastUse; });
+  return &Ins.first->second.T;
 }
 
 bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
                            size_t NPoints, size_t Batch, bool Inverse) {
-  NttTables *T = tables(Q, NPoints);
-  if (!T)
-    return false;
-  // Size hint: butterflies per stage launch across the whole batch (what
-  // one backend dispatch actually executes).
-  BoundPlan *BP = bind(KernelOp::Butterfly, Q, (NPoints / 2) * Batch);
+  // Shape checks up front so the autotuner never times a malformed
+  // transform and every entry point fails with error() set.
+  if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0)
+    return fail("Dispatcher: NTT size must be a power of two >= 2");
+  unsigned LogN = 0;
+  while ((size_t(1) << LogN) < NPoints)
+    ++LogN;
+  if (field::twoAdicity(Q) < LogN)
+    return fail(formatv("Dispatcher: modulus 2-adicity %u < log2(n) = %u",
+                        field::twoAdicity(Q), LogN));
+
+  // The transform-shaped tuning decision (backend x geometry x reduction
+  // x FuseDepth, per size bucket): the tuner times real fused stage-group
+  // walks, so the winning depth is measured, not guessed.
+  rewrite::PlanOptions Opts = Base;
+  if (Tuner) {
+    if (!Q.isOdd())
+      return fail("Dispatcher: modulus must be odd");
+    const TuneDecision *D = Tuner->chooseNtt(Q, Base, NPoints, Batch);
+    if (!D)
+      return fail("Dispatcher: " + Tuner->error());
+    Opts = D->Opts;
+  }
+  BoundPlan *BP = bindPlan(KernelOp::Butterfly, Q, Opts);
   if (!BP)
     return false;
   const CompiledPlan &P = *BP->Plan;
-  unsigned K = P.ElemWords;
-  const std::vector<std::uint64_t> &Tw = Inverse ? T->InvTw : T->Tw;
+  // Twiddles live in the plan's reduction domain (Montgomery-form tables
+  // for Montgomery plans: the butterfly is a single REDC, with no
+  // per-stage domain conversions); one table pair serves forward and
+  // inverse.
+  const NttTables *T = tables(Q, NPoints, P.Key.Opts.Red);
+  if (!T)
+    return false;
 
-  for (size_t B = 0; B < Batch; ++B) {
-    std::uint64_t *Poly = Data + B * NPoints * K;
-    for (size_t I = 0; I < NPoints; ++I) {
-      size_t R = T->BitRev[I];
-      if (I < R)
-        std::swap_ranges(Poly + I * K, Poly + (I + 1) * K, Poly + R * K);
-    }
+  std::uint64_t *Scratch = nullptr;
+  if (planStageGroups(T->LogN, P.Key.Opts.FuseDepth).size() > 1) {
+    size_t Need = NPoints * Batch * P.ElemWords;
+    if (NttScratch.size() < Need)
+      NttScratch.resize(Need); // grow-only: steady state allocates nothing
+    Scratch = NttScratch.data();
   }
-
-  // One backend dispatch per stage: the serial backend walks the
-  // butterflies on the calling thread; the sim-GPU backend launches one
-  // virtual thread per butterfly with grid y = batch index (paper 5.1).
   ExecutionBackend &EB = Reg.backendFor(P.Key);
-  for (size_t Len = 1; Len < NPoints; Len <<= 1) {
-    const std::uint64_t *Stage = Tw.data() + (Len - 1) * K;
-    if (!EB.runStage(P, Data, Stage, BP->AuxPtrs, NPoints, Len, Batch,
-                     &LastError))
-      return false;
-  }
-
-  if (Inverse) {
-    // Scale by n^-1 through the vmul plan with a broadcast operand.
-    BoundPlan *MP = bind(KernelOp::MulMod, Q, NPoints * Batch);
-    if (!MP)
-      return false;
-    BatchArgs Args;
-    Args.Outs = {Data};
-    Args.Ins = {Data, T->NInv.data()};
-    Args.InStrides = {K, 0};
-    Args.Aux = MP->AuxPtrs;
-    return Reg.backendFor(MP->Plan->Key)
-        .runBatch(*MP->Plan, Args, NPoints * Batch, /*Rows=*/1, &LastError);
-  }
+  if (!runTransform(EB, P, *T, BP->AuxPtrs, Data, Scratch, NPoints, Batch,
+                    Inverse, &LastError, &DStats.StageGroups))
+    return false;
+  ++DStats.Transforms;
   return true;
 }
 
@@ -264,14 +305,18 @@ bool Dispatcher::polyMul(const Bignum &Q, const std::uint64_t *A,
   unsigned K = elemWords(Q);
   size_t Total = NPoints * Batch * K;
   // A's transform runs directly in the output buffer (dead until the
-  // point-wise product); only B needs a scratch copy.
+  // point-wise product); only B needs a scratch copy — into the
+  // dispatcher's reusable buffer, so steady-state batched polyMul does
+  // zero heap allocation.
   if (C != A)
     std::copy(A, A + Total, C);
-  std::vector<std::uint64_t> TB(B, B + Total);
+  if (PolyScratch.size() < Total)
+    PolyScratch.resize(Total);
+  std::copy(B, B + Total, PolyScratch.begin());
   if (!nttForward(Q, C, NPoints, Batch) ||
-      !nttForward(Q, TB.data(), NPoints, Batch))
+      !nttForward(Q, PolyScratch.data(), NPoints, Batch))
     return false;
-  if (!vmul(Q, C, TB.data(), C, NPoints * Batch))
+  if (!vmul(Q, C, PolyScratch.data(), C, NPoints * Batch))
     return false;
   return nttInverse(Q, C, NPoints, Batch);
 }

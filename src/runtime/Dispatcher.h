@@ -39,6 +39,7 @@
 
 #include "runtime/Autotuner.h"
 #include "runtime/KernelRegistry.h"
+#include "runtime/NttPipeline.h"
 
 #include <map>
 #include <vector>
@@ -85,12 +86,22 @@ public:
   // -- Batched NTT engine (paper §5.3) -----------------------------------
 
   /// One butterfly per element triple, in place: (x, y) <- (x + w*y,
-  /// x - w*y) mod q.
+  /// x - w*y) mod q. \p W holds plain-domain twiddles; when the bound
+  /// plan uses Montgomery reduction they are converted (w * 2^lambda mod
+  /// q, one host mulmod each) into a scratch copy per call — the NTT
+  /// entry points avoid that cost entirely through their precomputed
+  /// Montgomery-domain tables, so this convenience API stays
+  /// domain-agnostic for callers.
   bool butterfly(const mw::Bignum &Q, std::uint64_t *X, std::uint64_t *Y,
                  const std::uint64_t *W, size_t N);
 
   /// In-place forward/inverse NTT over \p Batch contiguous \p NPoints
-  /// transforms (inverse includes the 1/n scaling).
+  /// transforms (inverse includes the 1/n scaling). Each transform walks
+  /// its log2(n) stages in ceil(log2(n)/FuseDepth) fused stage-group
+  /// dispatches (runtime/NttPipeline.h): the bit-reversal permutation is
+  /// gathered by the first group's loads and the inverse n^-1 multiply
+  /// folded into the last group's stores, so there is no host-side data
+  /// pass and no separate scaling dispatch.
   bool nttForward(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
                   size_t Batch);
   bool nttInverse(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
@@ -121,24 +132,58 @@ public:
 
   KernelRegistry &registry() { return Reg; }
 
+  /// Backend launches issued, by shape — the probe behind the fused
+  /// pipeline's dispatch-count guarantees (a batched NTT is exactly
+  /// ceil(log2(n)/FuseDepth) StageGroups per transform, with no separate
+  /// bit-reversal or inverse-scaling dispatch).
+  struct DispatchStats {
+    std::uint64_t StageGroups = 0; ///< fused NTT stage-group launches
+    std::uint64_t Batches = 0;     ///< element-wise batch launches
+    std::uint64_t Transforms = 0;  ///< forward/inverse NTTs executed
+  };
+  const DispatchStats &dispatchStats() const { return DStats; }
+
+  /// The binding and twiddle-table caches are bounded: beyond the caps
+  /// the least-recently-used entry is evicted (a dispatcher serving an
+  /// unbounded stream of distinct moduli/sizes stays at steady memory).
+  /// Counters let tests and monitoring observe occupancy and churn.
+  struct CacheCounters {
+    size_t BoundEntries = 0;
+    std::uint64_t BoundEvictions = 0;
+    size_t TableEntries = 0;
+    std::uint64_t TableEvictions = 0;
+  };
+  CacheCounters cacheCounters() const;
+  /// Adjusts the cache caps (both default to generous production sizes;
+  /// at least one entry each is always kept).
+  void setCacheCaps(size_t MaxBoundPlans, size_t MaxNttTables);
+
 private:
   /// A compiled plan bound to one modulus value: broadcast tail packed.
   struct BoundPlan {
     std::shared_ptr<const CompiledPlan> Plan;
     PlanAux Aux;
     std::vector<const std::uint64_t *> AuxPtrs;
+    std::uint64_t LastUse = 0; ///< LRU stamp
   };
-  /// Twiddle/bit-reversal tables for one (modulus, size) pair.
-  struct NttTables {
-    std::vector<std::uint32_t> BitRev;
-    std::vector<std::uint64_t> Tw, InvTw; ///< (n-1) x ElemWords, stage-major
-    std::vector<std::uint64_t> NInv;      ///< ElemWords
+  /// One cached NttTables with its LRU stamp.
+  struct TablesEntry {
+    NttTables T;
+    std::uint64_t LastUse = 0;
   };
 
   /// \p SizeHint is the elements-per-dispatch estimate handed to the
   /// autotuner (decisions are per batch-size class).
   BoundPlan *bind(KernelOp Op, const mw::Bignum &Q, size_t SizeHint);
-  NttTables *tables(const mw::Bignum &Q, size_t NPoints);
+  /// Binds a fully-resolved variant (no autotuner consultation) — the
+  /// NTT path resolves its own transform-shaped decision first.
+  BoundPlan *bindPlan(KernelOp Op, const mw::Bignum &Q,
+                      const rewrite::PlanOptions &Opts);
+  /// Tables for (Q, NPoints) in \p Domain — the bound butterfly plan's
+  /// reduction, so Montgomery plans get Montgomery-form twiddles. Built
+  /// once and shared by forward and inverse transforms.
+  const NttTables *tables(const mw::Bignum &Q, size_t NPoints,
+                          mw::Reduction Domain);
   bool runElementwise(KernelOp Op, const mw::Bignum &Q,
                       const std::uint64_t *A, const std::uint64_t *B,
                       std::uint64_t *C, size_t N);
@@ -154,8 +199,18 @@ private:
   rewrite::PlanOptions Base;
   std::string LastError;
   rewrite::PlanOptions LastOpts;
-  std::map<std::string, BoundPlan> Bound;  ///< by full plan key + modulus
-  std::map<std::string, NttTables> NttCtx; ///< by modulus + size
+  std::map<std::string, BoundPlan> Bound; ///< by full plan key + modulus
+  std::map<std::string, TablesEntry> NttCtx; ///< by modulus + size + domain
+  size_t MaxBound = 128, MaxTables = 64;
+  std::uint64_t UseTick = 0; ///< LRU clock shared by both caches
+  DispatchStats DStats;
+  CacheCounters Evictions; ///< only the eviction counters are maintained
+                           ///< here; entry counts read the maps directly
+  /// Reusable scratch buffers (grow-only): steady-state batched polyMul
+  /// and NTT dispatch perform zero heap allocation.
+  std::vector<std::uint64_t> PolyScratch; ///< polyMul's B-transform copy
+  std::vector<std::uint64_t> NttScratch;  ///< stage-group ping-pong
+  std::vector<std::uint64_t> TwScratch;   ///< butterfly() domain conversion
 };
 
 } // namespace runtime

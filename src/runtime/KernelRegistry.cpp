@@ -238,17 +238,20 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
                    Key.ModBits);
   P->Lowered = rewrite::lowerWithPlan(K, Key.Opts);
 
-  std::string StageSymbol;
+  std::string StageSymbol, FusedSymbol;
   if (IsSimGpu) {
     // Grid-shaped artifact (paper 5.1 thread mapping as host-JIT C). The
-    // block dimension is a runtime launch parameter of the grid ABI, so
-    // plans differing only in BlockDim share one module through HostJit's
-    // source-identity dedup while remaining distinct cache entries.
+    // block dimension — and, for butterfly kernels, the stage-fusion
+    // depth — are runtime launch parameters of the grid ABI, so plans
+    // differing only in BlockDim or FuseDepth share one module through
+    // HostJit's source-identity dedup while remaining distinct cache
+    // entries.
     codegen::EmittedGridKernel G = codegen::emitGridC(P->Lowered);
     P->Emitted.Source = std::move(G.Source);
     P->Emitted.Symbol = G.GridSymbol;
     P->Emitted.Ports = std::move(G.Ports);
     StageSymbol = G.StageSymbol;
+    FusedSymbol = G.FusedSymbol;
   } else {
     P->Emitted = codegen::emitC(P->Lowered);
   }
@@ -267,11 +270,15 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
   }
   if (IsSimGpu) {
     P->GridFn = Entry;
-    if (!StageSymbol.empty()) {
-      P->StageFn = P->Module->symbol(StageSymbol);
-      if (!P->StageFn) {
+    for (const auto &Sym :
+         {std::make_pair(&P->StageFn, &StageSymbol),
+          std::make_pair(&P->FusedFn, &FusedSymbol)}) {
+      if (Sym.second->empty())
+        continue;
+      *Sym.first = P->Module->symbol(*Sym.second);
+      if (!*Sym.first) {
         LastError = formatv("KernelRegistry: symbol '%s' missing from %s",
-                            StageSymbol.c_str(),
+                            Sym.second->c_str(),
                             P->Module->soPath().c_str());
         return nullptr;
       }

@@ -49,7 +49,10 @@ struct CompiledPlan {
   std::shared_ptr<jit::JitModule> Module;
   void *Fn = nullptr;      ///< serial entry point (pointer-per-port ABI)
   void *GridFn = nullptr;  ///< sim-GPU element-wise block entry
-  void *StageFn = nullptr; ///< sim-GPU NTT-stage block entry (butterfly)
+  void *StageFn = nullptr; ///< sim-GPU radix-2 NTT-stage entry (butterfly)
+  void *FusedFn = nullptr; ///< sim-GPU fused stage-group entry (butterfly);
+                           ///< fusion depth is a launch parameter, so every
+                           ///< FuseDepth key of one kernel shares the module
 
   unsigned NumOutputs = 0;    ///< leading per-element output ports
   unsigned NumDataInputs = 0; ///< per-element input ports (before q)

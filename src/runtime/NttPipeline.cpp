@@ -1,0 +1,143 @@
+//===- runtime/NttPipeline.cpp - Fused NTT execution pipeline -------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/NttPipeline.h"
+
+#include "field/RootOfUnity.h"
+#include "runtime/PlanKey.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace moma;
+using namespace moma::runtime;
+using mw::Bignum;
+
+namespace {
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+} // namespace
+
+bool moma::runtime::buildNttTables(const Bignum &Q, size_t NPoints,
+                                   mw::Reduction Domain, NttTables &Out,
+                                   std::string *Err) {
+  if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0)
+    return fail(Err, "NTT size must be a power of two >= 2");
+  unsigned LogN = 0;
+  while ((size_t(1) << LogN) < NPoints)
+    ++LogN;
+  if (field::twoAdicity(Q) < LogN)
+    return fail(Err, formatv("modulus 2-adicity %u < log2(n) = %u",
+                             field::twoAdicity(Q), LogN));
+
+  unsigned K = (Q.bitWidth() + 63) / 64;
+  Out.LogN = LogN;
+  Out.ElemWords = K;
+  Out.Domain = Domain;
+
+  Out.BitRev.resize(NPoints);
+  for (size_t I = 0; I < NPoints; ++I) {
+    size_t R = 0;
+    for (unsigned B = 0; B < LogN; ++B)
+      R |= ((I >> B) & 1) << (LogN - 1 - B);
+    Out.BitRev[I] = static_cast<std::uint32_t>(R);
+  }
+
+  // Montgomery plans take their twiddles pre-converted (w * 2^lambda mod
+  // q, lambda the canonical container width), turning the butterfly's
+  // modular product into a single REDC; Barrett plans use plain values.
+  unsigned Lambda = PlanKey::canonicalContainerBits(Q.bitWidth(), 64);
+  auto ToDomain = [&](const Bignum &V) {
+    return Domain == mw::Reduction::Montgomery ? (V << Lambda) % Q : V;
+  };
+
+  Bignum Root = field::rootOfUnity(Q, NPoints);
+  Bignum RootInv = Root.invMod(Q);
+  Out.Tw.resize((NPoints - 1) * K);
+  Out.InvTw.resize((NPoints - 1) * K);
+  for (size_t Len = 1; Len < NPoints; Len <<= 1) {
+    Bignum WLen = Root.powMod(Bignum(NPoints / (2 * Len)), Q);
+    Bignum WLenInv = RootInv.powMod(Bignum(NPoints / (2 * Len)), Q);
+    Bignum Cur(1), CurInv(1);
+    for (size_t J = 0; J < Len; ++J) {
+      auto CW = packWordsMsbFirst(ToDomain(Cur), K);
+      auto CIW = packWordsMsbFirst(ToDomain(CurInv), K);
+      std::copy(CW.begin(), CW.end(), Out.Tw.begin() + (Len - 1 + J) * K);
+      std::copy(CIW.begin(), CIW.end(),
+                Out.InvTw.begin() + (Len - 1 + J) * K);
+      Cur = Cur.mulMod(WLen, Q);
+      CurInv = CurInv.mulMod(WLenInv, Q);
+    }
+  }
+  Out.NInv = packWordsMsbFirst(ToDomain(Bignum(NPoints).invMod(Q)), K);
+  return true;
+}
+
+std::vector<StageGroupPlan>
+moma::runtime::planStageGroups(unsigned LogN, unsigned FuseDepth) {
+  unsigned Depth = std::max(
+      1u, std::min(FuseDepth, rewrite::PlanOptions::MaxFuseDepth));
+  std::vector<StageGroupPlan> Out;
+  for (unsigned Done = 0; Done < LogN;) {
+    unsigned D = std::min(Depth, LogN - Done);
+    Out.push_back({size_t(1) << Done, D});
+    Done += D;
+  }
+  return Out;
+}
+
+bool moma::runtime::runTransform(
+    ExecutionBackend &EB, const CompiledPlan &P, const NttTables &T,
+    const std::vector<const std::uint64_t *> &Aux, std::uint64_t *Data,
+    std::uint64_t *Scratch, size_t NPoints, size_t Batch, bool Inverse,
+    std::string *Err, std::uint64_t *Dispatches) {
+  std::vector<StageGroupPlan> Groups =
+      planStageGroups(T.LogN, P.Key.Opts.FuseDepth);
+  size_t G = Groups.size();
+  if (G > 1 && !Scratch)
+    return fail(Err, "runTransform: multi-group schedule needs a scratch "
+                     "buffer");
+  const std::uint64_t *Tw = Inverse ? T.InvTw.data() : T.Tw.data();
+
+  // Edge groups ping-pong through the scratch so (a) the bit-reversal
+  // gather never races an in-place write across virtual threads and
+  // (b) the result lands back in Data with zero extra data passes:
+  // Data -> Scratch (gathered), in-place on Scratch, Scratch -> Data
+  // (scaled when inverse). A single-group transform owns whole rows per
+  // thread (loads complete before stores) and runs in place.
+  for (size_t I = 0; I < G; ++I) {
+    bool First = I == 0, Last = I + 1 == G;
+    StageGroup SG;
+    SG.Len0 = Groups[I].Len0;
+    SG.Depth = Groups[I].Depth;
+    SG.Gather = First ? T.BitRev.data() : nullptr;
+    SG.Scale = Last && Inverse ? T.NInv.data() : nullptr;
+    if (G == 1) {
+      SG.Src = Data;
+      SG.Dst = Data;
+    } else if (First) {
+      SG.Src = Data;
+      SG.Dst = Scratch;
+    } else if (Last) {
+      SG.Src = Scratch;
+      SG.Dst = Data;
+    } else {
+      SG.Src = Scratch;
+      SG.Dst = Scratch;
+    }
+    if (!EB.runStageGroup(P, SG, Tw, Aux, NPoints, Batch, Err))
+      return false;
+    if (Dispatches)
+      ++*Dispatches;
+  }
+  return true;
+}

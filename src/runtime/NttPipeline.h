@@ -1,0 +1,95 @@
+//===- runtime/NttPipeline.h - Fused NTT execution pipeline ----*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pieces of the fused NTT execution pipeline shared by the
+/// Dispatcher (serving) and the Autotuner (candidate timing):
+///
+///  * precomputed per-(q, n) tables — bit-reversal permutation,
+///    stage-major forward/inverse twiddles and n^-1, all in the plan's
+///    *twiddle domain* (plain values for Barrett plans, Montgomery-form
+///    w * 2^lambda mod q for Montgomery plans, whose butterfly kernel
+///    performs a single REDC instead of the plain-domain double pass);
+///  * the stage-group schedule: log2(n) radix-2 stages walked in
+///    ceil(log2(n)/FuseDepth) fused groups;
+///  * the transform driver that runs one forward/inverse NTT through an
+///    ExecutionBackend as exactly that many dispatches, folding the
+///    bit-reversal gather into the first group's loads and the inverse
+///    n^-1 multiply into the last group's stores. No host-side data pass
+///    remains: the first group reads the caller's buffer permuted, edge
+///    groups ping-pong through the caller's scratch so the result lands
+///    back in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_RUNTIME_NTTPIPELINE_H
+#define MOMA_RUNTIME_NTTPIPELINE_H
+
+#include "runtime/Backend.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moma {
+namespace runtime {
+
+/// Precomputed tables for one (modulus, size, twiddle-domain) triple.
+/// Stage-major twiddle layout (matching ntt::NttPlan): the stage of
+/// half-distance len holds w_{2len}^j at entry (len - 1) + j, so the
+/// whole forward (or inverse) table is (n - 1) x ElemWords words.
+struct NttTables {
+  unsigned LogN = 0;
+  unsigned ElemWords = 0;
+  mw::Reduction Domain = mw::Reduction::Barrett;
+  std::vector<std::uint32_t> BitRev; ///< n entries
+  std::vector<std::uint64_t> Tw;     ///< forward, (n-1) x ElemWords
+  std::vector<std::uint64_t> InvTw;  ///< inverse, (n-1) x ElemWords
+  std::vector<std::uint64_t> NInv;   ///< n^-1 (twiddle domain), ElemWords
+};
+
+/// Builds the tables for modulus \p Q at transform size \p NPoints in the
+/// twiddle domain of \p Domain (Montgomery form uses the canonical
+/// container width for \p Q, i.e. 2^lambda with lambda =
+/// PlanKey::canonicalContainerBits). Returns false with \p Err set when
+/// \p NPoints is not a power of two >= 2 or the modulus lacks the
+/// 2-adicity for a primitive root.
+bool buildNttTables(const mw::Bignum &Q, size_t NPoints,
+                    mw::Reduction Domain, NttTables &Out, std::string *Err);
+
+/// One entry of the stage-group schedule.
+struct StageGroupPlan {
+  size_t Len0 = 1;    ///< half-distance of the group's first stage
+  unsigned Depth = 1; ///< stages fused into this dispatch
+};
+
+/// Splits \p LogN radix-2 stages into fused groups of at most
+/// \p FuseDepth stages: full-depth groups first, the remainder (if any)
+/// last, ceil(LogN / FuseDepth) groups total.
+std::vector<StageGroupPlan> planStageGroups(unsigned LogN,
+                                            unsigned FuseDepth);
+
+/// Runs one in-place batched transform over \p Batch rows of \p NPoints
+/// elements in \p Data through \p EB with butterfly plan \p P, walking
+/// the stage-group schedule for the plan's FuseDepth. \p T must be built
+/// for the plan's reduction domain. \p Scratch (same extent as the data,
+/// NPoints * Batch * ElemWords words) is required whenever the schedule
+/// has more than one group — edge groups ping-pong Data -> Scratch ->
+/// ... -> Data; a single-group transform (log2(n) <= FuseDepth) runs
+/// in place with one thread per row and may pass null. \p Dispatches,
+/// when non-null, is incremented once per backend dispatch issued.
+bool runTransform(ExecutionBackend &EB, const CompiledPlan &P,
+                  const NttTables &T,
+                  const std::vector<const std::uint64_t *> &Aux,
+                  std::uint64_t *Data, std::uint64_t *Scratch,
+                  size_t NPoints, size_t Batch, bool Inverse,
+                  std::string *Err, std::uint64_t *Dispatches = nullptr);
+
+} // namespace runtime
+} // namespace moma
+
+#endif // MOMA_RUNTIME_NTTPIPELINE_H

@@ -10,6 +10,8 @@
 #include "support/Error.h"
 #include "support/Format.h"
 
+#include <algorithm>
+
 using namespace moma;
 using namespace moma::runtime;
 
@@ -65,6 +67,15 @@ PlanKey PlanKey::forModulus(KernelOp Op, const mw::Bignum &Q,
     K.Opts.BlockDim = 0;
   else if (K.Opts.BlockDim == 0)
     K.Opts.BlockDim = 256;
+  // Stage fusion only exists for the NTT stage kernel: fold the knob to 1
+  // everywhere else so a fused base plan never splits the element-wise
+  // cache entries. Butterfly plans clamp into the emitters' supported
+  // window (0 reads as "unset" -> 1).
+  if (Op != KernelOp::Butterfly || K.Opts.FuseDepth == 0)
+    K.Opts.FuseDepth = 1;
+  else
+    K.Opts.FuseDepth =
+        std::min(K.Opts.FuseDepth, rewrite::PlanOptions::MaxFuseDepth);
   return K;
 }
 

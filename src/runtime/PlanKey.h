@@ -27,6 +27,9 @@
 ///    (backward-readable: every pre-backend key names a serial plan);
 ///    SimGpu plans default an unset BlockDim to 256 and append
 ///    "/simgpu/b<dim>".
+///  * FuseDepth (NTT stage fusion, radix-2^k) only exists for butterfly
+///    plans: every other op folds it to 1, butterfly clamps it into
+///    [1, PlanOptions::MaxFuseDepth] and appends "/f<depth>" when > 1.
 ///
 //===----------------------------------------------------------------------===//
 

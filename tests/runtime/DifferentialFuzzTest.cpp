@@ -27,7 +27,9 @@
 
 #include "../TestUtil.h"
 
+#include "field/PrimeGen.h"
 #include "runtime/Backend.h"
+#include "runtime/Dispatcher.h"
 #include "runtime/KernelRegistry.h"
 
 #include <gtest/gtest.h>
@@ -54,14 +56,23 @@ KernelRegistry &registry() {
   return Reg;
 }
 
-/// The Bignum-oracle evaluation of one kernel op.
+/// The Bignum-oracle evaluation of one kernel op. The Montgomery
+/// butterfly reads its twiddle port in the Montgomery domain (one REDC
+/// lands the plain product), so the drawn In[2] stands for w * 2^lambda
+/// and the mathematical twiddle is In[2] * 2^-lambda mod q.
 std::vector<Bignum> oracle(KernelOp Op, const std::vector<Bignum> &In,
-                           const Bignum &Q) {
+                           const Bignum &Q, const CompiledPlan &Plan) {
   switch (Op) {
   case KernelOp::MulMod:
     return {In[0].mulMod(In[1], Q)};
   case KernelOp::Butterfly: {
-    Bignum T = In[2].mulMod(In[1], Q); // t = w * y
+    Bignum W = In[2];
+    if (Plan.Key.Opts.Red == mw::Reduction::Montgomery) {
+      Bignum RInv =
+          (mw::Bignum::powerOfTwo(Plan.Key.ContainerBits) % Q).invMod(Q);
+      W = W.mulMod(RInv, Q);
+    }
+    Bignum T = W.mulMod(In[1], Q); // t = w * y
     return {In[0].addMod(T, Q), In[0].subMod(T, Q)};
   }
   default:
@@ -92,7 +103,7 @@ void fuzzVariant(KernelOp Op, const CompiledPlan &Plan,
       In.push_back(Bignum::random(R, Q));
 
     // Oracle.
-    std::vector<Bignum> Want = oracle(Op, In, Q);
+    std::vector<Bignum> Want = oracle(Op, In, Q, Plan);
 
     // Lowered-kernel interpreter. The kernel's trailing inputs are the
     // modulus and the reduction constants, in port order.
@@ -217,6 +228,61 @@ void fuzzConfig(KernelOp Op, unsigned Words, mw::Reduction Red,
     fuzzVariant(Op, *Plan, GridPlan.get(), PerVariant, R);
   }
 }
+
+/// The FuseDepth axis of the fused NTT pipeline: random transform shapes
+/// (size, batch, width) executed through random (backend, reduction,
+/// block-dim, fuse-depth) variants must stay bit-identical to the
+/// serial/Barrett/depth-1 walk of the same data — the fused groups, the
+/// first-stage bit-reversal gather, the in-register sub-stages and the
+/// folded inverse scaling all collapse to the same butterfly sequence.
+void fuzzNttFuseDepth(std::uint64_t SeedDefault) {
+  SeededRng R(SeedDefault);
+  KernelRegistry Reg; // own registry: pinned-variant dispatchers below
+  const unsigned Dims[] = {1, 3, 64, 257, 1024};
+  int Trials = std::max(1, fuzzIters() / 20); // transforms are heavyweight
+  for (int T = 0; T < Trials; ++T) {
+    unsigned Words = 1u << R.below(3); // 1, 2, 4
+    unsigned LogN = 1 + unsigned(R.below(8));
+    size_t N = size_t(1) << LogN;
+    size_t Batch = 1 + R.below(3);
+    mw::Bignum Q = field::nttPrime(64 * Words - 4 - unsigned(R.below(9)),
+                                   LogN + 1 + unsigned(R.below(3)));
+    unsigned K = (Q.bitWidth() + 63) / 64;
+
+    std::vector<mw::Bignum> Polys;
+    for (size_t I = 0; I < N * Batch; ++I)
+      Polys.push_back(mw::Bignum::random(R, Q));
+    auto Packed = packBatch(Polys, K);
+
+    rewrite::PlanOptions Ref; // serial, Barrett, depth 1
+    Dispatcher DRef(Reg, nullptr, Ref);
+    auto Want = Packed;
+    bool Inverse = R.below(2) == 1;
+    auto RunRef = Inverse ? &Dispatcher::nttInverse
+                          : &Dispatcher::nttForward;
+    ASSERT_TRUE((DRef.*RunRef)(Q, Want.data(), N, Batch)) << DRef.error();
+
+    rewrite::PlanOptions V;
+    V.Backend = R.below(2) ? rewrite::ExecBackend::SimGpu
+                           : rewrite::ExecBackend::Serial;
+    V.BlockDim = Dims[R.below(5)];
+    V.FuseDepth = 1 + unsigned(R.below(3));
+    V.Red = R.below(2) ? mw::Reduction::Montgomery
+                       : mw::Reduction::Barrett;
+    V.Schedule = R.below(2) == 1;
+    Dispatcher D(Reg, nullptr, V);
+    auto Data = Packed;
+    ASSERT_TRUE((D.*RunRef)(Q, Data.data(), N, Batch)) << D.error();
+    ASSERT_EQ(Data, Want)
+        << "trial " << T << ": " << (Inverse ? "inverse" : "forward")
+        << " NTT diverges, n = " << N << ", batch = " << Batch
+        << ", q = " << Q.toHex() << ", variant "
+        << runtime::PlanKey::forModulus(KernelOp::Butterfly, Q, V)
+               .str();
+  }
+}
+
+TEST(DifferentialFuzz, NttFuseDepthAxis) { fuzzNttFuseDepth(0xF0261); }
 
 } // namespace
 

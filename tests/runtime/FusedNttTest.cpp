@@ -1,0 +1,406 @@
+//===- tests/runtime/FusedNttTest.cpp - fused NTT stage pipeline --------------===//
+//
+// Coverage for the fused-stage NTT pipeline (runtime/NttPipeline.h):
+//
+//  * bit-identity of fused execution across FuseDepth {1,2,3} x backend
+//    {serial, sim-GPU} x reduction {Barrett, Montgomery} x width {1,2,4}
+//    x transform sizes including non-multiple stage counts (n = 32 with
+//    depth 3 leaves a 2-stage tail group);
+//  * absolute correctness against the O(n^2) reference DFT and the
+//    schoolbook polynomial product;
+//  * the dispatch-count guarantee: a batched transform issues exactly
+//    ceil(log2(n)/FuseDepth) backend dispatches — no host bit-reversal
+//    pass, no separate inverse-scaling dispatch;
+//  * Montgomery-domain twiddle tables (entries are the plain tables
+//    shifted into the Montgomery domain; transforms through Montgomery
+//    plans are bit-identical to the Barrett path);
+//  * the autotuner's FuseDepth axis (swept per transform size, persisted
+//    through the JSON tune cache);
+//  * the dispatcher's bounded binding/table caches (LRU eviction with
+//    observable counters).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+
+#include "field/PrimeGen.h"
+#include "field/RootOfUnity.h"
+#include "ntt/ReferenceDft.h"
+#include "runtime/Dispatcher.h"
+#include "runtime/NttPipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace moma;
+using namespace moma::runtime;
+using namespace moma::testutil;
+using mw::Bignum;
+using rewrite::ExecBackend;
+
+namespace {
+
+KernelRegistry &registry() {
+  static KernelRegistry Reg;
+  return Reg;
+}
+
+rewrite::PlanOptions pinned(ExecBackend B, unsigned Depth,
+                            mw::Reduction Red = mw::Reduction::Barrett,
+                            unsigned BlockDim = 0) {
+  rewrite::PlanOptions O;
+  O.Backend = B;
+  O.BlockDim = BlockDim;
+  O.FuseDepth = Depth;
+  O.Red = Red;
+  return O;
+}
+
+std::vector<Bignum> randomElems(Rng &R, const Bignum &Q, size_t N) {
+  std::vector<Bignum> Out;
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(Bignum::random(R, Q));
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Stage-group planning
+//===----------------------------------------------------------------------===//
+
+TEST(FusedNtt, StageGroupSchedule) {
+  // ceil(log2(n)/k) groups, full depth first, the remainder last.
+  auto G = planStageGroups(/*LogN=*/8, /*FuseDepth=*/3);
+  ASSERT_EQ(G.size(), 3u);
+  EXPECT_EQ(G[0].Len0, 1u);
+  EXPECT_EQ(G[0].Depth, 3u);
+  EXPECT_EQ(G[1].Len0, 8u);
+  EXPECT_EQ(G[1].Depth, 3u);
+  EXPECT_EQ(G[2].Len0, 64u);
+  EXPECT_EQ(G[2].Depth, 2u); // 8 = 3 + 3 + 2: non-multiple tail
+
+  auto G1 = planStageGroups(5, 1);
+  EXPECT_EQ(G1.size(), 5u) << "depth 1 is the classic one-stage-per-"
+                              "dispatch walk";
+  auto GBig = planStageGroups(2, 3);
+  ASSERT_EQ(GBig.size(), 1u);
+  EXPECT_EQ(GBig[0].Depth, 2u) << "depth clamps to log2(n)";
+}
+
+//===----------------------------------------------------------------------===//
+// Bit-identity across the whole variant grid
+//===----------------------------------------------------------------------===//
+
+TEST(FusedNtt, BitIdentityAcrossDepthBackendReductionWidth) {
+  SeededRng R(0xF05ED1);
+  const unsigned Widths[] = {1, 2, 4};
+  const size_t Sizes[] = {8, 32, 1024}; // 32 with depth 3 -> 2-stage tail
+  for (unsigned W : Widths) {
+    Bignum Q = field::nttPrime(64 * W - 4, 11);
+    unsigned K = Dispatcher::elemWords(Q);
+    for (size_t N : Sizes) {
+      const size_t Batch = 2;
+      auto Polys = randomElems(R, Q, N * Batch);
+      auto Packed = packBatch(Polys, K);
+
+      // Reference: the historical shape — serial backend, Barrett,
+      // depth 1.
+      Dispatcher DRef(registry(), nullptr,
+                      pinned(ExecBackend::Serial, 1));
+      auto Fwd = Packed;
+      ASSERT_TRUE(DRef.nttForward(Q, Fwd.data(), N, Batch)) << DRef.error();
+      auto Round = Fwd;
+      ASSERT_TRUE(DRef.nttInverse(Q, Round.data(), N, Batch))
+          << DRef.error();
+      EXPECT_EQ(Round, Packed) << "reference roundtrip, w=" << W
+                               << " n=" << N;
+
+      for (ExecBackend B : {ExecBackend::Serial, ExecBackend::SimGpu})
+        for (mw::Reduction Red :
+             {mw::Reduction::Barrett, mw::Reduction::Montgomery})
+          for (unsigned Depth : {1u, 2u, 3u}) {
+            Dispatcher D(registry(), nullptr,
+                         pinned(B, Depth, Red, /*BlockDim=*/64));
+            auto Data = Packed;
+            ASSERT_TRUE(D.nttForward(Q, Data.data(), N, Batch))
+                << D.error();
+            ASSERT_EQ(Data, Fwd)
+                << "forward diverges: w=" << W << " n=" << N
+                << " backend=" << rewrite::execBackendName(B)
+                << " red=" << mw::reductionName(Red)
+                << " depth=" << Depth;
+            ASSERT_TRUE(D.nttInverse(Q, Data.data(), N, Batch))
+                << D.error();
+            ASSERT_EQ(Data, Packed)
+                << "roundtrip diverges: w=" << W << " n=" << N
+                << " backend=" << rewrite::execBackendName(B)
+                << " red=" << mw::reductionName(Red)
+                << " depth=" << Depth;
+          }
+    }
+  }
+}
+
+TEST(FusedNtt, MatchesReferenceDft) {
+  // Absolute correctness of a fused Montgomery sim-GPU transform against
+  // the O(n^2) DFT (not just cross-variant agreement).
+  Bignum Q = field::nttPrime(124, 11);
+  unsigned K = Dispatcher::elemWords(Q);
+  const size_t N = 16;
+  SeededRng R(0xF05ED2);
+  auto X = randomElems(R, Q, N);
+  Bignum Omega = field::rootOfUnity(Q, N);
+  auto Want = ntt::referenceDft(X, Omega, Q);
+
+  Dispatcher D(registry(), nullptr,
+               pinned(ExecBackend::SimGpu, 3, mw::Reduction::Montgomery,
+                      128));
+  auto Data = packBatch(X, K);
+  ASSERT_TRUE(D.nttForward(Q, Data.data(), N, 1)) << D.error();
+  EXPECT_EQ(unpackBatch(Data, K), Want);
+}
+
+TEST(FusedNtt, PolyMulMatchesSchoolbook) {
+  Bignum Q = field::nttPrime(60, 8);
+  const size_t N = 32;
+  SeededRng R(0xF05ED3);
+  std::vector<Bignum> A = randomElems(R, Q, N), B = randomElems(R, Q, N);
+  auto Full = ntt::referencePolyMul(A, B, Q);
+
+  Dispatcher D(registry(), nullptr,
+               pinned(ExecBackend::SimGpu, 2, mw::Reduction::Montgomery,
+                      64));
+  std::vector<Bignum> C;
+  ASSERT_TRUE(D.polyMul(Q, A, B, C, N)) << D.error();
+  for (size_t I = 0; I < N; ++I) {
+    Bignum Want = Full[I];
+    if (I + N < Full.size())
+      Want = Want.addMod(Full[I + N], Q);
+    ASSERT_EQ(C[I], Want) << "cyclic coefficient " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch-count probe
+//===----------------------------------------------------------------------===//
+
+TEST(FusedNtt, BatchedTransformIssuesCeilLogNOverKDispatches) {
+  // The acceptance shape: n = 256 (log2 = 8), batch = 1000, depth 3 ->
+  // exactly ceil(8/3) = 3 backend dispatches per transform. No separate
+  // bit-reversal pass and no separate inverse-scaling dispatch exist to
+  // be counted — Batches stays untouched by both directions.
+  Bignum Q = field::nttPrime(60, 10);
+  unsigned K = Dispatcher::elemWords(Q);
+  const size_t N = 256, Batch = 1000;
+  SeededRng R(0xF05ED4);
+  auto Polys = randomElems(R, Q, N * 2); // random head, zero tail is fine
+  std::vector<std::uint64_t> Data(N * Batch * K, 0);
+  auto Head = packBatch(Polys, K);
+  std::copy(Head.begin(), Head.end(), Data.begin());
+
+  Dispatcher D(registry(), nullptr,
+               pinned(ExecBackend::SimGpu, 3, mw::Reduction::Barrett,
+                      256));
+  ASSERT_TRUE(D.nttForward(Q, Data.data(), N, Batch)) << D.error();
+  Dispatcher::DispatchStats S = D.dispatchStats();
+  EXPECT_EQ(S.Transforms, 1u);
+  EXPECT_EQ(S.StageGroups, 3u) << "ceil(log2(256)/3)";
+  EXPECT_EQ(S.Batches, 0u) << "no host-side pass became a batch dispatch";
+
+  ASSERT_TRUE(D.nttInverse(Q, Data.data(), N, Batch)) << D.error();
+  S = D.dispatchStats();
+  EXPECT_EQ(S.Transforms, 2u);
+  EXPECT_EQ(S.StageGroups, 6u);
+  EXPECT_EQ(S.Batches, 0u)
+      << "inverse n^-1 scaling must fold into the last stage group, not "
+         "dispatch a separate vmul";
+
+  // Depth 1 on the same problem: the classic log2(n) dispatches.
+  Dispatcher D1(registry(), nullptr, pinned(ExecBackend::Serial, 1));
+  std::vector<std::uint64_t> Small(N * 2 * K, 0);
+  ASSERT_TRUE(D1.nttForward(Q, Small.data(), N, 2)) << D1.error();
+  EXPECT_EQ(D1.dispatchStats().StageGroups, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Montgomery-domain twiddle tables
+//===----------------------------------------------------------------------===//
+
+TEST(FusedNtt, MontgomeryTwiddleTablesAreDomainShiftedPlainTables) {
+  Bignum Q = field::nttPrime(124, 8);
+  const size_t N = 64;
+  unsigned Lambda = PlanKey::canonicalContainerBits(Q.bitWidth(), 64);
+  NttTables Plain, Mont;
+  std::string Err;
+  ASSERT_TRUE(buildNttTables(Q, N, mw::Reduction::Barrett, Plain, &Err))
+      << Err;
+  ASSERT_TRUE(buildNttTables(Q, N, mw::Reduction::Montgomery, Mont, &Err))
+      << Err;
+  ASSERT_EQ(Plain.Tw.size(), Mont.Tw.size());
+  unsigned K = Plain.ElemWords;
+  Bignum RMod = Bignum::powerOfTwo(Lambda) % Q;
+  Bignum RInv = RMod.invMod(Q);
+  for (size_t I = 0; I < N - 1; ++I) {
+    Bignum P = unpackWordsMsbFirst(Plain.Tw.data() + I * K, K);
+    Bignum M = unpackWordsMsbFirst(Mont.Tw.data() + I * K, K);
+    ASSERT_EQ(M, P.mulMod(RMod, Q)) << "forward entry " << I;
+    ASSERT_EQ(M.mulMod(RInv, Q), P) << "round-trip of entry " << I;
+    Bignum PI = unpackWordsMsbFirst(Plain.InvTw.data() + I * K, K);
+    Bignum MI = unpackWordsMsbFirst(Mont.InvTw.data() + I * K, K);
+    ASSERT_EQ(MI, PI.mulMod(RMod, Q)) << "inverse entry " << I;
+  }
+  EXPECT_EQ(unpackWordsMsbFirst(Mont.NInv.data(), K),
+            unpackWordsMsbFirst(Plain.NInv.data(), K).mulMod(RMod, Q))
+      << "n^-1 must live in the twiddle domain too";
+  EXPECT_EQ(Plain.BitRev, Mont.BitRev);
+}
+
+TEST(FusedNtt, TablesRejectBadShapes) {
+  NttTables T;
+  std::string Err;
+  Bignum Q = field::nttPrime(60, 8);
+  EXPECT_FALSE(buildNttTables(Q, 48, mw::Reduction::Barrett, T, &Err));
+  EXPECT_NE(Err.find("power of two"), std::string::npos) << Err;
+  EXPECT_FALSE(
+      buildNttTables(Q, size_t(1) << 20, mw::Reduction::Barrett, T, &Err));
+  EXPECT_NE(Err.find("2-adicity"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Autotuner FuseDepth axis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+AutotunerOptions quickNttTune() {
+  AutotunerOptions O;
+  O.CalibrationElems = 32;
+  O.MaxCalibrationElems = 128;
+  O.Repeats = 1;
+  O.BlockDims = {64};
+  // Keep the sweep to backend x depth: 2 backends x 3 depths = 6 timed
+  // candidates per problem.
+  O.TuneReduction = false;
+  O.TunePrune = false;
+  O.TuneSchedule = false;
+  return O;
+}
+
+} // namespace
+
+TEST(FusedNtt, TunerSweepsFuseDepthPerTransformSize) {
+  Autotuner T(registry(), quickNttTune());
+  Bignum Q = field::nttPrime(60, 10);
+  const TuneDecision *D64 = T.chooseNtt(Q, {}, 64, 2);
+  ASSERT_NE(D64, nullptr) << T.error();
+  EXPECT_GE(D64->Opts.FuseDepth, 1u);
+  EXPECT_LE(D64->Opts.FuseDepth, 3u);
+  EXPECT_EQ(T.stats().Tuned, 1u);
+  // Same butterfly problem, different transform size: its own decision.
+  const TuneDecision *D256 = T.chooseNtt(Q, {}, 256, 2);
+  ASSERT_NE(D256, nullptr) << T.error();
+  EXPECT_EQ(T.stats().Tuned, 2u) << "transform size is a key dimension";
+  // Same shape again: reused, not re-timed.
+  const TuneDecision *Again = T.chooseNtt(Q, {}, 64, 2);
+  EXPECT_EQ(Again, D64);
+  EXPECT_EQ(T.stats().Tuned, 2u);
+  // Shape errors surface instead of mis-keying.
+  EXPECT_EQ(T.chooseNtt(Q, {}, 48, 1), nullptr);
+}
+
+TEST(FusedNtt, FuseDepthRoundTripsThroughTheTuneCache) {
+  namespace fs = std::filesystem;
+  std::string Path =
+      (fs::temp_directory_path() / "moma-tune-fuse.json").string();
+  std::remove(Path.c_str());
+  Bignum Q = field::nttPrime(60, 10);
+
+  Autotuner T1(registry(), quickNttTune());
+  const TuneDecision *D1 = T1.chooseNtt(Q, {}, 128, 4);
+  ASSERT_NE(D1, nullptr) << T1.error();
+  rewrite::PlanOptions Won = D1->Opts;
+  ASSERT_TRUE(T1.save(Path));
+
+  Autotuner T2(registry(), quickNttTune());
+  ASSERT_TRUE(T2.load(Path)) << T2.error();
+  const TuneDecision *D2 = T2.chooseNtt(Q, {}, 128, 4);
+  ASSERT_NE(D2, nullptr) << T2.error();
+  EXPECT_TRUE(D2->FromCache) << "persisted decision must not be re-timed";
+  EXPECT_EQ(T2.stats().Tuned, 0u);
+  EXPECT_EQ(D2->Opts.FuseDepth, Won.FuseDepth)
+      << "fuse_depth lost in the JSON round-trip";
+  EXPECT_TRUE(D2->Opts == Won) << "loaded " << D2->Opts.str()
+                               << ", tuned " << Won.str();
+  std::remove(Path.c_str());
+}
+
+TEST(FusedNtt, AutotunedDispatcherMatchesPinnedBitForBit) {
+  // End to end: a tuner-driven dispatcher (whatever depth/backend wins)
+  // must agree with the pinned reference on the same data.
+  Bignum Q = field::nttPrime(124, 10);
+  unsigned K = Dispatcher::elemWords(Q);
+  const size_t N = 64, Batch = 3;
+  SeededRng R(0xF05ED5);
+  auto Polys = randomElems(R, Q, N * Batch);
+  auto Want = packBatch(Polys, K);
+  Dispatcher DRef(registry(), nullptr, pinned(ExecBackend::Serial, 1));
+  ASSERT_TRUE(DRef.nttForward(Q, Want.data(), N, Batch)) << DRef.error();
+
+  Autotuner T(registry(), quickNttTune());
+  Dispatcher D(registry(), &T);
+  auto Data = packBatch(Polys, K);
+  ASSERT_TRUE(D.nttForward(Q, Data.data(), N, Batch)) << D.error();
+  EXPECT_EQ(Data, Want);
+  EXPECT_EQ(D.lastPlanOptions().FuseDepth,
+            T.chooseNtt(Q, {}, N, Batch)->Opts.FuseDepth)
+      << "dispatcher must run the depth the tuner picked";
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded binding/table caches
+//===----------------------------------------------------------------------===//
+
+TEST(FusedNtt, CachesEvictLeastRecentlyUsed) {
+  Dispatcher D(registry(), nullptr, pinned(ExecBackend::Serial, 2));
+  D.setCacheCaps(/*MaxBoundPlans=*/2, /*MaxNttTables=*/2);
+  Bignum Q = field::nttPrime(60, 10);
+  unsigned K = Dispatcher::elemWords(Q);
+  SeededRng R(0xF05ED6);
+  auto Polys = randomElems(R, Q, 64);
+  auto Packed = packBatch(Polys, K);
+
+  // Three transform sizes through a two-entry table cache.
+  for (size_t N : {8, 16, 32, 8}) {
+    auto Data = Packed;
+    ASSERT_TRUE(D.nttForward(Q, Data.data(), N, 64 / N)) << D.error();
+  }
+  Dispatcher::CacheCounters C = D.cacheCounters();
+  EXPECT_LE(C.TableEntries, 2u);
+  EXPECT_GE(C.TableEvictions, 2u)
+      << "n=32 evicts n=8, re-running n=8 evicts the LRU survivor";
+
+  // Three distinct moduli bind three vadd plans through a two-entry
+  // binding cache (same compiled plan, different broadcast tails).
+  std::vector<std::uint64_t> A(8 * K, 1), B(8 * K, 2), Out(8 * K);
+  for (unsigned Bits : {60, 59, 58}) {
+    Bignum QB = field::nttPrime(Bits, 8);
+    unsigned KB = Dispatcher::elemWords(QB);
+    std::vector<std::uint64_t> AB(8 * KB, 1), BB(8 * KB, 2),
+        OB(8 * KB);
+    ASSERT_TRUE(D.vadd(QB, AB.data(), BB.data(), OB.data(), 8))
+        << D.error();
+  }
+  C = D.cacheCounters();
+  EXPECT_LE(C.BoundEntries, 2u);
+  EXPECT_GE(C.BoundEvictions, 1u);
+
+  // Eviction is capacity management, not correctness: the evicted
+  // binding rebinds transparently.
+  auto Data = Packed;
+  ASSERT_TRUE(D.nttForward(Q, Data.data(), 16, 4)) << D.error();
+  ASSERT_TRUE(D.nttInverse(Q, Data.data(), 16, 4)) << D.error();
+  EXPECT_EQ(Data, Packed);
+}

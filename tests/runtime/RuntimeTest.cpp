@@ -109,8 +109,15 @@ TEST(KernelRegistry, PortLayoutMatchesTheKernelShape) {
   auto PM = registry().get(PlanKey::forModulus(KernelOp::Butterfly,
                                                testModulus(124), Mont));
   ASSERT_NE(PM, nullptr) << registry().error();
-  ASSERT_EQ(PM->AuxWords.size(), 3u); // q, qinv, r2
+  // The Montgomery butterfly takes its twiddle pre-converted to the
+  // Montgomery domain, so a single REDC suffices: no r2 port.
+  ASSERT_EQ(PM->AuxWords.size(), 2u); // q, qinv
   EXPECT_EQ(PM->AuxWords[1], 2u);     // qinv spans the container
+  auto PMM = registry().get(PlanKey::forModulus(KernelOp::MulMod,
+                                                testModulus(124), Mont));
+  ASSERT_NE(PMM, nullptr) << registry().error();
+  ASSERT_EQ(PMM->AuxWords.size(), 3u) // q, qinv, r2: mulmod stays
+      << "plain-domain (double REDC)"; // domain-free on both ends
 }
 
 TEST(KernelRegistry, RejectsNon64BitWords) {

@@ -16,13 +16,18 @@
 //            [--schedule]                (pressure-aware list scheduling)
 //            [--backend serial|simgpu]   (execution backend; default serial)
 //            [--block-dim <n>]           (simgpu threads/block, <= 1024)
+//            [--fuse-depth <k>]          (NTT stage fusion, 1..3; butterfly)
 //            [--device h100|rtx4090|v100|host] (simgpu device profile)
 //            [--emit ir|c|cuda|stats|tune]     (default c)
 //            [--tune-cache <path>]       (persist/reuse autotune JSON)
 //
 // `--emit c` with `--backend simgpu` prints the grid-shaped source (the
-// §5.1 CUDA thread mapping as host-JIT C); `--emit tune` sweeps the
-// backend and block-dim axes alongside reduction/pruning/scheduling.
+// §5.1 CUDA thread mapping as host-JIT C; butterfly kernels include the
+// fused radix-2^k stage-group entry); `--emit tune` sweeps the backend
+// and block-dim axes alongside reduction/pruning/scheduling — butterfly
+// kernels tune the transform-shaped problem (a batched 256-point NTT
+// through the fused pipeline), so the fusion depth is swept and reported
+// alongside the backend.
 //
 // Examples:
 //   moma-gen -k mulmod -d 256 --emit cuda
@@ -62,7 +67,7 @@ namespace {
       "          [--karatsuba] [--reduction barrett|montgomery]\n"
       "          [--no-prune] [--schedule]\n"
       "          [--backend serial|simgpu] [--block-dim <n>]\n"
-      "          [--device h100|rtx4090|v100|host]\n"
+      "          [--fuse-depth <k>] [--device h100|rtx4090|v100|host]\n"
       "          [--emit ir|c|cuda|stats|tune] [--tune-cache <path>]\n"
       "kernels: addmod submod mulmod butterfly axpy vadd vsub vmul\n",
       Argv0);
@@ -145,6 +150,8 @@ int main(int argc, char **argv) {
         usage(argv[0]);
     } else if (Arg == "--block-dim")
       Plan.BlockDim = std::strtoul(Next(), nullptr, 10);
+    else if (Arg == "--fuse-depth")
+      Plan.FuseDepth = std::strtoul(Next(), nullptr, 10);
     else if (Arg == "--device") {
       DeviceName = Next();
       if (!deviceFor(DeviceName))
@@ -172,14 +179,25 @@ int main(int argc, char **argv) {
     runtime::AutotunerOptions TO;
     TO.CachePath = TuneCache;
     runtime::Autotuner Tuner(Reg, TO);
-    const runtime::TuneDecision *D = Tuner.choose(Op, Q, Plan);
+    // Butterfly problems tune the transform shape they serve — a batched
+    // 256-point NTT through the fused stage pipeline — so the FuseDepth
+    // axis is measured on real stage-group walks.
+    const size_t TuneNttPoints = 256, TuneNttBatch = 64;
+    bool IsNtt = Op == runtime::KernelOp::Butterfly;
+    const runtime::TuneDecision *D =
+        IsNtt ? Tuner.chooseNtt(Q, Plan, TuneNttPoints, TuneNttBatch)
+              : Tuner.choose(Op, Q, Plan);
     if (!D) {
       std::fprintf(stderr, "autotune failed: %s\n", Tuner.error().c_str());
       return 1;
     }
-    std::printf("problem:  %s (device %s)\n",
+    std::printf("problem:  %s%s (device %s)\n",
                 runtime::PlanKey::forModulus(Op, Q, Plan).problemStr()
                     .c_str(),
+                IsNtt ? formatv(" as n=%zu NTT x %zu batch", TuneNttPoints,
+                                TuneNttBatch)
+                            .c_str()
+                      : "",
                 Reg.deviceProfile().Name.c_str());
     std::printf("decision: %s\n", D->Opts.str().c_str());
     std::printf("backend:  %s%s\n",
@@ -187,6 +205,16 @@ int main(int argc, char **argv) {
                 D->Opts.Backend == rewrite::ExecBackend::SimGpu
                     ? formatv(" (block dim %u)", D->Opts.BlockDim).c_str()
                     : "");
+    if (IsNtt) {
+      unsigned LogN = 0;
+      while ((size_t(1) << LogN) < TuneNttPoints)
+        ++LogN;
+      std::printf("fusion:   depth %u (%u stage dispatches per %zu-point "
+                  "transform)\n",
+                  D->Opts.FuseDepth,
+                  (LogN + D->Opts.FuseDepth - 1) / D->Opts.FuseDepth,
+                  TuneNttPoints);
+    }
     std::printf("measured: %.1f ns/element over %u candidates%s\n",
                 D->NsPerElem, Tuner.stats().Candidates,
                 D->FromCache ? " (reloaded from tune cache)" : "");
