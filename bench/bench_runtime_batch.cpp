@@ -349,6 +349,12 @@ int main(int argc, char **argv) {
                   MulDec && Dec->Opts == MulDec->Opts;
   std::remove(TunePath.c_str());
 
+  // Exact wiring facts for the CI perf-trajectory gate (*_ok metrics
+  // must match the committed baseline bit-for-bit).
+  recordMetric("smoke/backends_agree_ok", BackendsAgree ? 1.0 : 0.0);
+  recordMetric("smoke/tuned_agrees_ok", TunedAgrees ? 1.0 : 0.0);
+  recordMetric("smoke/tune_cache_reloads_ok", Reloaded ? 1.0 : 0.0);
+
   if (Smoke) {
     banner("Smoke verdicts (wiring only, no performance assertions)");
     verdict("sim-GPU backend bit-identical to serial",

@@ -1,0 +1,154 @@
+//===- examples/rns_polymul.cpp - RNS-batched negacyclic products --------------===//
+//
+// The workload real FHE/ZKP stacks serve (the paper's §1 motivation and
+// the GRNS comparison of Figure 2): ciphertext polynomials in
+// Z_M[x]/(x^n + 1) with M a product of word-sized NTT-friendly primes.
+// The runtime RNS layer (runtime/RnsContext.h) fans one logical
+// wide-coefficient batch out across the base's limbs through the plan
+// cache:
+//
+//   decompose (generated CRT kernel, one dispatch per limb)
+//     -> per-limb negacyclic NTT polyMul (fused stage pipeline; the
+//        ψ twist rides the edge stage groups, zero extra dispatches)
+//     -> recombine (generated CRT kernel, one dispatch per limb)
+//
+// and — because PlanKey excludes the modulus value — every limb executes
+// through a single compiled module per kernel.
+//
+// Usage: ./build/examples/rns_polymul [--smoke] [batch]
+//        (default batch 64 polynomials; --smoke shrinks everything for
+//        the CI wiring check)
+//
+//===----------------------------------------------------------------------===//
+
+#include "field/PrimeField.h"
+#include "ntt/Negacyclic.h"
+#include "runtime/Dispatcher.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+using namespace moma;
+using namespace moma::runtime;
+using mw::Bignum;
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  size_t Batch = 0;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else
+      Batch = std::strtoul(argv[I], nullptr, 10);
+  }
+  const size_t N = Smoke ? 16 : 256;
+  if (!Batch)
+    Batch = Smoke ? 4 : 64;
+
+  RnsContext Ctx;
+  std::string Err;
+  if (!RnsContext::create(4, Ctx, &Err)) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    return 1;
+  }
+  const Bignum &M = Ctx.modulus();
+  unsigned WW = Ctx.wideWords();
+
+  std::printf("RNS base: %zu limbs x %u bits, M = %u bits (%u-word wide "
+              "coefficients)\n",
+              Ctx.numLimbs(), Ctx.limbBits(), M.bitWidth(), WW);
+  std::printf("workload: %zu negacyclic products in Z_M[x]/(x^%zu + 1)\n\n",
+              Batch, N);
+
+  Rng R(7);
+  std::vector<Bignum> A, B;
+  for (size_t I = 0; I < N * Batch; ++I) {
+    A.push_back(Bignum::random(R, M));
+    B.push_back(Bignum::random(R, M));
+  }
+  auto AW = packBatch(A, WW), BW = packBatch(B, WW);
+  std::vector<std::uint64_t> CW(N * Batch * WW);
+
+  KernelRegistry Reg;
+  Autotuner Tuner(Reg);
+  Dispatcher D(Reg, &Tuner);
+
+  auto TimeMs = [](auto Fn) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - T0)
+        .count();
+  };
+
+  // First call pays autotuning + JIT for every limb-facing kernel; the
+  // second is the steady-state serving cost.
+  bool Ok = true;
+  double WarmupMs = TimeMs([&] {
+    Ok = D.rnsPolyMul(Ctx, AW.data(), BW.data(), CW.data(), N, Batch,
+                      rewrite::NttRing::Negacyclic);
+  });
+  double SteadyMs = TimeMs([&] {
+    Ok = Ok && D.rnsPolyMul(Ctx, AW.data(), BW.data(), CW.data(), N, Batch,
+                            rewrite::NttRing::Negacyclic);
+  });
+  if (!Ok) {
+    std::printf("rnsPolyMul failed: %s\n", D.error().c_str());
+    return 1;
+  }
+
+  // Verify the first batch row against the independent library path
+  // (ntt::NegacyclicPlan per limb + host CRT).
+  auto C = unpackBatch(CW, WW);
+  bool Correct = true;
+  {
+    std::vector<std::vector<std::uint64_t>> LimbC(Ctx.numLimbs());
+    for (size_t L = 0; L < Ctx.numLimbs(); ++L) {
+      field::PrimeField<1> F(Ctx.limb(L));
+      ntt::NegacyclicPlan<1> Plan(F, N);
+      std::vector<field::PrimeField<1>::Element> EA, EB;
+      for (size_t I = 0; I < N; ++I) {
+        EA.push_back(F.fromBignum(A[I] % Ctx.limb(L)));
+        EB.push_back(F.fromBignum(B[I] % Ctx.limb(L)));
+      }
+      auto EC = ntt::polyMulNegacyclic(Plan, EA, EB);
+      for (const auto &E : EC)
+        LimbC[L].push_back(E.toBignum().low64());
+    }
+    for (size_t I = 0; I < N; ++I) {
+      std::vector<std::uint64_t> Res;
+      for (size_t L = 0; L < Ctx.numLimbs(); ++L)
+        Res.push_back(LimbC[L][I]);
+      Correct = Correct && C[I] == Ctx.decode(Res.data(), 1);
+    }
+  }
+
+  const auto &S = D.dispatchStats();
+  std::printf("steady-state batch:    %8.2f ms  (%.0f ns per wide "
+              "coefficient)\n",
+              SteadyMs, SteadyMs * 1e6 / double(N * Batch));
+  std::printf("  one-time tune + JIT: %8.2f ms (first call)\n", WarmupMs);
+  std::printf("  plans compiled:      %u (nearly all autotuner sweep "
+              "candidates; the serving set\n"
+              "                       is one module per kernel shape — "
+              "PlanKey excludes the modulus\n"
+              "                       value, so all %zu limbs share it; "
+              "see bench_rns for the exact count)\n",
+              Reg.stats().Builds, Ctx.numLimbs());
+  std::printf("  dispatches so far:   %llu stage groups + %llu batch "
+              "kernels, %llu transforms\n",
+              static_cast<unsigned long long>(S.StageGroups),
+              static_cast<unsigned long long>(S.Batches),
+              static_cast<unsigned long long>(S.Transforms));
+  std::printf("results: %s\n",
+              Correct ? "bit-exact vs the library ψ-twist + CRT reference"
+                      : "MISMATCH");
+  std::printf("\nThe negacyclic ring costs zero extra dispatches: the ψ "
+              "twist rides the first\nforward stage group's loads and "
+              "ψ^{-i}·n^{-1} the last inverse group's stores\n(see "
+              "DESIGN.md \"RNS layer & negacyclic ring\").\n");
+  return Correct ? 0 : 1;
+}

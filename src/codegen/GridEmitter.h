@@ -85,8 +85,8 @@ struct EmittedGridKernel {
 ///
 ///   void fused(u64 blockIdxX, u64 blockIdxY, u64 blockDim,
 ///              u64 n, u64 len0, u64 depth, u64 *Dst, const u64 *Src,
-///              const u64 *Tw, const u32 *rev, const u64 *ninv,
-///              const u64 *const *aux);
+///              const u64 *Tw, const u32 *rev, const u64 *twist,
+///              const u64 *scale, u64 sstride, const u64 *const *aux);
 ///
 /// runs `depth` consecutive butterfly stages (half-distances len0,
 /// 2*len0, ..., 2^(depth-1)*len0) as one dispatch: each of the n/2^depth
@@ -102,11 +102,17 @@ struct EmittedGridKernel {
 ///  * rev non-null (first stage group only, len0 == 1): loads gather
 ///    Src[rev[e]] — the bit-reversal permutation rides the first loads
 ///    instead of a host-side swap pass;
-///  * ninv non-null (last inverse stage group): every output is
-///    multiplied by ninv before the store, through the shared scalar
-///    butterfly body with x = 0 (xo = 0 + ninv*y picks out the product;
-///    ninv is expected in the kernel's twiddle domain, i.e.
-///    Montgomery-form for Montgomery plans);
+///  * twist non-null (first forward group of a negacyclic transform):
+///    each loaded element is multiplied by twist[s], s its gathered
+///    source index (so twist[i] = ψ^i pairs with coefficient a_i),
+///    through the shared scalar butterfly body with x = 0;
+///  * scale non-null (last inverse stage group): every output is
+///    multiplied by scale[(e) * sstride] before the store through the
+///    same zero-x butterfly. sstride 0 broadcasts one factor (the cyclic
+///    n^-1); sstride = elemWords indexes a per-output-element table (the
+///    negacyclic untwist ψ^{-e} · n^-1). Factors are expected in the
+///    kernel's twiddle domain, i.e. Montgomery-form for Montgomery
+///    plans;
 ///  * Src != Dst runs the group out-of-place (the dispatcher ping-pongs
 ///    edge groups through a scratch buffer so no cross-thread in-place
 ///    hazard exists when rev permutes the read set).

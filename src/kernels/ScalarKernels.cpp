@@ -5,6 +5,8 @@
 #include "ir/Builder.h"
 #include "support/Error.h"
 
+#include <algorithm>
+
 using namespace moma;
 using namespace moma::ir;
 using namespace moma::kernels;
@@ -190,6 +192,80 @@ Kernel moma::kernels::buildButterflyKernel(const ScalarKernelSpec &Spec) {
   K.addOutput(XOut, "xo");
   K.addOutput(YOut, "yo");
   return std::move(F.K);
+}
+
+Kernel moma::kernels::buildRnsDecomposeKernel(const ScalarKernelSpec &Spec,
+                                              unsigned WideWords) {
+  unsigned W = Spec.ContainerBits;
+  unsigned L = Spec.ModBits; // the limb width; modBits() would default to
+                             // W-4, which is never a word-sized limb
+  if (L == 0 || L > 62)
+    fatalError("rnsdec: limb modulus bits must be set and <= 62");
+  if (WideWords == 0 || 64 * WideWords > W)
+    fatalError("rnsdec: wide words must fit the container");
+  Kernel K;
+  K.Name = "rnsdec";
+  // a < 2^(64*WideWords): exactly the stored words of one wide batch
+  // element, so the dispatch stride equals the RNS base's elemWords(M).
+  ValueId A = K.newValue(W, "a", 64 * WideWords);
+  K.addInput(A, "a");
+  ValueId Q = K.newValue(W, "q", L);
+  K.addInput(Q, "q");
+  // gmu = floor(2^W / q) < 2^(W-L+1): the generalized Barrett constant
+  // for single-pass reduction of any a < 2^W.
+  ValueId GMu = K.newValue(W, "gmu", W - L + 1);
+  K.addInput(GMu, "gmu");
+
+  Builder B(K);
+  // q̂ = floor(a·gmu / 2^W) — the full product's high half, so the
+  // Barrett shift is the container width and costs nothing. Standard
+  // bound: a/q - 2 < q̂ <= a/q, hence r0 = a - q̂·q in [0, 3q).
+  HiLoResult P = B.mul(A, GMu);
+  ValueId QHat = P.Hi;
+  K.value(QHat).KnownBits =
+      std::min(W, 64 * WideWords - L + 1); // a·gmu < 2^(64W' + W - L + 1)
+  ValueId T = B.mulLow(QHat, Q);
+  K.value(T).KnownBits = 64 * WideWords; // q̂·q <= a
+  ValueId R = B.sub(A, T).Value;
+  K.value(R).KnownBits = L + 2; // r0 < 3q — this is what lets pruning
+                                // collapse the corrections to limb width
+  for (unsigned Pass = 0; Pass < 2; ++Pass) {
+    ValueId Keep = B.lt(R, Q);
+    CarryResult D = B.sub(R, Q);
+    R = B.select(Keep, R, D.Value);
+    K.value(R).KnownBits = L + 1 - Pass; // < 2q, then < q
+  }
+  K.addOutput(R, "c");
+  return K;
+}
+
+Kernel moma::kernels::buildRnsRecombineStepKernel(
+    const ScalarKernelSpec &Spec) {
+  unsigned W = Spec.ContainerBits;
+  unsigned M = Spec.modBits();
+  if (M + 4 > W)
+    fatalError("rnsrec: modulus bits must be <= container - 4");
+  Kernel K;
+  K.Name = "rnsrec";
+  ValueId A = K.newValue(W, "a", M); // CRT weight W_l < M (broadcast)
+  K.addInput(A, "a");
+  // The residue is word-sized whatever the wide width: capping KnownBits
+  // at 62 keeps it one stored word and keeps the limb width out of the
+  // plan key (any residue of a <= 62-bit limb is covered).
+  ValueId X = K.newValue(W, "x", std::min(62u, M));
+  K.addInput(X, "x");
+  ValueId Y = K.newValue(W, "y", M); // accumulator < M
+  K.addInput(Y, "y");
+  ValueId Q = K.newValue(W, "q", M);
+  K.addInput(Q, "q");
+  ValueId Mu = K.newValue(W, "mu", M + 4); // standard Barrett constant
+  K.addInput(Mu, "mu");
+
+  Builder B(K);
+  ValueId AX = B.mulMod(A, X, Q, Mu, M);
+  ValueId Out = B.addMod(AX, Y, Q);
+  K.addOutput(Out, "yo");
+  return K;
 }
 
 Kernel moma::kernels::buildAxpyKernel(const ScalarKernelSpec &Spec) {

@@ -70,6 +70,29 @@ ir::Kernel buildButterflyKernel(const ScalarKernelSpec &Spec);
 /// axpy element: y' = (a*x + y) mod q (BLAS Level 1, Eq. 10).
 ir::Kernel buildAxpyKernel(const ScalarKernelSpec &Spec);
 
+/// RNS decompose element: c = a mod q, where a is a wide value of
+/// \p WideWords stored 64-bit words (the RNS base's elemWords(M)) and q a
+/// word-sized limb prime of Spec.ModBits bits (must be set explicitly,
+/// <= 62). One generalized Barrett pass at the container width λ:
+/// q̂ = floor(a * gmu / 2^λ) with gmu = floor(2^λ / q), then
+/// r = a - q̂·q < 3q and two conditional subtractions. Takes `gmu`
+/// instead of the standard `mu` (both derive from q and the container
+/// alone, so the compiled kernel serves every limb of its width — the
+/// modulus value stays out of the plan key). Requires
+/// 64 * WideWords <= λ.
+ir::Kernel buildRnsDecomposeKernel(const ScalarKernelSpec &Spec,
+                                   unsigned WideWords);
+
+/// RNS recombine step: yo = (a*x + y) mod q — the axpy shape with q = M
+/// (the full RNS modulus, Spec.ModBits = bitWidth(M)), a = the limb's
+/// CRT weight W_l = (M/q_l)·((M/q_l)^{-1} mod q_l) mod M (broadcast),
+/// x = the limb's word-sized residue (KnownBits capped at 62, so one
+/// stored word regardless of the wide width) and y = the accumulator.
+/// Running it once per limb over a zeroed accumulator computes the CRT
+/// reconstruction sum Σ r_l·W_l mod M. Always Barrett (the reduction
+/// knob is folded in the plan key).
+ir::Kernel buildRnsRecombineStepKernel(const ScalarKernelSpec &Spec);
+
 } // namespace kernels
 } // namespace moma
 

@@ -2,6 +2,8 @@
 
 #include "ntt/ReferenceDft.h"
 
+#include "support/Error.h"
+
 using namespace moma;
 using namespace moma::ntt;
 using mw::Bignum;
@@ -35,5 +37,25 @@ std::vector<Bignum> moma::ntt::referencePolyMul(const std::vector<Bignum> &A,
   for (size_t I = 0; I < A.size(); ++I)
     for (size_t J = 0; J < B.size(); ++J)
       C[I + J] = (C[I + J] + A[I].mulMod(B[J], Q)) % Q;
+  return C;
+}
+
+std::vector<Bignum>
+moma::ntt::referencePolyMulRing(const std::vector<Bignum> &A,
+                                const std::vector<Bignum> &B,
+                                const Bignum &Q, bool Negacyclic) {
+  size_t N = A.size();
+  if (B.size() != N)
+    fatalError("referencePolyMulRing: ring inputs must both have length n");
+  std::vector<Bignum> C(N, Bignum(0));
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J) {
+      Bignum T = A[I].mulMod(B[J], Q);
+      size_t K = (I + J) % N;
+      if (I + J >= N && Negacyclic)
+        C[K] = C[K].subMod(T, Q);
+      else
+        C[K] = C[K].addMod(T, Q);
+    }
   return C;
 }

@@ -33,6 +33,16 @@ std::vector<mw::Bignum> referencePolyMul(const std::vector<mw::Bignum> &A,
                                          const std::vector<mw::Bignum> &B,
                                          const mw::Bignum &Q);
 
+/// Schoolbook ring product C = A * B over Z_Q[x]/(x^n -+ 1) with
+/// n = |A| = |B|: degrees >= n wrap onto k - n, negated when
+/// \p Negacyclic (x^n = -1). The shared oracle for the cyclic and
+/// negacyclic runtime polyMul paths (Q need not be prime — the RNS
+/// suites pass Q = M).
+std::vector<mw::Bignum>
+referencePolyMulRing(const std::vector<mw::Bignum> &A,
+                     const std::vector<mw::Bignum> &B, const mw::Bignum &Q,
+                     bool Negacyclic);
+
 } // namespace ntt
 } // namespace moma
 

@@ -18,6 +18,10 @@ const char *moma::rewrite::execBackendName(ExecBackend B) {
   return B == ExecBackend::SimGpu ? "simgpu" : "serial";
 }
 
+const char *moma::rewrite::nttRingName(NttRing R) {
+  return R == NttRing::Negacyclic ? "negacyclic" : "cyclic";
+}
+
 std::string PlanOptions::str() const {
   std::string S =
       formatv("w%u/%s/%s/%s/%s", TargetWordBits, mw::reductionName(Red),
@@ -33,6 +37,9 @@ std::string PlanOptions::str() const {
   // the key, so pre-fusion cache keys stay readable.
   if (FuseDepth > 1)
     S += formatv("/f%u", FuseDepth);
+  // Cyclic is the historical ring; only negacyclic plans extend the key.
+  if (Ring == NttRing::Negacyclic)
+    S += "/neg";
   return S;
 }
 

@@ -42,6 +42,19 @@ enum class ExecBackend : std::uint8_t { Serial, SimGpu };
 /// Mnemonic backend name ("serial" / "simgpu").
 const char *execBackendName(ExecBackend B);
 
+/// Which polynomial ring an NTT-shaped plan serves: the cyclic ring
+/// Z_q[x]/(x^n - 1) (the historical shape) or the negacyclic ring
+/// Z_q[x]/(x^n + 1) FHE schemes use (BGV/BFV/CKKS). Like FuseDepth, the
+/// knob never changes the emitted butterfly source — the ψ/ψ⁻¹ twist
+/// tables are launch parameters folded into the fused pipeline's
+/// edge-stage loads and stores — but it is part of the plan identity so
+/// the dispatcher, tables cache, and autotuner keep the two transform
+/// semantics apart.
+enum class NttRing : std::uint8_t { Cyclic, Negacyclic };
+
+/// Mnemonic ring name ("cyclic" / "negacyclic").
+const char *nttRingName(NttRing R);
+
 /// Every knob that selects a code-generation variant for one kernel.
 /// Default-constructed PlanOptions reproduce the paper's default pipeline:
 /// Barrett reduction, schoolbook multiply, pruning on, scheduling off.
@@ -88,11 +101,19 @@ struct PlanOptions {
   /// registers per virtual thread).
   static constexpr unsigned MaxFuseDepth = 3;
 
+  /// Polynomial ring for NTT-shaped plans. Only butterfly plans consume
+  /// it (PlanKey canonicalization folds it to Cyclic everywhere else);
+  /// the negacyclic twist rides the fused pipeline's edge-stage folds, so
+  /// the knob costs zero extra dispatches and shares the compiled module
+  /// with the cyclic plan.
+  NttRing Ring = NttRing::Cyclic;
+
   /// Stable text form used in plan-cache keys and the autotune JSON:
   /// e.g. "w64/barrett/schoolbook/prune/noschedule". Serial plans keep
   /// the historical five-token form (so pre-backend cache keys stay
-  /// readable); SimGpu plans append "/simgpu/b<dim>", and butterfly
-  /// plans fused deeper than one stage append "/f<depth>".
+  /// readable); SimGpu plans append "/simgpu/b<dim>", butterfly plans
+  /// fused deeper than one stage append "/f<depth>", and negacyclic
+  /// butterfly plans append "/neg".
   std::string str() const;
 
   /// The LowerOptions slice of this plan.
@@ -107,7 +128,8 @@ struct PlanOptions {
     return TargetWordBits == O.TargetWordBits && Red == O.Red &&
            MulAlg == O.MulAlg && Prune == O.Prune &&
            Schedule == O.Schedule && Backend == O.Backend &&
-           BlockDim == O.BlockDim && FuseDepth == O.FuseDepth;
+           BlockDim == O.BlockDim && FuseDepth == O.FuseDepth &&
+           Ring == O.Ring;
   }
   bool operator!=(const PlanOptions &O) const { return !(*this == O); }
 };

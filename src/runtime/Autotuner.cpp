@@ -420,6 +420,11 @@ const TuneDecision *Autotuner::chooseNtt(const Bignum &Q,
   std::string Problem =
       decisionKey(KernelOp::Butterfly, Q, Base, Bucket) +
       formatv("/ntt%u", LogN);
+  // The ring is a semantic axis, never swept: negacyclic problems get
+  // their own decisions (the ψ edge folds shift the stage-group cost
+  // profile, so the winning depth may differ).
+  if (Base.Ring == rewrite::NttRing::Negacyclic)
+    Problem += "/neg";
   if (!O.TuneFuseDepth)
     Problem += formatv(
         "/f%u", PlanKey::forModulus(KernelOp::Butterfly, Q, Base)
@@ -444,7 +449,8 @@ const TuneDecision *Autotuner::tuneNtt(const Bignum &Q,
 
   // Twiddle tables per reduction domain the candidate set needs, built
   // once and shared across every timing run (matching how the dispatcher
-  // serves transforms).
+  // serves transforms). Built for the base plan's ring, so negacyclic
+  // candidates are timed with the ψ edge folds they will actually run.
   NttTables Tables[2]; // [0] Barrett/plain, [1] Montgomery
   bool Built[2] = {false, false};
   for (const rewrite::PlanOptions &C : Cands) {
@@ -452,7 +458,7 @@ const TuneDecision *Autotuner::tuneNtt(const Bignum &Q,
     if (Built[D])
       continue;
     std::string Err;
-    if (!buildNttTables(Q, NPoints, C.Red, Tables[D], &Err)) {
+    if (!buildNttTables(Q, NPoints, C.Red, Tables[D], &Err, Base.Ring)) {
       LastError = "Autotuner: " + Err;
       return nullptr;
     }
@@ -530,13 +536,14 @@ const TuneDecision *Autotuner::tuneNtt(const Bignum &Q,
 
 bool Autotuner::save(const std::string &Path) const {
   // Version 2 added the backend and block_dim fields (and size-bucketed
-  // problem keys); version 3 adds fuse_depth (and /ntt<logn>-keyed
-  // transform problems). The reader skips unknown fields and defaults
-  // absent ones, so older files keep loading — version-1 entries simply
-  // never match a bucketed problem key and are ignored, version-2
-  // entries default to the unfused depth.
+  // problem keys); version 3 added fuse_depth (and /ntt<logn>-keyed
+  // transform problems); version 4 adds ring (and /neg-keyed negacyclic
+  // problems). The reader skips unknown fields and defaults absent ones,
+  // so older files keep loading — version-1 entries simply never match a
+  // bucketed problem key and are ignored, version-2 entries default to
+  // the unfused depth, version-3 entries to the cyclic ring.
   std::ostringstream SS;
-  SS << "{\n  \"version\": 3,\n  \"entries\": [";
+  SS << "{\n  \"version\": 4,\n  \"entries\": [";
   bool First = true;
   for (const auto &E : Decisions) {
     const TuneDecision &D = E.second;
@@ -554,6 +561,7 @@ bool Autotuner::save(const std::string &Path) const {
        << "\", "
        << "\"block_dim\": " << D.Opts.BlockDim << ", "
        << "\"fuse_depth\": " << D.Opts.FuseDepth << ", "
+       << "\"ring\": \"" << rewrite::nttRingName(D.Opts.Ring) << "\", "
        << "\"ns_per_elem\": " << formatv("%.3f", D.NsPerElem) << "}";
     First = false;
   }
@@ -607,6 +615,9 @@ bool Autotuner::load(const std::string &Path) {
       D.Opts.BlockDim = static_cast<unsigned>(V->N);
     if (const JValue *V = E.field("fuse_depth"))
       D.Opts.FuseDepth = std::max(1u, static_cast<unsigned>(V->N));
+    if (const JValue *V = E.field("ring"))
+      D.Opts.Ring = V->S == "negacyclic" ? rewrite::NttRing::Negacyclic
+                                         : rewrite::NttRing::Cyclic;
     if (const JValue *V = E.field("ns_per_elem"))
       D.NsPerElem = V->N;
     // Freshly tuned decisions win over persisted ones.

@@ -37,8 +37,8 @@ using FusedFnTy = void (*)(std::uint64_t, std::uint64_t, std::uint64_t,
                            std::uint64_t, std::uint64_t, std::uint64_t,
                            std::uint64_t *, const std::uint64_t *,
                            const std::uint64_t *, const std::uint32_t *,
-                           const std::uint64_t *,
-                           const std::uint64_t *const *);
+                           const std::uint64_t *, const std::uint64_t *,
+                           std::uint64_t, const std::uint64_t *const *);
 
 bool checkButterflyShape(const CompiledPlan &P, std::string *Err) {
   if (P.NumOutputs != 2 || P.NumDataInputs != 3)
@@ -61,6 +61,9 @@ bool checkStageGroup(const StageGroup &G, size_t NPoints, std::string *Err) {
                              G.Len0, G.Depth, NPoints));
   if (G.Gather && G.Len0 != 1)
     return fail(Err, "runStageGroup: the bit-reversal gather only folds "
+                     "into the first stage group");
+  if (G.Twist && G.Len0 != 1)
+    return fail(Err, "runStageGroup: the negacyclic twist only folds "
                      "into the first stage group");
   return true;
 }
@@ -144,7 +147,7 @@ bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
   // serial substrate: walk the sub-stages as plain radix-2 passes over
   // the buffer (identical butterfly sequence, so bit-identical results,
   // at the historical per-stage cost with zero copies).
-  if (!G.Gather && !G.Scale && G.Src == G.Dst) {
+  if (!G.Gather && !G.Twist && !G.Scale && G.Src == G.Dst) {
     unsigned KW = P.ElemWords;
     void *Ports[8];
     for (size_t I = 0; I < Aux.size(); ++I)
@@ -189,9 +192,21 @@ bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
       size_t Base = Grp * (G.Len0 << G.Depth) + R;
       for (size_t J = 0; J < M; ++J) {
         size_t E = Base + J * G.Len0;
-        const std::uint64_t *Src =
-            SrcRow + (G.Gather ? size_t(G.Gather[E]) : E) * K;
+        size_t S = G.Gather ? size_t(G.Gather[E]) : E;
+        const std::uint64_t *Src = SrcRow + S * K;
         std::copy(Src, Src + K, Regs.begin() + J * K);
+        if (G.Twist) {
+          // Forward negacyclic fold: the value just loaded is
+          // coefficient a_S, multiplied by ψ^S through the zero-x
+          // butterfly (mirrors the emitted fused kernel).
+          Ports[0] = Regs.data() + J * K;
+          Ports[1] = Dump.data();
+          Ports[2] = Zero.data();
+          Ports[3] = Regs.data() + J * K;
+          Ports[4] = const_cast<std::uint64_t *>(G.Twist + S * K);
+          if (!callPlan(P, Ports))
+            return fail(Err, "runStageGroup: unsupported butterfly arity");
+        }
       }
       for (unsigned D = 0; D < G.Depth; ++D) {
         size_t H = size_t(1) << D;
@@ -219,7 +234,10 @@ bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
           Ports[1] = Dump.data();
           Ports[2] = Zero.data();
           Ports[3] = Regs.data() + J * K;
-          Ports[4] = const_cast<std::uint64_t *>(G.Scale);
+          // ScaleStride 0 broadcasts (cyclic n^-1); ElemWords indexes the
+          // per-output untwist table at the natural-order element index.
+          Ports[4] = const_cast<std::uint64_t *>(
+              G.Scale + (Base + J * G.Len0) * G.ScaleStride);
           if (!callPlan(P, Ports))
             return fail(Err, "runStageGroup: unsupported butterfly arity");
         }
@@ -355,7 +373,7 @@ bool SimGpuBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
   auto Fn = reinterpret_cast<FusedFnTy>(P.FusedFn);
   Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
     Fn(BX, BY, BD, NPoints, G.Len0, G.Depth, G.Dst, G.Src, Tw, G.Gather,
-       G.Scale, Aux.data());
+       G.Twist, G.Scale, G.ScaleStride, Aux.data());
   });
   return true;
 }

@@ -40,18 +40,24 @@ namespace runtime {
 /// contract): `Depth` consecutive butterfly stages starting at
 /// half-distance `Len0`, each virtual thread transforming 2^Depth points
 /// in registers. `Gather` (bit-reversal table, first group only) folds
-/// the input permutation into the loads; `Scale` (n^-1 in the plan's
-/// twiddle domain, last inverse group only) folds the final multiply
-/// into the stores. Src == Dst is only safe when every thread's read set
-/// equals its write set: any group without Gather, or a single-group
-/// transform (Depth == log2(n), one thread per row).
+/// the input permutation into the loads; `Twist` (per-element ψ powers,
+/// first forward group of a negacyclic transform) folds the ring twist
+/// into the same loads; `Scale` (last inverse group) folds the final
+/// multiply into the stores — broadcast n^-1 when ScaleStride is 0, the
+/// per-element negacyclic untwist ψ^{-e}·n^-1 when ScaleStride is
+/// ElemWords. All multiply-fold tables live in the plan's twiddle
+/// domain. Src == Dst is only safe when every thread's read set equals
+/// its write set: any group without Gather, or a single-group transform
+/// (Depth == log2(n), one thread per row).
 struct StageGroup {
   size_t Len0 = 1;    ///< half-distance of the group's first stage
   unsigned Depth = 1; ///< fused stages, in [1, PlanOptions::MaxFuseDepth]
   const std::uint64_t *Src = nullptr;
   std::uint64_t *Dst = nullptr;
   const std::uint32_t *Gather = nullptr; ///< NPoints-entry bit-rev table
-  const std::uint64_t *Scale = nullptr;  ///< ElemWords scale factor
+  const std::uint64_t *Twist = nullptr;  ///< NPoints x ElemWords ψ table
+  const std::uint64_t *Scale = nullptr;  ///< scale factor(s), see above
+  unsigned ScaleStride = 0; ///< 0 = broadcast, ElemWords = per element
 };
 
 /// Abstract execution substrate for compiled plans. Implementations are

@@ -97,14 +97,15 @@ Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q,
 
 Dispatcher::BoundPlan *Dispatcher::bindPlan(KernelOp Op, const Bignum &Q,
                                             const rewrite::PlanOptions
-                                                &Opts) {
+                                                &Opts,
+                                            unsigned WideWords) {
   // The documented contract: odd moduli only (Montgomery candidates need
   // -q^-1 mod 2^lambda; every NTT-friendly prime is odd anyway). Checked
   // here so all entry points fail with error() instead of aborting inside
   // the constant computation.
   if (!Q.isOdd())
     return fail("Dispatcher: modulus must be odd"), nullptr;
-  PlanKey Key = PlanKey::forModulus(Op, Q, Opts);
+  PlanKey Key = PlanKey::forRns(Op, Q, WideWords, Opts);
   // The binding cache is keyed by the full canonical variant string, so
   // differently-tuned variants of one problem (e.g. serial for small
   // batches, sim-GPU for large) coexist without rebinding churn; folded
@@ -215,9 +216,11 @@ bool Dispatcher::butterfly(const Bignum &Q, std::uint64_t *X,
 }
 
 const NttTables *Dispatcher::tables(const Bignum &Q, size_t NPoints,
-                                    mw::Reduction Domain) {
+                                    mw::Reduction Domain,
+                                    rewrite::NttRing Ring) {
   std::string Key = Q.toHex() + ":" + std::to_string(NPoints) + ":" +
-                    mw::reductionName(Domain);
+                    mw::reductionName(Domain) + ":" +
+                    rewrite::nttRingName(Ring);
   auto It = NttCtx.find(Key);
   if (It != NttCtx.end()) {
     It->second.LastUse = ++UseTick;
@@ -225,7 +228,7 @@ const NttTables *Dispatcher::tables(const Bignum &Q, size_t NPoints,
   }
   TablesEntry E;
   std::string Err;
-  if (!buildNttTables(Q, NPoints, Domain, E.T, &Err))
+  if (!buildNttTables(Q, NPoints, Domain, E.T, &Err, Ring))
     return fail("Dispatcher: " + Err), nullptr;
   E.LastUse = ++UseTick;
   auto Ins = NttCtx.emplace(std::move(Key), std::move(E));
@@ -235,7 +238,8 @@ const NttTables *Dispatcher::tables(const Bignum &Q, size_t NPoints,
 }
 
 bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
-                           size_t NPoints, size_t Batch, bool Inverse) {
+                           size_t NPoints, size_t Batch, bool Inverse,
+                           rewrite::NttRing Ring) {
   // Shape checks up front so the autotuner never times a malformed
   // transform and every entry point fails with error() set.
   if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0)
@@ -243,21 +247,30 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
   unsigned LogN = 0;
   while ((size_t(1) << LogN) < NPoints)
     ++LogN;
-  if (field::twoAdicity(Q) < LogN)
-    return fail(formatv("Dispatcher: modulus 2-adicity %u < log2(n) = %u",
-                        field::twoAdicity(Q), LogN));
+  unsigned NeedAdicity =
+      LogN + (Ring == rewrite::NttRing::Negacyclic ? 1 : 0);
+  if (field::twoAdicity(Q) < NeedAdicity)
+    return fail(formatv("Dispatcher: modulus 2-adicity %u < %u required "
+                        "for a %s %zu-point transform",
+                        field::twoAdicity(Q), NeedAdicity,
+                        rewrite::nttRingName(Ring), NPoints));
 
   // The transform-shaped tuning decision (backend x geometry x reduction
-  // x FuseDepth, per size bucket): the tuner times real fused stage-group
-  // walks, so the winning depth is measured, not guessed.
-  rewrite::PlanOptions Opts = Base;
+  // x FuseDepth, per size bucket and ring): the tuner times real fused
+  // stage-group walks — with the ψ edge folds in place for negacyclic
+  // requests — so the winning depth is measured, not guessed. The
+  // entry-point ring overrides whatever the base plan carries.
+  rewrite::PlanOptions BaseR = Base;
+  BaseR.Ring = Ring;
+  rewrite::PlanOptions Opts = BaseR;
   if (Tuner) {
     if (!Q.isOdd())
       return fail("Dispatcher: modulus must be odd");
-    const TuneDecision *D = Tuner->chooseNtt(Q, Base, NPoints, Batch);
+    const TuneDecision *D = Tuner->chooseNtt(Q, BaseR, NPoints, Batch);
     if (!D)
       return fail("Dispatcher: " + Tuner->error());
     Opts = D->Opts;
+    Opts.Ring = Ring; // the ring is semantic, never a tuning outcome
   }
   BoundPlan *BP = bindPlan(KernelOp::Butterfly, Q, Opts);
   if (!BP)
@@ -265,9 +278,9 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
   const CompiledPlan &P = *BP->Plan;
   // Twiddles live in the plan's reduction domain (Montgomery-form tables
   // for Montgomery plans: the butterfly is a single REDC, with no
-  // per-stage domain conversions); one table pair serves forward and
+  // per-stage domain conversions); one table set serves forward and
   // inverse.
-  const NttTables *T = tables(Q, NPoints, P.Key.Opts.Red);
+  const NttTables *T = tables(Q, NPoints, P.Key.Opts.Red, Ring);
   if (!T)
     return false;
 
@@ -287,38 +300,158 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
 }
 
 bool Dispatcher::nttForward(const Bignum &Q, std::uint64_t *Data,
-                            size_t NPoints, size_t Batch) {
+                            size_t NPoints, size_t Batch,
+                            rewrite::NttRing Ring) {
   LastError.clear();
-  return transform(Q, Data, NPoints, Batch, /*Inverse=*/false);
+  return transform(Q, Data, NPoints, Batch, /*Inverse=*/false, Ring);
 }
 
 bool Dispatcher::nttInverse(const Bignum &Q, std::uint64_t *Data,
-                            size_t NPoints, size_t Batch) {
+                            size_t NPoints, size_t Batch,
+                            rewrite::NttRing Ring) {
   LastError.clear();
-  return transform(Q, Data, NPoints, Batch, /*Inverse=*/true);
+  return transform(Q, Data, NPoints, Batch, /*Inverse=*/true, Ring);
 }
 
 bool Dispatcher::polyMul(const Bignum &Q, const std::uint64_t *A,
                          const std::uint64_t *B, std::uint64_t *C,
-                         size_t NPoints, size_t Batch) {
+                         size_t NPoints, size_t Batch,
+                         rewrite::NttRing Ring) {
   LastError.clear();
   unsigned K = elemWords(Q);
   size_t Total = NPoints * Batch * K;
   // A's transform runs directly in the output buffer (dead until the
   // point-wise product); only B needs a scratch copy — into the
   // dispatcher's reusable buffer, so steady-state batched polyMul does
-  // zero heap allocation.
+  // zero heap allocation. The ring rides the transforms' edge folds, so
+  // a negacyclic product issues exactly the cyclic dispatch sequence.
   if (C != A)
     std::copy(A, A + Total, C);
   if (PolyScratch.size() < Total)
     PolyScratch.resize(Total);
   std::copy(B, B + Total, PolyScratch.begin());
-  if (!nttForward(Q, C, NPoints, Batch) ||
-      !nttForward(Q, PolyScratch.data(), NPoints, Batch))
+  if (!nttForward(Q, C, NPoints, Batch, Ring) ||
+      !nttForward(Q, PolyScratch.data(), NPoints, Batch, Ring))
     return false;
   if (!vmul(Q, C, PolyScratch.data(), C, NPoints * Batch))
     return false;
-  return nttInverse(Q, C, NPoints, Batch);
+  return nttInverse(Q, C, NPoints, Batch, Ring);
+}
+
+//===----------------------------------------------------------------------===//
+// RNS multi-modulus serving
+//===----------------------------------------------------------------------===//
+
+bool Dispatcher::rnsDecompose(const RnsContext &Ctx, const std::uint64_t *A,
+                              std::uint64_t *Residues, size_t N) {
+  LastError.clear();
+  unsigned WW = Ctx.wideWords();
+  // One generalized-Barrett dispatch per limb: the wide batch is read
+  // with stride wideWords, the limb's residue column written densely.
+  // Every limb shares the compiled rnsdec module (same widths, modulus
+  // value excluded from the key) — only the (q, gmu) broadcast tail
+  // differs per binding.
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L) {
+    BoundPlan *BP = bindPlan(KernelOp::RnsDecompose, Ctx.limb(L), Base, WW);
+    if (!BP)
+      return false;
+    BatchArgs Args;
+    Args.Outs = {Residues + L * N};
+    Args.Ins = {A};
+    Args.InStrides = {WW};
+    Args.Aux = BP->AuxPtrs;
+    ++DStats.Batches;
+    if (!Reg.backendFor(BP->Plan->Key)
+             .runBatch(*BP->Plan, Args, N, /*Rows=*/1, &LastError))
+      return false;
+  }
+  return true;
+}
+
+bool Dispatcher::rnsRecombine(const RnsContext &Ctx,
+                              const std::uint64_t *Residues,
+                              std::uint64_t *C, size_t N) {
+  LastError.clear();
+  unsigned WW = Ctx.wideWords();
+  // CRT reconstruction as L axpy-shaped dispatches over a zeroed
+  // accumulator: yo = (W_l * r_l + y) mod M, the weight broadcast with
+  // stride 0 and the accumulator aliasing the output (inputs load before
+  // the store). One compiled rnsrec plan serves every limb — and every
+  // base of the same wide shape.
+  std::fill(C, C + size_t(WW) * N, 0);
+  BoundPlan *BP = bindPlan(KernelOp::RnsRecombineStep, Ctx.modulus(), Base);
+  if (!BP)
+    return false;
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L) {
+    BatchArgs Args;
+    Args.Outs = {C};
+    Args.Ins = {Ctx.weightWords(L).data(), Residues + L * N, C};
+    Args.InStrides = {0, 1, WW};
+    Args.Aux = BP->AuxPtrs;
+    ++DStats.Batches;
+    if (!Reg.backendFor(BP->Plan->Key)
+             .runBatch(*BP->Plan, Args, N, /*Rows=*/1, &LastError))
+      return false;
+  }
+  return true;
+}
+
+bool Dispatcher::rnsElementwise(KernelOp Op, const RnsContext &Ctx,
+                                const std::uint64_t *A,
+                                const std::uint64_t *B, std::uint64_t *C,
+                                size_t N) {
+  size_t Total = Ctx.numLimbs() * N;
+  if (RnsA.size() < Total)
+    RnsA.resize(Total); // grow-only: steady-state RNS traffic
+  if (RnsB.size() < Total)
+    RnsB.resize(Total); // allocates nothing
+  if (!rnsDecompose(Ctx, A, RnsA.data(), N) ||
+      !rnsDecompose(Ctx, B, RnsB.data(), N))
+    return false;
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L)
+    if (!runElementwise(Op, Ctx.limb(L), RnsA.data() + L * N,
+                        RnsB.data() + L * N, RnsA.data() + L * N, N))
+      return false;
+  return rnsRecombine(Ctx, RnsA.data(), C, N);
+}
+
+bool Dispatcher::rnsVAdd(const RnsContext &Ctx, const std::uint64_t *A,
+                         const std::uint64_t *B, std::uint64_t *C,
+                         size_t N) {
+  LastError.clear();
+  return rnsElementwise(KernelOp::AddMod, Ctx, A, B, C, N);
+}
+
+bool Dispatcher::rnsVMul(const RnsContext &Ctx, const std::uint64_t *A,
+                         const std::uint64_t *B, std::uint64_t *C,
+                         size_t N) {
+  LastError.clear();
+  return rnsElementwise(KernelOp::MulMod, Ctx, A, B, C, N);
+}
+
+bool Dispatcher::rnsPolyMul(const RnsContext &Ctx, const std::uint64_t *A,
+                            const std::uint64_t *B, std::uint64_t *C,
+                            size_t NPoints, size_t Batch,
+                            rewrite::NttRing Ring) {
+  LastError.clear();
+  size_t N = NPoints * Batch;
+  size_t Total = Ctx.numLimbs() * N;
+  if (RnsA.size() < Total)
+    RnsA.resize(Total);
+  if (RnsB.size() < Total)
+    RnsB.resize(Total);
+  if (!rnsDecompose(Ctx, A, RnsA.data(), N) ||
+      !rnsDecompose(Ctx, B, RnsB.data(), N))
+    return false;
+  // One batched NTT product per limb, in place over the A residues
+  // (polyMul allows C == A). All limbs share one butterfly/mulmod module
+  // per variant; the tuner's per-problem decisions apply to the limb
+  // width exactly like single-modulus traffic.
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L)
+    if (!polyMul(Ctx.limb(L), RnsA.data() + L * N, RnsB.data() + L * N,
+                 RnsA.data() + L * N, NPoints, Batch, Ring))
+      return false;
+  return rnsRecombine(Ctx, RnsA.data(), C, N);
 }
 
 bool Dispatcher::vmul(const Bignum &Q, const std::vector<Bignum> &A,
@@ -337,7 +470,8 @@ bool Dispatcher::vmul(const Bignum &Q, const std::vector<Bignum> &A,
 
 bool Dispatcher::polyMul(const Bignum &Q, const std::vector<Bignum> &A,
                          const std::vector<Bignum> &B,
-                         std::vector<Bignum> &C, size_t NPoints) {
+                         std::vector<Bignum> &C, size_t NPoints,
+                         rewrite::NttRing Ring) {
   if (A.size() > NPoints || B.size() > NPoints)
     return fail("Dispatcher: inputs longer than the transform size");
   unsigned K = elemWords(Q);
@@ -346,7 +480,7 @@ bool Dispatcher::polyMul(const Bignum &Q, const std::vector<Bignum> &A,
   BPad.resize(NPoints, Bignum(0));
   std::vector<std::uint64_t> AW = packBatch(APad, K),
                              BW = packBatch(BPad, K), CW(NPoints * K);
-  if (!polyMul(Q, AW.data(), BW.data(), CW.data(), NPoints, 1))
+  if (!polyMul(Q, AW.data(), BW.data(), CW.data(), NPoints, 1, Ring))
     return false;
   C = unpackBatch(CW, K);
   return true;

@@ -40,6 +40,7 @@
 #include "runtime/Autotuner.h"
 #include "runtime/KernelRegistry.h"
 #include "runtime/NttPipeline.h"
+#include "runtime/RnsContext.h"
 
 #include <map>
 #include <vector>
@@ -101,19 +102,65 @@ public:
   /// dispatches (runtime/NttPipeline.h): the bit-reversal permutation is
   /// gathered by the first group's loads and the inverse n^-1 multiply
   /// folded into the last group's stores, so there is no host-side data
-  /// pass and no separate scaling dispatch.
+  /// pass and no separate scaling dispatch. \p Ring selects the cyclic
+  /// transform (x^n - 1, the default) or the negacyclic twisted
+  /// transform (x^n + 1, needs 2n | q - 1): the ψ twist rides the first
+  /// forward group's loads and the ψ^{-1}·n^-1 untwist the last inverse
+  /// group's stores, so the ring changes the dispatch count by exactly
+  /// zero.
   bool nttForward(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
-                  size_t Batch);
+                  size_t Batch,
+                  rewrite::NttRing Ring = rewrite::NttRing::Cyclic);
   bool nttInverse(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
-                  size_t Batch);
+                  size_t Batch,
+                  rewrite::NttRing Ring = rewrite::NttRing::Cyclic);
 
-  /// Batched cyclic polynomial product (Eq. 11/12): per batch entry,
-  /// C = A * B mod (x^n - 1) over Z_q. A and B hold Batch x NPoints
-  /// coefficients each (low degree first); C likewise. C may alias A
-  /// (its transform runs in the output buffer) but must not alias B.
+  /// Batched polynomial product (Eq. 11/12): per batch entry, C = A * B
+  /// mod (x^n - 1) over Z_q — or mod (x^n + 1) with Ring = Negacyclic,
+  /// the FHE ciphertext ring, at the same dispatch count. A and B hold
+  /// Batch x NPoints coefficients each (low degree first); C likewise.
+  /// C may alias A (its transform runs in the output buffer) but must
+  /// not alias B.
   bool polyMul(const mw::Bignum &Q, const std::uint64_t *A,
                const std::uint64_t *B, std::uint64_t *C, size_t NPoints,
-               size_t Batch);
+               size_t Batch,
+               rewrite::NttRing Ring = rewrite::NttRing::Cyclic);
+
+  // -- RNS multi-modulus serving (runtime/RnsContext.h) ------------------
+  // One logical batch of N wide elements (reduced modulo Ctx.modulus(),
+  // wideWords() words each) fans out across the base's limbs through the
+  // same plan cache as everything else. Because PlanKey excludes the
+  // modulus value, every limb of the base executes through a single
+  // compiled module per kernel — L limbs cost L dispatches, one compile.
+  // The CRT edges are generated kernels too: decompose is one
+  // generalized-Barrett dispatch per limb, recombine one axpy-shaped
+  // accumulation dispatch per limb. The CRT kernels run on the base
+  // plan's backend (their knob grid is folded, so they are not
+  // autotuned); the per-limb BLAS/NTT work goes through the autotuner
+  // exactly like single-modulus traffic.
+
+  /// Wide batch -> limb-major residues (limb l at Residues + l*N, one
+  /// word per element).
+  bool rnsDecompose(const RnsContext &Ctx, const std::uint64_t *A,
+                    std::uint64_t *Residues, size_t N);
+  /// Limb-major residues -> wide batch (CRT reconstruction mod M).
+  bool rnsRecombine(const RnsContext &Ctx, const std::uint64_t *Residues,
+                    std::uint64_t *C, size_t N);
+  /// C = (A + B) mod M / C = (A * B) mod M, element-wise over wide
+  /// batches. C may alias A or B.
+  bool rnsVAdd(const RnsContext &Ctx, const std::uint64_t *A,
+               const std::uint64_t *B, std::uint64_t *C, size_t N);
+  bool rnsVMul(const RnsContext &Ctx, const std::uint64_t *A,
+               const std::uint64_t *B, std::uint64_t *C, size_t N);
+  /// Batched polynomial product over Z_M[x]/(x^n -+ 1): decompose, one
+  /// NTT polyMul per limb (negacyclic rides the same edge folds as the
+  /// single-modulus path), recombine. A/B/C hold Batch x NPoints wide
+  /// coefficients; C may alias A but not B. Limbs need 2-adicity
+  /// log2(n) (+1 negacyclic) — Ctx.twoAdicity() bounds the sizes.
+  bool rnsPolyMul(const RnsContext &Ctx, const std::uint64_t *A,
+                  const std::uint64_t *B, std::uint64_t *C, size_t NPoints,
+                  size_t Batch,
+                  rewrite::NttRing Ring = rewrite::NttRing::Cyclic);
 
   // -- Bignum conveniences (examples/tests) ------------------------------
 
@@ -121,7 +168,8 @@ public:
             const std::vector<mw::Bignum> &B, std::vector<mw::Bignum> &C);
   bool polyMul(const mw::Bignum &Q, const std::vector<mw::Bignum> &A,
                const std::vector<mw::Bignum> &B,
-               std::vector<mw::Bignum> &C, size_t NPoints);
+               std::vector<mw::Bignum> &C, size_t NPoints,
+               rewrite::NttRing Ring = rewrite::NttRing::Cyclic);
 
   /// Diagnostics from the most recent failed call; empty after success.
   const std::string &error() const { return LastError; }
@@ -176,19 +224,27 @@ private:
   /// autotuner (decisions are per batch-size class).
   BoundPlan *bind(KernelOp Op, const mw::Bignum &Q, size_t SizeHint);
   /// Binds a fully-resolved variant (no autotuner consultation) — the
-  /// NTT path resolves its own transform-shaped decision first.
+  /// NTT path resolves its own transform-shaped decision first, and the
+  /// RNS CRT kernels pass their wide word count (0 elsewhere).
   BoundPlan *bindPlan(KernelOp Op, const mw::Bignum &Q,
-                      const rewrite::PlanOptions &Opts);
-  /// Tables for (Q, NPoints) in \p Domain — the bound butterfly plan's
-  /// reduction, so Montgomery plans get Montgomery-form twiddles. Built
-  /// once and shared by forward and inverse transforms.
+                      const rewrite::PlanOptions &Opts,
+                      unsigned WideWords = 0);
+  /// Shared decompose + per-limb-op + recombine driver for the
+  /// element-wise RNS entry points.
+  bool rnsElementwise(KernelOp Op, const RnsContext &Ctx,
+                      const std::uint64_t *A, const std::uint64_t *B,
+                      std::uint64_t *C, size_t N);
+  /// Tables for (Q, NPoints, Ring) in \p Domain — the bound butterfly
+  /// plan's reduction, so Montgomery plans get Montgomery-form twiddles
+  /// (and ψ tables). Built once and shared by forward and inverse
+  /// transforms.
   const NttTables *tables(const mw::Bignum &Q, size_t NPoints,
-                          mw::Reduction Domain);
+                          mw::Reduction Domain, rewrite::NttRing Ring);
   bool runElementwise(KernelOp Op, const mw::Bignum &Q,
                       const std::uint64_t *A, const std::uint64_t *B,
                       std::uint64_t *C, size_t N);
   bool transform(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
-                 size_t Batch, bool Inverse);
+                 size_t Batch, bool Inverse, rewrite::NttRing Ring);
   bool fail(const std::string &Msg) {
     LastError = Msg;
     return false;
@@ -211,6 +267,7 @@ private:
   std::vector<std::uint64_t> PolyScratch; ///< polyMul's B-transform copy
   std::vector<std::uint64_t> NttScratch;  ///< stage-group ping-pong
   std::vector<std::uint64_t> TwScratch;   ///< butterfly() domain conversion
+  std::vector<std::uint64_t> RnsA, RnsB;  ///< limb-major residue scratch
 };
 
 } // namespace runtime

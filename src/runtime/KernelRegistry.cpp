@@ -35,8 +35,19 @@ ir::Kernel buildOpKernel(const PlanKey &Key) {
     return kernels::buildButterflyKernel(Spec);
   case KernelOp::Axpy:
     return kernels::buildAxpyKernel(Spec);
+  case KernelOp::RnsDecompose:
+    return kernels::buildRnsDecomposeKernel(Spec, Key.WideWords);
+  case KernelOp::RnsRecombineStep:
+    return kernels::buildRnsRecombineStepKernel(Spec);
   }
   moma_unreachable("unknown kernel op");
+}
+
+/// The RNS CRT edge kernels mix port widths by design (a wide element on
+/// one side, a single-word limb residue on the other); every other op
+/// keeps the uniform elemWords ABI.
+bool kernelOpMixesWidths(KernelOp Op) {
+  return Op == KernelOp::RnsDecompose || Op == KernelOp::RnsRecombineStep;
 }
 
 /// Calls \p Fn with \p Args.size() pointer arguments. The emitted-kernel
@@ -161,6 +172,11 @@ PlanAux moma::runtime::makePlanAux(const CompiledPlan &P,
     } else if (Name == "r2") {
       mw::Bignum R = mw::Bignum::powerOfTwo(P.Key.ContainerBits);
       V = (R * R) % Q;
+    } else if (Name == "gmu") {
+      // The RNS decompose kernel's generalized Barrett constant: the
+      // shift is the container width itself (the reduction takes the
+      // full product's high half), so gmu = floor(2^lambda / q).
+      V = mw::Bignum::powerOfTwo(P.Key.ContainerBits) / Q;
     } else {
       fatalError("makePlanAux: unknown auxiliary port '" + Name + "'");
     }
@@ -236,6 +252,8 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
   ir::Kernel K = buildOpKernel(Key);
   K.Name = formatv("%s_c%u_m%u", K.Name.c_str(), Key.ContainerBits,
                    Key.ModBits);
+  if (Key.WideWords)
+    K.Name += formatv("_W%u", Key.WideWords);
   P->Lowered = rewrite::lowerWithPlan(K, Key.Opts);
 
   std::string StageSymbol, FusedSymbol;
@@ -309,11 +327,15 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
       LastError = "KernelRegistry: output port width mismatch";
       return nullptr;
     }
-  for (size_t I = 0; I < QAt; ++I)
-    if (P->Lowered.Inputs[I].storedWords() != P->ElemWords) {
-      LastError = "KernelRegistry: data input port width mismatch";
-      return nullptr;
-    }
+  // The RNS CRT kernels mix widths on the input side by design (wide
+  // element vs word-sized residue); their drivers always dispatch with
+  // explicit per-input strides, so the uniform check is skipped there.
+  if (!kernelOpMixesWidths(Key.Op))
+    for (size_t I = 0; I < QAt; ++I)
+      if (P->Lowered.Inputs[I].storedWords() != P->ElemWords) {
+        LastError = "KernelRegistry: data input port width mismatch";
+        return nullptr;
+      }
   // The 8-port bound is the serial callPorts arity limit; the grid ABI
   // passes port arrays but shares it for the serial stage fallback.
   if (P->numPorts() != P->Emitted.Ports.size() || P->numPorts() > 8) {

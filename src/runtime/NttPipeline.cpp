@@ -29,20 +29,29 @@ bool fail(std::string *Err, const std::string &Msg) {
 
 bool moma::runtime::buildNttTables(const Bignum &Q, size_t NPoints,
                                    mw::Reduction Domain, NttTables &Out,
-                                   std::string *Err) {
+                                   std::string *Err,
+                                   rewrite::NttRing Ring) {
   if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0)
     return fail(Err, "NTT size must be a power of two >= 2");
   unsigned LogN = 0;
   while ((size_t(1) << LogN) < NPoints)
     ++LogN;
-  if (field::twoAdicity(Q) < LogN)
-    return fail(Err, formatv("modulus 2-adicity %u < log2(n) = %u",
-                             field::twoAdicity(Q), LogN));
+  bool Neg = Ring == rewrite::NttRing::Negacyclic;
+  // The negacyclic twist needs a primitive 2n-th root: one extra factor
+  // of two in q - 1.
+  unsigned NeedAdicity = LogN + (Neg ? 1 : 0);
+  if (field::twoAdicity(Q) < NeedAdicity)
+    return fail(Err,
+                formatv("modulus 2-adicity %u < %u required for a %s "
+                        "%zu-point transform",
+                        field::twoAdicity(Q), NeedAdicity,
+                        rewrite::nttRingName(Ring), NPoints));
 
   unsigned K = (Q.bitWidth() + 63) / 64;
   Out.LogN = LogN;
   Out.ElemWords = K;
   Out.Domain = Domain;
+  Out.Ring = Ring;
 
   Out.BitRev.resize(NPoints);
   for (size_t I = 0; I < NPoints; ++I) {
@@ -78,7 +87,33 @@ bool moma::runtime::buildNttTables(const Bignum &Q, size_t NPoints,
       CurInv = CurInv.mulMod(WLenInv, Q);
     }
   }
-  Out.NInv = packWordsMsbFirst(ToDomain(Bignum(NPoints).invMod(Q)), K);
+  Bignum NInv = Bignum(NPoints).invMod(Q);
+  Out.NInv = packWordsMsbFirst(ToDomain(NInv), K);
+
+  Out.Twist.clear();
+  Out.Untwist.clear();
+  if (Neg) {
+    // ψ = the primitive 2n-th root with ψ² = ω (rootOfUnityPow2 derives
+    // every power-of-two root from one fixed generator per modulus, so
+    // the relation holds by construction — and the tables are
+    // bit-compatible with ntt::NegacyclicPlan, which uses the same
+    // derivation). Twist[i] = ψ^i rides the first forward group's loads;
+    // Untwist[i] = ψ^{-i} · n^-1 rides the last inverse group's stores
+    // with the inverse scaling already folded in.
+    Bignum Psi = field::rootOfUnityPow2(Q, LogN + 1);
+    Bignum PsiInv = Psi.invMod(Q);
+    Out.Twist.resize(NPoints * K);
+    Out.Untwist.resize(NPoints * K);
+    Bignum Cur(1), CurInv = NInv;
+    for (size_t I = 0; I < NPoints; ++I) {
+      auto TW = packWordsMsbFirst(ToDomain(Cur), K);
+      auto UW = packWordsMsbFirst(ToDomain(CurInv), K);
+      std::copy(TW.begin(), TW.end(), Out.Twist.begin() + I * K);
+      std::copy(UW.begin(), UW.end(), Out.Untwist.begin() + I * K);
+      Cur = Cur.mulMod(Psi, Q);
+      CurInv = CurInv.mulMod(PsiInv, Q);
+    }
+  }
   return true;
 }
 
@@ -106,6 +141,10 @@ bool moma::runtime::runTransform(
   if (G > 1 && !Scratch)
     return fail(Err, "runTransform: multi-group schedule needs a scratch "
                      "buffer");
+  bool Neg = P.Key.Opts.Ring == rewrite::NttRing::Negacyclic;
+  if (Neg && T.Ring != rewrite::NttRing::Negacyclic)
+    return fail(Err, "runTransform: negacyclic plan needs tables built "
+                     "with the negacyclic ψ edge-fold tables");
   const std::uint64_t *Tw = Inverse ? T.InvTw.data() : T.Tw.data();
 
   // Edge groups ping-pong through the scratch so (a) the bit-reversal
@@ -120,7 +159,15 @@ bool moma::runtime::runTransform(
     SG.Len0 = Groups[I].Len0;
     SG.Depth = Groups[I].Depth;
     SG.Gather = First ? T.BitRev.data() : nullptr;
-    SG.Scale = Last && Inverse ? T.NInv.data() : nullptr;
+    // Negacyclic edge folds: ψ^i on the first forward group's loads,
+    // ψ^{-i}·n^-1 (per element, n^-1 already folded) on the last inverse
+    // group's stores; the cyclic inverse keeps its broadcast n^-1. Same
+    // dispatch count either way.
+    SG.Twist = First && Neg && !Inverse ? T.Twist.data() : nullptr;
+    if (Last && Inverse) {
+      SG.Scale = Neg ? T.Untwist.data() : T.NInv.data();
+      SG.ScaleStride = Neg ? T.ElemWords : 0;
+    }
     if (G == 1) {
       SG.Src = Data;
       SG.Dst = Data;

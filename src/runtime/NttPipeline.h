@@ -38,28 +38,39 @@
 namespace moma {
 namespace runtime {
 
-/// Precomputed tables for one (modulus, size, twiddle-domain) triple.
-/// Stage-major twiddle layout (matching ntt::NttPlan): the stage of
-/// half-distance len holds w_{2len}^j at entry (len - 1) + j, so the
+/// Precomputed tables for one (modulus, size, twiddle-domain, ring)
+/// tuple. Stage-major twiddle layout (matching ntt::NttPlan): the stage
+/// of half-distance len holds w_{2len}^j at entry (len - 1) + j, so the
 /// whole forward (or inverse) table is (n - 1) x ElemWords words.
+/// Negacyclic tables additionally carry the ψ edge-fold tables (ψ a
+/// primitive 2n-th root with ψ² = ω): Twist[i] = ψ^i multiplies
+/// coefficient i on the first forward group's loads, Untwist[i] =
+/// ψ^{-i} · n^-1 multiplies output i on the last inverse group's stores
+/// — the inverse scaling is folded in, so negacyclic transforms issue
+/// exactly the cyclic dispatch count.
 struct NttTables {
   unsigned LogN = 0;
   unsigned ElemWords = 0;
   mw::Reduction Domain = mw::Reduction::Barrett;
+  rewrite::NttRing Ring = rewrite::NttRing::Cyclic;
   std::vector<std::uint32_t> BitRev; ///< n entries
   std::vector<std::uint64_t> Tw;     ///< forward, (n-1) x ElemWords
   std::vector<std::uint64_t> InvTw;  ///< inverse, (n-1) x ElemWords
   std::vector<std::uint64_t> NInv;   ///< n^-1 (twiddle domain), ElemWords
+  std::vector<std::uint64_t> Twist;  ///< ψ^i, n x ElemWords (negacyclic)
+  std::vector<std::uint64_t> Untwist; ///< ψ^{-i}·n^-1, n x ElemWords
 };
 
 /// Builds the tables for modulus \p Q at transform size \p NPoints in the
 /// twiddle domain of \p Domain (Montgomery form uses the canonical
 /// container width for \p Q, i.e. 2^lambda with lambda =
-/// PlanKey::canonicalContainerBits). Returns false with \p Err set when
-/// \p NPoints is not a power of two >= 2 or the modulus lacks the
-/// 2-adicity for a primitive root.
+/// PlanKey::canonicalContainerBits) for ring \p Ring. Returns false with
+/// \p Err set when \p NPoints is not a power of two >= 2 or the modulus
+/// lacks the 2-adicity for a primitive root (negacyclic needs one more
+/// factor of two: 2n | q - 1).
 bool buildNttTables(const mw::Bignum &Q, size_t NPoints,
-                    mw::Reduction Domain, NttTables &Out, std::string *Err);
+                    mw::Reduction Domain, NttTables &Out, std::string *Err,
+                    rewrite::NttRing Ring = rewrite::NttRing::Cyclic);
 
 /// One entry of the stage-group schedule.
 struct StageGroupPlan {
@@ -76,7 +87,10 @@ std::vector<StageGroupPlan> planStageGroups(unsigned LogN,
 /// Runs one in-place batched transform over \p Batch rows of \p NPoints
 /// elements in \p Data through \p EB with butterfly plan \p P, walking
 /// the stage-group schedule for the plan's FuseDepth. \p T must be built
-/// for the plan's reduction domain. \p Scratch (same extent as the data,
+/// for the plan's reduction domain and ring; negacyclic plans fold the
+/// ψ twist into the first forward group and the ψ^{-1}·n^-1 untwist into
+/// the last inverse group, so the dispatch count never depends on the
+/// ring. \p Scratch (same extent as the data,
 /// NPoints * Batch * ElemWords words) is required whenever the schedule
 /// has more than one group — edge groups ping-pong Data -> Scratch ->
 /// ... -> Data; a single-group transform (log2(n) <= FuseDepth) runs

@@ -27,11 +27,19 @@ const char *moma::runtime::kernelOpName(KernelOp Op) {
     return "butterfly";
   case KernelOp::Axpy:
     return "axpy";
+  case KernelOp::RnsDecompose:
+    return "rnsdec";
+  case KernelOp::RnsRecombineStep:
+    return "rnsrec";
   }
   moma_unreachable("unknown kernel op");
 }
 
 bool moma::runtime::kernelOpMultiplies(KernelOp Op) {
+  // The RNS CRT kernels do multiply, but their reduction is the baked-in
+  // generalized Barrett sequence — the reduction/multiply knobs cannot
+  // change the generated code, so they report false and the
+  // canonicalization below folds the knobs like addmod/submod.
   return Op == KernelOp::MulMod || Op == KernelOp::Butterfly ||
          Op == KernelOp::Axpy;
 }
@@ -76,15 +84,37 @@ PlanKey PlanKey::forModulus(KernelOp Op, const mw::Bignum &Q,
   else
     K.Opts.FuseDepth =
         std::min(K.Opts.FuseDepth, rewrite::PlanOptions::MaxFuseDepth);
+  // The ring axis likewise only exists for the NTT stage kernel: the
+  // negacyclic twist is a table fold, not a different element kernel.
+  if (Op != KernelOp::Butterfly)
+    K.Opts.Ring = rewrite::NttRing::Cyclic;
+  return K;
+}
+
+PlanKey PlanKey::forRns(KernelOp Op, const mw::Bignum &Q, unsigned WideWords,
+                        const rewrite::PlanOptions &Opts) {
+  PlanKey K = forModulus(Op, Q, Opts);
+  if (Op == KernelOp::RnsDecompose) {
+    // The decompose kernel reduces a WideWords-word value to one limb
+    // residue: the container is sized by the wide side, the modulus by
+    // the limb, so both widths live in one key.
+    if (WideWords < 1)
+      fatalError("PlanKey: RnsDecompose needs the wide word count");
+    K.WideWords = WideWords;
+    K.ContainerBits =
+        canonicalContainerBits(WideWords * 64 - 4, Opts.TargetWordBits);
+  }
   return K;
 }
 
 std::string PlanKey::problemStr() const {
-  return formatv("%s/c%u/m%u/w%u", kernelOpName(Op), ContainerBits, ModBits,
-                 Opts.TargetWordBits);
+  std::string Wide = WideWords ? formatv("/W%u", WideWords) : std::string();
+  return formatv("%s/c%u/m%u%s/w%u", kernelOpName(Op), ContainerBits,
+                 ModBits, Wide.c_str(), Opts.TargetWordBits);
 }
 
 std::string PlanKey::str() const {
-  return formatv("%s/c%u/m%u/%s", kernelOpName(Op), ContainerBits, ModBits,
-                 Opts.str().c_str());
+  std::string Wide = WideWords ? formatv("/W%u", WideWords) : std::string();
+  return formatv("%s/c%u/m%u%s/%s", kernelOpName(Op), ContainerBits, ModBits,
+                 Wide.c_str(), Opts.str().c_str());
 }

@@ -47,8 +47,22 @@ namespace runtime {
 
 /// The scalar kernels the runtime dispatches in batch. The element-wise
 /// BLAS vector operations alias onto these (vadd -> AddMod, vsub ->
-/// SubMod, vmul -> MulMod); the NTT engine runs on Butterfly.
-enum class KernelOp : std::uint8_t { AddMod, SubMod, MulMod, Butterfly, Axpy };
+/// SubMod, vmul -> MulMod); the NTT engine runs on Butterfly. The RNS
+/// layer (runtime/RnsContext.h) adds the CRT edge kernels: RnsDecompose
+/// reduces one wide element to a word-sized limb residue (generalized
+/// Barrett, c = a mod q with a up to the wide container), and
+/// RnsRecombineStep accumulates one limb back, yo = (a*x + y) mod q with
+/// a = the limb's CRT weight (broadcast), x = the word-sized residue and
+/// q = the full RNS modulus M.
+enum class KernelOp : std::uint8_t {
+  AddMod,
+  SubMod,
+  MulMod,
+  Butterfly,
+  Axpy,
+  RnsDecompose,
+  RnsRecombineStep
+};
 
 /// Mnemonic kernel-op name ("addmod", ..., "butterfly").
 const char *kernelOpName(KernelOp Op);
@@ -62,7 +76,12 @@ struct PlanKey {
   KernelOp Op = KernelOp::MulMod;
   unsigned ContainerBits = 128; ///< canonical power-of-two-word container
   unsigned ModBits = 124;       ///< exact modulus bit-width
-  rewrite::PlanOptions Opts;    ///< generation knobs (canonicalized)
+  /// RnsDecompose only: stored words of the wide input being reduced
+  /// (the RNS base's elemWords(M)); the container is then the smallest
+  /// power-of-two-word width holding those words, not the limb's
+  /// canonical container. Folded to 0 for every other op.
+  unsigned WideWords = 0;
+  rewrite::PlanOptions Opts; ///< generation knobs (canonicalized)
 
   /// Smallest 2^k * WordBits container with ModBits + 4 <= container.
   static unsigned canonicalContainerBits(unsigned ModBits, unsigned WordBits);
@@ -72,6 +91,14 @@ struct PlanKey {
   /// above).
   static PlanKey forModulus(KernelOp Op, const mw::Bignum &Q,
                             const rewrite::PlanOptions &Opts = {});
+
+  /// forModulus for the RNS CRT kernels: \p WideWords is the stored word
+  /// count of the wide side (required for RnsDecompose, ignored
+  /// elsewhere). The CRT kernels pin their variant knobs — generalized
+  /// Barrett reduction, schoolbook multiply — so the whole knob grid maps
+  /// onto one cache entry per problem shape.
+  static PlanKey forRns(KernelOp Op, const mw::Bignum &Q, unsigned WideWords,
+                        const rewrite::PlanOptions &Opts = {});
 
   /// The problem part of the key (no variant knobs except the word size):
   /// "mulmod/c128/m124/w64". Autotune decisions are stored per problem.
@@ -83,7 +110,8 @@ struct PlanKey {
 
   bool operator==(const PlanKey &K) const {
     return Op == K.Op && ContainerBits == K.ContainerBits &&
-           ModBits == K.ModBits && Opts == K.Opts;
+           ModBits == K.ModBits && WideWords == K.WideWords &&
+           Opts == K.Opts;
   }
   bool operator!=(const PlanKey &K) const { return !(*this == K); }
 };

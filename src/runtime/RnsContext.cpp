@@ -1,0 +1,76 @@
+//===- runtime/RnsContext.cpp - Runtime RNS base --------------------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RnsContext.h"
+
+#include "field/PrimeGen.h"
+#include "runtime/KernelRegistry.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace moma;
+using namespace moma::runtime;
+using mw::Bignum;
+
+bool RnsContext::create(unsigned NumLimbs, RnsContext &Out, std::string *Err,
+                        const Options &O) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = "RnsContext: " + Msg;
+    return false;
+  };
+  if (NumLimbs < 2)
+    return Fail("need at least two limbs (one limb is plain modular "
+                "arithmetic)");
+  if (O.LimbBits < 30 || O.LimbBits > 62)
+    return Fail(formatv("limb bits %u outside [30, 62]", O.LimbBits));
+  if (O.TwoAdicity + 2 > O.LimbBits)
+    return Fail("two-adicity leaves no room for the prime search");
+
+  Out = RnsContext();
+  Out.Opts = O;
+  // Distinct primes of one common width: walk the deterministic
+  // nttPrime seed space and drop duplicates, so a (NumLimbs, Options)
+  // pair always names the same base in every process.
+  std::uint64_t Seed = O.Seed;
+  while (Out.Limbs.size() < NumLimbs) {
+    Bignum Q = field::nttPrime(O.LimbBits, O.TwoAdicity, Seed++);
+    if (std::find(Out.Limbs.begin(), Out.Limbs.end(), Q) ==
+        Out.Limbs.end())
+      Out.Limbs.push_back(Q);
+  }
+
+  Out.M = Bignum(1);
+  for (const Bignum &Q : Out.Limbs)
+    Out.M = Out.M * Q;
+  Out.WideWords = (Out.M.bitWidth() + 63) / 64;
+
+  for (const Bignum &Q : Out.Limbs) {
+    Bignum Mi = Out.M / Q;
+    Bignum W = (Mi * (Mi % Q).invMod(Q)) % Out.M;
+    Out.Weights.push_back(W);
+    Out.WeightWords.push_back(packWordsMsbFirst(W, Out.WideWords));
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> RnsContext::encode(const Bignum &X) const {
+  std::vector<std::uint64_t> R;
+  R.reserve(Limbs.size());
+  for (const Bignum &Q : Limbs)
+    R.push_back((X % Q).low64());
+  return R;
+}
+
+Bignum RnsContext::decode(const std::uint64_t *Residues,
+                          size_t Stride) const {
+  Bignum Acc(0);
+  for (size_t L = 0; L < Limbs.size(); ++L)
+    Acc = (Acc + Weights[L] * Bignum(Residues[L * Stride])) % M;
+  return Acc;
+}

@@ -1,0 +1,110 @@
+//===- runtime/RnsContext.h - Runtime RNS base ----------------*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime's residue-number-system base: a chain of distinct
+/// word-sized NTT-friendly primes q_0..q_{L-1} of one common bit-width,
+/// with the host-side CRT constants the generated decompose/recombine
+/// kernels and the Dispatcher's RNS entry points consume. This is the
+/// representation real FHE/ZKP stacks serve (RNS-batched negacyclic
+/// NTTs); unlike the GRNS *baseline* in `baselines/Rns.h` (31-bit
+/// channels, host-side CRT per operation), this context drives every
+/// limb through the batched plan cache — and because every limb shares
+/// one bit-width and `PlanKey` excludes the modulus value, all limbs of
+/// a base execute through a single compiled module per kernel.
+///
+/// Data layout contract (the Dispatcher's RNS ops):
+///  * a *wide* batch stores N elements of wideWords() 64-bit words each,
+///    most significant word first (the standard flat-batch convention,
+///    elements reduced modulo M = Π q_l);
+///  * a *residue* batch is limb-major: limb l owns the N single-word
+///    residues at [l*N, (l+1)*N) — dense per limb, so every per-limb
+///    batched kernel (vadd/vmul/NTT) runs on its natural layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_RUNTIME_RNSCONTEXT_H
+#define MOMA_RUNTIME_RNSCONTEXT_H
+
+#include "mw/Bignum.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moma {
+namespace runtime {
+
+/// One RNS base. Immutable after create().
+class RnsContext {
+public:
+  struct Options {
+    /// Common bit-width of every limb prime, in [30, 62] (word-sized:
+    /// <= 62 keeps the generated kernels at one stored word per residue;
+    /// >= 30 keeps the channel count and prime search meaningful —
+    /// create() rejects values outside the range).
+    unsigned LimbBits = 60;
+    /// Every limb satisfies q ≡ 1 (mod 2^TwoAdicity), so per-limb NTTs
+    /// up to 2^(TwoAdicity-1) points exist in the *negacyclic* ring
+    /// (which needs one extra factor of two) and 2^TwoAdicity points in
+    /// the cyclic ring.
+    unsigned TwoAdicity = 16;
+    /// Prime-search seed; limb l uses Seed + l (after de-duplication).
+    std::uint64_t Seed = 2025;
+  };
+
+  /// Builds a base of \p NumLimbs distinct primes. Returns false with
+  /// \p Err set on invalid shapes (NumLimbs < 2, LimbBits outside
+  /// [30, 62]).
+  static bool create(unsigned NumLimbs, RnsContext &Out, std::string *Err,
+                     const Options &O);
+  static bool create(unsigned NumLimbs, RnsContext &Out, std::string *Err) {
+    return create(NumLimbs, Out, Err, Options());
+  }
+
+  size_t numLimbs() const { return Limbs.size(); }
+  unsigned limbBits() const { return Opts.LimbBits; }
+  unsigned twoAdicity() const { return Opts.TwoAdicity; }
+  const std::vector<mw::Bignum> &limbs() const { return Limbs; }
+  const mw::Bignum &limb(size_t L) const { return Limbs[L]; }
+
+  /// The full modulus M = Π q_l; RNS arithmetic is exact arithmetic in
+  /// Z_M.
+  const mw::Bignum &modulus() const { return M; }
+  /// Stored 64-bit words per wide element: elemWords(M).
+  unsigned wideWords() const { return WideWords; }
+
+  /// The packed CRT weight W_l = (M/q_l)·((M/q_l)^{-1} mod q_l) mod M of
+  /// limb \p L (wideWords() words, most significant first) — the
+  /// broadcast `a` input of the generated recombine-step kernel.
+  const std::vector<std::uint64_t> &weightWords(size_t L) const {
+    return WeightWords[L];
+  }
+
+  /// Host-side residue vector of \p X (one word per limb). Requires
+  /// X < M. Reference path for tests and tools; the Dispatcher's batched
+  /// rnsDecompose is the serving path.
+  std::vector<std::uint64_t> encode(const mw::Bignum &X) const;
+
+  /// Host-side CRT reconstruction of one element whose limb residues sit
+  /// \p Stride words apart starting at \p Residues (Stride = N for a
+  /// limb-major batch of N elements).
+  mw::Bignum decode(const std::uint64_t *Residues, size_t Stride) const;
+
+private:
+  Options Opts;
+  std::vector<mw::Bignum> Limbs;
+  mw::Bignum M;
+  std::vector<mw::Bignum> Weights; ///< W_l, reduced mod M
+  std::vector<std::vector<std::uint64_t>> WeightWords; ///< packed W_l
+  unsigned WideWords = 0;
+};
+
+} // namespace runtime
+} // namespace moma
+
+#endif // MOMA_RUNTIME_RNSCONTEXT_H

@@ -36,6 +36,17 @@ inline std::uint64_t testSeed(std::uint64_t Default) {
   return Default;
 }
 
+/// Trial budget for the differential fuzz suites: the MOMA_FUZZ_ITERS
+/// environment knob overrides \p Default (the nightly CI job raises it
+/// far beyond the PR-loop default; heavyweight configurations divide the
+/// budget down locally).
+inline int fuzzIters(int Default = 500) {
+  const char *Env = std::getenv("MOMA_FUZZ_ITERS");
+  if (Env && *Env)
+    return std::max(1, std::atoi(Env));
+  return Default;
+}
+
 /// Rng for randomized tests: resolves its seed through testSeed() and
 /// pushes it onto the gtest trace stack, so every assertion failure in
 /// scope reports the seed that reproduces it.

@@ -28,6 +28,7 @@
 #include "../TestUtil.h"
 
 #include "field/PrimeGen.h"
+#include "ntt/ReferenceDft.h"
 #include "runtime/Backend.h"
 #include "runtime/Dispatcher.h"
 #include "runtime/KernelRegistry.h"
@@ -41,13 +42,8 @@ using mw::Bignum;
 
 namespace {
 
-/// Total trials per (op, width, reduction) configuration.
-int fuzzIters() {
-  const char *Env = std::getenv("MOMA_FUZZ_ITERS");
-  if (Env && *Env)
-    return std::max(1, std::atoi(Env));
-  return 500;
-}
+// Trials per configuration come from the shared MOMA_FUZZ_ITERS knob
+// (testutil::fuzzIters; the nightly CI job raises it).
 
 /// One registry per test binary: identical kernel variants across
 /// configurations share compiled modules and the on-disk cache.
@@ -258,9 +254,15 @@ void fuzzNttFuseDepth(std::uint64_t SeedDefault) {
     Dispatcher DRef(Reg, nullptr, Ref);
     auto Want = Packed;
     bool Inverse = R.below(2) == 1;
-    auto RunRef = Inverse ? &Dispatcher::nttInverse
-                          : &Dispatcher::nttForward;
-    ASSERT_TRUE((DRef.*RunRef)(Q, Want.data(), N, Batch)) << DRef.error();
+    // The drawn 2-adicity is always >= LogN + 1, so the negacyclic ring
+    // is admissible on every trial and joins the fuzzed axes.
+    rewrite::NttRing Ring = R.below(2) ? rewrite::NttRing::Negacyclic
+                                       : rewrite::NttRing::Cyclic;
+    auto Run = [&](Dispatcher &Dd, std::uint64_t *P) {
+      return Inverse ? Dd.nttInverse(Q, P, N, Batch, Ring)
+                     : Dd.nttForward(Q, P, N, Batch, Ring);
+    };
+    ASSERT_TRUE(Run(DRef, Want.data())) << DRef.error();
 
     rewrite::PlanOptions V;
     V.Backend = R.below(2) ? rewrite::ExecBackend::SimGpu
@@ -272,9 +274,10 @@ void fuzzNttFuseDepth(std::uint64_t SeedDefault) {
     V.Schedule = R.below(2) == 1;
     Dispatcher D(Reg, nullptr, V);
     auto Data = Packed;
-    ASSERT_TRUE((D.*RunRef)(Q, Data.data(), N, Batch)) << D.error();
+    ASSERT_TRUE(Run(D, Data.data())) << D.error();
     ASSERT_EQ(Data, Want)
         << "trial " << T << ": " << (Inverse ? "inverse" : "forward")
+        << " " << rewrite::nttRingName(Ring)
         << " NTT diverges, n = " << N << ", batch = " << Batch
         << ", q = " << Q.toHex() << ", variant "
         << runtime::PlanKey::forModulus(KernelOp::Butterfly, Q, V)
@@ -311,3 +314,95 @@ MOMA_FUZZ_TEST(Butterfly, 2, Montgomery, 0xF0252)
 MOMA_FUZZ_TEST(Butterfly, 4, Montgomery, 0xF0254)
 MOMA_FUZZ_TEST(Butterfly, 8, Montgomery, 0xF0258)
 MOMA_FUZZ_TEST(Butterfly, 12, Montgomery, 0xF025C)
+
+//===----------------------------------------------------------------------===//
+// RNS differential fuzz: random multi-word batches through the RNS layer
+// vs the Bignum oracle (vmul) and the Bignum schoolbook convolution
+// (polyMul), across backend x ring x limb count x limb width. Each trial
+// draws a whole problem shape, so the budget is divided down — the
+// nightly MOMA_FUZZ_ITERS raise still scales it linearly.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialFuzz, RnsVMulAndPolyMul) {
+  SeededRng R(0xF0271);
+  int Trials = std::max(2, fuzzIters() / 25);
+  // Small palette of limb shapes: every (bits, count) pair reuses its
+  // compiled plans across trials, so the suite stays JIT-bound, not
+  // compile-bound.
+  const unsigned LimbBitsChoices[] = {44, 52, 60};
+  const unsigned LimbCountChoices[] = {2, 3, 4};
+  for (int T = 0; T < Trials; ++T) {
+    RnsContext Ctx;
+    std::string Err;
+    RnsContext::Options O;
+    O.LimbBits = LimbBitsChoices[R.below(3)];
+    O.TwoAdicity = 8;
+    ASSERT_TRUE(
+        RnsContext::create(LimbCountChoices[R.below(3)], Ctx, &Err, O))
+        << Err;
+    const Bignum &M = Ctx.modulus();
+    unsigned WW = Ctx.wideWords();
+
+    rewrite::PlanOptions Base;
+    Base.Backend = (R.below(2)) ? rewrite::ExecBackend::SimGpu
+                                  : rewrite::ExecBackend::Serial;
+    Base.BlockDim = Base.Backend == rewrite::ExecBackend::SimGpu
+                        ? (64u << (R.below(3)))
+                        : 0;
+    Base.Red = (R.below(2)) ? mw::Reduction::Montgomery
+                              : mw::Reduction::Barrett;
+    Base.FuseDepth = 1 + R.below(3);
+    Dispatcher D(registry(), nullptr, Base);
+
+    // Element-wise: random batch, vmul vs Bignum.
+    {
+      size_t N = 1 + R.below(40);
+      std::vector<Bignum> A, B;
+      for (size_t I = 0; I < N; ++I) {
+        A.push_back(Bignum::random(R, M));
+        B.push_back(Bignum::random(R, M));
+      }
+      auto AW = packBatch(A, WW), BW = packBatch(B, WW);
+      std::vector<std::uint64_t> CW(N * WW);
+      ASSERT_TRUE(D.rnsVMul(Ctx, AW.data(), BW.data(), CW.data(), N))
+          << D.error() << " (trial " << T << ")";
+      auto C = unpackBatch(CW, WW);
+      for (size_t I = 0; I < N; ++I)
+        ASSERT_EQ(C[I], A[I].mulMod(B[I], M))
+            << "rnsVMul trial " << T << " elem " << I << " base "
+            << Base.str();
+    }
+
+    // Polynomial: small transform, random ring, vs schoolbook mod M.
+    {
+      size_t NP = size_t(4) << (R.below(4)); // 4..32
+      size_t Batch = 1 + R.below(2);
+      rewrite::NttRing Ring = (R.below(2))
+                                  ? rewrite::NttRing::Negacyclic
+                                  : rewrite::NttRing::Cyclic;
+      std::vector<Bignum> A, B;
+      for (size_t I = 0; I < NP * Batch; ++I) {
+        A.push_back(Bignum::random(R, M));
+        B.push_back(Bignum::random(R, M));
+      }
+      auto AW = packBatch(A, WW), BW = packBatch(B, WW);
+      std::vector<std::uint64_t> CW(NP * Batch * WW);
+      ASSERT_TRUE(D.rnsPolyMul(Ctx, AW.data(), BW.data(), CW.data(), NP,
+                               Batch, Ring))
+          << D.error() << " (trial " << T << ")";
+      auto C = unpackBatch(CW, WW);
+      for (size_t Bt = 0; Bt < Batch; ++Bt) {
+        std::vector<Bignum> RA(A.begin() + Bt * NP,
+                               A.begin() + (Bt + 1) * NP),
+            RB(B.begin() + Bt * NP, B.begin() + (Bt + 1) * NP);
+        auto Want = ntt::referencePolyMulRing(
+            RA, RB, M, Ring == rewrite::NttRing::Negacyclic);
+        for (size_t I = 0; I < NP; ++I)
+          ASSERT_EQ(C[Bt * NP + I], Want[I])
+              << "rnsPolyMul trial " << T << " ring "
+              << rewrite::nttRingName(Ring) << " batch " << Bt
+              << " coeff " << I << " base " << Base.str();
+      }
+    }
+  }
+}

@@ -23,8 +23,10 @@
 
 #include "../TestUtil.h"
 
+#include "field/PrimeField.h"
 #include "field/PrimeGen.h"
 #include "field/RootOfUnity.h"
+#include "ntt/Negacyclic.h"
 #include "ntt/ReferenceDft.h"
 #include "runtime/Dispatcher.h"
 #include "runtime/NttPipeline.h"
@@ -403,4 +405,171 @@ TEST(FusedNtt, CachesEvictLeastRecentlyUsed) {
   ASSERT_TRUE(D.nttForward(Q, Data.data(), 16, 4)) << D.error();
   ASSERT_TRUE(D.nttInverse(Q, Data.data(), 16, 4)) << D.error();
   EXPECT_EQ(Data, Packed);
+}
+
+//===----------------------------------------------------------------------===//
+// Negacyclic ring (x^n + 1): ψ edge folds through the fused pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(FusedNtt, NegacyclicBitIdentityAcrossDepthBackendReduction) {
+  // The runtime's negacyclic transform must be bit-identical to the
+  // library ψ-twist reference (ntt/Negacyclic.h) — both derive ψ and ω
+  // from the same per-modulus generator, so even the transform-domain
+  // values match, not just ring products — across every fusion depth,
+  // backend and reduction, including the single-group in-place shape
+  // (log2(n) <= depth) and multi-group ping-pong shapes.
+  SeededRng R(0xF05ED7);
+  const unsigned Widths[] = {1, 2};
+  const size_t Sizes[] = {8, 32};
+  for (unsigned W : Widths) {
+    Bignum Q = field::nttPrime(64 * W - 4, 11);
+    unsigned K = Dispatcher::elemWords(Q);
+    for (size_t N : Sizes) {
+      auto Poly = randomElems(R, Q, N);
+      auto Packed = packBatch(Poly, K);
+      // Library reference forward (width-dispatched by hand: the plan is
+      // a compile-time-width template).
+      auto LibForward = [&](std::vector<Bignum> In) {
+        std::vector<Bignum> Out;
+        if (W == 1) {
+          field::PrimeField<1> F(Q);
+          ntt::NegacyclicPlan<1> Plan(F, N);
+          std::vector<field::PrimeField<1>::Element> E;
+          for (const Bignum &V : In)
+            E.push_back(F.fromBignum(V));
+          Plan.forward(E.data());
+          for (const auto &V : E)
+            Out.push_back(V.toBignum());
+        } else {
+          field::PrimeField<2> F(Q);
+          ntt::NegacyclicPlan<2> Plan(F, N);
+          std::vector<field::PrimeField<2>::Element> E;
+          for (const Bignum &V : In)
+            E.push_back(F.fromBignum(V));
+          Plan.forward(E.data());
+          for (const auto &V : E)
+            Out.push_back(V.toBignum());
+        }
+        return Out;
+      };
+      std::vector<Bignum> Ref = LibForward(Poly);
+
+      for (ExecBackend B : {ExecBackend::Serial, ExecBackend::SimGpu})
+        for (unsigned Depth = 1; Depth <= 3; ++Depth)
+          for (mw::Reduction Red :
+               {mw::Reduction::Barrett, mw::Reduction::Montgomery}) {
+            Dispatcher D(registry(), nullptr, pinned(B, Depth, Red));
+            auto Data = Packed;
+            ASSERT_TRUE(D.nttForward(Q, Data.data(), N, 1,
+                                     rewrite::NttRing::Negacyclic))
+                << D.error();
+            EXPECT_EQ(unpackBatch(Data, K), Ref)
+                << "w=" << W << " n=" << N << " depth=" << Depth
+                << " backend=" << rewrite::execBackendName(B)
+                << " red=" << mw::reductionName(Red);
+            ASSERT_TRUE(D.nttInverse(Q, Data.data(), N, 1,
+                                     rewrite::NttRing::Negacyclic))
+                << D.error();
+            EXPECT_EQ(unpackBatch(Data, K), Poly)
+                << "negacyclic roundtrip, w=" << W << " n=" << N
+                << " depth=" << Depth;
+          }
+    }
+  }
+}
+
+TEST(FusedNtt, NegacyclicPolyMulMatchesLibraryAndWrapsWithSignFlip) {
+  SeededRng R(0xF05ED9);
+  Bignum Q = field::nttPrime(60, 8);
+  const size_t N = 16;
+  field::PrimeField<1> F(Q);
+  ntt::NegacyclicPlan<1> Plan(F, N);
+  std::vector<Bignum> A = randomElems(R, Q, N), B = randomElems(R, Q, N);
+
+  std::vector<field::PrimeField<1>::Element> EA, EB;
+  for (size_t I = 0; I < N; ++I) {
+    EA.push_back(F.fromBignum(A[I]));
+    EB.push_back(F.fromBignum(B[I]));
+  }
+  auto EC = ntt::polyMulNegacyclic(Plan, EA, EB);
+
+  Dispatcher D(registry());
+  std::vector<Bignum> C;
+  ASSERT_TRUE(D.polyMul(Q, A, B, C, N, rewrite::NttRing::Negacyclic))
+      << D.error();
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(C[I], EC[I].toBignum()) << "coefficient " << I;
+
+  // The defining identity: x^(n-1) * x = x^n = -1.
+  std::vector<Bignum> XPow(N, Bignum(0)), XOne(N, Bignum(0));
+  XPow[N - 1] = Bignum(1);
+  XOne[1] = Bignum(1);
+  ASSERT_TRUE(
+      D.polyMul(Q, XPow, XOne, C, N, rewrite::NttRing::Negacyclic))
+      << D.error();
+  EXPECT_EQ(C[0], Q - Bignum(1)) << "x^n must wrap to -1";
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_EQ(C[I], Bignum(0));
+}
+
+TEST(FusedNtt, NegacyclicAddsZeroDispatchesAtEqualShape) {
+  // The edge-fold guarantee: at equal (n, depth, batch), a negacyclic
+  // polyMul issues exactly the dispatch sequence of the cyclic one — the
+  // ψ twist and the untwist·n^-1 ride stage groups that already exist.
+  SeededRng R(0xF05EDA);
+  Bignum Q = field::nttPrime(60, 10);
+  unsigned K = Dispatcher::elemWords(Q);
+  const size_t N = 256, Batch = 4;
+  auto Polys = randomElems(R, Q, N * Batch);
+  auto A = packBatch(Polys, K), B = A;
+  std::vector<std::uint64_t> C(A.size());
+
+  for (ExecBackend BK : {ExecBackend::Serial, ExecBackend::SimGpu})
+    for (unsigned Depth : {1u, 3u}) {
+      Dispatcher D(registry(), nullptr, pinned(BK, Depth));
+      ASSERT_TRUE(D.polyMul(Q, A.data(), B.data(), C.data(), N, Batch,
+                            rewrite::NttRing::Cyclic))
+          << D.error();
+      auto Cyc = D.dispatchStats();
+      ASSERT_TRUE(D.polyMul(Q, A.data(), B.data(), C.data(), N, Batch,
+                            rewrite::NttRing::Negacyclic))
+          << D.error();
+      auto Neg = D.dispatchStats();
+      EXPECT_EQ(Neg.StageGroups - Cyc.StageGroups, Cyc.StageGroups)
+          << "negacyclic stage groups, depth " << Depth;
+      EXPECT_EQ(Neg.Batches - Cyc.Batches, Cyc.Batches)
+          << "negacyclic batch dispatches, depth " << Depth;
+      EXPECT_EQ(Neg.Transforms - Cyc.Transforms, Cyc.Transforms);
+    }
+}
+
+TEST(FusedNtt, NegacyclicTunerDecisionsAreRingKeyedAndPersist) {
+  namespace fs = std::filesystem;
+  std::string Path =
+      (fs::temp_directory_path() / "moma-tune-ring.json").string();
+  std::remove(Path.c_str());
+  Bignum Q = field::nttPrime(60, 10);
+  rewrite::PlanOptions NegBase;
+  NegBase.Ring = rewrite::NttRing::Negacyclic;
+
+  Autotuner T(registry(), quickNttTune());
+  const TuneDecision *Cyc = T.chooseNtt(Q, {}, 64, 2);
+  ASSERT_NE(Cyc, nullptr) << T.error();
+  const TuneDecision *Neg = T.chooseNtt(Q, NegBase, 64, 2);
+  ASSERT_NE(Neg, nullptr) << T.error();
+  EXPECT_EQ(T.stats().Tuned, 2u)
+      << "the ring must key its own decision, not reuse the cyclic one";
+  EXPECT_EQ(Neg->Opts.Ring, rewrite::NttRing::Negacyclic)
+      << "candidates must carry the base ring through canonicalization";
+  ASSERT_TRUE(T.save(Path));
+
+  Autotuner T2(registry(), quickNttTune());
+  ASSERT_TRUE(T2.load(Path)) << T2.error();
+  const TuneDecision *Again = T2.chooseNtt(Q, NegBase, 64, 2);
+  ASSERT_NE(Again, nullptr) << T2.error();
+  EXPECT_TRUE(Again->FromCache);
+  EXPECT_EQ(T2.stats().Tuned, 0u);
+  EXPECT_EQ(Again->Opts.Ring, rewrite::NttRing::Negacyclic)
+      << "ring lost in the JSON round-trip";
+  std::remove(Path.c_str());
 }

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the CI bench artifacts.
+
+Compares a bench JSON report (bench/Harness.h --json format) against the
+committed baseline under bench/baseline/ and fails CI on a regression:
+
+  * metrics ending in `_count` or `_ok` are *exact* facts (dispatch
+    counts, compiled-plan counts, bit-exactness flags): any difference
+    fails;
+  * metrics ending in `_ns` are timings from `--smoke` runs: the current
+    value must stay within --max-ratio of the baseline (generous by
+    default — smoke sizes are tiny and CI machines differ from the
+    machine that recorded the baseline, so only order-of-magnitude
+    regressions such as an accidental per-call recompile are caught);
+  * every baseline metric must still exist (a silently dropped metric is
+    how a trajectory dies);
+  * any other metric (e.g. tuner picks, which are machine-dependent) is
+    presence-only.
+
+New metrics in the current report are reported but never fail — they are
+adopted by refreshing the baseline.
+
+Refreshing the baseline (after an intentional change to counts or
+metrics — document the reason in the commit message):
+
+    ./build/bench/bench_runtime_batch --smoke --json bench/baseline/BENCH_runtime.json
+    ./build/bench/bench_rns           --smoke --json bench/baseline/BENCH_rns.json
+
+Usage: bench_compare.py BASELINE CURRENT [--max-ratio R]
+"""
+
+import argparse
+import json
+import sys
+
+
+def classify(name: str) -> str:
+    if name.endswith("_count") or name.endswith("_ok"):
+        return "exact"
+    if name.endswith("_ns"):
+        return "ratio"
+    return "presence"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--max-ratio",
+        type=float,
+        default=25.0,
+        help="allowed slowdown factor for *_ns metrics (default 25: smoke "
+        "timings only catch order-of-magnitude regressions)",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    failures = []
+    notes = []
+    if base.get("bench") != cur.get("bench"):
+        failures.append(
+            f"bench name mismatch: baseline '{base.get('bench')}' vs "
+            f"current '{cur.get('bench')}'"
+        )
+
+    bm = base.get("metrics", {})
+    cm = cur.get("metrics", {})
+
+    for name, bval in bm.items():
+        if name not in cm:
+            failures.append(f"metric '{name}' missing from current report")
+            continue
+        cval = cm[name]
+        kind = classify(name)
+        if kind == "exact":
+            if cval != bval:
+                failures.append(
+                    f"exact metric '{name}' changed: baseline {bval} -> "
+                    f"current {cval}"
+                )
+        elif kind == "ratio":
+            if bval > 0 and cval > bval * args.max_ratio:
+                failures.append(
+                    f"timing '{name}' regressed {cval / bval:.1f}x beyond "
+                    f"the {args.max_ratio:.0f}x tolerance "
+                    f"(baseline {bval:.0f} ns -> current {cval:.0f} ns)"
+                )
+            elif bval > 0 and cval * args.max_ratio < bval:
+                notes.append(
+                    f"timing '{name}' improved {bval / cval:.1f}x — "
+                    "consider refreshing the baseline"
+                )
+
+    for name in cm:
+        if name not in bm:
+            notes.append(f"new metric '{name}' (not in baseline; refresh to adopt)")
+
+    print(f"bench_compare: {args.baseline} vs {args.current}")
+    print(
+        f"  {len(bm)} baseline metrics checked "
+        f"({sum(1 for n in bm if classify(n) == 'exact')} exact, "
+        f"{sum(1 for n in bm if classify(n) == 'ratio')} ratio-gated, "
+        f"max ratio {args.max_ratio:.0f}x)"
+    )
+    for n in notes:
+        print(f"  note: {n}")
+    if failures:
+        print("PERF-TRAJECTORY GATE FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  FAIL: {f_}", file=sys.stderr)
+        return 1
+    print("  OK: no regression against the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

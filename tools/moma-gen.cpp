@@ -6,9 +6,11 @@
 // autotuner for the configuration and report the pinned variant.
 //
 // Usage:
-//   moma-gen -k <addmod|submod|mulmod|butterfly|axpy|vadd|vsub|vmul>
+//   moma-gen -k <addmod|submod|mulmod|butterfly|axpy|vadd|vsub|vmul
+//               |rnsdec|rnsrec>
 //            -d <container-bits>         (default 128)
-//            [-m <modulus-bits>]         (default container-4; e.g. 377)
+//            [-m <modulus-bits>]         (default container-4; e.g. 377;
+//                                         limb bits for rnsdec/rnsrec)
 //            [-w <machine-word-bits>]    (16, 32 or 64; default 64)
 //            [--karatsuba]               (Eq. 9 multiply rule)
 //            [--reduction barrett|montgomery]  (default barrett)
@@ -17,6 +19,8 @@
 //            [--backend serial|simgpu]   (execution backend; default serial)
 //            [--block-dim <n>]           (simgpu threads/block, <= 1024)
 //            [--fuse-depth <k>]          (NTT stage fusion, 1..3; butterfly)
+//            [--ring cyclic|negacyclic]  (NTT ring; butterfly tune/keys)
+//            [--rns-limbs <L>]           (RNS base size for rnsdec/rnsrec)
 //            [--device h100|rtx4090|v100|host] (simgpu device profile)
 //            [--emit ir|c|cuda|stats|tune]     (default c)
 //            [--tune-cache <path>]       (persist/reuse autotune JSON)
@@ -29,13 +33,20 @@
 // through the fused pipeline), so the fusion depth is swept and reported
 // alongside the backend.
 //
+// `rnsdec` / `rnsrec` are the RNS layer's generated CRT edge kernels
+// (runtime/RnsContext.h): -m gives the word-sized limb width (default
+// 60) and --rns-limbs the base size; the tool builds the real base to
+// derive the wide width, then prints the kernel like any other.
+//
 // Examples:
 //   moma-gen -k mulmod -d 256 --emit cuda
 //   moma-gen -k mulmod -d 256 --reduction montgomery --emit c
 //   moma-gen -k butterfly -d 512 -m 377 --emit stats   # BLS12-381 class
 //   moma-gen -k butterfly -d 128 --backend simgpu --emit c
+//   moma-gen -k butterfly -m 60 --ring negacyclic --emit tune
 //   moma-gen -k mulmod -m 380 --emit tune --tune-cache tune.json
 //   moma-gen -k vmul -m 252 --device rtx4090 --emit tune
+//   moma-gen -k rnsdec -m 60 --rns-limbs 8 --emit stats
 //
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +61,7 @@
 #include "rewrite/Schedule.h"
 #include "rewrite/Stats.h"
 #include "runtime/Autotuner.h"
+#include "runtime/RnsContext.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -67,9 +79,11 @@ namespace {
       "          [--karatsuba] [--reduction barrett|montgomery]\n"
       "          [--no-prune] [--schedule]\n"
       "          [--backend serial|simgpu] [--block-dim <n>]\n"
-      "          [--fuse-depth <k>] [--device h100|rtx4090|v100|host]\n"
+      "          [--fuse-depth <k>] [--ring cyclic|negacyclic]\n"
+      "          [--rns-limbs <L>] [--device h100|rtx4090|v100|host]\n"
       "          [--emit ir|c|cuda|stats|tune] [--tune-cache <path>]\n"
-      "kernels: addmod submod mulmod butterfly axpy vadd vsub vmul\n",
+      "kernels: addmod submod mulmod butterfly axpy vadd vsub vmul\n"
+      "         rnsdec rnsrec\n",
       Argv0);
   std::exit(2);
 }
@@ -108,7 +122,7 @@ bool kernelOpFor(const std::string &Name, runtime::KernelOp &Op) {
 int main(int argc, char **argv) {
   std::string KernelName = "mulmod", Emit = "c", TuneCache;
   std::string DeviceName = "host";
-  unsigned Bits = 128, ModBits = 0, WordBits = 64;
+  unsigned Bits = 128, ModBits = 0, WordBits = 64, RnsLimbs = 0;
   rewrite::PlanOptions Plan;
 
   for (int I = 1; I < argc; ++I) {
@@ -152,6 +166,16 @@ int main(int argc, char **argv) {
       Plan.BlockDim = std::strtoul(Next(), nullptr, 10);
     else if (Arg == "--fuse-depth")
       Plan.FuseDepth = std::strtoul(Next(), nullptr, 10);
+    else if (Arg == "--ring") {
+      std::string Rg = Next();
+      if (Rg == "cyclic")
+        Plan.Ring = rewrite::NttRing::Cyclic;
+      else if (Rg == "negacyclic")
+        Plan.Ring = rewrite::NttRing::Negacyclic;
+      else
+        usage(argv[0]);
+    } else if (Arg == "--rns-limbs")
+      RnsLimbs = std::strtoul(Next(), nullptr, 10);
     else if (Arg == "--device") {
       DeviceName = Next();
       if (!deviceFor(DeviceName))
@@ -171,9 +195,21 @@ int main(int argc, char **argv) {
     // Autotune the runtime problem this spec canonicalizes to, with a
     // representative NTT-friendly modulus of the requested width.
     runtime::KernelOp Op;
+    if (KernelName == "rnsdec" || KernelName == "rnsrec") {
+      std::fprintf(stderr,
+                   "%s is not autotunable: the RNS CRT kernels fold the "
+                   "whole variant grid (generalized Barrett is baked in) "
+                   "and run on the base plan's backend; use --emit "
+                   "ir|c|stats instead\n",
+                   KernelName.c_str());
+      return 2;
+    }
     if (!kernelOpFor(KernelName, Op))
       usage(argv[0]);
-    mw::Bignum Q = field::nttPrime(Spec.modBits(), 8);
+    // Negacyclic transforms need one extra factor of two (2n | q - 1).
+    mw::Bignum Q = field::nttPrime(
+        Spec.modBits(),
+        Plan.Ring == rewrite::NttRing::Negacyclic ? 10 : 8);
     runtime::KernelRegistry Reg;
     Reg.setDeviceProfile(*deviceFor(DeviceName));
     runtime::AutotunerOptions TO;
@@ -214,6 +250,10 @@ int main(int argc, char **argv) {
                   D->Opts.FuseDepth,
                   (LogN + D->Opts.FuseDepth - 1) / D->Opts.FuseDepth,
                   TuneNttPoints);
+      std::printf("ring:     %s%s\n", rewrite::nttRingName(D->Opts.Ring),
+                  D->Opts.Ring == rewrite::NttRing::Negacyclic
+                      ? " (psi twist folded into the edge stage groups)"
+                      : "");
     }
     std::printf("measured: %.1f ns/element over %u candidates%s\n",
                 D->NsPerElem, Tuner.stats().Candidates,
@@ -236,6 +276,32 @@ int main(int argc, char **argv) {
   else if (KernelName == "butterfly") {
     K = kernels::buildButterflyKernel(Spec);
     IsButterfly = true;
+  } else if (KernelName == "rnsdec" || KernelName == "rnsrec") {
+    // The RNS CRT edge kernels: build the real base (deterministic
+    // primes) so the wide width is the one the runtime would use.
+    runtime::RnsContext Ctx;
+    std::string Err;
+    runtime::RnsContext::Options RO;
+    RO.LimbBits = ModBits ? ModBits : 60;
+    if (!runtime::RnsContext::create(RnsLimbs ? RnsLimbs : 4, Ctx, &Err,
+                                     RO)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 1;
+    }
+    if (KernelName == "rnsdec") {
+      ModBits = RO.LimbBits;
+      Bits = runtime::PlanKey::canonicalContainerBits(
+          Ctx.wideWords() * 64 - 4, WordBits);
+      Spec = kernels::ScalarKernelSpec{Bits, ModBits,
+                                       mw::Reduction::Barrett};
+      K = kernels::buildRnsDecomposeKernel(Spec, Ctx.wideWords());
+    } else {
+      ModBits = Ctx.modulus().bitWidth();
+      Bits = runtime::PlanKey::canonicalContainerBits(ModBits, WordBits);
+      Spec = kernels::ScalarKernelSpec{Bits, ModBits,
+                                       mw::Reduction::Barrett};
+      K = kernels::buildRnsRecombineStepKernel(Spec);
+    }
   } else
     usage(argv[0]);
   K.Name = KernelName + "_" + std::to_string(Bits);
