@@ -35,9 +35,13 @@
 #include "Harness.h"
 
 #include "field/PrimeGen.h"
+#include "kernels/ScalarKernels.h"
 #include "ntt/ReferenceDft.h"
+#include "rewrite/PassManager.h"
+#include "rewrite/Stats.h"
 #include "runtime/Autotuner.h"
 #include "runtime/Dispatcher.h"
+#include "support/Format.h"
 #include "support/Rng.h"
 
 #include <chrono>
@@ -348,6 +352,57 @@ int main(int argc, char **argv) {
   bool Reloaded = Dec && Dec->FromCache && Tuner2.stats().Tuned == 0 &&
                   MulDec && Dec->Opts == MulDec->Opts;
   std::remove(TunePath.c_str());
+
+  // -- Pass-pipeline effectiveness (deterministic op-count facts) --------
+  // What the extended simplify pipeline (CSE + interval range analysis +
+  // dead-port elimination) buys over the default on the two kernel
+  // classes ISSUE 6 targets. The counts are exact properties of the
+  // rewrite system, so the CI perf-trajectory gate pins them bit-for-bit
+  // (*_count metrics) — a pass regression shows up as a count shift, not
+  // as timing noise.
+  {
+    banner("Simplify pass pipelines: default vs extended (exact op counts)");
+    auto passFacts = [&](const ir::Kernel &K, const char *Tag) {
+      rewrite::LoweredKernel Def = rewrite::lowerToWords(K);
+      rewrite::LoweredKernel Ext = rewrite::lowerToWords(K);
+      rewrite::PassPipeline PD = rewrite::defaultPipeline();
+      rewrite::PassPipeline PE = rewrite::extendedPipeline();
+      PD.runLowered(Def);
+      rewrite::PipelineStats SE = PE.runLowered(Ext);
+      rewrite::OpStats D = rewrite::countOps(Def.K);
+      rewrite::OpStats E = rewrite::countOps(Ext.K);
+      auto Count = [&](const char *Metric, double V) {
+        recordMetric(formatv("passes/%s_%s_count", Tag, Metric), V);
+      };
+      Count("default_stmts", D.Total);
+      Count("extended_stmts", E.Total);
+      Count("default_mul", D.multiplies());
+      Count("extended_mul", E.multiplies());
+      Count("default_addsub", D.addSubs());
+      Count("extended_addsub", E.addSubs());
+      const rewrite::PassStats *Cse = SE.pass("cse");
+      const rewrite::PassStats *Range = SE.pass("range");
+      const rewrite::PassStats *Dce = SE.pass("dce");
+      Count("cse_changes", Cse ? Cse->Changes : 0);
+      Count("range_changes", Range ? Range->Changes : 0);
+      Count("dce_removed", Dce ? Dce->Removed : 0);
+      reportf("%-10s default: %3u stmts %3u mul %3u addsub | extended: "
+              "%3u stmts %3u mul %3u addsub (cse=%u range=%u dce=%u)\n",
+              Tag, D.Total, D.multiplies(), D.addSubs(), E.Total,
+              E.multiplies(), E.addSubs(), Cse ? Cse->Changes : 0,
+              Range ? Range->Changes : 0, Dce ? Dce->Removed : 0);
+    };
+    kernels::ScalarKernelSpec BSpec;
+    BSpec.ContainerBits = 128;
+    BSpec.ModBits = 124;
+    passFacts(kernels::buildButterflyKernel(BSpec), "butterfly");
+    kernels::ScalarKernelSpec RSpec;
+    RSpec.ContainerBits = 256;
+    RSpec.ModBits = 60;
+    passFacts(kernels::buildRnsDecomposeKernel(RSpec, /*WideWords=*/4),
+              "rnsdec");
+    flushReport();
+  }
 
   // Exact wiring facts for the CI perf-trajectory gate (*_ok metrics
   // must match the committed baseline bit-for-bit).

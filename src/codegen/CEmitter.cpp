@@ -248,7 +248,7 @@ std::string moma::codegen::emitScalarFunction(const LoweredKernel &L,
   }
   for (const LoweredPort &P : L.Inputs) {
     for (size_t I = 0; I < P.Words.size(); ++I) {
-      if (P.IsConstZero[I])
+      if (P.IsConstZero[I] || P.isDeadWord(I))
         continue;
       if (!Params.empty())
         Params += ", ";
@@ -276,7 +276,9 @@ std::string moma::codegen::portLoadArgs(const LoweredPort &P,
   unsigned Stored = P.storedWords();
   unsigned Skip = static_cast<unsigned>(P.Words.size()) - Stored;
   for (size_t I = 0; I < P.Words.size(); ++I) {
-    if (P.IsConstZero[I])
+    // Dead words keep their array slot (the I - Skip index is live-slot
+    // arithmetic over const-zero pruning only) but are never passed.
+    if (P.IsConstZero[I] || P.isDeadWord(I))
       continue;
     if (!Args.empty())
       Args += ", ";
@@ -334,7 +336,7 @@ EmittedKernel moma::codegen::emitC(const LoweredKernel &L,
       fatalError("emitC: port '" + P.Name +
                  "' pruning does not match its stored-word count");
     for (size_t I = 0; I < P.Words.size(); ++I) {
-      if (P.IsConstZero[I])
+      if (P.IsConstZero[I] || P.isDeadWord(I))
         continue;
       Src += formatv("  %s v%d = %s[%zu];\n", WT, P.Words[I],
                      P.Name.c_str(), I - Skip);

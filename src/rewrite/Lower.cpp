@@ -5,8 +5,10 @@
 #include "ir/Builder.h"
 #include "support/Error.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
+#include <unordered_map>
 
 using namespace moma;
 using namespace moma::ir;
@@ -28,11 +30,18 @@ using Quad = std::array<ValueId, 4>;
 /// One lowering round: rewrites all statements touching values of width
 /// CurW into statements on CurW/2-bit values (the paper's single rewrite
 /// step, applied recursively by lowerToWords).
+/// Side table of sharper significant-bit bounds, keyed by value id; see
+/// LoweredKernel::WordBounds.
+using BoundMap = std::unordered_map<ValueId, unsigned>;
+
 class LevelLowering {
 public:
-  LevelLowering(const Kernel &Old, const LowerOptions &Opts)
+  LevelLowering(const Kernel &Old, const LowerOptions &Opts,
+                const BoundMap *BoundsIn = nullptr,
+                BoundMap *BoundsOut = nullptr)
       : Old(Old), Opts(Opts), Bld(NK), CurW(Old.maxBits()), H(CurW / 2),
-        Single(Old.numValues(), NoValue), Pairs(Old.numValues()) {
+        Single(Old.numValues(), NoValue), Pairs(Old.numValues()),
+        BoundsIn(BoundsIn), BoundsOut(BoundsOut) {
     assert(CurW % 2 == 0 && "maximal width must be even to split");
     assert(CurW > Opts.TargetWordBits && "nothing to lower");
   }
@@ -189,13 +198,48 @@ private:
     return Half{Hi, Lo};
   }
 
-  /// Registers the lowering of an old CurW-wide value.
+  /// The sharpest significant-bit bound known for an old value: its
+  /// KnownBits, refined by any bound a previous round recorded for it.
+  unsigned boundOf(ValueId OldId) const {
+    unsigned K = Old.value(OldId).KnownBits;
+    if (BoundsIn) {
+      auto It = BoundsIn->find(OldId);
+      if (It != BoundsIn->end())
+        K = std::min(K, It->second);
+    }
+    return K;
+  }
+
+  /// Records value < 2^B for a new value when B is sharper than the
+  /// value's own KnownBits (B == 0: provably zero).
+  void recordBound(ValueId NewId, unsigned B) {
+    if (!BoundsOut || B >= NK.value(NewId).KnownBits)
+      return;
+    auto [It, Inserted] = BoundsOut->emplace(NewId, B);
+    if (!Inserted)
+      It->second = std::min(It->second, B);
+  }
+
+  /// Registers the lowering of an old CurW-wide value. The halves were
+  /// built with the generic KnownBits formulas; when the old value's bound
+  /// is sharper (rule 19 distributes it across the halves) the loss is
+  /// recorded in the bounds side table rather than in the half ValueInfos,
+  /// keeping the emitted kernel independent of the table.
   void bindPair(ValueId OldId, Half P) {
     assert(isCur(OldId) && "pair binding for a non-CurW value");
     Pairs[OldId] = P;
+    if (BoundsOut) {
+      unsigned K = boundOf(OldId);
+      recordBound(P.Hi, K > H ? K - H : 0);
+      recordBound(P.Lo, std::min(K, H));
+    }
   }
 
-  void bindSingle(ValueId OldId, ValueId NewId) { Single[OldId] = NewId; }
+  void bindSingle(ValueId OldId, ValueId NewId) {
+    Single[OldId] = NewId;
+    if (BoundsOut)
+      recordBound(NewId, boundOf(OldId));
+  }
 
   Kernel NK;
   const Kernel &Old;
@@ -204,6 +248,8 @@ private:
   unsigned CurW, H;
   std::vector<ValueId> Single;
   std::vector<Half> Pairs;
+  const BoundMap *BoundsIn;
+  BoundMap *BoundsOut;
 };
 
 } // namespace
@@ -507,9 +553,12 @@ LoweredKernel moma::rewrite::lowerToWords(const Kernel &K,
   SeedPorts(K.outputs(), Out.Outputs);
 
   std::vector<std::pair<ValueId, ValueId>> Map;
+  BoundMap Bounds;
   while (Out.K.maxBits() > Opts.TargetWordBits) {
     unsigned CurW = Out.K.maxBits();
-    Kernel Next = lowerOneLevel(Out.K, Opts, &Map);
+    BoundMap NextBounds;
+    Kernel Next = LevelLowering(Out.K, Opts, &Bounds, &NextBounds).run(&Map);
+    Bounds = std::move(NextBounds);
     ++Out.Rounds;
 
     // Re-derive every port's word list through the round's value map.
@@ -542,5 +591,8 @@ LoweredKernel moma::rewrite::lowerToWords(const Kernel &K,
     if (Out.K.maxBits() >= CurW)
       fatalError("lowerToWords: lowering failed to reduce the widths");
   }
+  // Publish the last round's surviving bounds, sorted for determinism.
+  Out.WordBounds.assign(Bounds.begin(), Bounds.end());
+  std::sort(Out.WordBounds.begin(), Out.WordBounds.end());
   return Out;
 }

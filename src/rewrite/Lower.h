@@ -68,6 +68,17 @@ struct LoweredPort {
   /// in the body rather than kernel parameters).
   std::vector<bool> IsConstZero;
 
+  /// Parallel to Words when non-empty (the deadports pass fills it): words
+  /// no live statement reads. They keep their slot in the port ABI —
+  /// storedWords() and the caller-side array layout are unchanged — but
+  /// the emitters skip their loads and scalar parameters.
+  std::vector<bool> IsDead;
+
+  /// Whether word \p I was marked dead by the deadports pass.
+  bool isDeadWord(size_t I) const {
+    return I < IsDead.size() && IsDead[I];
+  }
+
   /// Number of machine words actually stored (ceil(KnownBits / WordBits)),
   /// the paper's k with (k-1)ω₀ < λ <= kω₀.
   unsigned storedWords() const {
@@ -81,6 +92,18 @@ struct LoweredKernel {
   std::vector<LoweredPort> Inputs;
   std::vector<LoweredPort> Outputs;
   unsigned Rounds = 0;
+
+  /// Significant-bit bounds the lowering proved for individual word values
+  /// but could not keep in their ValueInfo without changing the emitted
+  /// kernel: (value, B) means value < 2^B, and B == 0 means the word is
+  /// provably zero. Splitting a value whose scalar-level KnownBits is
+  /// tighter than its width (a mulmod result known < q, the RNS
+  /// decomposition's manual "r < 3q" annotation) produces half values
+  /// whose own KnownBits formulas cannot carry the fact; the bounds are
+  /// recorded here instead. Only the interval range-analysis pass consumes
+  /// the table, so pipelines without it behave exactly as if it were
+  /// empty. PassPipeline keeps the ids current across pass rebuilds.
+  std::vector<std::pair<ir::ValueId, unsigned>> WordBounds;
 };
 
 /// Applies one rewrite round at the kernel's current maximal width.

@@ -7,8 +7,10 @@
 
 #include "rewrite/PlanOptions.h"
 
+#include "rewrite/PassManager.h"
 #include "rewrite/Schedule.h"
 #include "rewrite/Simplify.h"
+#include "support/Error.h"
 #include "support/Format.h"
 
 using namespace moma;
@@ -40,14 +42,27 @@ std::string PlanOptions::str() const {
   // Cyclic is the historical ring; only negacyclic plans extend the key.
   if (Ring == NttRing::Negacyclic)
     S += "/neg";
+  // The default pipeline is the historical simplifier; only other pass
+  // specs extend the key.
+  if (!normalizedPasses().empty())
+    S += "/p=" + normalizedPasses();
   return S;
 }
 
 LoweredKernel moma::rewrite::lowerWithPlan(const ir::Kernel &K,
                                            const PlanOptions &Opts) {
   LoweredKernel L = lowerToWords(K, Opts.lowerOptions());
-  if (Opts.Prune)
-    simplifyLowered(L);
+  if (Opts.Prune) {
+    if (Opts.normalizedPasses().empty()) {
+      simplifyLowered(L);
+    } else {
+      PassPipeline P;
+      std::string Err;
+      if (!parsePipeline(Opts.Passes, P, &Err))
+        fatalError(formatv("lowerWithPlan: %s", Err.c_str()));
+      P.runLowered(L);
+    }
+  }
   if (Opts.Schedule)
     scheduleForPressure(L.K, Opts.TargetWordBits);
   return L;

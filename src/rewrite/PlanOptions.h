@@ -101,6 +101,20 @@ struct PlanOptions {
   /// registers per virtual thread).
   static constexpr unsigned MaxFuseDepth = 3;
 
+  /// Simplify pass pipeline spec (rewrite/PassManager.h parsePipeline):
+  /// "" or "default" is the monolith-equivalent pipeline, "extended" adds
+  /// interval range analysis, CSE, and dead-port elimination, and a
+  /// comma-separated catalog list picks passes by hand. Only consulted
+  /// when Prune is on (PlanKey canonicalization folds it otherwise).
+  std::string Passes;
+
+  /// The pass spec with the default spelled canonically: "" and "default"
+  /// name the same pipeline.
+  const std::string &normalizedPasses() const {
+    static const std::string Empty;
+    return Passes == "default" ? Empty : Passes;
+  }
+
   /// Polynomial ring for NTT-shaped plans. Only butterfly plans consume
   /// it (PlanKey canonicalization folds it to Cyclic everywhere else);
   /// the negacyclic twist rides the fused pipeline's edge-stage folds, so
@@ -112,8 +126,9 @@ struct PlanOptions {
   /// e.g. "w64/barrett/schoolbook/prune/noschedule". Serial plans keep
   /// the historical five-token form (so pre-backend cache keys stay
   /// readable); SimGpu plans append "/simgpu/b<dim>", butterfly plans
-  /// fused deeper than one stage append "/f<depth>", and negacyclic
-  /// butterfly plans append "/neg".
+  /// fused deeper than one stage append "/f<depth>", negacyclic
+  /// butterfly plans append "/neg", and non-default pass pipelines
+  /// append "/p=<spec>".
   std::string str() const;
 
   /// The LowerOptions slice of this plan.
@@ -129,7 +144,7 @@ struct PlanOptions {
            MulAlg == O.MulAlg && Prune == O.Prune &&
            Schedule == O.Schedule && Backend == O.Backend &&
            BlockDim == O.BlockDim && FuseDepth == O.FuseDepth &&
-           Ring == O.Ring;
+           Ring == O.Ring && normalizedPasses() == O.normalizedPasses();
   }
   bool operator!=(const PlanOptions &O) const { return !(*this == O); }
 };

@@ -1,0 +1,340 @@
+//===- rewrite/RangeAnalysis.cpp - Interval range analysis ----------------===//
+//
+// Exact [lo, hi] interval propagation through the straight-line kernel,
+// generalizing the KnownBits significant-bit bound (and PR 5's manual
+// "r < 3q" annotations) to arbitrary value ranges. Because kernels are
+// SSA-ordered straight-line code, one forward walk computes the interval
+// fixpoint; the pass rides the shared KernelRebuilder walk and rewrites as
+// it goes:
+//
+//  * adds whose interval sum fits the word kill their carry — notably the
+//    high word of a full w*w multiply is at most 2^w - 2, so folding one
+//    carry into it can never overflow, a fact the power-of-two KnownBits
+//    bound (which would need 2^w - 1) cannot see;
+//  * subs whose minuend interval dominates the subtrahend kill the borrow;
+//  * full multiplies whose interval product fits the low word become
+//    MulLow even when the bit-width product bound overflows;
+//  * compares over disjoint intervals fold to constants (conditional
+//    subtract chains then collapse via the select identity);
+//  * right shifts past the interval's high bound fold to zero.
+//
+// Result KnownBits are tightened to the interval's bit width (never
+// loosened past what the previous sweep proved); tightenings count as
+// changes only when strict, so repeated sweeps reach a fixpoint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Passes.h"
+
+#include <algorithm>
+
+using namespace moma;
+using namespace moma::ir;
+using namespace moma::rewrite;
+using mw::Bignum;
+
+namespace {
+
+/// Largest value of a W-bit word.
+Bignum maxFor(unsigned W) { return Bignum::powerOfTwo(W) - Bignum(1); }
+
+/// KnownBits bound implied by an inclusive high bound.
+unsigned bitsOf(const Bignum &Hi) { return std::max(1u, Hi.bitWidth()); }
+
+} // namespace
+
+void RangeAnalysisPass::begin(KernelRebuilder &RB) {
+  (void)RB;
+  Ranges.clear();
+  HasRange.clear();
+  // Pick up the bounds the lowering proved but could not keep in the
+  // ValueInfos (LoweredKernel::WordBounds). Ids may collide after pass
+  // substitutions merged values; keep the sharper bound.
+  Bounds.clear();
+  if (LoweredKernel *L = CurAC ? CurAC->lowered() : nullptr)
+    for (const auto &BP : L->WordBounds) {
+      auto [It, Inserted] = Bounds.emplace(BP.first, BP.second);
+      if (!Inserted)
+        It->second = std::min(It->second, BP.second);
+    }
+}
+
+void RangeAnalysisPass::applyBound(KernelRebuilder &RB, ValueId OldR) {
+  auto It = Bounds.find(OldR);
+  if (It == Bounds.end())
+    return;
+  unsigned B = It->second;
+  ValueId NewR = RB.mapped(OldR);
+  if (RB.constOf(NewR))
+    return; // already folded; the fact is spent
+  if (B == 0) {
+    // The word is provably zero. Fold it only when somebody reads it (the
+    // substitution then routes the uses to the constant and the producing
+    // statement dies); an unread result just keeps the [0, 0] interval.
+    if (RB.useCount(OldR) > 0) {
+      RB.bindConst(OldR, Bignum(0));
+      ++RB.Changes;
+      return;
+    }
+    setRange(NewR, {Bignum(0), Bignum(0)});
+    return;
+  }
+  ir::ValueInfo &VI = RB.newKernel().value(NewR);
+  if (B < VI.KnownBits) {
+    // Count only strict tightenings against the OLD bound: once the
+    // emitDefault clamp has made the sharper KnownBits stick, re-applying
+    // the same bound is a no-op and sweeps converge.
+    if (B < RB.oldKernel().value(OldR).KnownBits)
+      ++RB.Changes;
+    VI.KnownBits = B;
+  }
+  Interval I = rangeOf(RB, NewR);
+  I.Hi = std::min(I.Hi, maxFor(B));
+  if (I.Lo > I.Hi)
+    I.Lo = I.Hi; // stale box floor; the bound is the sharper fact
+  setRange(NewR, std::move(I));
+}
+
+void RangeAnalysisPass::applyBounds(KernelRebuilder &RB,
+                                    const std::vector<ValueId> &OldResults) {
+  if (Bounds.empty())
+    return;
+  for (ValueId R : OldResults)
+    applyBound(RB, R);
+}
+
+RangeAnalysisPass::Interval
+RangeAnalysisPass::rangeOf(KernelRebuilder &RB, ValueId NewId) const {
+  if (const Bignum *C = RB.constOf(NewId))
+    return {*C, *C};
+  if (static_cast<size_t>(NewId) < HasRange.size() && HasRange[NewId])
+    return Ranges[NewId];
+  return {Bignum(0), maxFor(RB.known(NewId))};
+}
+
+void RangeAnalysisPass::setRange(ValueId NewId, Interval I) {
+  if (static_cast<size_t>(NewId) >= HasRange.size()) {
+    Ranges.resize(NewId + 1);
+    HasRange.resize(NewId + 1, false);
+  }
+  Ranges[NewId] = std::move(I);
+  HasRange[NewId] = true;
+}
+
+bool RangeAnalysisPass::tryRewrite(KernelRebuilder &RB, const Stmt &S,
+                                   const std::vector<ValueId> &Ops,
+                                   const std::vector<const Bignum *> &CV,
+                                   bool AllConst) {
+  (void)CV;
+  (void)AllConst;
+  const Kernel &Old = RB.oldKernel();
+  auto ResultBits = [&](unsigned I) { return Old.value(S.Results[I]).Bits; };
+  auto OldKnown = [&](unsigned I) { return Old.value(S.Results[I]).KnownBits; };
+
+  switch (S.Kind) {
+  case OpKind::Add: {
+    unsigned W = ResultBits(1);
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    Interval I2 = Ops.size() == 3 ? rangeOf(RB, Ops[2])
+                                  : Interval{Bignum(0), Bignum(0)};
+    Bignum HiS = I0.Hi + I1.Hi + I2.Hi;
+    if (HiS >= Bignum::powerOfTwo(W))
+      return false; // the carry can fire; nothing beyond the default here
+    Bignum LoS = I0.Lo + I1.Lo + I2.Lo;
+    unsigned Known = std::min({W, bitsOf(HiS), std::max(1u, OldKnown(1))});
+    ValueId Carry = RB.newKernel().newValue(1); // dead slot keeps the shape
+    ValueId Sum = RB.newResult(W, Known);
+    RB.emit(OpKind::Add, {Carry, Sum}, Ops);
+    RB.bind(S.Results[1], Sum);
+    if (Known < OldKnown(1))
+      ++RB.Changes; // strict tightening is progress; equality is a no-op
+    if (RB.useCount(S.Results[0]) > 0) {
+      RB.bindConst(S.Results[0], Bignum(0));
+      ++RB.Changes;
+    } else {
+      RB.bind(S.Results[0], Carry);
+    }
+    setRange(Sum, {std::move(LoS), std::min(HiS, maxFor(Known))});
+    setRange(Carry, {Bignum(0), Bignum(0)});
+    applyBounds(RB, S.Results);
+    return true;
+  }
+  case OpKind::Sub: {
+    unsigned W = ResultBits(1);
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    Interval I2 = Ops.size() == 3 ? rangeOf(RB, Ops[2])
+                                  : Interval{Bignum(0), Bignum(0)};
+    Bignum HiB = I1.Hi + I2.Hi;
+    if (I0.Lo < HiB)
+      return false; // a < b + bin is possible; the borrow stays
+    Bignum LoD = I0.Lo - HiB;
+    Bignum HiD = I0.Hi - I1.Lo - I2.Lo;
+    unsigned Known = std::min({W, bitsOf(HiD), std::max(1u, OldKnown(1))});
+    ValueId Borrow = RB.newKernel().newValue(1);
+    ValueId Diff = RB.newResult(W, Known);
+    RB.emit(OpKind::Sub, {Borrow, Diff}, Ops);
+    RB.bind(S.Results[1], Diff);
+    if (Known < OldKnown(1))
+      ++RB.Changes;
+    if (RB.useCount(S.Results[0]) > 0) {
+      RB.bindConst(S.Results[0], Bignum(0));
+      ++RB.Changes;
+    } else {
+      RB.bind(S.Results[0], Borrow);
+    }
+    setRange(Diff, {std::move(LoD), std::min(HiD, maxFor(Known))});
+    setRange(Borrow, {Bignum(0), Bignum(0)});
+    applyBounds(RB, S.Results);
+    return true;
+  }
+  case OpKind::Mul: {
+    unsigned W = ResultBits(1);
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    Bignum HiP = I0.Hi * I1.Hi;
+    if (HiP >= Bignum::powerOfTwo(W))
+      return false;
+    // The interval product fits the low word even though the bit-width
+    // bound may not: drop the high half.
+    unsigned Known = std::min({W, bitsOf(HiP), std::max(1u, OldKnown(1))});
+    ValueId Lo = RB.newResult(W, Known);
+    RB.emit(OpKind::MulLow, {Lo}, Ops);
+    RB.bind(S.Results[1], Lo);
+    if (RB.useCount(S.Results[0]) > 0)
+      RB.bindConst(S.Results[0], Bignum(0));
+    else
+      RB.bind(S.Results[0], Lo); // never read; any valid id will do
+    ++RB.Changes;
+    setRange(Lo, {I0.Lo * I1.Lo, std::min(HiP, maxFor(Known))});
+    applyBounds(RB, S.Results);
+    return true;
+  }
+  case OpKind::Lt: {
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    if (I0.Hi < I1.Lo) {
+      RB.bindConst(S.Results[0], Bignum(1)); // always a < b
+      ++RB.Changes;
+      return true;
+    }
+    if (I0.Lo >= I1.Hi) {
+      RB.bindConst(S.Results[0], Bignum(0)); // always a >= b
+      ++RB.Changes;
+      return true;
+    }
+    return false;
+  }
+  case OpKind::Eq: {
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    if (I0.Hi < I1.Lo || I1.Hi < I0.Lo) {
+      RB.bindConst(S.Results[0], Bignum(0)); // disjoint intervals
+      ++RB.Changes;
+      return true;
+    }
+    return false;
+  }
+  case OpKind::Shr: {
+    Interval I0 = rangeOf(RB, Ops[0]);
+    if (!(I0.Hi >> S.Amount).isZero())
+      return false;
+    RB.bindConst(S.Results[0], Bignum(0));
+    ++RB.Changes;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+void RangeAnalysisPass::observeDefault(KernelRebuilder &RB, const Stmt &OldS,
+                                       const Stmt &NewS) {
+  transfer(RB, NewS);
+  applyBounds(RB, OldS.Results);
+}
+
+void RangeAnalysisPass::transfer(KernelRebuilder &RB, const Stmt &NewS) {
+  const std::vector<ValueId> &Ops = NewS.Operands;
+  switch (NewS.Kind) {
+  case OpKind::Copy:
+  case OpKind::Zext:
+    setRange(NewS.Results[0], rangeOf(RB, Ops[0]));
+    return;
+  case OpKind::Mul: {
+    // The high word of the full product: floor(p / 2^W) for p in the
+    // interval product. In particular for full-box operands the bound is
+    // 2^W - 2, which is what lets the accumulation adds above kill their
+    // carries.
+    unsigned W = RB.widthOf(NewS.Results[1]);
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    setRange(NewS.Results[0],
+             {(I0.Lo * I1.Lo) >> W, (I0.Hi * I1.Hi) >> W});
+    return;
+  }
+  case OpKind::MulLow: {
+    unsigned W = RB.widthOf(NewS.Results[0]);
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    Bignum HiP = I0.Hi * I1.Hi;
+    if (HiP < Bignum::powerOfTwo(W))
+      setRange(NewS.Results[0], {I0.Lo * I1.Lo, std::move(HiP)});
+    return;
+  }
+  case OpKind::And: {
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    setRange(NewS.Results[0], {Bignum(0), std::min(I0.Hi, I1.Hi)});
+    return;
+  }
+  case OpKind::Or: {
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    setRange(NewS.Results[0],
+             {std::max(I0.Lo, I1.Lo),
+              maxFor(std::max(bitsOf(I0.Hi), bitsOf(I1.Hi)))});
+    return;
+  }
+  case OpKind::Shl: {
+    unsigned W = RB.widthOf(NewS.Results[0]);
+    Interval I0 = rangeOf(RB, Ops[0]);
+    Bignum Hi = I0.Hi << NewS.Amount;
+    if (Hi < Bignum::powerOfTwo(W))
+      setRange(NewS.Results[0], {I0.Lo << NewS.Amount, std::move(Hi)});
+    return;
+  }
+  case OpKind::Shr: {
+    Interval I0 = rangeOf(RB, Ops[0]);
+    setRange(NewS.Results[0],
+             {I0.Lo >> NewS.Amount, I0.Hi >> NewS.Amount});
+    return;
+  }
+  case OpKind::Select: {
+    Interval I1 = rangeOf(RB, Ops[1]), I2 = rangeOf(RB, Ops[2]);
+    setRange(NewS.Results[0],
+             {std::min(I1.Lo, I2.Lo), std::max(I1.Hi, I2.Hi)});
+    return;
+  }
+  case OpKind::Split: {
+    unsigned HalfW = RB.widthOf(NewS.Results[0]);
+    Interval I0 = rangeOf(RB, Ops[0]);
+    setRange(NewS.Results[0], {I0.Lo >> HalfW, I0.Hi >> HalfW});
+    setRange(NewS.Results[1], {Bignum(0), std::min(I0.Hi, maxFor(HalfW))});
+    return;
+  }
+  case OpKind::Concat: {
+    unsigned HalfW = RB.widthOf(Ops[1]);
+    Interval I0 = rangeOf(RB, Ops[0]), I1 = rangeOf(RB, Ops[1]);
+    setRange(NewS.Results[0],
+             {(I0.Lo << HalfW) + I1.Lo, (I0.Hi << HalfW) + I1.Hi});
+    return;
+  }
+  case OpKind::AddMod:
+  case OpKind::SubMod:
+  case OpKind::MulMod: {
+    // Results are reduced: in [0, q-1], and q's interval bounds q.
+    Interval Iq = rangeOf(RB, Ops[2]);
+    setRange(NewS.Results[0],
+             {Bignum(0),
+              Iq.Hi.isZero() ? Bignum(0) : Iq.Hi - Bignum(1)});
+    return;
+  }
+  default:
+    // Remaining results keep their KnownBits box (Add/Sub that can
+    // overflow, 1-bit flags, ...).
+    return;
+  }
+}

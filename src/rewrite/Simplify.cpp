@@ -1,645 +1,60 @@
 //===- rewrite/Simplify.cpp - Folding, pruning, DCE ------------------------===//
+//
+// Thin compatibility wrappers over the pass manager: the historical
+// monolithic Rewriter is now the "default" pipeline of rewrite/Passes.h
+// (constfold, algebraic, knownbits, copyprop, dce) driven by PassPipeline.
+// SimplifyStats maps one counter per decomposed pass.
+//
+//===----------------------------------------------------------------------===//
 
 #include "rewrite/Simplify.h"
 
-#include "support/Error.h"
+#include "rewrite/PassManager.h"
 
-#include <algorithm>
-#include <cassert>
-#include <map>
-#include <optional>
+#include <numeric>
 
 using namespace moma;
 using namespace moma::ir;
 using namespace moma::rewrite;
-using mw::Bignum;
 
-namespace {
-
-/// Rebuilds a kernel statement by statement, folding as it goes.
-class Rewriter {
-public:
-  explicit Rewriter(const Kernel &Old) : Old(Old), Subst(Old.numValues()),
-                                         UseCount(Old.numValues(), 0) {
-    for (const Stmt &S : Old.Body)
-      for (ValueId Op : S.Operands)
-        ++UseCount[Op];
-    for (const Param &P : Old.outputs())
-      ++UseCount[P.Id];
+/// Folds the per-pass pipeline counters into the legacy counter names.
+static SimplifyStats toSimplifyStats(const PipelineStats &PS) {
+  SimplifyStats S;
+  for (const PassStats &P : PS.PerPass) {
+    if (P.Name == "constfold")
+      S.FoldedConst += P.Changes;
+    else if (P.Name == "algebraic")
+      S.Identities += P.Changes;
+    else if (P.Name == "knownbits" || P.Name == "range")
+      S.StrengthReduced += P.Changes;
+    else if (P.Name == "copyprop")
+      S.CopiesPropagated += P.Changes;
+    else if (P.Name == "dce")
+      S.DeadRemoved += P.Removed;
   }
-
-  Kernel run(SimplifyStats &Stats);
-
-  /// Old-value -> new-value map, valid after run().
-  const std::vector<ValueId> &substitution() const { return Subst; }
-
-private:
-  // -- New-kernel helpers --------------------------------------------------
-
-  ValueId emitConst(unsigned Bits, const Bignum &V) {
-    if (V.bitWidth() <= 64) {
-      auto Key = std::make_pair(Bits, V.low64());
-      auto It = SmallConstCache.find(Key);
-      if (It != SmallConstCache.end())
-        return It->second;
-    }
-    ValueId Id = NK.newValue(Bits, "", std::max(1u, V.bitWidth()));
-    Stmt S;
-    S.Kind = OpKind::Const;
-    S.Results = {Id};
-    S.Literal = V;
-    NK.Body.push_back(std::move(S));
-    ConstVals[Id] = V;
-    if (V.bitWidth() <= 64)
-      SmallConstCache[{Bits, V.low64()}] = Id;
-    return Id;
-  }
-
-  ValueId newResult(unsigned Bits, unsigned Known) {
-    return NK.newValue(Bits, "", std::min(Bits, std::max(1u, Known)));
-  }
-
-  Stmt &emit(OpKind Kind, std::vector<ValueId> Results,
-             std::vector<ValueId> Operands) {
-    Stmt S;
-    S.Kind = Kind;
-    S.Results = std::move(Results);
-    S.Operands = std::move(Operands);
-    NK.Body.push_back(std::move(S));
-    return NK.Body.back();
-  }
-
-  /// The constant value of a (new) id, if it is one.
-  const Bignum *constOf(ValueId NewId) const {
-    auto It = ConstVals.find(NewId);
-    return It == ConstVals.end() ? nullptr : &It->second;
-  }
-
-  bool isZero(ValueId NewId) const {
-    const Bignum *C = constOf(NewId);
-    return C && C->isZero();
-  }
-
-  bool isOne(ValueId NewId) const {
-    const Bignum *C = constOf(NewId);
-    return C && C->isOne();
-  }
-
-  unsigned known(ValueId NewId) const { return NK.value(NewId).KnownBits; }
-  unsigned widthOf(ValueId NewId) const { return NK.value(NewId).Bits; }
-
-  void bind(ValueId OldId, ValueId NewId) { Subst[OldId] = NewId; }
-  void bindConst(ValueId OldId, const Bignum &V) {
-    bind(OldId, emitConst(Old.value(OldId).Bits, V));
-  }
-
-  void rewriteStmt(const Stmt &S, SimplifyStats &Stats);
-
-  const Kernel &Old;
-  Kernel NK;
-  std::vector<ValueId> Subst;
-  std::vector<unsigned> UseCount;
-  std::map<ValueId, Bignum> ConstVals;
-  std::map<std::pair<unsigned, std::uint64_t>, ValueId> SmallConstCache;
-};
-
-} // namespace
-
-void Rewriter::rewriteStmt(const Stmt &S, SimplifyStats &Stats) {
-  // Map operands into the new kernel.
-  std::vector<ValueId> Ops;
-  Ops.reserve(S.Operands.size());
-  for (ValueId Id : S.Operands)
-    Ops.push_back(Subst[Id]);
-
-  // Collect constant operands (nullptr when not constant).
-  std::vector<const Bignum *> CV;
-  CV.reserve(Ops.size());
-  bool AllConst = true;
-  for (ValueId Id : Ops) {
-    CV.push_back(constOf(Id));
-    AllConst &= CV.back() != nullptr;
-  }
-
-  auto ResultBits = [&](unsigned I) { return Old.value(S.Results[I]).Bits; };
-
-  switch (S.Kind) {
-  case OpKind::Const:
-    bindConst(S.Results[0], S.Literal);
-    return;
-  case OpKind::Copy:
-    bind(S.Results[0], Ops[0]);
-    ++Stats.CopiesPropagated;
-    return;
-  case OpKind::Zext: {
-    if (CV[0]) {
-      bindConst(S.Results[0], *CV[0]);
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (widthOf(Ops[0]) == ResultBits(0)) {
-      bind(S.Results[0], Ops[0]);
-      ++Stats.CopiesPropagated;
-      return;
-    }
-    ValueId R = newResult(ResultBits(0), known(Ops[0]));
-    emit(OpKind::Zext, {R}, {Ops[0]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Add: {
-    unsigned W = ResultBits(1);
-    bool HasCin = Ops.size() == 3;
-    if (AllConst) {
-      Bignum Sum = *CV[0] + *CV[1] + (HasCin ? *CV[2] : Bignum(0));
-      bindConst(S.Results[0], Sum >> W);
-      bindConst(S.Results[1], Sum.truncate(W));
-      ++Stats.FoldedConst;
-      return;
-    }
-    bool CinZero = !HasCin || isZero(Ops[2]);
-    // x + 0 (+0) => x, carry 0.
-    if (CinZero && isZero(Ops[1])) {
-      bindConst(S.Results[0], Bignum(0));
-      bind(S.Results[1], Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    if (CinZero && isZero(Ops[0])) {
-      bindConst(S.Results[0], Bignum(0));
-      bind(S.Results[1], Ops[1]);
-      ++Stats.Identities;
-      return;
-    }
-    // 0 + 0 + cin => zext(cin), carry 0.
-    if (isZero(Ops[0]) && isZero(Ops[1]) && HasCin) {
-      bindConst(S.Results[0], Bignum(0));
-      ValueId R = newResult(W, 1);
-      emit(OpKind::Zext, {R}, {Ops[2]});
-      bind(S.Results[1], R);
-      ++Stats.Identities;
-      return;
-    }
-    // KnownBits: if the sum provably fits W bits, the carry is zero.
-    unsigned Bound = std::max(known(Ops[0]), known(Ops[1])) + 1;
-    ValueId Carry, Sum = newResult(W, std::min(W, Bound));
-    std::vector<ValueId> NewOps = {Ops[0], Ops[1]};
-    if (HasCin && !CinZero)
-      NewOps.push_back(Ops[2]);
-    if (Bound <= W) {
-      bindConst(S.Results[0], Bignum(0));
-      Carry = NK.newValue(1); // dead slot keeps the op shape
-      // Only count a change when somebody actually read the carry;
-      // otherwise repeated sweeps would never reach a fixpoint count.
-      if (UseCount[S.Results[0]] > 0)
-        ++Stats.StrengthReduced;
-    } else {
-      Carry = NK.newValue(1);
-      bind(S.Results[0], Carry);
-    }
-    emit(OpKind::Add, {Carry, Sum}, std::move(NewOps));
-    bind(S.Results[1], Sum);
-    return;
-  }
-  case OpKind::Sub: {
-    unsigned W = ResultBits(1);
-    bool HasBin = Ops.size() == 3;
-    if (AllConst) {
-      Bignum A = *CV[0];
-      Bignum B = *CV[1] + (HasBin ? *CV[2] : Bignum(0));
-      if (A >= B) {
-        bindConst(S.Results[0], Bignum(0));
-        bindConst(S.Results[1], A - B);
-      } else {
-        bindConst(S.Results[0], Bignum(1));
-        bindConst(S.Results[1], (Bignum::powerOfTwo(W) + A) - B);
-      }
-      ++Stats.FoldedConst;
-      return;
-    }
-    bool BinZero = !HasBin || isZero(Ops[2]);
-    if (BinZero && isZero(Ops[1])) {
-      bindConst(S.Results[0], Bignum(0));
-      bind(S.Results[1], Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    if (BinZero && Ops[0] == Ops[1]) {
-      bindConst(S.Results[0], Bignum(0));
-      bindConst(S.Results[1], Bignum(0));
-      ++Stats.Identities;
-      return;
-    }
-    ValueId Borrow = NK.newValue(1);
-    ValueId Diff = newResult(W, W);
-    std::vector<ValueId> NewOps = {Ops[0], Ops[1]};
-    if (HasBin && !BinZero)
-      NewOps.push_back(Ops[2]);
-    emit(OpKind::Sub, {Borrow, Diff}, std::move(NewOps));
-    bind(S.Results[0], Borrow);
-    bind(S.Results[1], Diff);
-    return;
-  }
-  case OpKind::Mul: {
-    unsigned W = ResultBits(1);
-    if (AllConst) {
-      Bignum P = *CV[0] * *CV[1];
-      bindConst(S.Results[0], P >> W);
-      bindConst(S.Results[1], P.truncate(W));
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (isZero(Ops[0]) || isZero(Ops[1])) {
-      bindConst(S.Results[0], Bignum(0));
-      bindConst(S.Results[1], Bignum(0));
-      ++Stats.Identities;
-      return;
-    }
-    if (isOne(Ops[0]) || isOne(Ops[1])) {
-      bindConst(S.Results[0], Bignum(0));
-      bind(S.Results[1], isOne(Ops[0]) ? Ops[1] : Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    unsigned KBound = known(Ops[0]) + known(Ops[1]);
-    if (KBound <= W) {
-      // The product fits the low word: drop the high half (rule 28 prune).
-      bindConst(S.Results[0], Bignum(0));
-      ValueId Lo = newResult(W, KBound);
-      emit(OpKind::MulLow, {Lo}, {Ops[0], Ops[1]});
-      bind(S.Results[1], Lo);
-      ++Stats.StrengthReduced;
-      return;
-    }
-    ValueId Hi = newResult(W, std::min(W, KBound - W));
-    ValueId Lo = newResult(W, W);
-    emit(OpKind::Mul, {Hi, Lo}, {Ops[0], Ops[1]});
-    bind(S.Results[0], Hi);
-    bind(S.Results[1], Lo);
-    return;
-  }
-  case OpKind::MulLow: {
-    unsigned W = ResultBits(0);
-    if (AllConst) {
-      bindConst(S.Results[0], (*CV[0] * *CV[1]).truncate(W));
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (isZero(Ops[0]) || isZero(Ops[1])) {
-      bindConst(S.Results[0], Bignum(0));
-      ++Stats.Identities;
-      return;
-    }
-    if (isOne(Ops[0]) || isOne(Ops[1])) {
-      bind(S.Results[0], isOne(Ops[0]) ? Ops[1] : Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = newResult(W, known(Ops[0]) + known(Ops[1]));
-    emit(OpKind::MulLow, {R}, {Ops[0], Ops[1]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::AddMod:
-  case OpKind::SubMod: {
-    if (AllConst) {
-      bindConst(S.Results[0], S.Kind == OpKind::AddMod
-                                  ? CV[0]->addMod(*CV[1], *CV[2])
-                                  : CV[0]->subMod(*CV[1], *CV[2]));
-      ++Stats.FoldedConst;
-      return;
-    }
-    // x (+|-) 0 mod q == x for reduced x.
-    if (isZero(Ops[1])) {
-      bind(S.Results[0], Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    if (S.Kind == OpKind::SubMod && Ops[0] == Ops[1]) {
-      bindConst(S.Results[0], Bignum(0));
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = newResult(ResultBits(0), known(Ops[2]));
-    emit(S.Kind, {R}, {Ops[0], Ops[1], Ops[2]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::MulMod: {
-    if (CV[0] && CV[1] && CV[2]) {
-      bindConst(S.Results[0], CV[0]->mulMod(*CV[1], *CV[2]));
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (isZero(Ops[0]) || isZero(Ops[1])) {
-      bindConst(S.Results[0], Bignum(0));
-      ++Stats.Identities;
-      return;
-    }
-    if (isOne(Ops[0]) || isOne(Ops[1])) {
-      bind(S.Results[0], isOne(Ops[0]) ? Ops[1] : Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = newResult(ResultBits(0), known(Ops[2]));
-    Stmt &NS = emit(OpKind::MulMod, {R}, {Ops[0], Ops[1], Ops[2], Ops[3]});
-    NS.ModBits = S.ModBits;
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Lt: {
-    if (AllConst) {
-      bindConst(S.Results[0], Bignum(*CV[0] < *CV[1] ? 1 : 0));
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (Ops[0] == Ops[1] || isZero(Ops[1])) {
-      // x < x and x < 0 are always false.
-      bindConst(S.Results[0], Bignum(0));
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = NK.newValue(1);
-    emit(OpKind::Lt, {R}, {Ops[0], Ops[1]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Eq: {
-    if (AllConst) {
-      bindConst(S.Results[0], Bignum(*CV[0] == *CV[1] ? 1 : 0));
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (Ops[0] == Ops[1]) {
-      bindConst(S.Results[0], Bignum(1));
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = NK.newValue(1);
-    emit(OpKind::Eq, {R}, {Ops[0], Ops[1]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Not: {
-    if (AllConst) {
-      bindConst(S.Results[0], Bignum(CV[0]->isZero() ? 1 : 0));
-      ++Stats.FoldedConst;
-      return;
-    }
-    ValueId R = NK.newValue(1);
-    emit(OpKind::Not, {R}, {Ops[0]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::And: {
-    unsigned W = ResultBits(0);
-    if (AllConst) {
-      Bignum V;
-      size_t N = std::max(CV[0]->numLimbs(), CV[1]->numLimbs());
-      std::vector<std::uint64_t> Words(N ? N : 1, 0);
-      for (size_t I = 0; I < N; ++I)
-        Words[I] = CV[0]->limb(I) & CV[1]->limb(I);
-      bindConst(S.Results[0], Bignum::fromWords(Words));
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (isZero(Ops[0]) || isZero(Ops[1])) {
-      bindConst(S.Results[0], Bignum(0));
-      ++Stats.Identities;
-      return;
-    }
-    if (W == 1 && (isOne(Ops[0]) || isOne(Ops[1]))) {
-      bind(S.Results[0], isOne(Ops[0]) ? Ops[1] : Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    if (Ops[0] == Ops[1]) {
-      bind(S.Results[0], Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = newResult(W, std::min(known(Ops[0]), known(Ops[1])));
-    emit(OpKind::And, {R}, {Ops[0], Ops[1]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Or:
-  case OpKind::Xor: {
-    unsigned W = ResultBits(0);
-    if (AllConst) {
-      size_t N = std::max(CV[0]->numLimbs(), CV[1]->numLimbs());
-      std::vector<std::uint64_t> Words(N ? N : 1, 0);
-      for (size_t I = 0; I < N; ++I)
-        Words[I] = S.Kind == OpKind::Or ? (CV[0]->limb(I) | CV[1]->limb(I))
-                                        : (CV[0]->limb(I) ^ CV[1]->limb(I));
-      bindConst(S.Results[0], Bignum::fromWords(Words));
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (isZero(Ops[0]) || isZero(Ops[1])) {
-      bind(S.Results[0], isZero(Ops[0]) ? Ops[1] : Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    if (S.Kind == OpKind::Or && Ops[0] == Ops[1]) {
-      bind(S.Results[0], Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    if (S.Kind == OpKind::Xor && Ops[0] == Ops[1]) {
-      bindConst(S.Results[0], Bignum(0));
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = newResult(W, std::max(known(Ops[0]), known(Ops[1])));
-    emit(S.Kind, {R}, {Ops[0], Ops[1]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Shl: {
-    unsigned W = ResultBits(0);
-    if (AllConst) {
-      bindConst(S.Results[0], (*CV[0] << S.Amount).truncate(W));
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (S.Amount == 0 || isZero(Ops[0])) {
-      bind(S.Results[0], Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = newResult(W, std::min(W, known(Ops[0]) + S.Amount));
-    Stmt &NS = emit(OpKind::Shl, {R}, {Ops[0]});
-    NS.Amount = S.Amount;
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Shr: {
-    unsigned W = ResultBits(0);
-    if (AllConst) {
-      bindConst(S.Results[0], *CV[0] >> S.Amount);
-      ++Stats.FoldedConst;
-      return;
-    }
-    if (S.Amount == 0 || isZero(Ops[0])) {
-      bind(S.Results[0], Ops[0]);
-      ++Stats.Identities;
-      return;
-    }
-    if (known(Ops[0]) <= S.Amount) {
-      // Shifts past the significant bits: the non-power-of-two workhorse.
-      bindConst(S.Results[0], Bignum(0));
-      ++Stats.StrengthReduced;
-      return;
-    }
-    ValueId R = newResult(W, known(Ops[0]) - S.Amount);
-    Stmt &NS = emit(OpKind::Shr, {R}, {Ops[0]});
-    NS.Amount = S.Amount;
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Select: {
-    if (CV[0]) {
-      bind(S.Results[0], CV[0]->isZero() ? Ops[2] : Ops[1]);
-      ++Stats.Identities;
-      return;
-    }
-    if (Ops[1] == Ops[2]) {
-      bind(S.Results[0], Ops[1]);
-      ++Stats.Identities;
-      return;
-    }
-    ValueId R = newResult(ResultBits(0),
-                          std::max(known(Ops[1]), known(Ops[2])));
-    emit(OpKind::Select, {R}, {Ops[0], Ops[1], Ops[2]});
-    bind(S.Results[0], R);
-    return;
-  }
-  case OpKind::Split: {
-    unsigned HalfW = ResultBits(0);
-    if (AllConst) {
-      bindConst(S.Results[0], *CV[0] >> HalfW);
-      bindConst(S.Results[1], CV[0]->truncate(HalfW));
-      ++Stats.FoldedConst;
-      return;
-    }
-    unsigned K = known(Ops[0]);
-    ValueId Hi = newResult(HalfW, K > HalfW ? K - HalfW : 1);
-    ValueId Lo = newResult(HalfW, std::min(K, HalfW));
-    emit(OpKind::Split, {Hi, Lo}, {Ops[0]});
-    bind(S.Results[0], Hi);
-    bind(S.Results[1], Lo);
-    return;
-  }
-  case OpKind::Concat: {
-    unsigned HalfW = widthOf(Ops[1]);
-    if (AllConst) {
-      bindConst(S.Results[0], (*CV[0] << HalfW) + *CV[1]);
-      ++Stats.FoldedConst;
-      return;
-    }
-    ValueId R = newResult(ResultBits(0), isZero(Ops[0])
-                                             ? known(Ops[1])
-                                             : HalfW + known(Ops[0]));
-    emit(OpKind::Concat, {R}, {Ops[0], Ops[1]});
-    bind(S.Results[0], R);
-    return;
-  }
-  }
-  moma_unreachable("unhandled opcode in simplify");
-}
-
-Kernel Rewriter::run(SimplifyStats &Stats) {
-  NK.Name = Old.Name;
-  for (const Param &P : Old.inputs()) {
-    const ValueInfo &V = Old.value(P.Id);
-    ValueId NewId = NK.newValue(V.Bits, V.Name, V.KnownBits);
-    NK.addInput(NewId, P.Name);
-    bind(P.Id, NewId);
-  }
-  for (const Stmt &S : Old.Body)
-    rewriteStmt(S, Stats);
-  for (const Param &P : Old.outputs())
-    NK.addOutput(Subst[P.Id], P.Name);
-
-  // Dead code elimination: keep only statements reaching an output.
-  std::vector<bool> Live(NK.numValues(), false);
-  for (const Param &P : NK.outputs())
-    Live[P.Id] = true;
-  std::vector<bool> KeepStmt(NK.Body.size(), false);
-  for (size_t I = NK.Body.size(); I-- > 0;) {
-    const Stmt &S = NK.Body[I];
-    bool AnyLive = false;
-    for (ValueId R : S.Results)
-      AnyLive |= Live[R];
-    if (!AnyLive)
-      continue;
-    KeepStmt[I] = true;
-    for (ValueId Op : S.Operands)
-      Live[Op] = true;
-  }
-  std::vector<Stmt> NewBody;
-  NewBody.reserve(NK.Body.size());
-  for (size_t I = 0; I < NK.Body.size(); ++I) {
-    if (KeepStmt[I])
-      NewBody.push_back(std::move(NK.Body[I]));
-    else
-      ++Stats.DeadRemoved;
-  }
-  NK.Body = std::move(NewBody);
-  return std::move(NK);
+  return S;
 }
 
 SimplifyStats moma::rewrite::simplify(Kernel &K,
                                       std::vector<ValueId> *SubstOut) {
-  SimplifyStats Stats;
-  Rewriter R(K);
-  Kernel NewK = R.run(Stats);
+  PassPipeline P = defaultPipeline();
+  AnalysisCache AC;
+  PipelineStats Stats = P.initStats();
+  std::vector<ValueId> Subst(K.numValues());
+  std::iota(Subst.begin(), Subst.end(), 0);
+  P.sweep(K, AC, Stats, &Subst);
   if (SubstOut)
-    *SubstOut = R.substitution();
-  K = std::move(NewK);
-  return Stats;
-}
-
-static void accumulate(SimplifyStats &Total, const SimplifyStats &S) {
-  Total.FoldedConst += S.FoldedConst;
-  Total.Identities += S.Identities;
-  Total.StrengthReduced += S.StrengthReduced;
-  Total.CopiesPropagated += S.CopiesPropagated;
-  Total.DeadRemoved += S.DeadRemoved;
+    *SubstOut = std::move(Subst);
+  return toSimplifyStats(Stats);
 }
 
 SimplifyStats moma::rewrite::simplifyToFixpoint(Kernel &K, unsigned MaxIters) {
-  SimplifyStats Total;
-  for (unsigned I = 0; I < MaxIters; ++I) {
-    size_t Before = K.Body.size();
-    SimplifyStats S = simplify(K);
-    accumulate(Total, S);
-    if (S.FoldedConst + S.Identities + S.StrengthReduced == 0 &&
-        K.Body.size() == Before)
-      break;
-  }
-  return Total;
+  PassPipeline P = defaultPipeline();
+  return toSimplifyStats(P.run(K, MaxIters));
 }
 
 SimplifyStats moma::rewrite::simplifyLowered(LoweredKernel &L,
                                              unsigned MaxIters) {
-  SimplifyStats Total;
-  std::vector<ValueId> Subst;
-  for (unsigned I = 0; I < MaxIters; ++I) {
-    size_t Before = L.K.Body.size();
-    SimplifyStats S = simplify(L.K, &Subst);
-    accumulate(Total, S);
-    auto Remap = [&](std::vector<LoweredPort> &Ports) {
-      for (LoweredPort &P : Ports)
-        for (ValueId &W : P.Words)
-          W = Subst[W];
-    };
-    Remap(L.Inputs);
-    Remap(L.Outputs);
-    if (S.FoldedConst + S.Identities + S.StrengthReduced == 0 &&
-        L.K.Body.size() == Before)
-      break;
-  }
-  return Total;
+  PassPipeline P = defaultPipeline();
+  return toSimplifyStats(P.runLowered(L, MaxIters));
 }

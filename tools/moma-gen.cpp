@@ -22,7 +22,10 @@
 //            [--ring cyclic|negacyclic]  (NTT ring; butterfly tune/keys)
 //            [--rns-limbs <L>]           (RNS base size for rnsdec/rnsrec)
 //            [--device h100|rtx4090|v100|host] (simgpu device profile)
-//            [--emit ir|c|cuda|stats|tune]     (default c)
+//            [--passes <spec>]           (simplify pipeline: default,
+//                                         extended, or a comma list of
+//                                         catalog passes)
+//            [--emit ir|c|cuda|stats|pass-stats|tune]  (default c)
 //            [--tune-cache <path>]       (persist/reuse autotune JSON)
 //
 // `--emit c` with `--backend simgpu` prints the grid-shaped source (the
@@ -47,6 +50,7 @@
 //   moma-gen -k mulmod -m 380 --emit tune --tune-cache tune.json
 //   moma-gen -k vmul -m 252 --device rtx4090 --emit tune
 //   moma-gen -k rnsdec -m 60 --rns-limbs 8 --emit stats
+//   moma-gen -k rnsdec -m 60 --passes extended --emit pass-stats
 //
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +61,7 @@
 #include "ir/Printer.h"
 #include "kernels/BlasKernels.h"
 #include "kernels/NttKernels.h"
+#include "rewrite/PassManager.h"
 #include "rewrite/PlanOptions.h"
 #include "rewrite/Schedule.h"
 #include "rewrite/Stats.h"
@@ -81,7 +86,9 @@ namespace {
       "          [--backend serial|simgpu] [--block-dim <n>]\n"
       "          [--fuse-depth <k>] [--ring cyclic|negacyclic]\n"
       "          [--rns-limbs <L>] [--device h100|rtx4090|v100|host]\n"
-      "          [--emit ir|c|cuda|stats|tune] [--tune-cache <path>]\n"
+      "          [--passes default|extended|<pass,...>]\n"
+      "          [--emit ir|c|cuda|stats|pass-stats|tune]\n"
+      "          [--tune-cache <path>]\n"
       "kernels: addmod submod mulmod butterfly axpy vadd vsub vmul\n"
       "         rnsdec rnsrec\n",
       Argv0);
@@ -174,7 +181,9 @@ int main(int argc, char **argv) {
         Plan.Ring = rewrite::NttRing::Negacyclic;
       else
         usage(argv[0]);
-    } else if (Arg == "--rns-limbs")
+    } else if (Arg == "--passes")
+      Plan.Passes = Next();
+    else if (Arg == "--rns-limbs")
       RnsLimbs = std::strtoul(Next(), nullptr, 10);
     else if (Arg == "--device") {
       DeviceName = Next();
@@ -308,6 +317,28 @@ int main(int argc, char **argv) {
 
   if (Emit == "ir") {
     std::printf("%s", ir::printKernel(K).c_str());
+    return 0;
+  }
+
+  if (Emit == "pass-stats") {
+    // The satellite view of the ISSUE 6 pass manager: what each pass in
+    // the (possibly non-default) pipeline did to this lowered kernel.
+    rewrite::PassPipeline P;
+    std::string Err;
+    if (!rewrite::parsePipeline(Plan.Passes, P, &Err)) {
+      std::fprintf(stderr, "%s\n", Err.c_str());
+      return 2;
+    }
+    rewrite::LoweredKernel LP = rewrite::lowerToWords(K, Plan.lowerOptions());
+    rewrite::OpStats Before = rewrite::countOps(LP.K);
+    rewrite::PipelineStats PS = P.runLowered(LP);
+    rewrite::OpStats After = rewrite::countOps(LP.K);
+    std::printf("kernel %s: pipeline %s\n", K.Name.c_str(),
+                Plan.Passes.empty() ? "default" : Plan.Passes.c_str());
+    std::printf("%s", PS.report().c_str());
+    std::printf("ops: %u -> %u stmts, %u -> %u mul, %u -> %u addsub\n",
+                Before.Total, After.Total, Before.multiplies(),
+                After.multiplies(), Before.addSubs(), After.addSubs());
     return 0;
   }
 
