@@ -7,6 +7,7 @@
 
 #include "jit/HostJit.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -68,8 +69,15 @@ JitModule::~JitModule() {
     dlclose(Handle);
 }
 
-void *JitModule::symbol(const std::string &Name) const {
-  return dlsym(Handle, Name.c_str());
+void *JitModule::symbol(const std::string &Name, std::string *DlError) const {
+  // dlerror() is thread-local per POSIX; clear any stale diagnostic first
+  // so the post-lookup read is unambiguously about this dlsym.
+  dlerror();
+  void *Sym = dlsym(Handle, Name.c_str());
+  const char *Msg = dlerror();
+  if (DlError)
+    *DlError = Msg ? Msg : "";
+  return Sym;
 }
 
 HostJit::HostJit(HostJitOptions O) : Opts(std::move(O)) {
@@ -95,8 +103,45 @@ HostJit::HostJit(HostJitOptions O) : Opts(std::move(O)) {
   // and the compiler error is captured like any other.
 }
 
+HostJit::Stats HostJit::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return S;
+}
+
+void HostJit::setCacheCap(size_t Max) {
+  std::lock_guard<std::mutex> L(Mu);
+  CacheCap = std::max<size_t>(1, Max);
+  evictLocked();
+}
+
+void HostJit::evictLocked() {
+  // O(n) min-scan on the LastUse tick, the same idiom as the Dispatcher's
+  // bounded caches: eviction is rare and n is the cap, so a heap would be
+  // complexity without a win. Holders of the evicted shared_ptr keep
+  // their module loaded; the cache merely forgets it.
+  while (Loaded.size() > CacheCap) {
+    auto Victim = Loaded.begin();
+    for (auto It = Loaded.begin(); It != Loaded.end(); ++It)
+      if (It->second.LastUse < Victim->second.LastUse)
+        Victim = It;
+    Loaded.erase(Victim);
+    ++S.Evictions;
+  }
+}
+
+size_t HostJit::cacheCap() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return CacheCap;
+}
+
+size_t HostJit::cacheSize() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Loaded.size();
+}
+
 bool HostJit::compile(const std::string &Source, const std::string &SrcPath,
-                      const std::string &SoPath, const std::string &LogPath) {
+                      const std::string &SoPath, const std::string &LogPath,
+                      std::string &Error) {
   // Work on private temp names and rename into place, so that concurrent
   // processes racing on the same cache entry never read a half-written
   // source or dlopen a half-written .so. The suffix is unique per process
@@ -109,11 +154,22 @@ bool HostJit::compile(const std::string &Source, const std::string &SrcPath,
   std::string TmpSrc = SrcPath + ".tmp" + Uniq + ".cpp";
   std::string TmpSo = SoPath + ".tmp." + Uniq;
   std::string TmpLog = LogPath + ".tmp." + Uniq;
+  // Every failure path removes all three temps (whichever exist): the
+  // compiler log is captured into the error message before cleanup, so
+  // nothing post-mortem-worthy is lost and a crashing client can retry
+  // forever without the cache directory accreting orphaned temp files.
+  auto CleanupTemps = [&] {
+    std::error_code EC;
+    fs::remove(TmpSrc, EC);
+    fs::remove(TmpSo, EC);
+    fs::remove(TmpLog, EC);
+  };
   {
     std::ofstream Out(TmpSrc);
     Out << Source;
     if (!Out) {
-      LastError = "HostJit: cannot write source file " + TmpSrc;
+      Error = "HostJit: cannot write source file " + TmpSrc;
+      CleanupTemps();
       return false;
     }
   }
@@ -135,12 +191,9 @@ bool HostJit::compile(const std::string &Source, const std::string &SrcPath,
       Reason = "killed by signal " + std::to_string(WTERMSIG(Rc));
     else
       Reason = "wait status " + std::to_string(Rc);
-    LastError = "HostJit: host compiler failed (" + Reason +
-                ")\ncommand: " + Cmd + "\n" + readFile(TmpLog);
-    // Keep the temp source for post-mortem (the command above names it);
-    // drop the partial object.
-    std::error_code EC;
-    fs::remove(TmpSo, EC);
+    Error = "HostJit: host compiler failed (" + Reason +
+            ")\ncommand: " + Cmd + "\n" + readFile(TmpLog);
+    CleanupTemps();
     return false;
   }
   // Publish fail-safe: a disk hit requires source and .so to agree, so
@@ -148,73 +201,134 @@ bool HostJit::compile(const std::string &Source, const std::string &SrcPath,
   // the .so, then the source last. A crash anywhere in between leaves a
   // mismatched or missing source and the next load() recompiles instead
   // of ever pairing a source with an object it was not built from.
-  auto Publish = [this](const std::string &From, const std::string &To) {
+  auto Publish = [&Error](const std::string &From, const std::string &To) {
     std::error_code EC;
     fs::rename(From, To, EC);
     if (EC) {
-      LastError = "HostJit: cannot move " + From + " to " + To + ": " +
-                  EC.message();
-      fs::remove(From, EC);
+      Error = "HostJit: cannot move " + From + " to " + To + ": " +
+              EC.message();
       return false;
     }
     return true;
   };
-  std::error_code EC;
-  fs::remove(SrcPath, EC);
   if (!Publish(TmpSo, SoPath) || !Publish(TmpLog, LogPath) ||
-      !Publish(TmpSrc, SrcPath))
+      !Publish(TmpSrc, SrcPath)) {
+    // Whichever temps were not renamed into place yet are swept here
+    // (remove() on the already-published names' temp paths is a no-op).
+    CleanupTemps();
     return false;
+  }
+  std::lock_guard<std::mutex> L(Mu);
   ++S.Compiles;
   return true;
 }
 
-std::shared_ptr<JitModule> HostJit::load(const std::string &Source) {
-  LastError.clear();
-
-  // The in-memory map is keyed by the full source (flags and compiler are
-  // fixed per instance), so a hash collision can never alias two kernels.
-  auto It = Loaded.find(Source);
-  if (It != Loaded.end()) {
-    ++S.MemoryHits;
-    return It->second;
-  }
-
+std::shared_ptr<JitModule> HostJit::loadUncached(const std::string &Source,
+                                                 std::string &Error) {
   std::uint64_t Key = fnv1a({&Opts.Compiler, &Opts.Flags, &Source});
   std::string Base = Opts.CacheDir + "/moma-" + hex64(Key);
   std::string SrcPath = Base + ".cpp";
   std::string SoPath = Base + ".so";
   std::string LogPath = Base + ".log";
 
-  // A disk entry counts as a hit only if the source it was built from is
-  // byte-identical — this guards against both hash collisions and a
-  // mangled cache directory.
+  // The stored-source removal that used to precede publishing lives here,
+  // before compile() spends compiler time: a disk entry counts as a hit
+  // only if the source it was built from is byte-identical — this guards
+  // against both hash collisions and a mangled cache directory.
   std::error_code EC;
   bool FromDisk = Opts.UseDiskCache && fs::exists(SoPath, EC) &&
                   readFile(SrcPath) == Source;
-  if (!FromDisk && !compile(Source, SrcPath, SoPath, LogPath))
-    return nullptr;
+  if (!FromDisk) {
+    fs::remove(SrcPath, EC); // invalidate any stale pairing first
+    if (!compile(Source, SrcPath, SoPath, LogPath, Error))
+      return nullptr;
+  }
 
   void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle && FromDisk) {
     // A stale or truncated cache entry: rebuild once from source.
     FromDisk = false;
     fs::remove(SoPath, EC);
-    if (!compile(Source, SrcPath, SoPath, LogPath))
+    fs::remove(SrcPath, EC);
+    if (!compile(Source, SrcPath, SoPath, LogPath, Error))
       return nullptr;
     Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   }
   if (!Handle) {
-    const char *Err = dlerror();
-    LastError = std::string("HostJit: dlopen failed: ") +
-                (Err ? Err : "(no message)");
+    const char *DlMsg = dlerror();
+    Error = std::string("HostJit: dlopen failed: ") +
+            (DlMsg ? DlMsg : "(no message)");
     return nullptr;
   }
-  if (FromDisk)
+  if (FromDisk) {
+    std::lock_guard<std::mutex> L(Mu);
     ++S.DiskHits;
-
-  auto Module = std::shared_ptr<JitModule>(
+  }
+  return std::shared_ptr<JitModule>(
       new JitModule(Handle, SoPath, SrcPath, FromDisk));
-  Loaded.emplace(Source, Module);
+}
+
+std::shared_ptr<JitModule> HostJit::load(const std::string &Source) {
+  Err.clear();
+
+  // Fast path and single-flight admission under one lock. The in-memory
+  // map is keyed by the full source (flags and compiler are fixed per
+  // instance), so a hash collision can never alias two kernels.
+  std::shared_ptr<Flight> F;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Loaded.find(Source);
+    if (It != Loaded.end()) {
+      ++S.MemoryHits;
+      It->second.LastUse = ++UseTick;
+      return It->second.Module;
+    }
+    auto FIt = InFlight.find(Source);
+    if (FIt != InFlight.end()) {
+      F = FIt->second;
+    } else {
+      F = std::make_shared<Flight>();
+      InFlight.emplace(Source, F);
+      Leader = true;
+    }
+  }
+
+  if (!Leader) {
+    // Another thread is already compiling this source: wait for its
+    // result and share the module (or its failure).
+    std::unique_lock<std::mutex> FL(F->M);
+    F->CV.wait(FL, [&] { return F->Done; });
+    if (!F->Module) {
+      Err.set(F->Error);
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> L(Mu);
+    ++S.MemoryHits;
+    return F->Module;
+  }
+
+  // Leader: run the compile + dlopen slow path with no locks held, then
+  // publish to the cache and wake the followers.
+  std::string Error;
+  std::shared_ptr<JitModule> Module = loadUncached(Source, Error);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Module) {
+      Loaded[Source] = Entry{Module, ++UseTick};
+      evictLocked();
+    }
+    InFlight.erase(Source);
+  }
+  {
+    std::lock_guard<std::mutex> FL(F->M);
+    F->Done = true;
+    F->Module = Module;
+    F->Error = Error;
+  }
+  F->CV.notify_all();
+  if (!Module)
+    Err.set(Error);
   return Module;
 }
 

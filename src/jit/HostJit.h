@@ -12,20 +12,31 @@
 /// resulting shared object, and resolving symbols.
 ///
 /// This used to live as copy-pasted helpers inside the codegen tests; it is
-/// a subsystem in its own right so that tests, examples, and future
-/// dispatch layers (batched kernels, autotuning) share one implementation
-/// with temp-file management, compiler-error capture, and a content-hash
-/// .so cache: loading byte-identical source with identical compiler and
-/// flags reuses the previously built shared object instead of re-invoking
-/// the compiler.
+/// a subsystem in its own right so that tests, examples, and the dispatch
+/// layers (batched kernels, autotuning, the service/ front door) share one
+/// implementation with temp-file management, compiler-error capture, and a
+/// content-hash .so cache: loading byte-identical source with identical
+/// compiler and flags reuses the previously built shared object instead of
+/// re-invoking the compiler.
+///
+/// Thread safety: load(), stats(), error(), and setCacheCap() may be
+/// called from any number of threads on one instance. Concurrent loads of
+/// the same cold source are single-flighted — one thread runs the host
+/// compiler, the rest block and share the resulting module. error() is a
+/// per-calling-thread slot, so one thread's failure diagnostic is never
+/// clobbered by another's.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MOMA_JIT_HOSTJIT_H
 #define MOMA_JIT_HOSTJIT_H
 
+#include "support/ThreadError.h"
+
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -62,12 +73,17 @@ public:
   JitModule(const JitModule &) = delete;
   JitModule &operator=(const JitModule &) = delete;
 
-  /// Resolves \p Name in this module; null when absent.
-  void *symbol(const std::string &Name) const;
+  /// Resolves \p Name in this module; null when absent. \p DlError (when
+  /// non-null) receives the dlerror() diagnostic for a failed lookup and
+  /// is cleared on success — so a missing symbol (null return, non-empty
+  /// *DlError) is distinguishable from a symbol whose value is genuinely
+  /// null (null return, empty *DlError).
+  void *symbol(const std::string &Name, std::string *DlError = nullptr) const;
 
   /// Typed convenience wrapper over symbol().
-  template <typename Fn> Fn symbolAs(const std::string &Name) const {
-    return reinterpret_cast<Fn>(symbol(Name));
+  template <typename Fn>
+  Fn symbolAs(const std::string &Name, std::string *DlError = nullptr) const {
+    return reinterpret_cast<Fn>(symbol(Name, DlError));
   }
 
   /// Paths of the shared object and the source it was built from (both
@@ -92,43 +108,84 @@ private:
   bool FromDiskCache = false;
 };
 
-/// Compiles source strings into loaded modules, deduplicating both within
-/// this instance (modules stay loaded and are returned again for identical
-/// source) and across processes (content-addressed .so files in CacheDir).
-/// Not thread-safe; use one instance per thread.
+/// Compiles source strings into loaded modules, deduplicating within this
+/// instance (modules stay loaded and are returned again for identical
+/// source), across threads (concurrent cold loads single-flight onto one
+/// compiler invocation), and across processes (content-addressed .so files
+/// in CacheDir). Thread-safe: share one instance freely.
 class HostJit {
 public:
   explicit HostJit(HostJitOptions Opts = HostJitOptions());
 
   /// Compiles \p Source into a shared object and loads it. Returns null on
   /// failure, in which case error() carries the captured host-compiler
-  /// diagnostics (or the dlopen message).
+  /// diagnostics (or the dlopen message). Concurrent calls with the same
+  /// cold source block on one shared compile.
   std::shared_ptr<JitModule> load(const std::string &Source);
 
-  /// Diagnostics from the most recent failed load(); empty after success.
-  const std::string &error() const { return LastError; }
+  /// Diagnostics from the calling thread's most recent failed load();
+  /// empty after success.
+  const std::string &error() const { return Err.get(); }
 
   /// Cache behavior counters, exposed for tests and tooling.
   struct Stats {
     unsigned Compiles = 0;   ///< host compiler actually invoked
     unsigned DiskHits = 0;   ///< .so reused from the cache directory
-    unsigned MemoryHits = 0; ///< module already loaded by this instance
+    unsigned MemoryHits = 0; ///< module already loaded (or in flight) here
+    std::uint64_t Evictions = 0; ///< loaded modules dropped by the LRU cap
   };
-  const Stats &stats() const { return S; }
+  Stats stats() const;
+
+  /// Caps the loaded-module map: beyond \p Max entries the
+  /// least-recently-used module is dropped from the map (callers holding
+  /// the shared_ptr keep their module alive and callable; the cache just
+  /// forgets it). At least one entry is always kept. Matches the
+  /// Dispatcher's setCacheCaps pattern so a server handling an unbounded
+  /// stream of distinct kernels stays at steady memory.
+  void setCacheCap(size_t Max);
+  size_t cacheCap() const;
+  /// Number of modules currently retained by the in-memory cache.
+  size_t cacheSize() const;
 
   const std::string &compiler() const { return Opts.Compiler; }
   const std::string &cacheDir() const { return Opts.CacheDir; }
 
 private:
+  /// One in-memory cache slot with its LRU stamp.
+  struct Entry {
+    std::shared_ptr<JitModule> Module;
+    std::uint64_t LastUse = 0;
+  };
+  /// One in-progress cold load: the leader compiles, followers wait on CV
+  /// and share Module/Error.
+  struct Flight {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    std::shared_ptr<JitModule> Module;
+    std::string Error;
+  };
+
   bool compile(const std::string &Source, const std::string &SrcPath,
-               const std::string &SoPath, const std::string &LogPath);
+               const std::string &SoPath, const std::string &LogPath,
+               std::string &Error);
+  /// LRU-evicts Loaded down to CacheCap; requires Mu held.
+  void evictLocked();
+  /// The compile + dlopen slow path; no locks held, counters bumped
+  /// internally under Mu.
+  std::shared_ptr<JitModule> loadUncached(const std::string &Source,
+                                          std::string &Error);
 
   HostJitOptions Opts;
+  mutable std::mutex Mu; ///< guards S, Loaded, InFlight, CacheCap, UseTick
   Stats S;
-  std::string LastError;
+  support::ThreadError Err;
   /// Keyed by full source text: collisions in the on-disk content hash
   /// can never alias two kernels within an instance.
-  std::unordered_map<std::string, std::shared_ptr<JitModule>> Loaded;
+  std::unordered_map<std::string, Entry> Loaded;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> InFlight;
+  size_t CacheCap = 256;
+  std::uint64_t UseTick = 0; ///< LRU clock
 };
 
 } // namespace jit

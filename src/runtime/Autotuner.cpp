@@ -241,18 +241,77 @@ std::string Autotuner::decisionKey(KernelOp Op, const Bignum &Q,
   return Key;
 }
 
+Autotuner::Stats Autotuner::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return S;
+}
+
+size_t Autotuner::numDecisions() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Decisions.size();
+}
+
+const TuneDecision *Autotuner::serveOrTune(
+    const std::string &Problem,
+    const std::function<bool(TuneDecision &, unsigned &, std::string &)>
+        &Sweep) {
+  // Admission: serve a pinned decision, wait out another thread's sweep
+  // on this problem (then re-check — its decision is usually ours to
+  // serve), or become the leader. A leader whose sweep fails leaves no
+  // decision behind; a waiting follower then retries as a fresh leader,
+  // which matches what independent sequential calls would do.
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    for (;;) {
+      auto It = Decisions.find(Problem);
+      if (It != Decisions.end()) {
+        ++S.Reused;
+        return &It->second;
+      }
+      if (!Tuning.count(Problem))
+        break;
+      TuneCV.wait(L);
+    }
+    Tuning.insert(Problem);
+  }
+
+  // Leader: run the timing sweep with no tuner locks held — candidates
+  // compile through the (thread-safe) registry, so other problems keep
+  // tuning and serving concurrently.
+  TuneDecision D;
+  unsigned CandsTimed = 0;
+  std::string Error;
+  bool Ok = Sweep(D, CandsTimed, Error);
+
+  const TuneDecision *Ret = nullptr;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Tuning.erase(Problem);
+    S.Candidates += CandsTimed;
+    if (Ok) {
+      ++S.Tuned;
+      auto Ins = Decisions.emplace(Problem, D);
+      Ret = &Ins.first->second;
+      if (!O.CachePath.empty())
+        (void)saveLocked(O.CachePath);
+    }
+  }
+  TuneCV.notify_all();
+  if (!Ok)
+    Err.set(Error);
+  return Ret;
+}
+
 const TuneDecision *Autotuner::choose(KernelOp Op, const Bignum &Q,
                                       const rewrite::PlanOptions &Base,
                                       size_t SizeHint) {
-  LastError.clear();
+  Err.clear();
   unsigned Bucket = sizeBucket(SizeHint ? SizeHint : O.CalibrationElems);
   std::string Problem = decisionKey(Op, Q, Base, Bucket);
-  auto It = Decisions.find(Problem);
-  if (It != Decisions.end()) {
-    ++S.Reused;
-    return &It->second;
-  }
-  return tune(Op, Q, Base, Bucket, Problem);
+  return serveOrTune(Problem, [&](TuneDecision &D, unsigned &Timed,
+                                  std::string &Error) {
+    return tuneProblem(Op, Q, Base, Bucket, D, Timed, Error);
+  });
 }
 
 std::vector<rewrite::PlanOptions>
@@ -320,14 +379,15 @@ Autotuner::candidates(KernelOp Op, const Bignum &Q,
   return Out;
 }
 
-const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
-                                    const rewrite::PlanOptions &Base,
-                                    unsigned Bucket,
-                                    const std::string &Problem) {
+bool Autotuner::tuneProblem(KernelOp Op, const Bignum &Q,
+                            const rewrite::PlanOptions &Base,
+                            unsigned Bucket, TuneDecision &Out,
+                            unsigned &CandsTimed,
+                            std::string &Error) const {
   std::vector<rewrite::PlanOptions> Cands =
-      candidates(Op, Q, Base, /*SweepFuse=*/false, &LastError);
+      candidates(Op, Q, Base, /*SweepFuse=*/false, &Error);
   if (Cands.empty())
-    return nullptr;
+    return false;
 
   // One calibration batch shared by every candidate: random reduced
   // elements, deterministic per problem, sized to the problem's batch
@@ -370,7 +430,7 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
     Args.Aux = Aux.ptrs();
 
     ExecutionBackend &EB = Reg.backendFor(Key);
-    ++S.Candidates;
+    ++CandsTimed;
     double BestSec = std::numeric_limits<double>::infinity();
     bool RunOk = true;
     for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
@@ -391,22 +451,19 @@ const TuneDecision *Autotuner::tune(KernelOp Op, const Bignum &Q,
   }
 
   if (!Any) {
-    LastError = "Autotuner: every candidate failed: " + FirstError;
-    return nullptr;
+    Error = "Autotuner: every candidate failed: " + FirstError;
+    return false;
   }
-  ++S.Tuned;
-  auto Ins2 = Decisions.emplace(Problem, Best);
-  if (!O.CachePath.empty())
-    (void)save(O.CachePath);
-  return &Ins2.first->second;
+  Out = Best;
+  return true;
 }
 
 const TuneDecision *Autotuner::chooseNtt(const Bignum &Q,
                                          const rewrite::PlanOptions &Base,
                                          size_t NPoints, size_t Batch) {
-  LastError.clear();
+  Err.clear();
   if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0) {
-    LastError = "Autotuner: NTT size must be a power of two >= 2";
+    Err.set("Autotuner: NTT size must be a power of two >= 2");
     return nullptr;
   }
   unsigned LogN = 0;
@@ -429,23 +486,21 @@ const TuneDecision *Autotuner::chooseNtt(const Bignum &Q,
     Problem += formatv(
         "/f%u", PlanKey::forModulus(KernelOp::Butterfly, Q, Base)
                     .Opts.FuseDepth);
-  auto It = Decisions.find(Problem);
-  if (It != Decisions.end()) {
-    ++S.Reused;
-    return &It->second;
-  }
-  return tuneNtt(Q, Base, NPoints, Bucket, Problem);
+  return serveOrTune(Problem, [&](TuneDecision &D, unsigned &Timed,
+                                  std::string &Error) {
+    return tuneNttProblem(Q, Base, NPoints, Bucket, D, Timed, Error);
+  });
 }
 
-const TuneDecision *Autotuner::tuneNtt(const Bignum &Q,
-                                       const rewrite::PlanOptions &Base,
-                                       size_t NPoints, unsigned Bucket,
-                                       const std::string &Problem) {
+bool Autotuner::tuneNttProblem(const Bignum &Q,
+                               const rewrite::PlanOptions &Base,
+                               size_t NPoints, unsigned Bucket,
+                               TuneDecision &Out, unsigned &CandsTimed,
+                               std::string &Error) const {
   std::vector<rewrite::PlanOptions> Cands =
-      candidates(KernelOp::Butterfly, Q, Base, /*SweepFuse=*/true,
-                 &LastError);
+      candidates(KernelOp::Butterfly, Q, Base, /*SweepFuse=*/true, &Error);
   if (Cands.empty())
-    return nullptr;
+    return false;
 
   // Twiddle tables per reduction domain the candidate set needs, built
   // once and shared across every timing run (matching how the dispatcher
@@ -457,10 +512,11 @@ const TuneDecision *Autotuner::tuneNtt(const Bignum &Q,
     int D = C.Red == mw::Reduction::Montgomery ? 1 : 0;
     if (Built[D])
       continue;
-    std::string Err;
-    if (!buildNttTables(Q, NPoints, C.Red, Tables[D], &Err, Base.Ring)) {
-      LastError = "Autotuner: " + Err;
-      return nullptr;
+    std::string TablesErr;
+    if (!buildNttTables(Q, NPoints, C.Red, Tables[D], &TablesErr,
+                        Base.Ring)) {
+      Error = "Autotuner: " + TablesErr;
+      return false;
     }
     Built[D] = true;
   }
@@ -501,7 +557,7 @@ const TuneDecision *Autotuner::tuneNtt(const Bignum &Q,
     const NttTables &T =
         Tables[Key.Opts.Red == mw::Reduction::Montgomery ? 1 : 0];
     ExecutionBackend &EB = Reg.backendFor(Key);
-    ++S.Candidates;
+    ++CandsTimed;
     double BestSec = std::numeric_limits<double>::infinity();
     bool RunOk = true;
     for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
@@ -524,17 +580,19 @@ const TuneDecision *Autotuner::tuneNtt(const Bignum &Q,
   }
 
   if (!Any) {
-    LastError = "Autotuner: every candidate failed: " + FirstError;
-    return nullptr;
+    Error = "Autotuner: every candidate failed: " + FirstError;
+    return false;
   }
-  ++S.Tuned;
-  auto Ins2 = Decisions.emplace(Problem, Best);
-  if (!O.CachePath.empty())
-    (void)save(O.CachePath);
-  return &Ins2.first->second;
+  Out = Best;
+  return true;
 }
 
 bool Autotuner::save(const std::string &Path) const {
+  std::lock_guard<std::mutex> L(Mu);
+  return saveLocked(Path);
+}
+
+bool Autotuner::saveLocked(const std::string &Path) const {
   // Version 2 added the backend and block_dim fields (and size-bucketed
   // problem keys); version 3 added fuse_depth (and /ntt<logn>-keyed
   // transform problems); version 4 adds ring (and /neg-keyed negacyclic
@@ -574,21 +632,22 @@ bool Autotuner::save(const std::string &Path) const {
 bool Autotuner::load(const std::string &Path) {
   std::ifstream In(Path);
   if (!In) {
-    LastError = "Autotuner: cannot open " + Path;
+    Err.set("Autotuner: cannot open " + Path);
     return false;
   }
   std::ostringstream SS;
   SS << In.rdbuf();
   JValue Root;
   if (!JParser(SS.str()).parse(Root) || Root.K != JValue::Obj) {
-    LastError = "Autotuner: " + Path + " is not valid tune-cache JSON";
+    Err.set("Autotuner: " + Path + " is not valid tune-cache JSON");
     return false;
   }
   const JValue *Entries = Root.field("entries");
   if (!Entries || Entries->K != JValue::Arr) {
-    LastError = "Autotuner: " + Path + " has no entries array";
+    Err.set("Autotuner: " + Path + " has no entries array");
     return false;
   }
+  std::lock_guard<std::mutex> L(Mu);
   for (const JValue &E : Entries->A) {
     const JValue *Problem = E.field("problem");
     const JValue *Red = E.field("reduction");

@@ -26,8 +26,13 @@
 #define MOMA_RUNTIME_AUTOTUNER_H
 
 #include "runtime/KernelRegistry.h"
+#include "support/ThreadError.h"
 
+#include <condition_variable>
+#include <functional>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 
 namespace moma {
@@ -75,7 +80,13 @@ struct TuneDecision {
   bool FromCache = false;    ///< loaded from persisted JSON, not re-timed
 };
 
-/// First-request autotuner over a KernelRegistry. Not thread-safe.
+/// First-request autotuner over a KernelRegistry. Thread-safe: share one
+/// tuner across threads. Concurrent choose()/chooseNtt() calls for one
+/// cold problem single-flight onto one timing sweep — followers block
+/// until the leader's decision lands, then serve it, so N worker threads
+/// racing on a cold problem pay one sweep total. Decisions are immutable
+/// once pinned, so the returned pointers stay valid for the tuner's
+/// lifetime; error() is a per-calling-thread slot.
 class Autotuner {
 public:
   explicit Autotuner(KernelRegistry &Reg,
@@ -120,7 +131,9 @@ public:
   /// is reported as failure but leaves the tuner usable.
   bool load(const std::string &Path);
 
-  const std::string &error() const { return LastError; }
+  /// Diagnostics from the calling thread's most recent failed call;
+  /// empty after success.
+  const std::string &error() const { return Err.get(); }
 
   /// Tuning counters.
   struct Stats {
@@ -128,8 +141,8 @@ public:
     unsigned Reused = 0;    ///< choose() served from a pinned decision
     unsigned Candidates = 0; ///< total candidate variants timed
   };
-  const Stats &stats() const { return S; }
-  size_t numDecisions() const { return Decisions.size(); }
+  Stats stats() const;
+  size_t numDecisions() const;
 
 private:
   /// Decision-table key: PlanKey::problemStr() plus the size bucket plus
@@ -138,13 +151,24 @@ private:
   std::string decisionKey(KernelOp Op, const mw::Bignum &Q,
                           const rewrite::PlanOptions &Base,
                           unsigned Bucket) const;
-  const TuneDecision *tune(KernelOp Op, const mw::Bignum &Q,
-                           const rewrite::PlanOptions &Base,
-                           unsigned Bucket, const std::string &Problem);
-  const TuneDecision *tuneNtt(const mw::Bignum &Q,
-                              const rewrite::PlanOptions &Base,
-                              size_t NPoints, unsigned Bucket,
-                              const std::string &Problem);
+  /// The single-flight skeleton shared by choose() and chooseNtt():
+  /// serves a pinned decision, waits out a sweep another thread is
+  /// running on \p Problem, or runs \p Sweep itself with no locks held
+  /// and publishes its decision. \p Sweep fills the decision and the
+  /// candidates-timed count, or returns false with an error message.
+  const TuneDecision *
+  serveOrTune(const std::string &Problem,
+              const std::function<bool(TuneDecision &, unsigned &,
+                                       std::string &)> &Sweep);
+  /// The timing sweeps; lock-free (the registry they drive is itself
+  /// thread-safe), reporting through the out-parameters only.
+  bool tuneProblem(KernelOp Op, const mw::Bignum &Q,
+                   const rewrite::PlanOptions &Base, unsigned Bucket,
+                   TuneDecision &Out, unsigned &CandsTimed,
+                   std::string &Error) const;
+  bool tuneNttProblem(const mw::Bignum &Q, const rewrite::PlanOptions &Base,
+                      size_t NPoints, unsigned Bucket, TuneDecision &Out,
+                      unsigned &CandsTimed, std::string &Error) const;
   /// Shared knob-grid enumeration (reduction x prune x schedule x
   /// backend/geometry [x fuse depth for transform problems]).
   std::vector<rewrite::PlanOptions> candidates(KernelOp Op,
@@ -153,13 +177,20 @@ private:
                                                    &Base,
                                                bool SweepFuse,
                                                std::string *Err) const;
+  /// save() with Mu already held.
+  bool saveLocked(const std::string &Path) const;
 
   KernelRegistry &Reg;
   AutotunerOptions O;
+  mutable std::mutex Mu; ///< guards S, Decisions, Tuning
+  std::condition_variable TuneCV; ///< signaled when a sweep finishes
   Stats S;
-  std::string LastError;
-  /// Keyed by PlanKey::problemStr().
+  support::ThreadError Err;
+  /// Keyed by PlanKey::problemStr(). std::map: node-based, so decision
+  /// addresses handed out stay stable as the table grows.
   std::map<std::string, TuneDecision> Decisions;
+  /// Problems with a sweep in flight (single-flight admission).
+  std::set<std::string> Tuning;
 };
 
 } // namespace runtime

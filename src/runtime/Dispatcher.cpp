@@ -65,6 +65,23 @@ Dispatcher::Dispatcher(KernelRegistry &Reg, Autotuner *Tuner,
                        rewrite::PlanOptions Base)
     : Reg(Reg), Tuner(Tuner), Base(Base) {}
 
+Dispatcher::Scratch &Dispatcher::acquireScratch() {
+  std::lock_guard<std::mutex> L(ScratchMu);
+  for (auto &S : ScratchPool)
+    if (!S->InUse) {
+      S->InUse = true;
+      return *S;
+    }
+  ScratchPool.push_back(std::make_unique<Scratch>());
+  ScratchPool.back()->InUse = true;
+  return *ScratchPool.back();
+}
+
+void Dispatcher::releaseScratch(Scratch &S) {
+  std::lock_guard<std::mutex> L(ScratchMu);
+  S.InUse = false;
+}
+
 Dispatcher::CacheCounters Dispatcher::cacheCounters() const {
   CacheCounters C = Evictions;
   C.BoundEntries = Bound.size();
@@ -194,17 +211,18 @@ bool Dispatcher::butterfly(const Bignum &Q, std::uint64_t *X,
   // a converted scratch copy (the batched NTT path never pays this — its
   // tables are precomputed in-domain).
   const std::uint64_t *WPtr = W;
+  ScratchLease SL(*this);
   if (BP->Plan->Key.Opts.Red == mw::Reduction::Montgomery) {
     unsigned K = BP->Plan->ElemWords;
     unsigned Lambda = BP->Plan->Key.ContainerBits;
-    if (TwScratch.size() < N * K)
-      TwScratch.resize(N * K);
+    if (SL->Tw.size() < N * K)
+      SL->Tw.resize(N * K);
     for (size_t I = 0; I < N; ++I) {
       Bignum Wi = unpackWordsMsbFirst(W + I * K, K);
       auto WM = packWordsMsbFirst((Wi << Lambda) % Q, K);
-      std::copy(WM.begin(), WM.end(), TwScratch.begin() + I * K);
+      std::copy(WM.begin(), WM.end(), SL->Tw.begin() + I * K);
     }
-    WPtr = TwScratch.data();
+    WPtr = SL->Tw.data();
   }
   BatchArgs Args;
   Args.Outs = {X, Y}; // in place: kernels load inputs before storing
@@ -284,15 +302,16 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
   if (!T)
     return false;
 
-  std::uint64_t *Scratch = nullptr;
+  ScratchLease SL(*this);
+  std::uint64_t *PingPong = nullptr;
   if (planStageGroups(T->LogN, P.Key.Opts.FuseDepth).size() > 1) {
     size_t Need = NPoints * Batch * P.ElemWords;
-    if (NttScratch.size() < Need)
-      NttScratch.resize(Need); // grow-only: steady state allocates nothing
-    Scratch = NttScratch.data();
+    if (SL->Ntt.size() < Need)
+      SL->Ntt.resize(Need); // grow-only: steady state allocates nothing
+    PingPong = SL->Ntt.data();
   }
   ExecutionBackend &EB = Reg.backendFor(P.Key);
-  if (!runTransform(EB, P, *T, BP->AuxPtrs, Data, Scratch, NPoints, Batch,
+  if (!runTransform(EB, P, *T, BP->AuxPtrs, Data, PingPong, NPoints, Batch,
                     Inverse, &LastError, &DStats.StageGroups))
     return false;
   ++DStats.Transforms;
@@ -321,19 +340,22 @@ bool Dispatcher::polyMul(const Bignum &Q, const std::uint64_t *A,
   unsigned K = elemWords(Q);
   size_t Total = NPoints * Batch * K;
   // A's transform runs directly in the output buffer (dead until the
-  // point-wise product); only B needs a scratch copy — into the
-  // dispatcher's reusable buffer, so steady-state batched polyMul does
-  // zero heap allocation. The ring rides the transforms' edge folds, so
-  // a negacyclic product issues exactly the cyclic dispatch sequence.
+  // point-wise product); only B needs a scratch copy — into a leased
+  // pool buffer, so steady-state batched polyMul does zero heap
+  // allocation and the nested NTT/vmul calls (which lease their own
+  // entries) can never alias it. The ring rides the transforms' edge
+  // folds, so a negacyclic product issues exactly the cyclic dispatch
+  // sequence.
   if (C != A)
     std::copy(A, A + Total, C);
-  if (PolyScratch.size() < Total)
-    PolyScratch.resize(Total);
-  std::copy(B, B + Total, PolyScratch.begin());
+  ScratchLease SL(*this);
+  if (SL->Poly.size() < Total)
+    SL->Poly.resize(Total);
+  std::copy(B, B + Total, SL->Poly.begin());
   if (!nttForward(Q, C, NPoints, Batch, Ring) ||
-      !nttForward(Q, PolyScratch.data(), NPoints, Batch, Ring))
+      !nttForward(Q, SL->Poly.data(), NPoints, Batch, Ring))
     return false;
-  if (!vmul(Q, C, PolyScratch.data(), C, NPoints * Batch))
+  if (!vmul(Q, C, SL->Poly.data(), C, NPoints * Batch))
     return false;
   return nttInverse(Q, C, NPoints, Batch, Ring);
 }
@@ -401,18 +423,19 @@ bool Dispatcher::rnsElementwise(KernelOp Op, const RnsContext &Ctx,
                                 const std::uint64_t *B, std::uint64_t *C,
                                 size_t N) {
   size_t Total = Ctx.numLimbs() * N;
-  if (RnsA.size() < Total)
-    RnsA.resize(Total); // grow-only: steady-state RNS traffic
-  if (RnsB.size() < Total)
-    RnsB.resize(Total); // allocates nothing
-  if (!rnsDecompose(Ctx, A, RnsA.data(), N) ||
-      !rnsDecompose(Ctx, B, RnsB.data(), N))
+  ScratchLease SL(*this);
+  if (SL->RnsA.size() < Total)
+    SL->RnsA.resize(Total); // grow-only: steady-state RNS traffic
+  if (SL->RnsB.size() < Total)
+    SL->RnsB.resize(Total); // allocates nothing
+  if (!rnsDecompose(Ctx, A, SL->RnsA.data(), N) ||
+      !rnsDecompose(Ctx, B, SL->RnsB.data(), N))
     return false;
   for (size_t L = 0; L < Ctx.numLimbs(); ++L)
-    if (!runElementwise(Op, Ctx.limb(L), RnsA.data() + L * N,
-                        RnsB.data() + L * N, RnsA.data() + L * N, N))
+    if (!runElementwise(Op, Ctx.limb(L), SL->RnsA.data() + L * N,
+                        SL->RnsB.data() + L * N, SL->RnsA.data() + L * N, N))
       return false;
-  return rnsRecombine(Ctx, RnsA.data(), C, N);
+  return rnsRecombine(Ctx, SL->RnsA.data(), C, N);
 }
 
 bool Dispatcher::rnsVAdd(const RnsContext &Ctx, const std::uint64_t *A,
@@ -436,22 +459,25 @@ bool Dispatcher::rnsPolyMul(const RnsContext &Ctx, const std::uint64_t *A,
   LastError.clear();
   size_t N = NPoints * Batch;
   size_t Total = Ctx.numLimbs() * N;
-  if (RnsA.size() < Total)
-    RnsA.resize(Total);
-  if (RnsB.size() < Total)
-    RnsB.resize(Total);
-  if (!rnsDecompose(Ctx, A, RnsA.data(), N) ||
-      !rnsDecompose(Ctx, B, RnsB.data(), N))
+  ScratchLease SL(*this);
+  if (SL->RnsA.size() < Total)
+    SL->RnsA.resize(Total);
+  if (SL->RnsB.size() < Total)
+    SL->RnsB.resize(Total);
+  if (!rnsDecompose(Ctx, A, SL->RnsA.data(), N) ||
+      !rnsDecompose(Ctx, B, SL->RnsB.data(), N))
     return false;
   // One batched NTT product per limb, in place over the A residues
-  // (polyMul allows C == A). All limbs share one butterfly/mulmod module
-  // per variant; the tuner's per-problem decisions apply to the limb
-  // width exactly like single-modulus traffic.
+  // (polyMul allows C == A). The nested polyMul leases its own pool
+  // entry, so the limb residues held here can never be clobbered by its
+  // B-transform scratch. All limbs share one butterfly/mulmod module per
+  // variant; the tuner's per-problem decisions apply to the limb width
+  // exactly like single-modulus traffic.
   for (size_t L = 0; L < Ctx.numLimbs(); ++L)
-    if (!polyMul(Ctx.limb(L), RnsA.data() + L * N, RnsB.data() + L * N,
-                 RnsA.data() + L * N, NPoints, Batch, Ring))
+    if (!polyMul(Ctx.limb(L), SL->RnsA.data() + L * N, SL->RnsB.data() + L * N,
+                 SL->RnsA.data() + L * N, NPoints, Batch, Ring))
       return false;
-  return rnsRecombine(Ctx, RnsA.data(), C, N);
+  return rnsRecombine(Ctx, SL->RnsA.data(), C, N);
 }
 
 bool Dispatcher::vmul(const Bignum &Q, const std::vector<Bignum> &A,

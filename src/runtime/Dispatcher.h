@@ -43,6 +43,8 @@
 #include "runtime/RnsContext.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace moma {
@@ -56,9 +58,19 @@ std::vector<std::uint64_t> packBatch(const std::vector<mw::Bignum> &Elems,
 std::vector<mw::Bignum> unpackBatch(const std::vector<std::uint64_t> &Words,
                                     unsigned ElemWords);
 
-/// Batched dispatch through the plan cache. Not thread-safe; one
-/// dispatcher per thread (plans are shared across processes through the
-/// JIT disk cache).
+/// Batched dispatch through the plan cache.
+///
+/// Reentrancy contract: the binding/table caches, dispatch counters, and
+/// error() slot are unsynchronized — use one Dispatcher per thread (the
+/// serving layer gives each worker its own; they share one thread-safe
+/// KernelRegistry/Autotuner underneath, so plans and tuning decisions are
+/// still paid for once). Scratch memory, by contrast, is leased from an
+/// internal pool per entry-point call rather than owned by the instance:
+/// nested entry points (rnsPolyMul driving polyMul driving the NTTs) and
+/// even erroneous cross-thread use can never silently alias each other's
+/// scratch and corrupt results — the historical failure mode of the old
+/// member buffers. Steady state still allocates nothing: leases reuse
+/// pooled grow-only buffers.
 class Dispatcher {
 public:
   /// \p Tuner may be null: every request then uses \p Base verbatim
@@ -250,6 +262,35 @@ private:
     return false;
   }
 
+  /// One pool entry of reusable scratch buffers (grow-only, so
+  /// steady-state batched polyMul and NTT dispatch perform zero heap
+  /// allocation). Entries are leased per entry-point call and returned on
+  /// exit; the pool grows to the deepest nesting ever seen (rnsPolyMul →
+  /// polyMul → transform is depth 3) and then stays put.
+  struct Scratch {
+    std::vector<std::uint64_t> Poly; ///< polyMul's B-transform copy
+    std::vector<std::uint64_t> Ntt;  ///< stage-group ping-pong
+    std::vector<std::uint64_t> Tw;   ///< butterfly() domain conversion
+    std::vector<std::uint64_t> RnsA, RnsB; ///< limb-major residues
+    bool InUse = false;
+  };
+  /// RAII lease over one pool entry.
+  class ScratchLease {
+  public:
+    explicit ScratchLease(Dispatcher &D) : D(D), S(D.acquireScratch()) {}
+    ~ScratchLease() { D.releaseScratch(S); }
+    ScratchLease(const ScratchLease &) = delete;
+    ScratchLease &operator=(const ScratchLease &) = delete;
+    Scratch *operator->() { return &S; }
+    Scratch &operator*() { return S; }
+
+  private:
+    Dispatcher &D;
+    Scratch &S;
+  };
+  Scratch &acquireScratch();
+  void releaseScratch(Scratch &S);
+
   KernelRegistry &Reg;
   Autotuner *Tuner;
   rewrite::PlanOptions Base;
@@ -262,12 +303,11 @@ private:
   DispatchStats DStats;
   CacheCounters Evictions; ///< only the eviction counters are maintained
                            ///< here; entry counts read the maps directly
-  /// Reusable scratch buffers (grow-only): steady-state batched polyMul
-  /// and NTT dispatch perform zero heap allocation.
-  std::vector<std::uint64_t> PolyScratch; ///< polyMul's B-transform copy
-  std::vector<std::uint64_t> NttScratch;  ///< stage-group ping-pong
-  std::vector<std::uint64_t> TwScratch;   ///< butterfly() domain conversion
-  std::vector<std::uint64_t> RnsA, RnsB;  ///< limb-major residue scratch
+  /// The scratch pool. unique_ptr entries: leases hold references across
+  /// pool growth. The mutex makes leasing safe even under (contract-
+  /// violating) cross-thread use — scratch never silently aliases.
+  std::mutex ScratchMu;
+  std::vector<std::unique_ptr<Scratch>> ScratchPool;
 };
 
 } // namespace runtime

@@ -14,6 +14,7 @@
 #include "support/Error.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace moma;
@@ -193,6 +194,7 @@ KernelRegistry::~KernelRegistry() = default;
 
 ExecutionBackend &KernelRegistry::backendFor(const PlanKey &Key) {
   if (Key.Opts.Backend == rewrite::ExecBackend::SimGpu) {
+    std::lock_guard<std::mutex> L(BackendMu);
     if (!SimGpu)
       SimGpu.reset(new SimGpuBackend(Profile));
     return *SimGpu;
@@ -201,49 +203,142 @@ ExecutionBackend &KernelRegistry::backendFor(const PlanKey &Key) {
 }
 
 void KernelRegistry::setDeviceProfile(const sim::DeviceProfile &P) {
+  std::lock_guard<std::mutex> L(BackendMu);
   Profile = P;
   SimGpu.reset(); // rebuilt lazily against the new profile
 }
 
-std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
-  LastError.clear();
-  std::string K = Key.str();
-  auto It = Plans.find(K);
-  if (It != Plans.end()) {
-    ++S.Hits;
-    return It->second;
+KernelRegistry::Stats KernelRegistry::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return S;
+}
+
+void KernelRegistry::setCacheCap(size_t Max) {
+  std::lock_guard<std::mutex> L(Mu);
+  CacheCap = std::max<size_t>(1, Max);
+  evictLocked();
+}
+
+size_t KernelRegistry::cacheCap() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return CacheCap;
+}
+
+size_t KernelRegistry::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Plans.size();
+}
+
+void KernelRegistry::evictLocked() {
+  // O(n) min-scan on the LastUse tick, the Dispatcher's bounded-cache
+  // idiom. Dispatch batches in flight hold the plan shared_ptr, so
+  // eviction never invalidates running work — the registry just forgets
+  // the plan and the next request rebuilds it (typically a HostJit disk
+  // hit, not a recompile).
+  while (Plans.size() > CacheCap) {
+    auto Victim = Plans.begin();
+    for (auto It = Plans.begin(); It != Plans.end(); ++It)
+      if (It->second.LastUse < Victim->second.LastUse)
+        Victim = It;
+    Plans.erase(Victim);
+    ++S.Evictions;
   }
-  std::shared_ptr<CompiledPlan> P = build(Key);
+}
+
+std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
+  Err.clear();
+  std::string K = Key.str();
+
+  // Fast path and single-flight admission under one lock.
+  std::shared_ptr<Flight> F;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Plans.find(K);
+    if (It != Plans.end()) {
+      ++S.Hits;
+      It->second.LastUse = ++UseTick;
+      return It->second.Plan;
+    }
+    auto FIt = InFlight.find(K);
+    if (FIt != InFlight.end()) {
+      F = FIt->second;
+    } else {
+      F = std::make_shared<Flight>();
+      InFlight.emplace(K, F);
+      Leader = true;
+    }
+  }
+
+  if (!Leader) {
+    // Another thread is building this key: wait and share its result, so
+    // N threads racing on a cold key cost one rewrite pipeline and one
+    // compiler invocation total.
+    std::unique_lock<std::mutex> FL(F->M);
+    F->CV.wait(FL, [&] { return F->Done; });
+    if (!F->Plan) {
+      Err.set(F->Error);
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> L(Mu);
+    ++S.Hits;
+    return F->Plan;
+  }
+
+  // Leader: snapshot the profile bound the build validates against, run
+  // the pipeline with no registry locks held, publish, wake followers.
+  unsigned MaxTPB;
+  {
+    std::lock_guard<std::mutex> L(BackendMu);
+    MaxTPB = Profile.MaxThreadsPerBlock;
+  }
+  std::string Error;
+  std::shared_ptr<CompiledPlan> P = build(Key, MaxTPB, Error);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (P) {
+      ++S.Builds;
+      Plans[K] = Entry{P, ++UseTick};
+      evictLocked();
+    }
+    InFlight.erase(K);
+  }
+  {
+    std::lock_guard<std::mutex> FL(F->M);
+    F->Done = true;
+    F->Plan = P;
+    F->Error = Error;
+  }
+  F->CV.notify_all();
   if (!P)
-    return nullptr;
-  ++S.Builds;
-  Plans.emplace(std::move(K), P);
+    Err.set(Error);
   return P;
 }
 
-std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
+std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
+                                                    unsigned MaxTPB,
+                                                    std::string &Error) {
   if (Key.Opts.TargetWordBits != 64) {
     // The flat-batch ABI is 64-bit words; 16/32-bit lowerings remain
     // available through the direct emitters.
-    LastError = "KernelRegistry: batched dispatch requires 64-bit words";
+    Error = "KernelRegistry: batched dispatch requires 64-bit words";
     return nullptr;
   }
   if (Key.ModBits + 4 > Key.ContainerBits) {
-    LastError = formatv("KernelRegistry: modulus (%u bits) does not fit "
-                        "container (%u bits) with four free top bits",
-                        Key.ModBits, Key.ContainerBits);
+    Error = formatv("KernelRegistry: modulus (%u bits) does not fit "
+                    "container (%u bits) with four free top bits",
+                    Key.ModBits, Key.ContainerBits);
     return nullptr;
   }
 
   bool IsSimGpu = Key.Opts.Backend == rewrite::ExecBackend::SimGpu;
-  if (IsSimGpu && (Key.Opts.BlockDim == 0 ||
-                   Key.Opts.BlockDim > Profile.MaxThreadsPerBlock)) {
+  if (IsSimGpu && (Key.Opts.BlockDim == 0 || Key.Opts.BlockDim > MaxTPB)) {
     // The CUDA rule the paper relies on (5.1): at most MaxThreadsPerBlock
     // = 1024 threads per block. Checked at plan build so a bad geometry
     // is a clean error instead of a launch abort.
-    LastError = formatv("KernelRegistry: block dimension %u outside "
-                        "[1, %u] for the sim-GPU backend",
-                        Key.Opts.BlockDim, Profile.MaxThreadsPerBlock);
+    Error = formatv("KernelRegistry: block dimension %u outside "
+                    "[1, %u] for the sim-GPU backend",
+                    Key.Opts.BlockDim, MaxTPB);
     return nullptr;
   }
 
@@ -276,33 +371,36 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
 
   P->Module = Jit.load(P->Emitted.Source);
   if (!P->Module) {
-    LastError = "KernelRegistry: " + Jit.error();
+    Error = "KernelRegistry: " + Jit.error();
     return nullptr;
   }
-  void *Entry = P->Module->symbol(P->Emitted.Symbol);
-  if (!Entry) {
-    LastError = formatv("KernelRegistry: symbol '%s' missing from %s",
-                        P->Emitted.Symbol.c_str(),
-                        P->Module->soPath().c_str());
+  // Symbol lookups carry the dlerror() diagnostic: a stripped or
+  // mis-emitted module reports the loader's reason, not a bare "missing".
+  std::string DlErr;
+  void *EntryFn = P->Module->symbol(P->Emitted.Symbol, &DlErr);
+  if (!EntryFn) {
+    Error = formatv("KernelRegistry: symbol '%s' missing from %s: %s",
+                    P->Emitted.Symbol.c_str(), P->Module->soPath().c_str(),
+                    DlErr.empty() ? "resolved to null" : DlErr.c_str());
     return nullptr;
   }
   if (IsSimGpu) {
-    P->GridFn = Entry;
+    P->GridFn = EntryFn;
     for (const auto &Sym :
          {std::make_pair(&P->StageFn, &StageSymbol),
           std::make_pair(&P->FusedFn, &FusedSymbol)}) {
       if (Sym.second->empty())
         continue;
-      *Sym.first = P->Module->symbol(*Sym.second);
+      *Sym.first = P->Module->symbol(*Sym.second, &DlErr);
       if (!*Sym.first) {
-        LastError = formatv("KernelRegistry: symbol '%s' missing from %s",
-                            Sym.second->c_str(),
-                            P->Module->soPath().c_str());
+        Error = formatv("KernelRegistry: symbol '%s' missing from %s: %s",
+                        Sym.second->c_str(), P->Module->soPath().c_str(),
+                        DlErr.empty() ? "resolved to null" : DlErr.c_str());
         return nullptr;
       }
     }
   } else {
-    P->Fn = Entry;
+    P->Fn = EntryFn;
   }
 
   // Port layout: outputs, per-element data inputs, then the broadcast
@@ -316,7 +414,7 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
       break;
     }
   if (QAt == P->Lowered.Inputs.size()) {
-    LastError = "KernelRegistry: kernel has no modulus port";
+    Error = "KernelRegistry: kernel has no modulus port";
     return nullptr;
   }
   P->NumDataInputs = static_cast<unsigned>(QAt);
@@ -324,7 +422,7 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
     P->AuxWords.push_back(P->Lowered.Inputs[I].storedWords());
   for (const rewrite::LoweredPort &Port : P->Lowered.Outputs)
     if (Port.storedWords() != P->ElemWords) {
-      LastError = "KernelRegistry: output port width mismatch";
+      Error = "KernelRegistry: output port width mismatch";
       return nullptr;
     }
   // The RNS CRT kernels mix widths on the input side by design (wide
@@ -333,13 +431,13 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key) {
   if (!kernelOpMixesWidths(Key.Op))
     for (size_t I = 0; I < QAt; ++I)
       if (P->Lowered.Inputs[I].storedWords() != P->ElemWords) {
-        LastError = "KernelRegistry: data input port width mismatch";
+        Error = "KernelRegistry: data input port width mismatch";
         return nullptr;
       }
   // The 8-port bound is the serial callPorts arity limit; the grid ABI
   // passes port arrays but shares it for the serial stage fallback.
   if (P->numPorts() != P->Emitted.Ports.size() || P->numPorts() > 8) {
-    LastError = "KernelRegistry: unsupported port shape";
+    Error = "KernelRegistry: unsupported port shape";
     return nullptr;
   }
   return P;

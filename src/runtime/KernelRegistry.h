@@ -15,6 +15,15 @@
 /// across processes, so a warmed cache directory makes even the first
 /// request of a process cheap.
 ///
+/// Thread safety: get(), backendFor(), stats(), and error() may be called
+/// from any number of threads on one registry — the serving layer
+/// (service/Server.h) shares one registry across all its workers.
+/// Concurrent get() calls for one cold key single-flight onto one plan
+/// build (one rewrite pipeline, one compiler invocation); the plan map is
+/// LRU-capped, and plans in flight stay alive through their shared_ptr
+/// regardless of eviction. setDeviceProfile() remains a configuration
+/// call: make it before dispatch traffic starts.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MOMA_RUNTIME_KERNELREGISTRY_H
@@ -24,8 +33,11 @@
 #include "jit/HostJit.h"
 #include "runtime/PlanKey.h"
 #include "sim/Device.h"
+#include "support/ThreadError.h"
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -118,8 +130,9 @@ struct PlanAux {
 };
 PlanAux makePlanAux(const CompiledPlan &P, const mw::Bignum &Q);
 
-/// Compiles and caches kernel plans. Not thread-safe (as HostJit); use one
-/// registry per thread, they share compiled objects through the disk cache.
+/// Compiles and caches kernel plans. Thread-safe: share one registry
+/// across threads; cold keys single-flight onto one build, the plan map
+/// is LRU-capped, and error() is a per-calling-thread slot.
 class KernelRegistry {
 public:
   explicit KernelRegistry(jit::HostJitOptions JitOpts = jit::HostJitOptions());
@@ -127,6 +140,7 @@ public:
 
   /// Returns the compiled plan for \p Key, building it on first request.
   /// Null on failure (error() carries the pipeline or compiler message).
+  /// Concurrent calls for one cold key block on a single shared build.
   std::shared_ptr<const CompiledPlan> get(const PlanKey &Key);
 
   /// The execution backend plans with \p Key run on. Backends live as
@@ -140,26 +154,63 @@ public:
   void setDeviceProfile(const sim::DeviceProfile &Profile);
   const sim::DeviceProfile &deviceProfile() const { return Profile; }
 
-  /// Diagnostics from the most recent failed get(); empty after success.
-  const std::string &error() const { return LastError; }
+  /// Diagnostics from the calling thread's most recent failed get();
+  /// empty after success.
+  const std::string &error() const { return Err.get(); }
 
   /// Cache behavior counters.
   struct Stats {
     unsigned Builds = 0; ///< plans built (lower + emit + compile + load)
     unsigned Hits = 0;   ///< plans served from the in-memory cache
+    std::uint64_t Evictions = 0; ///< plans dropped by the LRU cap
   };
-  const Stats &stats() const { return S; }
+  Stats stats() const;
 
-  size_t size() const { return Plans.size(); }
+  /// Caps the plan map: beyond \p Max entries the least-recently-used
+  /// plan is dropped (in-flight batches keep their plan alive through the
+  /// shared_ptr; the registry just forgets it and rebuilds on the next
+  /// request — usually a cheap HostJit disk hit). At least one entry is
+  /// always kept. Matches the Dispatcher's setCacheCaps pattern.
+  void setCacheCap(size_t Max);
+  size_t cacheCap() const;
+
+  size_t size() const;
   jit::HostJit &jit() { return Jit; }
 
 private:
-  std::shared_ptr<CompiledPlan> build(const PlanKey &Key);
+  /// One cached plan with its LRU stamp.
+  struct Entry {
+    std::shared_ptr<CompiledPlan> Plan;
+    std::uint64_t LastUse = 0;
+  };
+  /// One in-progress cold build: the leader runs the pipeline, followers
+  /// wait on CV and share Plan/Error.
+  struct Flight {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    std::shared_ptr<CompiledPlan> Plan;
+    std::string Error;
+  };
+
+  /// The lower/emit/compile pipeline; no registry locks held.
+  /// \p MaxThreadsPerBlock is the profile value snapshotted by get().
+  std::shared_ptr<CompiledPlan> build(const PlanKey &Key,
+                                      unsigned MaxThreadsPerBlock,
+                                      std::string &Error);
+  /// LRU-evicts Plans down to CacheCap; requires Mu held.
+  void evictLocked();
 
   jit::HostJit Jit;
+  mutable std::mutex Mu; ///< guards S, Plans, InFlight, CacheCap, UseTick
   Stats S;
-  std::string LastError;
-  std::unordered_map<std::string, std::shared_ptr<CompiledPlan>> Plans;
+  support::ThreadError Err;
+  std::unordered_map<std::string, Entry> Plans;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> InFlight;
+  size_t CacheCap = 512;
+  std::uint64_t UseTick = 0; ///< LRU clock
+
+  mutable std::mutex BackendMu; ///< guards Profile and backend creation
   sim::DeviceProfile Profile;
   std::unique_ptr<ExecutionBackend> Serial; ///< created with the registry
   std::unique_ptr<ExecutionBackend> SimGpu; ///< created on first use

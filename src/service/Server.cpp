@@ -1,0 +1,394 @@
+//===- service/Server.cpp - Concurrent multi-tenant serving layer ----------===//
+
+#include "service/Server.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace moma;
+using namespace moma::service;
+
+namespace {
+
+char ringTag(rewrite::NttRing Ring) {
+  return Ring == rewrite::NttRing::Negacyclic ? 'n' : 'c';
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(runtime::KernelRegistry &Reg, ServerOptions O)
+    : Reg(Reg), Opts(std::move(O)) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  if (Opts.MaxBatch == 0)
+    Opts.MaxBatch = 1;
+  if (Opts.UseAutotuner)
+    Tuner = std::make_unique<runtime::Autotuner>(Reg, Opts.TunerOpts);
+  for (unsigned I = 0; I < Opts.Workers; ++I) {
+    auto W = std::make_unique<Worker>();
+    W->D = std::make_unique<runtime::Dispatcher>(Reg, Tuner.get(),
+                                                 Opts.BasePlan);
+    Workers.push_back(std::move(W));
+  }
+  // Start the threads only once every Worker exists: a worker observes
+  // nothing but its own slot and the shared queue state.
+  for (auto &W : Workers)
+    W->T = std::thread([this, WP = W.get()] { workerLoop(*WP); });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> G(QMu);
+    Stop = true;
+  }
+  QCv.notify_all();
+  for (auto &W : Workers)
+    if (W->T.joinable())
+      W->T.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Submission
+//===----------------------------------------------------------------------===//
+
+std::future<Reply> Server::submit(Request R) {
+  R.Arrival = std::chrono::steady_clock::now();
+  std::future<Reply> F = R.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> G(QMu);
+    if (!Stop && Queue.size() < Opts.QueueCap) {
+      ++S.Requests;
+      ++Pending;
+      Queue.push_back(std::move(R));
+      QCv.notify_one();
+      return F;
+    }
+    ++S.Rejected;
+  }
+  Reply Rej;
+  Rej.Error = "server: submission rejected (queue full or stopping)";
+  Rej.Done = std::chrono::steady_clock::now();
+  R.Promise.set_value(std::move(Rej));
+  return F;
+}
+
+std::future<Reply> Server::vadd(const mw::Bignum &Q, const std::uint64_t *A,
+                                const std::uint64_t *B, std::uint64_t *C,
+                                size_t N) {
+  Request R;
+  R.Kind = ReqKind::VAdd;
+  R.Q = Q;
+  R.A = A;
+  R.B = B;
+  R.C = C;
+  R.N = N;
+  R.Key = "va/" + Q.toHex();
+  return submit(std::move(R));
+}
+
+std::future<Reply> Server::vsub(const mw::Bignum &Q, const std::uint64_t *A,
+                                const std::uint64_t *B, std::uint64_t *C,
+                                size_t N) {
+  Request R;
+  R.Kind = ReqKind::VSub;
+  R.Q = Q;
+  R.A = A;
+  R.B = B;
+  R.C = C;
+  R.N = N;
+  R.Key = "vs/" + Q.toHex();
+  return submit(std::move(R));
+}
+
+std::future<Reply> Server::vmul(const mw::Bignum &Q, const std::uint64_t *A,
+                                const std::uint64_t *B, std::uint64_t *C,
+                                size_t N) {
+  Request R;
+  R.Kind = ReqKind::VMul;
+  R.Q = Q;
+  R.A = A;
+  R.B = B;
+  R.C = C;
+  R.N = N;
+  R.Key = "vm/" + Q.toHex();
+  return submit(std::move(R));
+}
+
+std::future<Reply> Server::polyMul(const mw::Bignum &Q,
+                                   const std::uint64_t *A,
+                                   const std::uint64_t *B, std::uint64_t *C,
+                                   size_t NPoints, rewrite::NttRing Ring) {
+  Request R;
+  R.Kind = ReqKind::PolyMul;
+  R.Q = Q;
+  R.Ring = Ring;
+  R.A = A;
+  R.B = B;
+  R.C = C;
+  R.N = NPoints;
+  R.Key = "pm/" + Q.toHex() + "/" + std::to_string(NPoints) + "/" +
+          ringTag(Ring);
+  return submit(std::move(R));
+}
+
+std::future<Reply> Server::nttForward(const mw::Bignum &Q,
+                                      std::uint64_t *Data, size_t NPoints,
+                                      rewrite::NttRing Ring) {
+  Request R;
+  R.Kind = ReqKind::NttForward;
+  R.Q = Q;
+  R.Ring = Ring;
+  R.C = Data;
+  R.N = NPoints;
+  R.Key = "nf/" + Q.toHex() + "/" + std::to_string(NPoints) + "/" +
+          ringTag(Ring);
+  return submit(std::move(R));
+}
+
+std::future<Reply> Server::nttInverse(const mw::Bignum &Q,
+                                      std::uint64_t *Data, size_t NPoints,
+                                      rewrite::NttRing Ring) {
+  Request R;
+  R.Kind = ReqKind::NttInverse;
+  R.Q = Q;
+  R.Ring = Ring;
+  R.C = Data;
+  R.N = NPoints;
+  R.Key = "ni/" + Q.toHex() + "/" + std::to_string(NPoints) + "/" +
+          ringTag(Ring);
+  return submit(std::move(R));
+}
+
+std::future<Reply> Server::rnsPolyMul(const runtime::RnsContext &Ctx,
+                                      const std::uint64_t *A,
+                                      const std::uint64_t *B,
+                                      std::uint64_t *C, size_t NPoints,
+                                      rewrite::NttRing Ring) {
+  Request R;
+  R.Kind = ReqKind::RnsPolyMul;
+  R.Ctx = &Ctx;
+  R.Ring = Ring;
+  R.A = A;
+  R.B = B;
+  R.C = C;
+  R.N = NPoints;
+  // Context identity (not value) keys the batch: requests through the
+  // same RnsContext share limb bases and tables by construction.
+  R.Key = "rp/" +
+          std::to_string(reinterpret_cast<std::uintptr_t>(&Ctx)) + "/" +
+          std::to_string(NPoints) + "/" + ringTag(Ring);
+  return submit(std::move(R));
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> L(QMu);
+  DrainCv.wait(L, [&] { return Pending == 0; });
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> G(QMu);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker: coalesce and dispatch
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop(Worker &W) {
+  std::unique_lock<std::mutex> L(QMu);
+  // Moves every queued request matching Key (up to MaxBatch total) into
+  // Batch, preserving arrival order. Called under QMu.
+  auto TakeMatching = [&](const std::string &Key,
+                          std::vector<Request> &Batch) {
+    for (auto It = Queue.begin();
+         It != Queue.end() && Batch.size() < Opts.MaxBatch;) {
+      if (It->Key == Key) {
+        Batch.push_back(std::move(*It));
+        It = Queue.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  };
+
+  for (;;) {
+    QCv.wait(L, [&] { return Stop || !Queue.empty(); });
+    if (Queue.empty()) {
+      if (Stop)
+        return;
+      continue; // spurious wake or another worker won the race
+    }
+
+    // Adopt the oldest request's key and hold its batch open until the
+    // latency budget measured from ITS arrival expires — the head of the
+    // queue never waits longer than one coalesce window.
+    const std::string Key = Queue.front().Key;
+    const auto Deadline =
+        Queue.front().Arrival +
+        std::chrono::microseconds(Opts.CoalesceWindowUs);
+    std::vector<Request> Batch;
+    TakeMatching(Key, Batch);
+    while (!Stop && Batch.size() < Opts.MaxBatch) {
+      if (QCv.wait_until(L, Deadline) == std::cv_status::timeout) {
+        TakeMatching(Key, Batch); // final sweep at the deadline
+        break;
+      }
+      TakeMatching(Key, Batch); // same-key arrival during the window
+    }
+
+    L.unlock();
+    execute(W, Batch);
+    L.lock();
+  }
+}
+
+void Server::execute(Worker &W, std::vector<Request> &Batch) {
+  std::string Error;
+  const bool Ok = dispatchBatch(W, Batch, Error);
+
+  Reply R;
+  R.Ok = Ok;
+  if (!Ok)
+    R.Error = Error.empty() ? "server: dispatch failed" : Error;
+  R.Done = std::chrono::steady_clock::now();
+  for (auto &Req : Batch)
+    Req.Promise.set_value(R);
+
+  {
+    std::lock_guard<std::mutex> G(QMu);
+    ++S.Dispatches;
+    if (Batch.size() > 1)
+      S.Coalesced += Batch.size();
+    S.MaxBatchSize = std::max<std::uint64_t>(S.MaxBatchSize, Batch.size());
+    Pending -= Batch.size(); // after the promises: drain() => futures ready
+  }
+  DrainCv.notify_all();
+}
+
+bool Server::dispatchBatch(Worker &W, std::vector<Request> &Batch,
+                           std::string &Error) {
+  runtime::Dispatcher &D = *W.D;
+  Request &R0 = Batch.front();
+  bool Ok = false;
+
+  switch (R0.Kind) {
+  case ReqKind::VAdd:
+  case ReqKind::VSub:
+  case ReqKind::VMul: {
+    auto Call = [&](const std::uint64_t *A, const std::uint64_t *B,
+                    std::uint64_t *C, size_t N) {
+      switch (R0.Kind) {
+      case ReqKind::VAdd:
+        return D.vadd(R0.Q, A, B, C, N);
+      case ReqKind::VSub:
+        return D.vsub(R0.Q, A, B, C, N);
+      default:
+        return D.vmul(R0.Q, A, B, C, N);
+      }
+    };
+    if (Batch.size() == 1) {
+      Ok = Call(R0.A, R0.B, R0.C, R0.N); // zero-copy fast path
+      break;
+    }
+    // Element-wise ops are pointwise, so requests of any lengths under
+    // one modulus concatenate into a single flat dispatch.
+    const unsigned K = runtime::Dispatcher::elemWords(R0.Q);
+    size_t Total = 0;
+    for (const Request &R : Batch)
+      Total += R.N;
+    W.SA.resize(Total * K);
+    W.SB.resize(Total * K);
+    W.SC.resize(Total * K);
+    size_t Off = 0;
+    for (const Request &R : Batch) {
+      std::copy(R.A, R.A + R.N * K, W.SA.data() + Off);
+      std::copy(R.B, R.B + R.N * K, W.SB.data() + Off);
+      Off += R.N * K;
+    }
+    Ok = Call(W.SA.data(), W.SB.data(), W.SC.data(), Total);
+    if (Ok) {
+      Off = 0;
+      for (Request &R : Batch) {
+        std::copy(W.SC.data() + Off, W.SC.data() + Off + R.N * K, R.C);
+        Off += R.N * K;
+      }
+    }
+    break;
+  }
+
+  case ReqKind::PolyMul: {
+    if (Batch.size() == 1) {
+      Ok = D.polyMul(R0.Q, R0.A, R0.B, R0.C, R0.N, 1, R0.Ring);
+      break;
+    }
+    const unsigned K = runtime::Dispatcher::elemWords(R0.Q);
+    const size_t Row = R0.N * K; // words per polynomial
+    W.SA.resize(Batch.size() * Row);
+    W.SB.resize(Batch.size() * Row);
+    W.SC.resize(Batch.size() * Row);
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      std::copy(Batch[I].A, Batch[I].A + Row, W.SA.data() + I * Row);
+      std::copy(Batch[I].B, Batch[I].B + Row, W.SB.data() + I * Row);
+    }
+    Ok = D.polyMul(R0.Q, W.SA.data(), W.SB.data(), W.SC.data(), R0.N,
+                   Batch.size(), R0.Ring);
+    if (Ok)
+      for (size_t I = 0; I < Batch.size(); ++I)
+        std::copy(W.SC.data() + I * Row, W.SC.data() + (I + 1) * Row,
+                  Batch[I].C);
+    break;
+  }
+
+  case ReqKind::NttForward:
+  case ReqKind::NttInverse: {
+    const bool Fwd = R0.Kind == ReqKind::NttForward;
+    if (Batch.size() == 1) {
+      Ok = Fwd ? D.nttForward(R0.Q, R0.C, R0.N, 1, R0.Ring)
+               : D.nttInverse(R0.Q, R0.C, R0.N, 1, R0.Ring);
+      break;
+    }
+    const unsigned K = runtime::Dispatcher::elemWords(R0.Q);
+    const size_t Row = R0.N * K;
+    W.SA.resize(Batch.size() * Row);
+    for (size_t I = 0; I < Batch.size(); ++I)
+      std::copy(Batch[I].C, Batch[I].C + Row, W.SA.data() + I * Row);
+    Ok = Fwd ? D.nttForward(R0.Q, W.SA.data(), R0.N, Batch.size(), R0.Ring)
+             : D.nttInverse(R0.Q, W.SA.data(), R0.N, Batch.size(), R0.Ring);
+    if (Ok)
+      for (size_t I = 0; I < Batch.size(); ++I)
+        std::copy(W.SA.data() + I * Row, W.SA.data() + (I + 1) * Row,
+                  Batch[I].C);
+    break;
+  }
+
+  case ReqKind::RnsPolyMul: {
+    if (Batch.size() == 1) {
+      Ok = D.rnsPolyMul(*R0.Ctx, R0.A, R0.B, R0.C, R0.N, 1, R0.Ring);
+      break;
+    }
+    const size_t Row = R0.N * R0.Ctx->wideWords();
+    W.SA.resize(Batch.size() * Row);
+    W.SB.resize(Batch.size() * Row);
+    W.SC.resize(Batch.size() * Row);
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      std::copy(Batch[I].A, Batch[I].A + Row, W.SA.data() + I * Row);
+      std::copy(Batch[I].B, Batch[I].B + Row, W.SB.data() + I * Row);
+    }
+    Ok = D.rnsPolyMul(*R0.Ctx, W.SA.data(), W.SB.data(), W.SC.data(), R0.N,
+                      Batch.size(), R0.Ring);
+    if (Ok)
+      for (size_t I = 0; I < Batch.size(); ++I)
+        std::copy(W.SC.data() + I * Row, W.SC.data() + (I + 1) * Row,
+                  Batch[I].C);
+    break;
+  }
+  }
+
+  if (!Ok)
+    Error = D.error();
+  return Ok;
+}

@@ -53,6 +53,21 @@ struct ActivePoolScope {
   const ThreadPool *Prev;
 };
 
+/// The device whose launch the current thread is inside, mirroring
+/// ActivePool one level up: a nested launch on the same device must NOT
+/// try to take the launch mutex again (self-deadlock) — it skips the lock
+/// and falls through to ThreadPool::run's reentrancy check, which reports
+/// the contract violation with its clear fatalError instead.
+thread_local const Device *ActiveLaunchDevice = nullptr;
+
+struct LaunchScope {
+  explicit LaunchScope(const Device *D) : Prev(ActiveLaunchDevice) {
+    ActiveLaunchDevice = D;
+  }
+  ~LaunchScope() { ActiveLaunchDevice = Prev; }
+  const Device *Prev;
+};
+
 } // namespace
 
 void ThreadPool::drain() {
@@ -158,6 +173,14 @@ void Device::launch(
   if (!Err.empty())
     fatalError("sim launch: " + Err);
 
+  // One launch at a time (the single-stream model); a nested launch from
+  // inside a kernel skips the lock so ThreadPool::run can report the
+  // reentrancy violation instead of deadlocking here.
+  std::unique_lock<std::mutex> Stream(LaunchMu, std::defer_lock);
+  if (ActiveLaunchDevice != this)
+    Stream.lock();
+  LaunchScope Scope(this);
+
   const std::uint64_t NumBlocks =
       static_cast<std::uint64_t>(Cfg.GridX) * Cfg.GridY;
   const size_t ShmBytes = static_cast<size_t>(Profile.SharedMemKiB) * 1024;
@@ -194,6 +217,11 @@ void Device::launchBlocks(
   if (!Err.empty())
     fatalError("sim launch: " + Err);
 
+  std::unique_lock<std::mutex> Stream(LaunchMu, std::defer_lock);
+  if (ActiveLaunchDevice != this)
+    Stream.lock();
+  LaunchScope Scope(this);
+
   const std::uint64_t NumBlocks =
       static_cast<std::uint64_t>(Cfg.GridX) * Cfg.GridY;
   auto RunBlocks = [&](std::uint64_t Begin, std::uint64_t End) {
@@ -214,6 +242,10 @@ void Device::parallelFor(std::uint64_t N,
                          const std::function<void(std::uint64_t)> &Fn) const {
   if (N == 0)
     return;
+  std::unique_lock<std::mutex> Stream(LaunchMu, std::defer_lock);
+  if (ActiveLaunchDevice != this)
+    Stream.lock();
+  LaunchScope Scope(this);
   if (Workers <= 1 || N < 2) {
     for (std::uint64_t I = 0; I < N; ++I)
       Fn(I);

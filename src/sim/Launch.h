@@ -110,7 +110,11 @@ struct LaunchConfig {
   std::uint32_t BlockDim = 256;
 };
 
-/// A simulated device: worker pool + profile.
+/// A simulated device: worker pool + profile. Launch entry points are
+/// thread-safe: concurrent callers are serialized on an internal launch
+/// mutex — the single-stream model of the GPU being simulated — because
+/// the underlying ThreadPool holds one job at a time. Kernels of one
+/// launch still spread across the whole worker pool.
 class Device {
 public:
   explicit Device(const DeviceProfile &Profile = deviceHostDefault());
@@ -149,6 +153,10 @@ private:
 
   DeviceProfile Profile;
   unsigned Workers;
+  /// Serializes launches (and guards lazy Pool creation): the pool's job
+  /// state is single-occupancy, so concurrent launches queue here like
+  /// kernels on one CUDA stream.
+  mutable std::mutex LaunchMu;
   mutable std::unique_ptr<ThreadPool> Pool;
 };
 

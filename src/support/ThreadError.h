@@ -1,0 +1,67 @@
+//===- support/ThreadError.h - Per-thread diagnostic slots -----*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error-reporting building block of the concurrent runtime. The
+/// single-threaded subsystems kept one `std::string LastError` member and
+/// exposed `const std::string &error()`; once N threads share a
+/// KernelRegistry or HostJit, a single slot is a data race and, worse,
+/// thread A's failure overwrites the diagnostic thread B is about to
+/// read. ThreadError keeps one slot per (object, thread): a failing call
+/// writes its own thread's slot, and error() returns the calling thread's
+/// most recent diagnostic — the same contract the old API had, per
+/// thread.
+///
+/// References handed out stay valid for the object's lifetime
+/// (unordered_map never invalidates references on insert), so the
+/// `const std::string &error() const` signatures of the owning classes
+/// are unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_SUPPORT_THREADERROR_H
+#define MOMA_SUPPORT_THREADERROR_H
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace moma {
+namespace support {
+
+/// One diagnostic string per calling thread. All methods are thread-safe;
+/// each thread only ever observes its own slot's contents.
+class ThreadError {
+public:
+  /// The calling thread's slot (created empty on first access).
+  const std::string &get() const { return slot(); }
+
+  /// True when the calling thread's slot is empty (no failure since the
+  /// last clear()).
+  bool empty() const { return slot().empty(); }
+
+  void set(std::string Msg) { slot() = std::move(Msg); }
+  void clear() { slot().clear(); }
+
+private:
+  std::string &slot() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Slots[std::this_thread::get_id()];
+  }
+
+  mutable std::mutex Mu;
+  /// Slots live as long as the owning object; a handful of strings per
+  /// worker thread, never erased (thread ids may be reused — the slot is
+  /// then simply inherited, which is harmless for diagnostics).
+  mutable std::unordered_map<std::thread::id, std::string> Slots;
+};
+
+} // namespace support
+} // namespace moma
+
+#endif // MOMA_SUPPORT_THREADERROR_H
