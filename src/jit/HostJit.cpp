@@ -139,9 +139,9 @@ size_t HostJit::cacheSize() const {
   return Loaded.size();
 }
 
-bool HostJit::compile(const std::string &Source, const std::string &SrcPath,
-                      const std::string &SoPath, const std::string &LogPath,
-                      std::string &Error) {
+bool HostJit::compile(const std::string &Source, const std::string &ExtraFlags,
+                      const std::string &SrcPath, const std::string &SoPath,
+                      const std::string &LogPath, std::string &Error) {
   // Work on private temp names and rename into place, so that concurrent
   // processes racing on the same cache entry never read a half-written
   // source or dlopen a half-written .so. The suffix is unique per process
@@ -173,11 +173,14 @@ bool HostJit::compile(const std::string &Source, const std::string &SrcPath,
       return false;
     }
   }
-  // Paths are quoted (cache dirs may contain spaces); Compiler and Flags
-  // are left bare on purpose — both may carry several shell words
-  // ("ccache g++", "-O2 -march=native").
-  std::string Cmd = Opts.Compiler + " " + Opts.Flags + " -shared -fPIC -o \"" +
-                    TmpSo + "\" \"" + TmpSrc + "\" 2>\"" + TmpLog + "\"";
+  // Paths are quoted (cache dirs may contain spaces); Compiler and the
+  // flag strings are left bare on purpose — each may carry several shell
+  // words ("ccache g++", "-O2 -march=native"). ExtraFlags come after the
+  // instance-wide Flags so a per-plan -O3 overrides the -O1 default.
+  std::string Cmd = Opts.Compiler + " " + Opts.Flags +
+                    (ExtraFlags.empty() ? "" : " " + ExtraFlags) +
+                    " -shared -fPIC -o \"" + TmpSo + "\" \"" + TmpSrc +
+                    "\" 2>\"" + TmpLog + "\"";
   int Rc = std::system(Cmd.c_str());
   if (Rc != 0) {
     // Decode the wait status so the message matches what a user sees
@@ -224,8 +227,10 @@ bool HostJit::compile(const std::string &Source, const std::string &SrcPath,
 }
 
 std::shared_ptr<JitModule> HostJit::loadUncached(const std::string &Source,
+                                                 const std::string &ExtraFlags,
                                                  std::string &Error) {
-  std::uint64_t Key = fnv1a({&Opts.Compiler, &Opts.Flags, &Source});
+  std::uint64_t Key = fnv1a({&Opts.Compiler, &Opts.Flags, &ExtraFlags,
+                             &Source});
   std::string Base = Opts.CacheDir + "/moma-" + hex64(Key);
   std::string SrcPath = Base + ".cpp";
   std::string SoPath = Base + ".so";
@@ -240,7 +245,7 @@ std::shared_ptr<JitModule> HostJit::loadUncached(const std::string &Source,
                   readFile(SrcPath) == Source;
   if (!FromDisk) {
     fs::remove(SrcPath, EC); // invalidate any stale pairing first
-    if (!compile(Source, SrcPath, SoPath, LogPath, Error))
+    if (!compile(Source, ExtraFlags, SrcPath, SoPath, LogPath, Error))
       return nullptr;
   }
 
@@ -250,7 +255,7 @@ std::shared_ptr<JitModule> HostJit::loadUncached(const std::string &Source,
     FromDisk = false;
     fs::remove(SoPath, EC);
     fs::remove(SrcPath, EC);
-    if (!compile(Source, SrcPath, SoPath, LogPath, Error))
+    if (!compile(Source, ExtraFlags, SrcPath, SoPath, LogPath, Error))
       return nullptr;
     Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   }
@@ -268,28 +273,32 @@ std::shared_ptr<JitModule> HostJit::loadUncached(const std::string &Source,
       new JitModule(Handle, SoPath, SrcPath, FromDisk));
 }
 
-std::shared_ptr<JitModule> HostJit::load(const std::string &Source) {
+std::shared_ptr<JitModule> HostJit::load(const std::string &Source,
+                                         const std::string &ExtraFlags) {
   Err.clear();
 
   // Fast path and single-flight admission under one lock. The in-memory
-  // map is keyed by the full source (flags and compiler are fixed per
-  // instance), so a hash collision can never alias two kernels.
+  // map is keyed by per-compile extra flags plus the full source (the
+  // instance-wide flags and compiler are fixed per instance), so a hash
+  // collision can never alias two kernels and a flag variant can never
+  // alias another. '\0' separates the parts unambiguously.
+  std::string MapKey = ExtraFlags + '\0' + Source;
   std::shared_ptr<Flight> F;
   bool Leader = false;
   {
     std::lock_guard<std::mutex> L(Mu);
-    auto It = Loaded.find(Source);
+    auto It = Loaded.find(MapKey);
     if (It != Loaded.end()) {
       ++S.MemoryHits;
       It->second.LastUse = ++UseTick;
       return It->second.Module;
     }
-    auto FIt = InFlight.find(Source);
+    auto FIt = InFlight.find(MapKey);
     if (FIt != InFlight.end()) {
       F = FIt->second;
     } else {
       F = std::make_shared<Flight>();
-      InFlight.emplace(Source, F);
+      InFlight.emplace(MapKey, F);
       Leader = true;
     }
   }
@@ -311,14 +320,14 @@ std::shared_ptr<JitModule> HostJit::load(const std::string &Source) {
   // Leader: run the compile + dlopen slow path with no locks held, then
   // publish to the cache and wake the followers.
   std::string Error;
-  std::shared_ptr<JitModule> Module = loadUncached(Source, Error);
+  std::shared_ptr<JitModule> Module = loadUncached(Source, ExtraFlags, Error);
   {
     std::lock_guard<std::mutex> L(Mu);
     if (Module) {
-      Loaded[Source] = Entry{Module, ++UseTick};
+      Loaded[MapKey] = Entry{Module, ++UseTick};
       evictLocked();
     }
-    InFlight.erase(Source);
+    InFlight.erase(MapKey);
   }
   {
     std::lock_guard<std::mutex> FL(F->M);

@@ -121,7 +121,14 @@ public:
   /// failure, in which case error() carries the captured host-compiler
   /// diagnostics (or the dlopen message). Concurrent calls with the same
   /// cold source block on one shared compile.
-  std::shared_ptr<JitModule> load(const std::string &Source);
+  ///
+  /// \p ExtraFlags are per-compile driver flags appended after the
+  /// instance-wide Flags (e.g. "-O3 -march=native" for a vector plan).
+  /// They are part of both the on-disk content hash and the in-memory
+  /// module key, so an artifact built with one flag set is never served
+  /// to a load() asking for another.
+  std::shared_ptr<JitModule> load(const std::string &Source,
+                                  const std::string &ExtraFlags = "");
 
   /// Diagnostics from the calling thread's most recent failed load();
   /// empty after success.
@@ -166,22 +173,24 @@ private:
     std::string Error;
   };
 
-  bool compile(const std::string &Source, const std::string &SrcPath,
-               const std::string &SoPath, const std::string &LogPath,
-               std::string &Error);
+  bool compile(const std::string &Source, const std::string &ExtraFlags,
+               const std::string &SrcPath, const std::string &SoPath,
+               const std::string &LogPath, std::string &Error);
   /// LRU-evicts Loaded down to CacheCap; requires Mu held.
   void evictLocked();
   /// The compile + dlopen slow path; no locks held, counters bumped
   /// internally under Mu.
   std::shared_ptr<JitModule> loadUncached(const std::string &Source,
+                                          const std::string &ExtraFlags,
                                           std::string &Error);
 
   HostJitOptions Opts;
   mutable std::mutex Mu; ///< guards S, Loaded, InFlight, CacheCap, UseTick
   Stats S;
   support::ThreadError Err;
-  /// Keyed by full source text: collisions in the on-disk content hash
-  /// can never alias two kernels within an instance.
+  /// Keyed by extra flags + '\0' + full source text: collisions in the
+  /// on-disk content hash can never alias two kernels within an instance,
+  /// and two flag variants of one source are distinct modules.
   std::unordered_map<std::string, Entry> Loaded;
   std::unordered_map<std::string, std::shared_ptr<Flight>> InFlight;
   size_t CacheCap = 256;

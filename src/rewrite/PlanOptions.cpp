@@ -17,7 +17,15 @@ using namespace moma;
 using namespace moma::rewrite;
 
 const char *moma::rewrite::execBackendName(ExecBackend B) {
-  return B == ExecBackend::SimGpu ? "simgpu" : "serial";
+  switch (B) {
+  case ExecBackend::SimGpu:
+    return "simgpu";
+  case ExecBackend::Vector:
+    return "vector";
+  case ExecBackend::Serial:
+    break;
+  }
+  return "serial";
 }
 
 const char *moma::rewrite::nttRingName(NttRing R) {
@@ -33,7 +41,10 @@ std::string PlanOptions::str() const {
               Schedule ? "schedule" : "noschedule");
   // Serial plans keep the historical five-token form so every cache key
   // minted before the backend knob existed still names the same plan.
-  if (Backend != ExecBackend::Serial)
+  // Vector plans carry the lane count instead of a block dimension.
+  if (Backend == ExecBackend::Vector)
+    S += formatv("/vec/v%u", VectorWidth);
+  else if (Backend != ExecBackend::Serial)
     S += formatv("/%s/b%u", execBackendName(Backend), BlockDim);
   // Depth 1 is the historical radix-2 shape; only deeper fusion extends
   // the key, so pre-fusion cache keys stay readable.

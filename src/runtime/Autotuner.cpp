@@ -235,7 +235,9 @@ std::string Autotuner::decisionKey(KernelOp Op, const Bignum &Q,
     Key += K.Opts.Schedule ? "/schedule" : "/noschedule";
   if (!O.TuneBackend) {
     Key += std::string("/") + rewrite::execBackendName(K.Opts.Backend);
-    if (K.Opts.Backend != rewrite::ExecBackend::Serial)
+    if (K.Opts.Backend == rewrite::ExecBackend::Vector)
+      Key += formatv("/v%u", K.Opts.VectorWidth);
+    else if (K.Opts.Backend != rewrite::ExecBackend::Serial)
       Key += formatv("/b%u", K.Opts.BlockDim);
   }
   return Key;
@@ -341,18 +343,22 @@ Autotuner::candidates(KernelOp Op, const Bignum &Q,
   if (O.TuneSchedule)
     Scheds = {false, true};
   // Backend × geometry candidates. Sweeping is a timing-only cost beyond
-  // one extra compile per knob combination: block dim is a launch
-  // parameter of the grid ABI, so every sim-GPU geometry shares one
-  // module.
+  // one extra compile per knob combination: block dim and lane width are
+  // launch parameters of their ABIs, so every sim-GPU geometry shares one
+  // module and every vector lane width shares another.
   struct BackendCand {
     rewrite::ExecBackend Backend;
     unsigned BlockDim;
+    unsigned VectorWidth;
   };
-  std::vector<BackendCand> Backends = {{Base.Backend, Base.BlockDim}};
+  std::vector<BackendCand> Backends = {
+      {Base.Backend, Base.BlockDim, Base.VectorWidth}};
   if (O.TuneBackend) {
-    Backends = {{rewrite::ExecBackend::Serial, 0}};
+    Backends = {{rewrite::ExecBackend::Serial, 0, 0}};
     for (unsigned BD : O.BlockDims)
-      Backends.push_back({rewrite::ExecBackend::SimGpu, BD});
+      Backends.push_back({rewrite::ExecBackend::SimGpu, BD, 0});
+    for (unsigned VW : O.VectorWidths)
+      Backends.push_back({rewrite::ExecBackend::Vector, 0, VW});
   }
   // The stage-fusion axis only exists for transform-shaped problems;
   // like block dim it is a launch parameter, so the sweep adds timing
@@ -373,6 +379,7 @@ Autotuner::candidates(KernelOp Op, const Bignum &Q,
             C.Schedule = Sched;
             C.Backend = BC.Backend;
             C.BlockDim = BC.BlockDim;
+            C.VectorWidth = BC.VectorWidth;
             C.FuseDepth = FD;
             Out.push_back(C);
           }
@@ -595,13 +602,15 @@ bool Autotuner::save(const std::string &Path) const {
 bool Autotuner::saveLocked(const std::string &Path) const {
   // Version 2 added the backend and block_dim fields (and size-bucketed
   // problem keys); version 3 added fuse_depth (and /ntt<logn>-keyed
-  // transform problems); version 4 adds ring (and /neg-keyed negacyclic
-  // problems). The reader skips unknown fields and defaults absent ones,
-  // so older files keep loading — version-1 entries simply never match a
+  // transform problems); version 4 added ring (and /neg-keyed negacyclic
+  // problems); version 5 adds vector_width (and the "vector" backend
+  // name). The reader skips unknown fields and defaults absent ones, so
+  // older files keep loading — version-1 entries simply never match a
   // bucketed problem key and are ignored, version-2 entries default to
-  // the unfused depth, version-3 entries to the cyclic ring.
+  // the unfused depth, version-3 entries to the cyclic ring, version-4
+  // entries never name the vector backend so the lane width stays 0.
   std::ostringstream SS;
-  SS << "{\n  \"version\": 4,\n  \"entries\": [";
+  SS << "{\n  \"version\": 5,\n  \"entries\": [";
   bool First = true;
   for (const auto &E : Decisions) {
     const TuneDecision &D = E.second;
@@ -618,6 +627,7 @@ bool Autotuner::saveLocked(const std::string &Path) const {
        << "\"backend\": \"" << rewrite::execBackendName(D.Opts.Backend)
        << "\", "
        << "\"block_dim\": " << D.Opts.BlockDim << ", "
+       << "\"vector_width\": " << D.Opts.VectorWidth << ", "
        << "\"fuse_depth\": " << D.Opts.FuseDepth << ", "
        << "\"ring\": \"" << rewrite::nttRingName(D.Opts.Ring) << "\", "
        << "\"ns_per_elem\": " << formatv("%.3f", D.NsPerElem) << "}";
@@ -668,10 +678,13 @@ bool Autotuner::load(const std::string &Path) {
     if (const JValue *V = E.field("schedule"))
       D.Opts.Schedule = V->B;
     if (const JValue *V = E.field("backend"))
-      D.Opts.Backend = V->S == "simgpu" ? rewrite::ExecBackend::SimGpu
-                                        : rewrite::ExecBackend::Serial;
+      D.Opts.Backend = V->S == "simgpu"   ? rewrite::ExecBackend::SimGpu
+                       : V->S == "vector" ? rewrite::ExecBackend::Vector
+                                          : rewrite::ExecBackend::Serial;
     if (const JValue *V = E.field("block_dim"))
       D.Opts.BlockDim = static_cast<unsigned>(V->N);
+    if (const JValue *V = E.field("vector_width"))
+      D.Opts.VectorWidth = static_cast<unsigned>(V->N);
     if (const JValue *V = E.field("fuse_depth"))
       D.Opts.FuseDepth = std::max(1u, static_cast<unsigned>(V->N));
     if (const JValue *V = E.field("ring"))

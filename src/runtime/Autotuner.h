@@ -11,9 +11,10 @@
 /// request for a (kernel, widths, batch-size class) problem the tuner
 /// compiles every candidate knob combination (Barrett vs Montgomery,
 /// pruning on/off, scheduled vs unscheduled, serial vs sim-GPU backend ×
-/// block dim {64..1024}), times each over a calibration batch on this
-/// machine, and pins the winner. Decisions persist as JSON so a process
-/// restart reuses them instead of re-timing.
+/// block dim {64..1024} vs vector backend × lane width {4..16}), times
+/// each over a calibration batch on this machine, and pins the winner.
+/// Decisions persist as JSON so a process restart reuses them instead of
+/// re-timing.
 ///
 /// What the tuner measures on this CPU substrate — and what it does not —
 /// is recorded in DESIGN.md ("Runtime autotuning"): steady-state batched
@@ -53,14 +54,20 @@ struct AutotunerOptions {
   bool TuneReduction = true;
   bool TunePrune = true;
   bool TuneSchedule = true;
-  /// Sweep the execution backend (serial vs sim-GPU grid) and, for the
-  /// sim-GPU candidates, the block dimensions below. Off pins the base
-  /// plan's backend and geometry.
+  /// Sweep the execution backend (serial vs sim-GPU grid vs SIMD vector)
+  /// and, for the sim-GPU candidates, the block dimensions below (for the
+  /// vector candidates, the lane widths below). Off pins the base plan's
+  /// backend and geometry.
   bool TuneBackend = true;
   /// Block dimensions swept for sim-GPU candidates (paper §5.1: at most
   /// 1024 threads per block). Geometry is a launch parameter of the grid
   /// ABI, so these share one compiled module per knob combination.
   std::vector<unsigned> BlockDims = {64, 128, 256, 512, 1024};
+  /// Lane widths swept for vector candidates. Like the block dimension,
+  /// the lane count is a launch parameter of the vector ABI, so these
+  /// share one compiled module per knob combination. Empty skips the
+  /// vector backend from the sweep.
+  std::vector<unsigned> VectorWidths = {4, 8, 16};
   /// Sweep the NTT stage-fusion depth for transform-shaped problems
   /// (chooseNtt). Off pins the base plan's FuseDepth. Like the block
   /// dimension, depth is a launch parameter — the sweep costs timing

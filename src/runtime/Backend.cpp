@@ -40,6 +40,21 @@ using FusedFnTy = void (*)(std::uint64_t, std::uint64_t, std::uint64_t,
                            const std::uint64_t *, const std::uint64_t *,
                            std::uint64_t, const std::uint64_t *const *);
 
+/// The JIT-compiled lane-loop ABI (codegen/VectorEmitter.h).
+using VecFnTy = void (*)(std::uint64_t, std::uint64_t,
+                         std::uint64_t *const *, const std::uint64_t *const *,
+                         const std::uint64_t *, const std::uint64_t *const *);
+using VecStageFnTy = void (*)(std::uint64_t, std::uint64_t, std::uint64_t,
+                              std::uint64_t, std::uint64_t *,
+                              const std::uint64_t *,
+                              const std::uint64_t *const *);
+using VecFusedFnTy = void (*)(std::uint64_t, std::uint64_t, std::uint64_t,
+                              std::uint64_t, std::uint64_t, std::uint64_t *,
+                              const std::uint64_t *, const std::uint64_t *,
+                              const std::uint32_t *, const std::uint64_t *,
+                              const std::uint64_t *, std::uint64_t,
+                              const std::uint64_t *const *);
+
 bool checkButterflyShape(const CompiledPlan &P, std::string *Err) {
   if (P.NumOutputs != 2 || P.NumDataInputs != 3)
     return fail(Err, "runStage: plan is not a butterfly kernel");
@@ -375,5 +390,75 @@ bool SimGpuBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
     Fn(BX, BY, BD, NPoints, G.Len0, G.Depth, G.Dst, G.Src, Tw, G.Gather,
        G.Twist, G.Scale, G.ScaleStride, Aux.data());
   });
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// VectorBackend
+//===----------------------------------------------------------------------===//
+
+bool VectorBackend::runBatch(const CompiledPlan &P, const BatchArgs &Args,
+                             size_t N, size_t Rows, std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Vector || !P.VecFn)
+    return fail(Err, "vector backend needs a plan compiled with a lane-loop "
+                     "entry point");
+  if (Args.Outs.size() != P.NumOutputs ||
+      Args.Ins.size() != P.NumDataInputs ||
+      Args.Aux.size() != P.AuxWords.size() ||
+      (!Args.InStrides.empty() && Args.InStrides.size() != Args.Ins.size()))
+    return fail(Err, "vector runBatch: argument shape mismatch");
+  if (N == 0 || Rows == 0)
+    return true;
+
+  std::vector<std::uint64_t> Strides(Args.Ins.size(), P.ElemWords);
+  for (size_t I = 0; I < Args.InStrides.size(); ++I)
+    Strides[I] = Args.InStrides[I];
+
+  // Row-major batch rows are contiguous and broadcast (stride 0) inputs
+  // broadcast across every row, so the lane loop runs over the flat
+  // N * Rows element product in one call.
+  auto Fn = reinterpret_cast<VecFnTy>(P.VecFn);
+  Fn(P.Key.Opts.VectorWidth, N * Rows, Args.Outs.data(), Args.Ins.data(),
+     Strides.data(), Args.Aux.data());
+  return true;
+}
+
+bool VectorBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
+                             const std::uint64_t *StageTw,
+                             const std::vector<const std::uint64_t *> &Aux,
+                             size_t NPoints, size_t Len, size_t Batch,
+                             std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Vector || !P.VecStageFn)
+    return fail(Err, "vector backend needs a plan compiled with a stage "
+                     "entry point");
+  if (!checkButterflyShape(P, Err))
+    return false;
+  if (Aux.size() != P.AuxWords.size())
+    return fail(Err, "runStage: aux shape mismatch");
+  if (Batch == 0 || NPoints < 2)
+    return true;
+  auto Fn = reinterpret_cast<VecStageFnTy>(P.VecStageFn);
+  Fn(P.Key.Opts.VectorWidth, Batch, NPoints, Len, Data, StageTw, Aux.data());
+  return true;
+}
+
+bool VectorBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                                  const std::uint64_t *Tw,
+                                  const std::vector<const std::uint64_t *>
+                                      &Aux,
+                                  size_t NPoints, size_t Batch,
+                                  std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Vector || !P.VecFusedFn)
+    return fail(Err, "vector backend needs a plan compiled with a fused "
+                     "stage-group entry point");
+  if (!checkButterflyShape(P, Err) || !checkStageGroup(G, NPoints, Err))
+    return false;
+  if (Aux.size() != P.AuxWords.size())
+    return fail(Err, "runStageGroup: aux shape mismatch");
+  if (Batch == 0 || NPoints < 2)
+    return true;
+  auto Fn = reinterpret_cast<VecFusedFnTy>(P.VecFusedFn);
+  Fn(P.Key.Opts.VectorWidth, Batch, NPoints, G.Len0, G.Depth, G.Dst, G.Src,
+     Tw, G.Gather, G.Twist, G.Scale, G.ScaleStride, Aux.data());
   return true;
 }

@@ -7,20 +7,24 @@
 ///
 /// \file
 /// The execution layer of the runtime: a compiled plan is run through an
-/// ExecutionBackend, of which there are two —
+/// ExecutionBackend, of which there are three —
 ///
 ///  * SerialBackend: the original host-JIT model, one scalar call per
 ///    element (per butterfly for NTT stages) on the calling thread;
 ///  * SimGpuBackend: the paper's §5.1 grid/block mapping — the plan's
 ///    grid-shaped entry points (codegen/GridEmitter.h) launched block-wise
-///    over a sim::Device thread pool, grid y indexing the batch.
+///    over a sim::Device thread pool, grid y indexing the batch;
+///  * VectorBackend: the host CPU's SIMD units — the plan's lane-loop
+///    entry points (codegen/VectorEmitter.h) called on the calling
+///    thread, the batch axis mapped onto vector lanes (VectorWidth per
+///    chunk) and compiled by the JIT at -O3 -march=native.
 ///
 /// Which backend a plan runs on is part of its PlanKey
-/// (PlanOptions::Backend + BlockDim), so the autotuner can sweep backend
-/// choice and launch geometry per problem exactly like the reduction /
-/// pruning / scheduling knobs. Backends are stateless with respect to
-/// plans: one backend instance serves every plan of its kind (the sim-GPU
-/// backend owns the worker pool).
+/// (PlanOptions::Backend + BlockDim/VectorWidth), so the autotuner can
+/// sweep backend choice and launch geometry per problem exactly like the
+/// reduction / pruning / scheduling knobs. Backends are stateless with
+/// respect to plans: one backend instance serves every plan of its kind
+/// (the sim-GPU backend owns the worker pool).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -154,6 +158,29 @@ private:
   bool validGeometry(const CompiledPlan &P, std::string *Err) const;
 
   sim::Device Dev;
+};
+
+/// SIMD lane-loop execution on the calling thread: the batch axis is
+/// mapped onto vector lanes in chunks of the plan's VectorWidth through
+/// the vectorized entry points (structure-of-arrays staging, carry chains
+/// in-lane). Runs plans compiled for ExecBackend::Vector.
+class VectorBackend final : public ExecutionBackend {
+public:
+  rewrite::ExecBackend kind() const override {
+    return rewrite::ExecBackend::Vector;
+  }
+  bool runBatch(const CompiledPlan &P, const BatchArgs &Args, size_t N,
+                size_t Rows, std::string *Err = nullptr) const override;
+  bool runStage(const CompiledPlan &P, std::uint64_t *Data,
+                const std::uint64_t *StageTw,
+                const std::vector<const std::uint64_t *> &Aux,
+                size_t NPoints, size_t Len, size_t Batch,
+                std::string *Err = nullptr) const override;
+  bool runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                     const std::uint64_t *Tw,
+                     const std::vector<const std::uint64_t *> &Aux,
+                     size_t NPoints, size_t Batch,
+                     std::string *Err = nullptr) const override;
 };
 
 } // namespace runtime

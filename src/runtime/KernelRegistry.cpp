@@ -8,6 +8,7 @@
 #include "runtime/KernelRegistry.h"
 
 #include "codegen/GridEmitter.h"
+#include "codegen/VectorEmitter.h"
 #include "kernels/NttKernels.h"
 #include "kernels/ScalarKernels.h"
 #include "runtime/Backend.h"
@@ -19,6 +20,14 @@
 
 using namespace moma;
 using namespace moma::runtime;
+
+// Per-plan extra driver flags for vector artifacts: the lane loops only
+// pay off when the host compiler vectorizes them, so they compile at -O3
+// with the native ISA when the configure-time probe found -march=native
+// usable (CMake defines the macro either way; -O3 alone is the fallback).
+#ifndef MOMA_VEC_EXTRA_FLAGS
+#define MOMA_VEC_EXTRA_FLAGS "-O3"
+#endif
 
 namespace {
 
@@ -199,6 +208,12 @@ ExecutionBackend &KernelRegistry::backendFor(const PlanKey &Key) {
       SimGpu.reset(new SimGpuBackend(Profile));
     return *SimGpu;
   }
+  if (Key.Opts.Backend == rewrite::ExecBackend::Vector) {
+    std::lock_guard<std::mutex> L(BackendMu);
+    if (!Vector)
+      Vector.reset(new VectorBackend());
+    return *Vector;
+  }
   return *Serial;
 }
 
@@ -332,6 +347,7 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
   }
 
   bool IsSimGpu = Key.Opts.Backend == rewrite::ExecBackend::SimGpu;
+  bool IsVector = Key.Opts.Backend == rewrite::ExecBackend::Vector;
   if (IsSimGpu && (Key.Opts.BlockDim == 0 || Key.Opts.BlockDim > MaxTPB)) {
     // The CUDA rule the paper relies on (5.1): at most MaxThreadsPerBlock
     // = 1024 threads per block. Checked at plan build so a bad geometry
@@ -339,6 +355,16 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
     Error = formatv("KernelRegistry: block dimension %u outside "
                     "[1, %u] for the sim-GPU backend",
                     Key.Opts.BlockDim, MaxTPB);
+    return nullptr;
+  }
+  if (IsVector && (Key.Opts.VectorWidth == 0 || Key.Opts.VectorWidth > 64)) {
+    // Checked at plan build like the block dimension: a lane count must
+    // be present (PlanKey::forModulus defaults it to 8) and sane. Widths
+    // above the emitted chunk set still run (scalar tail), but past 64
+    // lanes the request is a unit error, not a tuning choice.
+    Error = formatv("KernelRegistry: lane count %u outside [1, 64] for "
+                    "the vector backend",
+                    Key.Opts.VectorWidth);
     return nullptr;
   }
 
@@ -352,7 +378,19 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
   P->Lowered = rewrite::lowerWithPlan(K, Key.Opts);
 
   std::string StageSymbol, FusedSymbol;
-  if (IsSimGpu) {
+  if (IsVector) {
+    // SIMD lane-loop artifact. The lane count — and, for butterfly
+    // kernels, the stage-fusion depth — are runtime launch parameters of
+    // the vector ABI, so plans differing only in VectorWidth or FuseDepth
+    // share one module through HostJit's source-identity dedup while
+    // remaining distinct cache entries.
+    codegen::EmittedVectorKernel V = codegen::emitVectorC(P->Lowered);
+    P->Emitted.Source = std::move(V.Source);
+    P->Emitted.Symbol = V.VecSymbol;
+    P->Emitted.Ports = std::move(V.Ports);
+    StageSymbol = V.StageSymbol;
+    FusedSymbol = V.FusedSymbol;
+  } else if (IsSimGpu) {
     // Grid-shaped artifact (paper 5.1 thread mapping as host-JIT C). The
     // block dimension — and, for butterfly kernels, the stage-fusion
     // depth — are runtime launch parameters of the grid ABI, so plans
@@ -369,7 +407,13 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
     P->Emitted = codegen::emitC(P->Lowered);
   }
 
-  P->Module = Jit.load(P->Emitted.Source);
+  // Vector artifacts carry per-plan extra flags: the JIT's default -O1
+  // keeps plan builds fast, but the lane loops need the optimizer (and
+  // the native ISA when available) to actually turn into SIMD. The flags
+  // are part of HostJit's content hash and in-memory key, so the -O1 and
+  // -O3 worlds never serve each other's objects.
+  P->Module = Jit.load(P->Emitted.Source,
+                       IsVector ? MOMA_VEC_EXTRA_FLAGS : "");
   if (!P->Module) {
     Error = "KernelRegistry: " + Jit.error();
     return nullptr;
@@ -384,11 +428,13 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
                     DlErr.empty() ? "resolved to null" : DlErr.c_str());
     return nullptr;
   }
-  if (IsSimGpu) {
-    P->GridFn = EntryFn;
+  if (IsSimGpu || IsVector) {
+    (IsVector ? P->VecFn : P->GridFn) = EntryFn;
     for (const auto &Sym :
-         {std::make_pair(&P->StageFn, &StageSymbol),
-          std::make_pair(&P->FusedFn, &FusedSymbol)}) {
+         {std::make_pair(IsVector ? &P->VecStageFn : &P->StageFn,
+                         &StageSymbol),
+          std::make_pair(IsVector ? &P->VecFusedFn : &P->FusedFn,
+                         &FusedSymbol)}) {
       if (Sym.second->empty())
         continue;
       *Sym.first = P->Module->symbol(*Sym.second, &DlErr);

@@ -51,9 +51,11 @@ class ExecutionBackend;
 /// Which set is populated depends on the key's backend — serial plans
 /// resolve Fn (pointer-per-port scalar ABI), sim-GPU plans resolve GridFn
 /// and, for butterfly kernels, StageFn (the grid ABI of
-/// codegen/GridEmitter.h). Kept alive by shared_ptr so a batch in flight
-/// survives registry eviction; the loaded JitModule is released with the
-/// last plan user.
+/// codegen/GridEmitter.h), vector plans resolve VecFn and, for butterfly
+/// kernels, VecStageFn/VecFusedFn (the lane-loop ABI of
+/// codegen/VectorEmitter.h). Kept alive by shared_ptr so a batch in
+/// flight survives registry eviction; the loaded JitModule is released
+/// with the last plan user.
 struct CompiledPlan {
   PlanKey Key;
   rewrite::LoweredKernel Lowered; ///< port layout source of truth
@@ -65,6 +67,12 @@ struct CompiledPlan {
   void *FusedFn = nullptr; ///< sim-GPU fused stage-group entry (butterfly);
                            ///< fusion depth is a launch parameter, so every
                            ///< FuseDepth key of one kernel shares the module
+  void *VecFn = nullptr;      ///< vector element-wise lane-loop entry
+  void *VecStageFn = nullptr; ///< vector radix-2 NTT-stage entry (butterfly)
+  void *VecFusedFn = nullptr; ///< vector fused stage-group entry
+                              ///< (butterfly); the lane count is a launch
+                              ///< parameter, so every VectorWidth key of
+                              ///< one kernel shares the module
 
   unsigned NumOutputs = 0;    ///< leading per-element output ports
   unsigned NumDataInputs = 0; ///< per-element input ports (before q)
@@ -144,8 +152,9 @@ public:
   std::shared_ptr<const CompiledPlan> get(const PlanKey &Key);
 
   /// The execution backend plans with \p Key run on. Backends live as
-  /// long as the registry; the sim-GPU backend (and its worker pool) is
-  /// created on first use against the configured device profile.
+  /// long as the registry; the sim-GPU backend (and its worker pool) and
+  /// the vector backend are created on first use — the former against the
+  /// configured device profile.
   ExecutionBackend &backendFor(const PlanKey &Key);
 
   /// Selects the device profile the sim-GPU backend emulates (paper
@@ -214,6 +223,7 @@ private:
   sim::DeviceProfile Profile;
   std::unique_ptr<ExecutionBackend> Serial; ///< created with the registry
   std::unique_ptr<ExecutionBackend> SimGpu; ///< created on first use
+  std::unique_ptr<ExecutionBackend> Vector; ///< created on first use
 };
 
 } // namespace runtime

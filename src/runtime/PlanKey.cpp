@@ -70,11 +70,21 @@ PlanKey PlanKey::forModulus(KernelOp Op, const mw::Bignum &Q,
   // (one cache entry regardless of the caller's block dim), and give
   // SimGpu plans the paper's 256-thread default when left unset. Keys
   // stay canonical either way, and serial keys keep their pre-backend
-  // string form.
-  if (K.Opts.Backend == rewrite::ExecBackend::Serial)
+  // string form. The lane count is likewise Vector-only: fold it to 0
+  // elsewhere, and give Vector plans (whose geometry is lanes, not
+  // blocks) an 8-lane default when left unset.
+  if (K.Opts.Backend == rewrite::ExecBackend::SimGpu) {
+    if (K.Opts.BlockDim == 0)
+      K.Opts.BlockDim = 256;
+    K.Opts.VectorWidth = 0;
+  } else if (K.Opts.Backend == rewrite::ExecBackend::Vector) {
     K.Opts.BlockDim = 0;
-  else if (K.Opts.BlockDim == 0)
-    K.Opts.BlockDim = 256;
+    if (K.Opts.VectorWidth == 0)
+      K.Opts.VectorWidth = 8;
+  } else {
+    K.Opts.BlockDim = 0;
+    K.Opts.VectorWidth = 0;
+  }
   // Stage fusion only exists for the NTT stage kernel: fold the knob to 1
   // everywhere else so a fused base plan never splits the element-wise
   // cache entries. Butterfly plans clamp into the emitters' supported

@@ -106,6 +106,34 @@ TEST(HostJit, DifferentFlagsMissTheCache) {
   EXPECT_EQ(J2.stats().DiskHits, 0u);
 }
 
+TEST(HostJit, PerLoadExtraFlagsAreDistinctModules) {
+  // Per-call extra flags (the vector backend's -O3 -march=native) key
+  // both caches: the same source at different optimization levels must
+  // be two compiled modules, never one silently shared artifact.
+  FreshCacheDir Dir("extraflags");
+  jit::HostJit Jit(Dir.options());
+  std::shared_ptr<jit::JitModule> MDefault = Jit.load(AddSource);
+  ASSERT_NE(MDefault, nullptr) << Jit.error();
+  std::shared_ptr<jit::JitModule> MFast = Jit.load(AddSource, "-O3");
+  ASSERT_NE(MFast, nullptr) << Jit.error();
+  EXPECT_NE(MDefault.get(), MFast.get())
+      << "extra flags are part of the in-memory cache key";
+  EXPECT_EQ(Jit.stats().Compiles, 2u);
+  EXPECT_NE(MDefault->soPath(), MFast->soPath())
+      << "extra flags are part of the disk-cache content hash";
+  // Same source + same extra flags is still a memory hit.
+  std::shared_ptr<jit::JitModule> MAgain = Jit.load(AddSource, "-O3");
+  EXPECT_EQ(MFast.get(), MAgain.get());
+  EXPECT_EQ(Jit.stats().Compiles, 2u);
+  EXPECT_EQ(Jit.stats().MemoryHits, 1u);
+  // And a fresh instance serves the flagged artifact from disk.
+  jit::HostJit Second(Dir.options());
+  std::shared_ptr<jit::JitModule> MDisk = Second.load(AddSource, "-O3");
+  ASSERT_NE(MDisk, nullptr) << Second.error();
+  EXPECT_TRUE(MDisk->fromDiskCache());
+  EXPECT_EQ(Second.stats().Compiles, 0u);
+}
+
 TEST(HostJit, DiskCacheCanBeDisabled) {
   FreshCacheDir Dir("nocache");
   jit::HostJitOptions Opts = Dir.options();

@@ -1,16 +1,19 @@
-//===- tests/runtime/DifferentialFuzzTest.cpp - 4-way differential fuzz --------===//
+//===- tests/runtime/DifferentialFuzzTest.cpp - 5-way differential fuzz --------===//
 //
 // The hardening companion of the batched runtime: the runtime multiplies
 // the number of generated-code paths (backend x reduction x schedule x
 // pruning x width), so this suite drives randomized modmul and butterfly
-// kernels through all four executions we have —
+// kernels through all five executions we have —
 //
 //   1. the IR interpreter on the lowered kernel (rewrite-system truth),
 //   2. the serial JIT-compiled C through the runtime plan cache,
 //   3. the sim-GPU grid-shaped JIT (the 5.1 thread mapping, what the
 //      sim-GPU ExecutionBackend dispatches; widths {1, 2, 4, 8}, with a
-//      random block dimension per variant), and
-//   4. the Bignum oracle (mathematical truth)
+//      random block dimension per variant),
+//   4. the SIMD vector lane-loop JIT (random lane width {1, 2, 4, 8}
+//      per variant, run over a random batch size so the fixed-trip
+//      chunks AND the scalar tail both execute), and
+//   5. the Bignum oracle (mathematical truth)
 //
 // — across widths {1, 2, 4, 8, 12} words and both reduction strategies,
 // with random moduli (odd, exact bit-width, not necessarily prime) and
@@ -78,10 +81,11 @@ std::vector<Bignum> oracle(KernelOp Op, const std::vector<Bignum> &In,
 }
 
 /// Runs \p Trials random (modulus, inputs) instances against one compiled
-/// kernel variant, four ways (three when \p GridPlan is null: large
-/// widths skip the sim-GPU leg to bound suite time).
+/// kernel variant, five ways (fewer when \p GridPlan / \p VecPlan are
+/// null: large widths skip those legs to bound suite time).
 void fuzzVariant(KernelOp Op, const CompiledPlan &Plan,
-                 const CompiledPlan *GridPlan, int Trials, SeededRng &R) {
+                 const CompiledPlan *GridPlan, const CompiledPlan *VecPlan,
+                 int Trials, SeededRng &R) {
   const Bignum One(1);
   unsigned M = Plan.Key.ModBits;
   unsigned K = Plan.ElemWords;
@@ -146,6 +150,35 @@ void fuzzVariant(KernelOp Op, const CompiledPlan &Plan,
           << Err;
     }
 
+    // SIMD vector lane-loop JIT: the trial element replicated across a
+    // random batch size, so the fixed-trip chunk bodies and the scalar
+    // tail both run (and must all reproduce the oracle value).
+    std::vector<std::vector<std::uint64_t>> VecOutW(Plan.NumOutputs);
+    size_t VecN = 0;
+    if (VecPlan) {
+      VecN = 1 + R.below(37); // tails: rarely a multiple of the width
+      PlanAux VAux = makePlanAux(*VecPlan, Q);
+      std::vector<std::vector<std::uint64_t>> VecInW;
+      for (unsigned I = 0; I < NumIns; ++I) {
+        std::vector<std::uint64_t> Rep(VecN * K);
+        for (size_t E = 0; E < VecN; ++E)
+          std::copy(InW[I].begin(), InW[I].end(), Rep.begin() + E * K);
+        VecInW.push_back(std::move(Rep));
+      }
+      for (auto &O : VecOutW)
+        O.assign(VecN * K, 0);
+      BatchArgs VArgs;
+      for (auto &O : VecOutW)
+        VArgs.Outs.push_back(O.data());
+      for (auto &I : VecInW)
+        VArgs.Ins.push_back(I.data());
+      VArgs.Aux = VAux.ptrs();
+      ASSERT_TRUE(registry()
+                      .backendFor(VecPlan->Key)
+                      .runBatch(*VecPlan, VArgs, VecN, 1, &Err))
+          << Err;
+    }
+
     for (size_t O = 0; O < Want.size(); ++O) {
       Bignum Jit = unpackWordsMsbFirst(OutW[O].data(), K);
       std::string Ctx = "trial " + std::to_string(T) + " of plan " +
@@ -166,6 +199,18 @@ void fuzzVariant(KernelOp Op, const CompiledPlan &Plan,
             << " (plan " << GridPlan->Key.str()
             << ", source: " << GridPlan->Module->sourcePath() << ")\n"
             << Ctx;
+      }
+      if (VecPlan) {
+        for (size_t E = 0; E < VecN; ++E) {
+          Bignum Vec =
+              unpackWordsMsbFirst(VecOutW[O].data() + E * K, K);
+          ASSERT_EQ(Vec, Want[O])
+              << "VECTOR LANE JIT diverges from oracle on output " << O
+              << " at batch element " << E << " of " << VecN << " (plan "
+              << VecPlan->Key.str()
+              << ", source: " << VecPlan->Module->sourcePath() << ")\n"
+              << Ctx;
+        }
       }
     }
   }
@@ -213,6 +258,7 @@ void fuzzConfig(KernelOp Op, unsigned Words, mw::Reduction Red,
     // with a random launch geometry per variant. Widths above 8 words
     // stay 3-way (the interpreter dominates there anyway).
     std::shared_ptr<const CompiledPlan> GridPlan;
+    std::shared_ptr<const CompiledPlan> VecPlan;
     if (Words <= 8) {
       const unsigned Dims[] = {64, 128, 256, 512, 1024};
       PlanKey GKey = Key;
@@ -220,8 +266,16 @@ void fuzzConfig(KernelOp Op, unsigned Words, mw::Reduction Red,
       GKey.Opts.BlockDim = Dims[R.below(5)];
       GridPlan = registry().get(GKey);
       ASSERT_NE(GridPlan, nullptr) << registry().error();
+      // The vector leg: same knobs compiled as the SIMD lane loop, with
+      // a random lane width per variant (widths share one module).
+      const unsigned Lanes[] = {1, 2, 4, 8};
+      PlanKey VKey = Key;
+      VKey.Opts.Backend = rewrite::ExecBackend::Vector;
+      VKey.Opts.VectorWidth = Lanes[R.below(4)];
+      VecPlan = registry().get(VKey);
+      ASSERT_NE(VecPlan, nullptr) << registry().error();
     }
-    fuzzVariant(Op, *Plan, GridPlan.get(), PerVariant, R);
+    fuzzVariant(Op, *Plan, GridPlan.get(), VecPlan.get(), PerVariant, R);
   }
 }
 
@@ -265,9 +319,13 @@ void fuzzNttFuseDepth(std::uint64_t SeedDefault) {
     ASSERT_TRUE(Run(DRef, Want.data())) << DRef.error();
 
     rewrite::PlanOptions V;
-    V.Backend = R.below(2) ? rewrite::ExecBackend::SimGpu
-                           : rewrite::ExecBackend::Serial;
+    std::uint64_t BackendDraw = R.below(3);
+    V.Backend = BackendDraw == 0   ? rewrite::ExecBackend::Serial
+                : BackendDraw == 1 ? rewrite::ExecBackend::SimGpu
+                                   : rewrite::ExecBackend::Vector;
     V.BlockDim = Dims[R.below(5)];
+    const unsigned Lanes[] = {1, 2, 4, 8, 16};
+    V.VectorWidth = Lanes[R.below(5)];
     V.FuseDepth = 1 + unsigned(R.below(3));
     V.Red = R.below(2) ? mw::Reduction::Montgomery
                        : mw::Reduction::Barrett;
@@ -344,11 +402,16 @@ TEST(DifferentialFuzz, RnsVMulAndPolyMul) {
     unsigned WW = Ctx.wideWords();
 
     rewrite::PlanOptions Base;
-    Base.Backend = (R.below(2)) ? rewrite::ExecBackend::SimGpu
-                                  : rewrite::ExecBackend::Serial;
+    std::uint64_t BackendDraw = R.below(3);
+    Base.Backend = BackendDraw == 0   ? rewrite::ExecBackend::Serial
+                   : BackendDraw == 1 ? rewrite::ExecBackend::SimGpu
+                                      : rewrite::ExecBackend::Vector;
     Base.BlockDim = Base.Backend == rewrite::ExecBackend::SimGpu
                         ? (64u << (R.below(3)))
                         : 0;
+    Base.VectorWidth = Base.Backend == rewrite::ExecBackend::Vector
+                           ? (1u << R.below(4))
+                           : 0;
     Base.Red = (R.below(2)) ? mw::Reduction::Montgomery
                               : mw::Reduction::Barrett;
     Base.FuseDepth = 1 + R.below(3);

@@ -16,8 +16,10 @@
 //            [--reduction barrett|montgomery]  (default barrett)
 //            [--no-prune]                (skip the §4 zero-word pruning)
 //            [--schedule]                (pressure-aware list scheduling)
-//            [--backend serial|simgpu]   (execution backend; default serial)
+//            [--backend serial|simgpu|vector] (execution backend;
+//                                         default serial)
 //            [--block-dim <n>]           (simgpu threads/block, <= 1024)
+//            [--vector-width <k>]        (vector lanes, <= 64; default 8)
 //            [--fuse-depth <k>]          (NTT stage fusion, 1..3; butterfly)
 //            [--ring cyclic|negacyclic]  (NTT ring; butterfly tune/keys)
 //            [--rns-limbs <L>]           (RNS base size for rnsdec/rnsrec)
@@ -30,8 +32,10 @@
 //
 // `--emit c` with `--backend simgpu` prints the grid-shaped source (the
 // §5.1 CUDA thread mapping as host-JIT C; butterfly kernels include the
-// fused radix-2^k stage-group entry); `--emit tune` sweeps the backend
-// and block-dim axes alongside reduction/pruning/scheduling — butterfly
+// fused radix-2^k stage-group entry) and with `--backend vector` the
+// SIMD lane-loop source (SoA chunk helpers plus the batch-axis stage and
+// fused entries); `--emit tune` sweeps the backend, block-dim, and
+// lane-width axes alongside reduction/pruning/scheduling — butterfly
 // kernels tune the transform-shaped problem (a batched 256-point NTT
 // through the fused pipeline), so the fusion depth is swept and reported
 // alongside the backend.
@@ -46,6 +50,7 @@
 //   moma-gen -k mulmod -d 256 --reduction montgomery --emit c
 //   moma-gen -k butterfly -d 512 -m 377 --emit stats   # BLS12-381 class
 //   moma-gen -k butterfly -d 128 --backend simgpu --emit c
+//   moma-gen -k mulmod -m 252 --backend vector --vector-width 16 --emit c
 //   moma-gen -k butterfly -m 60 --ring negacyclic --emit tune
 //   moma-gen -k mulmod -m 380 --emit tune --tune-cache tune.json
 //   moma-gen -k vmul -m 252 --device rtx4090 --emit tune
@@ -57,6 +62,7 @@
 #include "codegen/CEmitter.h"
 #include "codegen/CudaEmitter.h"
 #include "codegen/GridEmitter.h"
+#include "codegen/VectorEmitter.h"
 #include "field/PrimeGen.h"
 #include "ir/Printer.h"
 #include "kernels/BlasKernels.h"
@@ -83,7 +89,8 @@ namespace {
       "usage: %s -k <kernel> [-d bits] [-m modbits] [-w wordbits]\n"
       "          [--karatsuba] [--reduction barrett|montgomery]\n"
       "          [--no-prune] [--schedule]\n"
-      "          [--backend serial|simgpu] [--block-dim <n>]\n"
+      "          [--backend serial|simgpu|vector] [--block-dim <n>]\n"
+      "          [--vector-width <k>]\n"
       "          [--fuse-depth <k>] [--ring cyclic|negacyclic]\n"
       "          [--rns-limbs <L>] [--device h100|rtx4090|v100|host]\n"
       "          [--passes default|extended|<pass,...>]\n"
@@ -167,10 +174,14 @@ int main(int argc, char **argv) {
         Plan.Backend = rewrite::ExecBackend::Serial;
       else if (B == "simgpu")
         Plan.Backend = rewrite::ExecBackend::SimGpu;
+      else if (B == "vector")
+        Plan.Backend = rewrite::ExecBackend::Vector;
       else
         usage(argv[0]);
     } else if (Arg == "--block-dim")
       Plan.BlockDim = std::strtoul(Next(), nullptr, 10);
+    else if (Arg == "--vector-width")
+      Plan.VectorWidth = std::strtoul(Next(), nullptr, 10);
     else if (Arg == "--fuse-depth")
       Plan.FuseDepth = std::strtoul(Next(), nullptr, 10);
     else if (Arg == "--ring") {
@@ -249,6 +260,9 @@ int main(int argc, char **argv) {
                 rewrite::execBackendName(D->Opts.Backend),
                 D->Opts.Backend == rewrite::ExecBackend::SimGpu
                     ? formatv(" (block dim %u)", D->Opts.BlockDim).c_str()
+                : D->Opts.Backend == rewrite::ExecBackend::Vector
+                    ? formatv(" (lane width %u)", D->Opts.VectorWidth)
+                          .c_str()
                     : "");
     if (IsNtt) {
       unsigned LogN = 0;
@@ -371,6 +385,11 @@ int main(int argc, char **argv) {
       // thread mapping as host-JIT C (element-wise entry, plus the NTT
       // stage entry for butterfly kernels).
       std::printf("%s", codegen::emitGridC(L).Source.c_str());
+    else if (Plan.Backend == rewrite::ExecBackend::Vector)
+      // The SIMD lane-loop source the vector backend compiles at
+      // -O3 [-march=native]: SoA fixed-trip chunk helpers over the
+      // batch axis, plus the stage/fused entries for butterflies.
+      std::printf("%s", codegen::emitVectorC(L).Source.c_str());
     else
       std::printf("%s", codegen::emitC(L).Source.c_str());
     return 0;
