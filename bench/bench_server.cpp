@@ -38,8 +38,10 @@
 #include "support/Rng.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <fstream>
@@ -256,10 +258,18 @@ int main(int argc, char **argv) {
   std::vector<char> OpenOk(OpenReqs, 0);
   Clock::time_point LastDone;
   double OpenWall = 0;
+  // Hard wall-clock budget for the whole open-loop phase. An open-loop
+  // bench with a wedged worker (stalled compile, deadlocked dispatch)
+  // otherwise hangs the CI gate forever on future::get(); clients wait
+  // with a deadline instead, and on expiry the process exits without
+  // running the Server destructor (which would block on the same wedge).
+  const auto HardBudget = std::chrono::seconds(Smoke ? 30 : 120);
+  std::atomic<bool> TimedOut{false};
   {
     Server Srv(Reg, Open);
     std::vector<std::thread> Threads;
     auto Start = Clock::now();
+    const auto HardDeadline = Start + HardBudget;
     for (int T = 0; T < Clients; ++T)
       Threads.emplace_back([&, T] {
         std::vector<std::future<Reply>> F;
@@ -271,6 +281,10 @@ int main(int argc, char **argv) {
           std::this_thread::sleep_until(Start + (I + 1) * InterArrival);
         }
         for (int I = 0; I < PerClient; ++I) {
+          if (F[I].wait_until(HardDeadline) != std::future_status::ready) {
+            TimedOut.store(true);
+            return; // abandon the remaining futures: the server is wedged
+          }
           Reply Rep = F[I].get();
           size_t Slot = static_cast<size_t>(T) * PerClient + I;
           LatencyNs[Slot] =
@@ -282,6 +296,13 @@ int main(int argc, char **argv) {
       });
     for (auto &Th : Threads)
       Th.join();
+    if (TimedOut.load()) {
+      std::fprintf(stderr,
+                   "bench_server: open loop exceeded the %llds hard "
+                   "wall-clock budget; exiting without server teardown\n",
+                   static_cast<long long>(HardBudget.count()));
+      std::_Exit(1); // the destructor would block on the same wedge
+    }
     Srv.drain();
     OpenWall = secondsSince(Start);
     Server::Stats St = Srv.stats();

@@ -7,6 +7,8 @@
 
 #include "jit/HostJit.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -148,6 +150,13 @@ bool HostJit::compile(const std::string &Source, const std::string &ExtraFlags,
   // AND per compile so sibling HostJit instances on other threads never
   // clobber each other's temp files; the temp source keeps its .cpp
   // extension so the driver recognizes it.
+  // Chaos hook standing in for every way a real compiler invocation dies
+  // (missing driver, full /tmp, OOM-killed cc1plus); a delay policy here
+  // models a wedged compiler for the deadline tests.
+  if (support::faultShouldFail("jit.compile")) {
+    Error = "HostJit: fault injected at jit.compile";
+    return false;
+  }
   static std::atomic<unsigned> Seq{0};
   std::string Uniq =
       std::to_string(::getpid()) + "-" + std::to_string(++Seq);
@@ -249,6 +258,13 @@ std::shared_ptr<JitModule> HostJit::loadUncached(const std::string &Source,
       return nullptr;
   }
 
+  // Chaos hook for loader failures (corrupt .so, exhausted mmap space);
+  // distinct from jit.compile so tests can fail the load of an object
+  // that compiled fine.
+  if (support::faultShouldFail("jit.dlopen")) {
+    Error = "HostJit: fault injected at jit.dlopen";
+    return nullptr;
+  }
   void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle && FromDisk) {
     // A stale or truncated cache entry: rebuild once from source.

@@ -22,6 +22,8 @@ const char *moma::rewrite::execBackendName(ExecBackend B) {
     return "simgpu";
   case ExecBackend::Vector:
     return "vector";
+  case ExecBackend::Interp:
+    return "interp";
   case ExecBackend::Serial:
     break;
   }
@@ -44,6 +46,8 @@ std::string PlanOptions::str() const {
   // Vector plans carry the lane count instead of a block dimension.
   if (Backend == ExecBackend::Vector)
     S += formatv("/vec/v%u", VectorWidth);
+  else if (Backend == ExecBackend::Interp)
+    S += "/interp"; // no launch geometry: the interpreter has none
   else if (Backend != ExecBackend::Serial)
     S += formatv("/%s/b%u", execBackendName(Backend), BlockDim);
   // Depth 1 is the historical radix-2 shape; only deeper fusion extends

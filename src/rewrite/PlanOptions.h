@@ -36,13 +36,17 @@ namespace rewrite {
 /// substrate; Vector is the same body rendered as a structure-of-arrays
 /// lane loop over the batch axis (codegen/VectorEmitter.h) that the host
 /// compiler auto-vectorizes, compiled with per-plan extra flags
-/// (-O3 -march=native). The lowering pipeline ignores this knob — it
+/// (-O3 -march=native). Interp skips code generation entirely and executes
+/// the scalar kernel through ir::Interp — orders of magnitude slower, but
+/// it cannot fail to "compile", which makes it the terminal rung of the
+/// runtime's degradation ladder when the host JIT is unavailable (see
+/// DESIGN.md "Failure model"). The lowering pipeline ignores this knob — it
 /// selects which wrapper the runtime emits around the lowered body and
 /// how the dispatcher executes it — but it lives here so one PlanOptions
 /// names a complete variant for the plan cache and autotuner.
-enum class ExecBackend : std::uint8_t { Serial, SimGpu, Vector };
+enum class ExecBackend : std::uint8_t { Serial, SimGpu, Vector, Interp };
 
-/// Mnemonic backend name ("serial" / "simgpu" / "vector").
+/// Mnemonic backend name ("serial" / "simgpu" / "vector" / "interp").
 const char *execBackendName(ExecBackend B);
 
 /// Which polynomial ring an NTT-shaped plan serves: the cyclic ring
@@ -137,9 +141,10 @@ struct PlanOptions {
   /// e.g. "w64/barrett/schoolbook/prune/noschedule". Serial plans keep
   /// the historical five-token form (so pre-backend cache keys stay
   /// readable); SimGpu plans append "/simgpu/b<dim>", Vector plans
-  /// append "/vec/v<width>", butterfly plans fused deeper than one
-  /// stage append "/f<depth>", negacyclic butterfly plans append
-  /// "/neg", and non-default pass pipelines append "/p=<spec>".
+  /// append "/vec/v<width>", Interp plans append "/interp", butterfly
+  /// plans fused deeper than one stage append "/f<depth>", negacyclic
+  /// butterfly plans append "/neg", and non-default pass pipelines
+  /// append "/p=<spec>".
   std::string str() const;
 
   /// The LowerOptions slice of this plan.

@@ -9,6 +9,7 @@
 
 #include "runtime/Backend.h"
 #include "runtime/NttPipeline.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
@@ -438,6 +439,14 @@ bool Autotuner::tuneProblem(KernelOp Op, const Bignum &Q,
 
     ExecutionBackend &EB = Reg.backendFor(Key);
     ++CandsTimed;
+    // Chaos hook: a candidate whose timing run dies (a kernel crash would
+    // take the process, but a backend refusal is survivable) just drops
+    // out of the sweep like any other failed candidate.
+    if (support::faultShouldFail("autotuner.time")) {
+      if (FirstError.empty())
+        FirstError = "Autotuner: fault injected at autotuner.time";
+      continue;
+    }
     double BestSec = std::numeric_limits<double>::infinity();
     bool RunOk = true;
     for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
@@ -565,6 +574,13 @@ bool Autotuner::tuneNttProblem(const Bignum &Q,
         Tables[Key.Opts.Red == mw::Reduction::Montgomery ? 1 : 0];
     ExecutionBackend &EB = Reg.backendFor(Key);
     ++CandsTimed;
+    // Chaos hook, as in tuneProblem: a failed timing run drops the
+    // candidate, and an all-candidates failure surfaces as a tuner error.
+    if (support::faultShouldFail("autotuner.time")) {
+      if (FirstError.empty())
+        FirstError = "Autotuner: fault injected at autotuner.time";
+      continue;
+    }
     double BestSec = std::numeric_limits<double>::infinity();
     bool RunOk = true;
     for (unsigned Rep = 0; Rep < O.Repeats && RunOk; ++Rep) {
@@ -680,6 +696,7 @@ bool Autotuner::load(const std::string &Path) {
     if (const JValue *V = E.field("backend"))
       D.Opts.Backend = V->S == "simgpu"   ? rewrite::ExecBackend::SimGpu
                        : V->S == "vector" ? rewrite::ExecBackend::Vector
+                       : V->S == "interp" ? rewrite::ExecBackend::Interp
                                           : rewrite::ExecBackend::Serial;
     if (const JValue *V = E.field("block_dim"))
       D.Opts.BlockDim = static_cast<unsigned>(V->N);

@@ -7,6 +7,7 @@
 
 #include "runtime/Backend.h"
 
+#include "ir/Interp.h"
 #include "support/Format.h"
 
 #include <cstdint>
@@ -83,31 +84,72 @@ bool checkStageGroup(const StageGroup &G, size_t NPoints, std::string *Err) {
   return true;
 }
 
-} // namespace
+/// How a host-side walker invokes the plan for one element/butterfly.
+/// The serial backend passes callPlan (the JIT'd scalar entry point); the
+/// interp backend passes interpInvoke. Sharing the walkers this way keeps
+/// the two backends' butterfly order identical by construction, which is
+/// what makes interp fallback results bit-identical to JIT results.
+using InvokeFn = bool (*)(const CompiledPlan &, void *const *);
 
-//===----------------------------------------------------------------------===//
-// SerialBackend
-//===----------------------------------------------------------------------===//
-
-bool SerialBackend::runBatch(const CompiledPlan &P, const BatchArgs &Args,
-                             size_t N, size_t Rows, std::string *Err) const {
-  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
-    return fail(Err, formatv("serial backend cannot run a %s plan",
-                             rewrite::execBackendName(P.Key.Opts.Backend)));
-  // Row-major batch rows are contiguous, so the serial element loop is the
-  // flat product; broadcast (stride 0) inputs broadcast across every row
-  // exactly as the grid's e = by*n + i indexing does.
-  return moma::runtime::runBatch(P, Args, N * Rows, Err);
+/// The interpreter invoker: unpacks every port into a Bignum (inputs
+/// first, so in-place butterflies see a consistent snapshot), runs the
+/// plan's scalar kernel through ir::interpret, packs the outputs back.
+bool interpInvoke(const CompiledPlan &P, void *const *Ports) {
+  if (!P.InterpKernel)
+    return false;
+  size_t NumIn = P.Lowered.Inputs.size();
+  std::vector<mw::Bignum> In(NumIn);
+  for (size_t J = 0; J < NumIn; ++J)
+    In[J] = unpackWordsMsbFirst(
+        static_cast<const std::uint64_t *>(Ports[P.NumOutputs + J]),
+        P.Lowered.Inputs[J].storedWords());
+  std::vector<mw::Bignum> Out = ir::interpret(*P.InterpKernel, In);
+  for (size_t J = 0; J < P.NumOutputs; ++J) {
+    std::vector<std::uint64_t> W =
+        packWordsMsbFirst(Out[J], P.Lowered.Outputs[J].storedWords());
+    std::copy(W.begin(), W.end(), static_cast<std::uint64_t *>(Ports[J]));
+  }
+  return true;
 }
 
-bool SerialBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
-                             const std::uint64_t *StageTw,
-                             const std::vector<const std::uint64_t *> &Aux,
-                             size_t NPoints, size_t Len, size_t Batch,
-                             std::string *Err) const {
-  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
-    return fail(Err, formatv("serial backend cannot run a %s plan",
-                             rewrite::execBackendName(P.Key.Opts.Backend)));
+/// Element-loop walker shared by the host backends (serial and interp):
+/// one invoker call per element with the same port addressing as the
+/// grid's e = by*n + i indexing. \p N is the flat element count.
+bool hostRunElements(const CompiledPlan &P, const BatchArgs &Args, size_t N,
+                     std::string *Err, InvokeFn Invoke) {
+  if (Args.Outs.size() != P.NumOutputs ||
+      Args.Ins.size() != P.NumDataInputs ||
+      Args.Aux.size() != P.AuxWords.size() ||
+      (!Args.InStrides.empty() && Args.InStrides.size() != Args.Ins.size()))
+    return fail(Err, "runBatch: argument shape mismatch");
+  size_t NumPorts = P.numPorts();
+  void *Ports[8];
+  if (NumPorts > 8)
+    return fail(Err, "runBatch: unsupported plan shape");
+  for (size_t I = 0; I < N; ++I) {
+    size_t Slot = 0;
+    for (std::uint64_t *Out : Args.Outs)
+      Ports[Slot++] = Out + I * P.ElemWords;
+    for (size_t J = 0; J < Args.Ins.size(); ++J) {
+      size_t Stride =
+          Args.InStrides.empty() ? P.ElemWords : Args.InStrides[J];
+      Ports[Slot++] = const_cast<std::uint64_t *>(Args.Ins[J] + I * Stride);
+    }
+    for (const std::uint64_t *A : Args.Aux)
+      Ports[Slot++] = const_cast<std::uint64_t *>(A);
+    if (!Invoke(P, Ports))
+      return fail(Err,
+                  formatv("runBatch: unsupported arity %zu", NumPorts));
+  }
+  return true;
+}
+
+/// Radix-2 NTT stage walker shared by the host backends.
+bool hostRunStage(const CompiledPlan &P, std::uint64_t *Data,
+                  const std::uint64_t *StageTw,
+                  const std::vector<const std::uint64_t *> &Aux,
+                  size_t NPoints, size_t Len, size_t Batch, std::string *Err,
+                  InvokeFn Invoke) {
   if (!checkButterflyShape(P, Err))
     return false;
   unsigned K = P.ElemWords;
@@ -130,7 +172,7 @@ bool SerialBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
         Ports[2] = X;
         Ports[3] = Y;
         Ports[4] = const_cast<std::uint64_t *>(StageTw + J * K);
-        if (!callPlan(P, Ports))
+        if (!Invoke(P, Ports))
           return fail(Err, formatv("runStage: unsupported butterfly arity "
                                    "%zu",
                                    NumPorts));
@@ -140,15 +182,14 @@ bool SerialBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
   return true;
 }
 
-bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
-                                  const std::uint64_t *Tw,
-                                  const std::vector<const std::uint64_t *>
-                                      &Aux,
-                                  size_t NPoints, size_t Batch,
-                                  std::string *Err) const {
-  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
-    return fail(Err, formatv("serial backend cannot run a %s plan",
-                             rewrite::execBackendName(P.Key.Opts.Backend)));
+/// Fused stage-group walker shared by the host backends: the host-side
+/// mirror of the emitted fused kernel (same geometry, same butterfly
+/// order — bit-identical by construction across invokers too).
+bool hostRunStageGroup(const CompiledPlan &P, const StageGroup &G,
+                       const std::uint64_t *Tw,
+                       const std::vector<const std::uint64_t *> &Aux,
+                       size_t NPoints, size_t Batch, std::string *Err,
+                       InvokeFn Invoke) {
   if (!checkButterflyShape(P, Err) || !checkStageGroup(G, NPoints, Err))
     return false;
   unsigned K = P.ElemWords;
@@ -178,7 +219,7 @@ bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
             Ports[0] = Ports[2] = X;
             Ports[1] = Ports[3] = X + L * KW;
             Ports[4] = const_cast<std::uint64_t *>(Stage + J * KW);
-            if (!callPlan(P, Ports))
+            if (!Invoke(P, Ports))
               return fail(Err, "runStageGroup: unsupported butterfly "
                                "arity");
           }
@@ -219,7 +260,7 @@ bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
           Ports[2] = Zero.data();
           Ports[3] = Regs.data() + J * K;
           Ports[4] = const_cast<std::uint64_t *>(G.Twist + S * K);
-          if (!callPlan(P, Ports))
+          if (!Invoke(P, Ports))
             return fail(Err, "runStageGroup: unsupported butterfly arity");
         }
       }
@@ -236,7 +277,7 @@ bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
             Ports[3] = Y;
             Ports[4] = const_cast<std::uint64_t *>(
                 Tw + (L - 1 + R + (J - J0) * G.Len0) * K);
-            if (!callPlan(P, Ports))
+            if (!Invoke(P, Ports))
               return fail(Err,
                           formatv("runStageGroup: unsupported butterfly "
                                   "arity %zu",
@@ -253,7 +294,7 @@ bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
           // per-output untwist table at the natural-order element index.
           Ports[4] = const_cast<std::uint64_t *>(
               G.Scale + (Base + J * G.Len0) * G.ScaleStride);
-          if (!callPlan(P, Ports))
+          if (!Invoke(P, Ports))
             return fail(Err, "runStageGroup: unsupported butterfly arity");
         }
       for (size_t J = 0; J < M; ++J)
@@ -266,6 +307,82 @@ bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
     }
   }
   return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SerialBackend
+//===----------------------------------------------------------------------===//
+
+bool SerialBackend::runBatch(const CompiledPlan &P, const BatchArgs &Args,
+                             size_t N, size_t Rows, std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
+    return fail(Err, formatv("serial backend cannot run a %s plan",
+                             rewrite::execBackendName(P.Key.Opts.Backend)));
+  // Row-major batch rows are contiguous, so the serial element loop is the
+  // flat product; broadcast (stride 0) inputs broadcast across every row
+  // exactly as the grid's e = by*n + i indexing does.
+  return moma::runtime::runBatch(P, Args, N * Rows, Err);
+}
+
+bool SerialBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
+                             const std::uint64_t *StageTw,
+                             const std::vector<const std::uint64_t *> &Aux,
+                             size_t NPoints, size_t Len, size_t Batch,
+                             std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
+    return fail(Err, formatv("serial backend cannot run a %s plan",
+                             rewrite::execBackendName(P.Key.Opts.Backend)));
+  return hostRunStage(P, Data, StageTw, Aux, NPoints, Len, Batch, Err,
+                      callPlan);
+}
+
+bool SerialBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                                  const std::uint64_t *Tw,
+                                  const std::vector<const std::uint64_t *>
+                                      &Aux,
+                                  size_t NPoints, size_t Batch,
+                                  std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Serial)
+    return fail(Err, formatv("serial backend cannot run a %s plan",
+                             rewrite::execBackendName(P.Key.Opts.Backend)));
+  return hostRunStageGroup(P, G, Tw, Aux, NPoints, Batch, Err, callPlan);
+}
+
+//===----------------------------------------------------------------------===//
+// InterpBackend
+//===----------------------------------------------------------------------===//
+
+bool InterpBackend::runBatch(const CompiledPlan &P, const BatchArgs &Args,
+                             size_t N, size_t Rows, std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Interp || !P.InterpKernel)
+    return fail(Err, "interp backend needs an interpreter plan");
+  // Same flat element product as the serial backend; every call runs the
+  // scalar kernel through ir::interpret.
+  return hostRunElements(P, Args, N * Rows, Err, interpInvoke);
+}
+
+bool InterpBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
+                             const std::uint64_t *StageTw,
+                             const std::vector<const std::uint64_t *> &Aux,
+                             size_t NPoints, size_t Len, size_t Batch,
+                             std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Interp || !P.InterpKernel)
+    return fail(Err, "interp backend needs an interpreter plan");
+  return hostRunStage(P, Data, StageTw, Aux, NPoints, Len, Batch, Err,
+                      interpInvoke);
+}
+
+bool InterpBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                                  const std::uint64_t *Tw,
+                                  const std::vector<const std::uint64_t *>
+                                      &Aux,
+                                  size_t NPoints, size_t Batch,
+                                  std::string *Err) const {
+  if (P.Key.Opts.Backend != rewrite::ExecBackend::Interp || !P.InterpKernel)
+    return fail(Err, "interp backend needs an interpreter plan");
+  return hostRunStageGroup(P, G, Tw, Aux, NPoints, Batch, Err, interpInvoke);
 }
 
 //===----------------------------------------------------------------------===//
@@ -316,6 +433,10 @@ bool SimGpuBackend::runBatch(const CompiledPlan &P, const BatchArgs &Args,
   Cfg.GridX = static_cast<std::uint32_t>(GridX);
   Cfg.GridY = static_cast<std::uint32_t>(Rows);
   Cfg.BlockDim = BD;
+  // Pre-validate so a refused launch (including an injected sim.launch
+  // fault) is a graceful dispatch error, not the launch-path abort.
+  if (std::string VErr = Dev.validate(Cfg); !VErr.empty())
+    return fail(Err, "sim-GPU launch: " + VErr);
   auto Fn = reinterpret_cast<GridFnTy>(P.GridFn);
   Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
     Fn(BX, BY, BD, N, Args.Outs.data(), Args.Ins.data(), Strides.data(),
@@ -350,6 +471,8 @@ bool SimGpuBackend::runStage(const CompiledPlan &P, std::uint64_t *Data,
   Cfg.GridX = static_cast<std::uint32_t>(GridX);
   Cfg.GridY = static_cast<std::uint32_t>(Batch); // paper 5.1 batch dim
   Cfg.BlockDim = BD;
+  if (std::string VErr = Dev.validate(Cfg); !VErr.empty())
+    return fail(Err, "sim-GPU launch: " + VErr);
   auto Fn = reinterpret_cast<StageFnTy>(P.StageFn);
   Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
     Fn(BX, BY, BD, NPoints, Len, Data, StageTw, Aux.data());
@@ -385,6 +508,8 @@ bool SimGpuBackend::runStageGroup(const CompiledPlan &P, const StageGroup &G,
   Cfg.GridX = static_cast<std::uint32_t>(GridX);
   Cfg.GridY = static_cast<std::uint32_t>(Batch); // paper 5.1 batch dim
   Cfg.BlockDim = BD;
+  if (std::string VErr = Dev.validate(Cfg); !VErr.empty())
+    return fail(Err, "sim-GPU launch: " + VErr);
   auto Fn = reinterpret_cast<FusedFnTy>(P.FusedFn);
   Dev.launchBlocks(Cfg, [&](std::uint32_t BX, std::uint32_t BY) {
     Fn(BX, BY, BD, NPoints, G.Len0, G.Depth, G.Dst, G.Src, Tw, G.Gather,

@@ -7,7 +7,7 @@
 ///
 /// \file
 /// The execution layer of the runtime: a compiled plan is run through an
-/// ExecutionBackend, of which there are three —
+/// ExecutionBackend, of which there are four —
 ///
 ///  * SerialBackend: the original host-JIT model, one scalar call per
 ///    element (per butterfly for NTT stages) on the calling thread;
@@ -17,7 +17,14 @@
 ///  * VectorBackend: the host CPU's SIMD units — the plan's lane-loop
 ///    entry points (codegen/VectorEmitter.h) called on the calling
 ///    thread, the batch axis mapped onto vector lanes (VectorWidth per
-///    chunk) and compiled by the JIT at -O3 -march=native.
+///    chunk) and compiled by the JIT at -O3 -march=native;
+///  * InterpBackend: no machine code at all — every element call runs the
+///    plan's scalar kernel through ir::Interp. It walks the exact same
+///    element/stage/stage-group geometry as the serial backend (the
+///    walkers are shared, parameterized on the per-call invoker), so its
+///    results are bit-identical to every JIT backend; it exists as the
+///    terminal rung of the degradation ladder when the host compiler is
+///    unavailable (DESIGN.md "Failure model & the degradation ladder").
 ///
 /// Which backend a plan runs on is part of its PlanKey
 /// (PlanOptions::Backend + BlockDim/VectorWidth), so the autotuner can
@@ -168,6 +175,32 @@ class VectorBackend final : public ExecutionBackend {
 public:
   rewrite::ExecBackend kind() const override {
     return rewrite::ExecBackend::Vector;
+  }
+  bool runBatch(const CompiledPlan &P, const BatchArgs &Args, size_t N,
+                size_t Rows, std::string *Err = nullptr) const override;
+  bool runStage(const CompiledPlan &P, std::uint64_t *Data,
+                const std::uint64_t *StageTw,
+                const std::vector<const std::uint64_t *> &Aux,
+                size_t NPoints, size_t Len, size_t Batch,
+                std::string *Err = nullptr) const override;
+  bool runStageGroup(const CompiledPlan &P, const StageGroup &G,
+                     const std::uint64_t *Tw,
+                     const std::vector<const std::uint64_t *> &Aux,
+                     size_t NPoints, size_t Batch,
+                     std::string *Err = nullptr) const override;
+};
+
+/// Interpreter execution on the calling thread: each element call unpacks
+/// the port words into Bignums, runs the plan's scalar kernel through
+/// ir::interpret, and packs the results back. Orders of magnitude slower
+/// than any JIT backend but involves zero compilation, so it cannot fail
+/// transiently — the Dispatcher binds it when every JIT rung of the
+/// degradation ladder is exhausted. Runs plans compiled (trivially: no
+/// code is generated) for ExecBackend::Interp.
+class InterpBackend final : public ExecutionBackend {
+public:
+  rewrite::ExecBackend kind() const override {
+    return rewrite::ExecBackend::Interp;
   }
   bool runBatch(const CompiledPlan &P, const BatchArgs &Args, size_t N,
                 size_t Rows, std::string *Err = nullptr) const override;

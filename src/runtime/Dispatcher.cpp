@@ -105,9 +105,16 @@ Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q,
     if (!Q.isOdd())
       return fail("Dispatcher: modulus must be odd"), nullptr;
     const TuneDecision *D = Tuner->choose(Op, Q, Base, SizeHint);
-    if (!D)
-      return fail("Dispatcher: " + Tuner->error()), nullptr;
-    Opts = D->Opts;
+    if (!D) {
+      // First ladder rung: a tuner that cannot time candidates (injected
+      // fault, compiler trouble) degrades the request to the base plan
+      // instead of failing it — bindPlan below still has the interpreter
+      // rung if even the base variant cannot compile.
+      DC.TunerFallbacks.fetch_add(1, std::memory_order_relaxed);
+      Opts = Base;
+    } else {
+      Opts = D->Opts;
+    }
   }
   return bindPlan(Op, Q, Opts);
 }
@@ -131,10 +138,49 @@ Dispatcher::BoundPlan *Dispatcher::bindPlan(KernelOp Op, const Bignum &Q,
   auto It = Bound.find(CacheKey);
   if (It != Bound.end()) {
     It->second.LastUse = ++UseTick;
+    if (It->second.Degraded) {
+      // Every dispatch through a degraded binding polls the registry for
+      // a promotion: tryPromote is non-blocking (a compiled plan if one
+      // landed, else it enqueues a background probe), so the steady-state
+      // cost of staying degraded is one cache lookup per dispatch and the
+      // binding snaps back to JIT code the moment a probe succeeds.
+      if (std::shared_ptr<const CompiledPlan> P =
+              Reg.tryPromote(It->second.JitKey)) {
+        BoundPlan &BP = It->second;
+        BP.Plan = std::move(P);
+        BP.Aux = makePlanAux(*BP.Plan, Q);
+        BP.AuxPtrs = BP.Aux.ptrs();
+        BP.Degraded = false;
+        DC.Promotions.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        DC.FallbackDispatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     LastOpts = It->second.Plan->Key.Opts;
     return &It->second;
   }
   std::shared_ptr<const CompiledPlan> Plan = Reg.get(Key);
+  bool Degraded = false;
+  if (!Plan && Opts.Backend != rewrite::ExecBackend::Interp) {
+    // Terminal ladder rung: the requested variant cannot be built (the
+    // registry already spent its retry budget), so serve the same kernel
+    // through the interpreter backend — zero compilation, bit-identical
+    // results — and remember the key we really wanted for promotion.
+    std::string JitError = Reg.error();
+    rewrite::PlanOptions FOpts = Opts;
+    FOpts.Backend = rewrite::ExecBackend::Interp;
+    FOpts.BlockDim = 0;
+    FOpts.VectorWidth = 0;
+    PlanKey FKey = PlanKey::forRns(Op, Q, WideWords, FOpts);
+    Plan = Reg.get(FKey);
+    if (!Plan)
+      return fail("Dispatcher: " + JitError +
+                  "; interp fallback also failed: " + Reg.error()),
+             nullptr;
+    Degraded = true;
+    DC.FallbackBinds.fetch_add(1, std::memory_order_relaxed);
+    DC.FallbackDispatches.fetch_add(1, std::memory_order_relaxed);
+  }
   if (!Plan)
     return fail("Dispatcher: " + Reg.error()), nullptr;
   BoundPlan BP;
@@ -142,6 +188,8 @@ Dispatcher::BoundPlan *Dispatcher::bindPlan(KernelOp Op, const Bignum &Q,
   BP.Aux = makePlanAux(*BP.Plan, Q);
   BP.AuxPtrs = BP.Aux.ptrs();
   BP.LastUse = ++UseTick;
+  BP.Degraded = Degraded;
+  BP.JitKey = Key;
   LastOpts = BP.Plan->Key.Opts;
   auto Ins = Bound.insert_or_assign(CacheKey, std::move(BP));
   // The freshest stamp is the entry just inserted, so LRU eviction never
@@ -285,10 +333,15 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
     if (!Q.isOdd())
       return fail("Dispatcher: modulus must be odd");
     const TuneDecision *D = Tuner->chooseNtt(Q, BaseR, NPoints, Batch);
-    if (!D)
-      return fail("Dispatcher: " + Tuner->error());
-    Opts = D->Opts;
-    Opts.Ring = Ring; // the ring is semantic, never a tuning outcome
+    if (!D) {
+      // Same first-rung degradation as bind(): an unusable tuner costs
+      // the tuned variant, never the transform.
+      DC.TunerFallbacks.fetch_add(1, std::memory_order_relaxed);
+      Opts = BaseR;
+    } else {
+      Opts = D->Opts;
+      Opts.Ring = Ring; // the ring is semantic, never a tuning outcome
+    }
   }
   BoundPlan *BP = bindPlan(KernelOp::Butterfly, Q, Opts);
   if (!BP)

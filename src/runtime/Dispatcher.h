@@ -42,6 +42,7 @@
 #include "runtime/NttPipeline.h"
 #include "runtime/RnsContext.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -218,13 +219,42 @@ public:
   /// at least one entry each is always kept).
   void setCacheCaps(size_t MaxBoundPlans, size_t MaxNttTables);
 
+  /// The degradation ladder's observable state. When a requested plan
+  /// cannot be built (JIT compiler gone, injected fault past the
+  /// registry's retry budget), bindPlan falls back to the interpreter
+  /// backend — same kernel IR, zero compilation — instead of failing the
+  /// request, and every later dispatch through the degraded binding polls
+  /// KernelRegistry::tryPromote so the binding snaps back to compiled
+  /// code the moment a background probe succeeds. Counters are atomics:
+  /// the serving layer reads them across threads for health reporting
+  /// while workers dispatch.
+  struct DegradeCounters {
+    std::uint64_t FallbackBinds = 0;      ///< bindings created degraded
+    std::uint64_t FallbackDispatches = 0; ///< dispatches through them
+    std::uint64_t Promotions = 0;         ///< degraded -> JIT rebinds
+    std::uint64_t TunerFallbacks = 0;     ///< tuner failure -> base plan
+  };
+  DegradeCounters degradeCounters() const {
+    DegradeCounters C;
+    C.FallbackBinds = DC.FallbackBinds.load(std::memory_order_relaxed);
+    C.FallbackDispatches =
+        DC.FallbackDispatches.load(std::memory_order_relaxed);
+    C.Promotions = DC.Promotions.load(std::memory_order_relaxed);
+    C.TunerFallbacks = DC.TunerFallbacks.load(std::memory_order_relaxed);
+    return C;
+  }
+
 private:
   /// A compiled plan bound to one modulus value: broadcast tail packed.
+  /// A degraded binding runs the interpreter fallback but remembers the
+  /// key it really wanted (JitKey) so cache hits can promote back.
   struct BoundPlan {
     std::shared_ptr<const CompiledPlan> Plan;
     PlanAux Aux;
     std::vector<const std::uint64_t *> AuxPtrs;
     std::uint64_t LastUse = 0; ///< LRU stamp
+    bool Degraded = false;     ///< serving the interp fallback
+    PlanKey JitKey;            ///< the originally requested variant
   };
   /// One cached NttTables with its LRU stamp.
   struct TablesEntry {
@@ -301,6 +331,14 @@ private:
   size_t MaxBound = 128, MaxTables = 64;
   std::uint64_t UseTick = 0; ///< LRU clock shared by both caches
   DispatchStats DStats;
+  /// Atomic mirrors of DegradeCounters (snapshot via degradeCounters()).
+  struct DegradeCountersAtomic {
+    std::atomic<std::uint64_t> FallbackBinds{0};
+    std::atomic<std::uint64_t> FallbackDispatches{0};
+    std::atomic<std::uint64_t> Promotions{0};
+    std::atomic<std::uint64_t> TunerFallbacks{0};
+  };
+  DegradeCountersAtomic DC;
   CacheCounters Evictions; ///< only the eviction counters are maintained
                            ///< here; entry counts read the maps directly
   /// The scratch pool. unique_ptr entries: leases hold references across

@@ -13,6 +13,7 @@
 #include "kernels/ScalarKernels.h"
 #include "runtime/Backend.h"
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -199,7 +200,19 @@ KernelRegistry::KernelRegistry(jit::HostJitOptions JitOpts)
     : Jit(std::move(JitOpts)), Profile(sim::deviceHostDefault()),
       Serial(new SerialBackend()) {}
 
-KernelRegistry::~KernelRegistry() = default;
+KernelRegistry::~KernelRegistry() {
+  // Stop the recovery-probe thread before any member it touches goes
+  // away; probes in flight finish their get() first.
+  std::thread Probe;
+  {
+    std::lock_guard<std::mutex> L(ProbeMu);
+    ProbeStop = true;
+    Probe = std::move(ProbeThread);
+  }
+  ProbeCv.notify_all();
+  if (Probe.joinable())
+    Probe.join();
+}
 
 ExecutionBackend &KernelRegistry::backendFor(const PlanKey &Key) {
   if (Key.Opts.Backend == rewrite::ExecBackend::SimGpu) {
@@ -214,7 +227,44 @@ ExecutionBackend &KernelRegistry::backendFor(const PlanKey &Key) {
       Vector.reset(new VectorBackend());
     return *Vector;
   }
+  if (Key.Opts.Backend == rewrite::ExecBackend::Interp) {
+    std::lock_guard<std::mutex> L(BackendMu);
+    if (!Interp)
+      Interp.reset(new InterpBackend());
+    return *Interp;
+  }
   return *Serial;
+}
+
+void KernelRegistry::setRetryPolicy(const RetryPolicy &P) {
+  std::lock_guard<std::mutex> L(Mu);
+  Retry = P;
+  if (Retry.MaxAttempts == 0)
+    Retry.MaxAttempts = 1;
+  if (Retry.BackoffMultiplier == 0)
+    Retry.BackoffMultiplier = 1;
+}
+
+KernelRegistry::RetryPolicy KernelRegistry::retryPolicy() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Retry;
+}
+
+void KernelRegistry::setNegativeTtlUs(std::uint64_t Us) {
+  std::lock_guard<std::mutex> L(Mu);
+  NegativeTtlUs = Us;
+  if (Us == 0)
+    Negative.clear();
+}
+
+bool KernelRegistry::degraded() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return !Degraded.empty();
+}
+
+std::vector<std::string> KernelRegistry::degradedKeys() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return std::vector<std::string>(Degraded.begin(), Degraded.end());
 }
 
 void KernelRegistry::setDeviceProfile(const sim::DeviceProfile &P) {
@@ -264,9 +314,10 @@ std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
   Err.clear();
   std::string K = Key.str();
 
-  // Fast path and single-flight admission under one lock.
+  // Fast path, negative cache, and single-flight admission under one lock.
   std::shared_ptr<Flight> F;
   bool Leader = false;
+  RetryPolicy RP;
   {
     std::lock_guard<std::mutex> L(Mu);
     auto It = Plans.find(K);
@@ -274,6 +325,19 @@ std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
       ++S.Hits;
       It->second.LastUse = ++UseTick;
       return It->second.Plan;
+    }
+    // A terminally-failed key fast-fails until its TTL passes: a hot
+    // broken kernel must not convoy every worker thread through a doomed
+    // compile-and-retry sequence (the re-stampede fix).
+    auto NIt = Negative.find(K);
+    if (NIt != Negative.end()) {
+      if (std::chrono::steady_clock::now() < NIt->second.Until) {
+        ++S.NegativeHits;
+        std::string Msg = NIt->second.Error;
+        Err.set(Msg);
+        return nullptr;
+      }
+      Negative.erase(NIt);
     }
     auto FIt = InFlight.find(K);
     if (FIt != InFlight.end()) {
@@ -283,12 +347,14 @@ std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
       InFlight.emplace(K, F);
       Leader = true;
     }
+    RP = Retry;
   }
 
   if (!Leader) {
     // Another thread is building this key: wait and share its result, so
     // N threads racing on a cold key cost one rewrite pipeline and one
-    // compiler invocation total.
+    // compiler invocation total — and one retry/backoff sequence on
+    // transient failure, not N.
     std::unique_lock<std::mutex> FL(F->M);
     F->CV.wait(FL, [&] { return F->Done; });
     if (!F->Plan) {
@@ -301,20 +367,51 @@ std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
   }
 
   // Leader: snapshot the profile bound the build validates against, run
-  // the pipeline with no registry locks held, publish, wake followers.
+  // the pipeline with no registry locks held — retrying transient
+  // failures with bounded exponential backoff — then publish and wake
+  // followers.
   unsigned MaxTPB;
   {
     std::lock_guard<std::mutex> L(BackendMu);
     MaxTPB = Profile.MaxThreadsPerBlock;
   }
   std::string Error;
-  std::shared_ptr<CompiledPlan> P = build(Key, MaxTPB, Error);
+  std::shared_ptr<CompiledPlan> P;
+  std::uint64_t BackoffUs = RP.InitialBackoffUs;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++S.Attempts;
+    }
+    bool Transient = false;
+    Error.clear();
+    P = build(Key, MaxTPB, Error, Transient);
+    if (P || !Transient || Attempt >= RP.MaxAttempts)
+      break;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++S.Retries;
+    }
+    if (BackoffUs > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(BackoffUs));
+    BackoffUs = std::min<std::uint64_t>(
+        BackoffUs * RP.BackoffMultiplier, RP.MaxBackoffUs);
+  }
   {
     std::lock_guard<std::mutex> L(Mu);
     if (P) {
       ++S.Builds;
       Plans[K] = Entry{P, ++UseTick};
+      Degraded.erase(K);
+      Negative.erase(K);
       evictLocked();
+    } else {
+      ++S.FailedBuilds;
+      Degraded.insert(K);
+      if (NegativeTtlUs > 0)
+        Negative[K] =
+            NegativeEntry{Error, std::chrono::steady_clock::now() +
+                                     std::chrono::microseconds(NegativeTtlUs)};
     }
     InFlight.erase(K);
   }
@@ -330,9 +427,70 @@ std::shared_ptr<const CompiledPlan> KernelRegistry::get(const PlanKey &Key) {
   return P;
 }
 
+std::shared_ptr<const CompiledPlan>
+KernelRegistry::tryPromote(const PlanKey &Key) {
+  std::string K = Key.str();
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Plans.find(K);
+    if (It != Plans.end()) {
+      ++S.Hits;
+      It->second.LastUse = ++UseTick;
+      return It->second.Plan;
+    }
+    // Inside the negative TTL the failure is still fresh; don't churn.
+    auto NIt = Negative.find(K);
+    if (NIt != Negative.end() &&
+        std::chrono::steady_clock::now() < NIt->second.Until)
+      return nullptr;
+    // A build or probe is already running; its result will land in Plans.
+    if (InFlight.count(K))
+      return nullptr;
+  }
+  enqueueProbe(Key);
+  return nullptr;
+}
+
+void KernelRegistry::enqueueProbe(const PlanKey &Key) {
+  std::lock_guard<std::mutex> L(ProbeMu);
+  if (ProbeStop || !ProbeQueued.insert(Key.str()).second)
+    return;
+  ProbeQueue.push_back(Key);
+  if (!ProbeThread.joinable())
+    ProbeThread = std::thread([this] { probeLoop(); });
+  ProbeCv.notify_one();
+}
+
+void KernelRegistry::probeLoop() {
+  for (;;) {
+    PlanKey Key;
+    {
+      std::unique_lock<std::mutex> L(ProbeMu);
+      ProbeCv.wait(L, [&] { return ProbeStop || !ProbeQueue.empty(); });
+      if (ProbeStop)
+        return;
+      Key = ProbeQueue.front();
+      ProbeQueue.pop_front();
+      ProbeQueued.erase(Key.str());
+    }
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++S.Probes;
+    }
+    // A plain get(): success publishes the plan (clearing the degraded
+    // mark), failure refreshes the negative entry, and either way the
+    // next tryPromote sees the fresh state.
+    get(Key);
+  }
+}
+
 std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
                                                     unsigned MaxTPB,
-                                                    std::string &Error) {
+                                                    std::string &Error,
+                                                    bool &Transient) {
+  // Everything up to the JIT handoff is deterministic validation and pure
+  // rewriting: failures there are permanent (retrying cannot help).
+  Transient = false;
   if (Key.Opts.TargetWordBits != 64) {
     // The flat-batch ABI is 64-bit words; 16/32-bit lowerings remain
     // available through the direct emitters.
@@ -368,6 +526,15 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
     return nullptr;
   }
 
+  // The injected stand-in for "the build machinery itself is broken"
+  // (registry-level chaos testing, distinct from the JIT's own sites).
+  // Classified transient: real analogues are resource exhaustion.
+  if (support::faultShouldFail("registry.build")) {
+    Error = "KernelRegistry: fault injected at registry.build";
+    Transient = true;
+    return nullptr;
+  }
+
   auto P = std::make_shared<CompiledPlan>();
   P->Key = Key;
   ir::Kernel K = buildOpKernel(Key);
@@ -376,6 +543,58 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
   if (Key.WideWords)
     K.Name += formatv("_W%u", Key.WideWords);
   P->Lowered = rewrite::lowerWithPlan(K, Key.Opts);
+
+  // Port layout: outputs, per-element data inputs, then the broadcast
+  // tail starting at the modulus port. Derived from the lowered kernel
+  // alone, so it runs before any backend-specific work and the interp
+  // path below can return without touching the JIT.
+  P->NumOutputs = static_cast<unsigned>(P->Lowered.Outputs.size());
+  P->ElemWords = (Key.ModBits + 63) / 64;
+  size_t QAt = P->Lowered.Inputs.size();
+  for (size_t I = 0; I < P->Lowered.Inputs.size(); ++I)
+    if (P->Lowered.Inputs[I].Name == "q") {
+      QAt = I;
+      break;
+    }
+  if (QAt == P->Lowered.Inputs.size()) {
+    Error = "KernelRegistry: kernel has no modulus port";
+    return nullptr;
+  }
+  P->NumDataInputs = static_cast<unsigned>(QAt);
+  for (size_t I = QAt; I < P->Lowered.Inputs.size(); ++I)
+    P->AuxWords.push_back(P->Lowered.Inputs[I].storedWords());
+  for (const rewrite::LoweredPort &Port : P->Lowered.Outputs)
+    if (Port.storedWords() != P->ElemWords) {
+      Error = "KernelRegistry: output port width mismatch";
+      return nullptr;
+    }
+  // The RNS CRT kernels mix widths on the input side by design (wide
+  // element vs word-sized residue); their drivers always dispatch with
+  // explicit per-input strides, so the uniform check is skipped there.
+  if (!kernelOpMixesWidths(Key.Op))
+    for (size_t I = 0; I < QAt; ++I)
+      if (P->Lowered.Inputs[I].storedWords() != P->ElemWords) {
+        Error = "KernelRegistry: data input port width mismatch";
+        return nullptr;
+      }
+  // The 8-port bound is the serial callPorts arity limit; the grid ABI
+  // passes port arrays but shares it for the serial stage fallback, and
+  // the interp walkers reuse the same 8-slot port frames.
+  if (P->numPorts() > 8) {
+    Error = "KernelRegistry: unsupported port shape";
+    return nullptr;
+  }
+
+  if (Key.Opts.Backend == rewrite::ExecBackend::Interp) {
+    // The terminal-fallback artifact: no emit, no compile, no dlopen —
+    // the scalar kernel itself is the executable, run per element by
+    // InterpBackend through ir::interpret. Nothing on this path can fail
+    // transiently, which is the property the degradation ladder rests
+    // on. The lowered kernel is still the port-layout source of truth
+    // (stored word counts, aux tail) shared with every compiled backend.
+    P->InterpKernel = std::make_shared<ir::Kernel>(std::move(K));
+    return P;
+  }
 
   std::string StageSymbol, FusedSymbol;
   if (IsVector) {
@@ -415,7 +634,10 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
   P->Module = Jit.load(P->Emitted.Source,
                        IsVector ? MOMA_VEC_EXTRA_FLAGS : "");
   if (!P->Module) {
+    // Compiler and loader trouble is the canonical transient failure
+    // class (crashed cc, full /tmp, OOM killer): retry with backoff.
     Error = "KernelRegistry: " + Jit.error();
+    Transient = true;
     return nullptr;
   }
   // Symbol lookups carry the dlerror() diagnostic: a stripped or
@@ -449,40 +671,9 @@ std::shared_ptr<CompiledPlan> KernelRegistry::build(const PlanKey &Key,
     P->Fn = EntryFn;
   }
 
-  // Port layout: outputs, per-element data inputs, then the broadcast
-  // tail starting at the modulus port.
-  P->NumOutputs = static_cast<unsigned>(P->Lowered.Outputs.size());
-  P->ElemWords = (Key.ModBits + 63) / 64;
-  size_t QAt = P->Lowered.Inputs.size();
-  for (size_t I = 0; I < P->Lowered.Inputs.size(); ++I)
-    if (P->Lowered.Inputs[I].Name == "q") {
-      QAt = I;
-      break;
-    }
-  if (QAt == P->Lowered.Inputs.size()) {
-    Error = "KernelRegistry: kernel has no modulus port";
-    return nullptr;
-  }
-  P->NumDataInputs = static_cast<unsigned>(QAt);
-  for (size_t I = QAt; I < P->Lowered.Inputs.size(); ++I)
-    P->AuxWords.push_back(P->Lowered.Inputs[I].storedWords());
-  for (const rewrite::LoweredPort &Port : P->Lowered.Outputs)
-    if (Port.storedWords() != P->ElemWords) {
-      Error = "KernelRegistry: output port width mismatch";
-      return nullptr;
-    }
-  // The RNS CRT kernels mix widths on the input side by design (wide
-  // element vs word-sized residue); their drivers always dispatch with
-  // explicit per-input strides, so the uniform check is skipped there.
-  if (!kernelOpMixesWidths(Key.Op))
-    for (size_t I = 0; I < QAt; ++I)
-      if (P->Lowered.Inputs[I].storedWords() != P->ElemWords) {
-        Error = "KernelRegistry: data input port width mismatch";
-        return nullptr;
-      }
-  // The 8-port bound is the serial callPorts arity limit; the grid ABI
-  // passes port arrays but shares it for the serial stage fallback.
-  if (P->numPorts() != P->Emitted.Ports.size() || P->numPorts() > 8) {
+  // The emitted signature must agree with the lowered port layout
+  // computed above.
+  if (P->numPorts() != P->Emitted.Ports.size()) {
     Error = "KernelRegistry: unsupported port shape";
     return nullptr;
   }

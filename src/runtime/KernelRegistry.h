@@ -35,10 +35,14 @@
 #include "sim/Device.h"
 #include "support/ThreadError.h"
 
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -73,6 +77,10 @@ struct CompiledPlan {
                               ///< (butterfly); the lane count is a launch
                               ///< parameter, so every VectorWidth key of
                               ///< one kernel shares the module
+  /// Interp plans carry the scalar kernel itself instead of an entry
+  /// point: InterpBackend runs it through ir::interpret per element, with
+  /// no compiled code at all (the degradation ladder's terminal rung).
+  std::shared_ptr<const ir::Kernel> InterpKernel;
 
   unsigned NumOutputs = 0;    ///< leading per-element output ports
   unsigned NumDataInputs = 0; ///< per-element input ports (before q)
@@ -167,11 +175,52 @@ public:
   /// empty after success.
   const std::string &error() const { return Err.get(); }
 
+  /// How the registry retries transient build failures (a compiler crash,
+  /// a full /tmp, an injected fault): the single-flight leader re-runs the
+  /// build up to MaxAttempts times with bounded exponential backoff, so N
+  /// followers blocked on the flight observe one retry sequence, not N.
+  /// Permanent failures (validation errors: bad geometry, unsupported
+  /// shape) are never retried.
+  struct RetryPolicy {
+    unsigned MaxAttempts = 3;        ///< total build attempts per get()
+    unsigned InitialBackoffUs = 200; ///< sleep before the first retry
+    unsigned BackoffMultiplier = 4;  ///< backoff growth per retry
+    unsigned MaxBackoffUs = 100000;  ///< backoff ceiling (100ms)
+  };
+  void setRetryPolicy(const RetryPolicy &P);
+  RetryPolicy retryPolicy() const;
+
+  /// TTL of the negative cache: after a terminal build failure the key
+  /// fast-fails (error() reports the cached message) for this long
+  /// instead of letting every worker re-stampede the broken build. 0
+  /// disables negative caching. Default 250ms.
+  void setNegativeTtlUs(std::uint64_t Us);
+
+  /// True while any key has terminally failed to build and not yet been
+  /// rebuilt — the serving layer's health() degraded flag.
+  bool degraded() const;
+  /// The currently-degraded key strings (diagnostics).
+  std::vector<std::string> degradedKeys() const;
+
+  /// Non-blocking recovery probe for a degraded key: returns the plan if
+  /// it is already back in the cache; otherwise (unless the key is inside
+  /// its negative TTL or a build/probe is already running) enqueues a
+  /// background rebuild on the registry's probe thread and returns null.
+  /// The Dispatcher calls this on every dispatch through a fallback
+  /// binding, so service promotes back to JIT as soon as compiles succeed
+  /// again without ever blocking a request on a compile.
+  std::shared_ptr<const CompiledPlan> tryPromote(const PlanKey &Key);
+
   /// Cache behavior counters.
   struct Stats {
     unsigned Builds = 0; ///< plans built (lower + emit + compile + load)
     unsigned Hits = 0;   ///< plans served from the in-memory cache
-    std::uint64_t Evictions = 0; ///< plans dropped by the LRU cap
+    std::uint64_t Evictions = 0;    ///< plans dropped by the LRU cap
+    unsigned Attempts = 0;          ///< build attempts (incl. retries)
+    unsigned Retries = 0;           ///< transient-failure retries
+    unsigned FailedBuilds = 0;      ///< get() calls that exhausted retries
+    std::uint64_t NegativeHits = 0; ///< fast-fails from the negative cache
+    unsigned Probes = 0;            ///< background recovery rebuilds run
   };
   Stats stats() const;
 
@@ -204,26 +253,51 @@ private:
 
   /// The lower/emit/compile pipeline; no registry locks held.
   /// \p MaxThreadsPerBlock is the profile value snapshotted by get().
+  /// \p Transient reports whether a failure is retryable (compiler/loader
+  /// trouble) as opposed to a permanent validation error.
   std::shared_ptr<CompiledPlan> build(const PlanKey &Key,
                                       unsigned MaxThreadsPerBlock,
-                                      std::string &Error);
+                                      std::string &Error, bool &Transient);
   /// LRU-evicts Plans down to CacheCap; requires Mu held.
   void evictLocked();
+  /// Starts the probe thread if needed and enqueues \p K; requires Mu NOT
+  /// held (takes ProbeMu then Mu internally via get()).
+  void enqueueProbe(const PlanKey &Key);
+  void probeLoop();
+
+  /// One terminally-failed key: fast-fail until the TTL deadline passes.
+  struct NegativeEntry {
+    std::string Error;
+    std::chrono::steady_clock::time_point Until;
+  };
 
   jit::HostJit Jit;
-  mutable std::mutex Mu; ///< guards S, Plans, InFlight, CacheCap, UseTick
+  mutable std::mutex Mu; ///< guards S, Plans, InFlight, CacheCap, UseTick,
+                         ///< Retry, NegativeTtlUs, Negative, Degraded
   Stats S;
   support::ThreadError Err;
   std::unordered_map<std::string, Entry> Plans;
   std::unordered_map<std::string, std::shared_ptr<Flight>> InFlight;
   size_t CacheCap = 512;
   std::uint64_t UseTick = 0; ///< LRU clock
+  RetryPolicy Retry;
+  std::uint64_t NegativeTtlUs = 250000;
+  std::unordered_map<std::string, NegativeEntry> Negative;
+  std::set<std::string> Degraded; ///< keys whose last build failed
+
+  mutable std::mutex ProbeMu; ///< guards the probe thread + queue
+  std::condition_variable ProbeCv;
+  std::deque<PlanKey> ProbeQueue;
+  std::set<std::string> ProbeQueued; ///< dedup of ProbeQueue by key string
+  std::thread ProbeThread;           ///< started lazily by tryPromote
+  bool ProbeStop = false;
 
   mutable std::mutex BackendMu; ///< guards Profile and backend creation
   sim::DeviceProfile Profile;
   std::unique_ptr<ExecutionBackend> Serial; ///< created with the registry
   std::unique_ptr<ExecutionBackend> SimGpu; ///< created on first use
   std::unique_ptr<ExecutionBackend> Vector; ///< created on first use
+  std::unique_ptr<ExecutionBackend> Interp; ///< created on first use
 };
 
 } // namespace runtime

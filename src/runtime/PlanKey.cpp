@@ -72,7 +72,8 @@ PlanKey PlanKey::forModulus(KernelOp Op, const mw::Bignum &Q,
   // stay canonical either way, and serial keys keep their pre-backend
   // string form. The lane count is likewise Vector-only: fold it to 0
   // elsewhere, and give Vector plans (whose geometry is lanes, not
-  // blocks) an 8-lane default when left unset.
+  // blocks) an 8-lane default when left unset. Interp plans have no
+  // launch geometry at all and take the same fold as serial.
   if (K.Opts.Backend == rewrite::ExecBackend::SimGpu) {
     if (K.Opts.BlockDim == 0)
       K.Opts.BlockDim = 256;

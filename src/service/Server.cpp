@@ -2,6 +2,8 @@
 
 #include "service/Server.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <utility>
 
@@ -15,6 +17,22 @@ char ringTag(rewrite::NttRing Ring) {
 }
 
 } // namespace
+
+const char *moma::service::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::QueueFull:
+    return "queue-full";
+  case ErrorCode::ShuttingDown:
+    return "shutting-down";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case ErrorCode::DispatchFailed:
+    return "dispatch-failed";
+  }
+  return "unknown";
+}
 
 //===----------------------------------------------------------------------===//
 // Lifecycle
@@ -57,7 +75,14 @@ Server::~Server() {
 
 std::future<Reply> Server::submit(Request R) {
   R.Arrival = std::chrono::steady_clock::now();
+  std::uint64_t Budget =
+      R.DeadlineUs ? R.DeadlineUs : Opts.DefaultDeadlineUs;
+  if (Budget) {
+    R.HasDeadline = true;
+    R.Deadline = R.Arrival + std::chrono::microseconds(Budget);
+  }
   std::future<Reply> F = R.Promise.get_future();
+  ErrorCode Code;
   {
     std::lock_guard<std::mutex> G(QMu);
     if (!Stop && Queue.size() < Opts.QueueCap) {
@@ -67,10 +92,14 @@ std::future<Reply> Server::submit(Request R) {
       QCv.notify_one();
       return F;
     }
+    Code = Stop ? ErrorCode::ShuttingDown : ErrorCode::QueueFull;
     ++S.Rejected;
   }
   Reply Rej;
-  Rej.Error = "server: submission rejected (queue full or stopping)";
+  Rej.Code = Code;
+  Rej.Error = Code == ErrorCode::ShuttingDown
+                  ? "server: submission rejected (shutting down)"
+                  : "server: submission rejected (queue full)";
   Rej.Done = std::chrono::steady_clock::now();
   R.Promise.set_value(std::move(Rej));
   return F;
@@ -78,7 +107,7 @@ std::future<Reply> Server::submit(Request R) {
 
 std::future<Reply> Server::vadd(const mw::Bignum &Q, const std::uint64_t *A,
                                 const std::uint64_t *B, std::uint64_t *C,
-                                size_t N) {
+                                size_t N, std::uint64_t DeadlineUs) {
   Request R;
   R.Kind = ReqKind::VAdd;
   R.Q = Q;
@@ -87,12 +116,13 @@ std::future<Reply> Server::vadd(const mw::Bignum &Q, const std::uint64_t *A,
   R.C = C;
   R.N = N;
   R.Key = "va/" + Q.toHex();
+  R.DeadlineUs = DeadlineUs;
   return submit(std::move(R));
 }
 
 std::future<Reply> Server::vsub(const mw::Bignum &Q, const std::uint64_t *A,
                                 const std::uint64_t *B, std::uint64_t *C,
-                                size_t N) {
+                                size_t N, std::uint64_t DeadlineUs) {
   Request R;
   R.Kind = ReqKind::VSub;
   R.Q = Q;
@@ -101,12 +131,13 @@ std::future<Reply> Server::vsub(const mw::Bignum &Q, const std::uint64_t *A,
   R.C = C;
   R.N = N;
   R.Key = "vs/" + Q.toHex();
+  R.DeadlineUs = DeadlineUs;
   return submit(std::move(R));
 }
 
 std::future<Reply> Server::vmul(const mw::Bignum &Q, const std::uint64_t *A,
                                 const std::uint64_t *B, std::uint64_t *C,
-                                size_t N) {
+                                size_t N, std::uint64_t DeadlineUs) {
   Request R;
   R.Kind = ReqKind::VMul;
   R.Q = Q;
@@ -115,13 +146,15 @@ std::future<Reply> Server::vmul(const mw::Bignum &Q, const std::uint64_t *A,
   R.C = C;
   R.N = N;
   R.Key = "vm/" + Q.toHex();
+  R.DeadlineUs = DeadlineUs;
   return submit(std::move(R));
 }
 
 std::future<Reply> Server::polyMul(const mw::Bignum &Q,
                                    const std::uint64_t *A,
                                    const std::uint64_t *B, std::uint64_t *C,
-                                   size_t NPoints, rewrite::NttRing Ring) {
+                                   size_t NPoints, rewrite::NttRing Ring,
+                                   std::uint64_t DeadlineUs) {
   Request R;
   R.Kind = ReqKind::PolyMul;
   R.Q = Q;
@@ -132,12 +165,14 @@ std::future<Reply> Server::polyMul(const mw::Bignum &Q,
   R.N = NPoints;
   R.Key = "pm/" + Q.toHex() + "/" + std::to_string(NPoints) + "/" +
           ringTag(Ring);
+  R.DeadlineUs = DeadlineUs;
   return submit(std::move(R));
 }
 
 std::future<Reply> Server::nttForward(const mw::Bignum &Q,
                                       std::uint64_t *Data, size_t NPoints,
-                                      rewrite::NttRing Ring) {
+                                      rewrite::NttRing Ring,
+                                      std::uint64_t DeadlineUs) {
   Request R;
   R.Kind = ReqKind::NttForward;
   R.Q = Q;
@@ -146,12 +181,14 @@ std::future<Reply> Server::nttForward(const mw::Bignum &Q,
   R.N = NPoints;
   R.Key = "nf/" + Q.toHex() + "/" + std::to_string(NPoints) + "/" +
           ringTag(Ring);
+  R.DeadlineUs = DeadlineUs;
   return submit(std::move(R));
 }
 
 std::future<Reply> Server::nttInverse(const mw::Bignum &Q,
                                       std::uint64_t *Data, size_t NPoints,
-                                      rewrite::NttRing Ring) {
+                                      rewrite::NttRing Ring,
+                                      std::uint64_t DeadlineUs) {
   Request R;
   R.Kind = ReqKind::NttInverse;
   R.Q = Q;
@@ -160,6 +197,7 @@ std::future<Reply> Server::nttInverse(const mw::Bignum &Q,
   R.N = NPoints;
   R.Key = "ni/" + Q.toHex() + "/" + std::to_string(NPoints) + "/" +
           ringTag(Ring);
+  R.DeadlineUs = DeadlineUs;
   return submit(std::move(R));
 }
 
@@ -167,7 +205,8 @@ std::future<Reply> Server::rnsPolyMul(const runtime::RnsContext &Ctx,
                                       const std::uint64_t *A,
                                       const std::uint64_t *B,
                                       std::uint64_t *C, size_t NPoints,
-                                      rewrite::NttRing Ring) {
+                                      rewrite::NttRing Ring,
+                                      std::uint64_t DeadlineUs) {
   Request R;
   R.Kind = ReqKind::RnsPolyMul;
   R.Ctx = &Ctx;
@@ -181,6 +220,7 @@ std::future<Reply> Server::rnsPolyMul(const runtime::RnsContext &Ctx,
   R.Key = "rp/" +
           std::to_string(reinterpret_cast<std::uintptr_t>(&Ctx)) + "/" +
           std::to_string(NPoints) + "/" + ringTag(Ring);
+  R.DeadlineUs = DeadlineUs;
   return submit(std::move(R));
 }
 
@@ -194,6 +234,62 @@ Server::Stats Server::stats() const {
   return S;
 }
 
+Server::Health Server::health() const {
+  Health H;
+  // Dispatcher fallback counters are atomics (readable while workers
+  // dispatch); the registry takes its own lock for stats().
+  for (const auto &W : Workers) {
+    runtime::Dispatcher::DegradeCounters DC = W->D->degradeCounters();
+    H.FallbackBinds += DC.FallbackBinds;
+    H.FallbackDispatches += DC.FallbackDispatches;
+    H.Promotions += DC.Promotions;
+    H.TunerFallbacks += DC.TunerFallbacks;
+  }
+  runtime::KernelRegistry::Stats RS = Reg.stats();
+  H.Retries = RS.Retries;
+  H.FailedBuilds = RS.FailedBuilds;
+  H.Degraded = Reg.degraded();
+  std::lock_guard<std::mutex> G(QMu);
+  H.Rejected = S.Rejected;
+  H.DeadlineExpired = S.DeadlineExpired;
+  H.QueueDepth = Queue.size();
+  return H;
+}
+
+void Server::sweepExpiredLocked(std::vector<Request> &Expired) {
+  const size_t Before = Expired.size();
+  const auto Now = std::chrono::steady_clock::now();
+  for (auto It = Queue.begin(); It != Queue.end();) {
+    if (It->HasDeadline && Now >= It->Deadline) {
+      Expired.push_back(std::move(*It));
+      It = Queue.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  S.DeadlineExpired += Expired.size() - Before;
+}
+
+void Server::replyExpired(std::vector<Request> &Expired) {
+  if (Expired.empty())
+    return;
+  for (Request &R : Expired) {
+    Reply Rep;
+    Rep.Code = ErrorCode::DeadlineExceeded;
+    Rep.Error = "server: deadline exceeded while queued";
+    Rep.Done = std::chrono::steady_clock::now();
+    R.Promise.set_value(std::move(Rep));
+  }
+  {
+    // Pending drops only after the promises are fulfilled, preserving
+    // the drain() invariant: Pending == 0 => every future is ready.
+    std::lock_guard<std::mutex> G(QMu);
+    Pending -= Expired.size();
+  }
+  DrainCv.notify_all();
+  Expired.clear();
+}
+
 //===----------------------------------------------------------------------===//
 // Worker: coalesce and dispatch
 //===----------------------------------------------------------------------===//
@@ -201,13 +297,23 @@ Server::Stats Server::stats() const {
 void Server::workerLoop(Worker &W) {
   std::unique_lock<std::mutex> L(QMu);
   // Moves every queued request matching Key (up to MaxBatch total) into
-  // Batch, preserving arrival order. Called under QMu.
+  // Batch, preserving arrival order — except requests whose deadline has
+  // already passed, which divert to Expired: a request is either rejected
+  // while still queued or served as part of a batch, never torn from one
+  // mid-flight. Called under QMu.
   auto TakeMatching = [&](const std::string &Key,
-                          std::vector<Request> &Batch) {
+                          std::vector<Request> &Batch,
+                          std::vector<Request> &Expired) {
+    const auto Now = std::chrono::steady_clock::now();
     for (auto It = Queue.begin();
          It != Queue.end() && Batch.size() < Opts.MaxBatch;) {
       if (It->Key == Key) {
-        Batch.push_back(std::move(*It));
+        if (It->HasDeadline && Now >= It->Deadline) {
+          ++S.DeadlineExpired;
+          Expired.push_back(std::move(*It));
+        } else {
+          Batch.push_back(std::move(*It));
+        }
         It = Queue.erase(It);
       } else {
         ++It;
@@ -223,6 +329,18 @@ void Server::workerLoop(Worker &W) {
       continue; // spurious wake or another worker won the race
     }
 
+    // Reject everything already past its deadline — any key, so a
+    // stalled dispatch elsewhere (slow compile, injected delay) never
+    // leaves expired requests waiting behind an unrelated batch.
+    std::vector<Request> Expired;
+    sweepExpiredLocked(Expired);
+    if (Queue.empty()) {
+      L.unlock();
+      replyExpired(Expired);
+      L.lock();
+      continue;
+    }
+
     // Adopt the oldest request's key and hold its batch open until the
     // latency budget measured from ITS arrival expires — the head of the
     // queue never waits longer than one coalesce window.
@@ -231,17 +349,19 @@ void Server::workerLoop(Worker &W) {
         Queue.front().Arrival +
         std::chrono::microseconds(Opts.CoalesceWindowUs);
     std::vector<Request> Batch;
-    TakeMatching(Key, Batch);
+    TakeMatching(Key, Batch, Expired);
     while (!Stop && Batch.size() < Opts.MaxBatch) {
       if (QCv.wait_until(L, Deadline) == std::cv_status::timeout) {
-        TakeMatching(Key, Batch); // final sweep at the deadline
+        TakeMatching(Key, Batch, Expired); // final sweep at the deadline
         break;
       }
-      TakeMatching(Key, Batch); // same-key arrival during the window
+      TakeMatching(Key, Batch, Expired); // same-key arrival in the window
     }
 
     L.unlock();
-    execute(W, Batch);
+    replyExpired(Expired);
+    if (!Batch.empty())
+      execute(W, Batch);
     L.lock();
   }
 }
@@ -252,8 +372,10 @@ void Server::execute(Worker &W, std::vector<Request> &Batch) {
 
   Reply R;
   R.Ok = Ok;
-  if (!Ok)
+  if (!Ok) {
+    R.Code = ErrorCode::DispatchFailed;
     R.Error = Error.empty() ? "server: dispatch failed" : Error;
+  }
   R.Done = std::chrono::steady_clock::now();
   for (auto &Req : Batch)
     Req.Promise.set_value(R);
@@ -271,6 +393,13 @@ void Server::execute(Worker &W, std::vector<Request> &Batch) {
 
 bool Server::dispatchBatch(Worker &W, std::vector<Request> &Batch,
                            std::string &Error) {
+  // Chaos hook: a whole coalesced batch failing at dispatch (the
+  // stand-in for a worker losing its backend mid-flight). Every request
+  // in the batch gets the same typed DispatchFailed reply.
+  if (support::faultShouldFail("server.dispatch")) {
+    Error = "server: fault injected at server.dispatch";
+    return false;
+  }
   runtime::Dispatcher &D = *W.D;
   Request &R0 = Batch.front();
   bool Ok = false;

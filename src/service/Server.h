@@ -77,13 +77,33 @@ struct ServerOptions {
   /// pays one timing sweep; concurrent workers single-flight on it).
   bool UseAutotuner = false;
   runtime::AutotunerOptions TunerOpts;
+  /// Deadline applied to every submission that does not pass its own
+  /// (microseconds from submit; 0 = no deadline). An expired request
+  /// still queued when a worker next scans is rejected with
+  /// ErrorCode::DeadlineExceeded; a request already staged into an
+  /// in-flight batch is always served — batches are never torn.
+  std::uint64_t DefaultDeadlineUs = 0;
 };
+
+/// Typed failure taxonomy for Reply — stable across error-message
+/// wording, so callers branch on the code and log the string.
+enum class ErrorCode {
+  Ok = 0,           ///< request served
+  QueueFull,        ///< admission refused: queue at QueueCap
+  ShuttingDown,     ///< admission refused: server stopping
+  DeadlineExceeded, ///< expired while queued (never torn from a batch)
+  DispatchFailed,   ///< the batched dispatch itself failed (Error set)
+};
+
+/// Stable lower-case name for \p C ("ok", "queue-full", ...).
+const char *errorCodeName(ErrorCode C);
 
 /// What a request's future resolves to. Latency accounting: Done is
 /// stamped just before the promise is fulfilled, so (Done - submit time)
 /// is the request's queue + coalesce + execute latency.
 struct Reply {
   bool Ok = false;
+  ErrorCode Code = ErrorCode::Ok; ///< typed failure class
   std::string Error; ///< dispatcher diagnostics on failure
   std::chrono::steady_clock::time_point Done;
 };
@@ -102,16 +122,18 @@ public:
 
   // -- Element-wise modular BLAS (flat arrays of N elements, elemWords(Q)
   // words each; same data convention as the Dispatcher) ------------------
+  // Every submission takes an optional per-request deadline in
+  // microseconds from submit time (0 = ServerOptions::DefaultDeadlineUs).
 
   std::future<Reply> vadd(const mw::Bignum &Q, const std::uint64_t *A,
                           const std::uint64_t *B, std::uint64_t *C,
-                          size_t N);
+                          size_t N, std::uint64_t DeadlineUs = 0);
   std::future<Reply> vsub(const mw::Bignum &Q, const std::uint64_t *A,
                           const std::uint64_t *B, std::uint64_t *C,
-                          size_t N);
+                          size_t N, std::uint64_t DeadlineUs = 0);
   std::future<Reply> vmul(const mw::Bignum &Q, const std::uint64_t *A,
                           const std::uint64_t *B, std::uint64_t *C,
-                          size_t N);
+                          size_t N, std::uint64_t DeadlineUs = 0);
 
   // -- NTT engine --------------------------------------------------------
 
@@ -121,16 +143,19 @@ public:
   std::future<Reply> polyMul(const mw::Bignum &Q, const std::uint64_t *A,
                              const std::uint64_t *B, std::uint64_t *C,
                              size_t NPoints,
-                             rewrite::NttRing Ring = rewrite::NttRing::Cyclic);
+                             rewrite::NttRing Ring = rewrite::NttRing::Cyclic,
+                             std::uint64_t DeadlineUs = 0);
   /// In-place forward/inverse transform of one NPoints-point polynomial.
   std::future<Reply> nttForward(const mw::Bignum &Q, std::uint64_t *Data,
                                 size_t NPoints,
                                 rewrite::NttRing Ring =
-                                    rewrite::NttRing::Cyclic);
+                                    rewrite::NttRing::Cyclic,
+                                std::uint64_t DeadlineUs = 0);
   std::future<Reply> nttInverse(const mw::Bignum &Q, std::uint64_t *Data,
                                 size_t NPoints,
                                 rewrite::NttRing Ring =
-                                    rewrite::NttRing::Cyclic);
+                                    rewrite::NttRing::Cyclic,
+                                std::uint64_t DeadlineUs = 0);
 
   // -- RNS multi-modulus -------------------------------------------------
 
@@ -141,7 +166,8 @@ public:
                                 const std::uint64_t *B, std::uint64_t *C,
                                 size_t NPoints,
                                 rewrite::NttRing Ring =
-                                    rewrite::NttRing::Cyclic);
+                                    rewrite::NttRing::Cyclic,
+                                std::uint64_t DeadlineUs = 0);
 
   /// Blocks until every admitted request has been served (the queue is
   /// empty and no worker is executing).
@@ -154,8 +180,27 @@ public:
     std::uint64_t Dispatches = 0; ///< batched dispatches executed
     std::uint64_t Coalesced = 0;  ///< requests served in a batch of >= 2
     std::uint64_t MaxBatchSize = 0; ///< largest batch dispatched
+    std::uint64_t DeadlineExpired = 0; ///< queued requests past deadline
   };
   Stats stats() const;
+
+  /// One consistent snapshot of the degradation ladder for monitoring:
+  /// registry retry/failure counters, the per-worker dispatcher fallback
+  /// counters summed, and the server's own rejection/deadline/queue
+  /// numbers. Cheap enough to poll (atomics plus two mutexes).
+  struct Health {
+    bool Degraded = false; ///< any plan currently failed-and-not-rebuilt
+    std::uint64_t FallbackBinds = 0;      ///< interp bindings created
+    std::uint64_t FallbackDispatches = 0; ///< dispatches served degraded
+    std::uint64_t Promotions = 0;         ///< degraded -> JIT rebinds
+    std::uint64_t TunerFallbacks = 0;     ///< tuner failure -> base plan
+    std::uint64_t Retries = 0;            ///< registry transient retries
+    std::uint64_t FailedBuilds = 0;       ///< builds past the retry budget
+    std::uint64_t Rejected = 0;           ///< admission rejections
+    std::uint64_t DeadlineExpired = 0;    ///< queued-past-deadline replies
+    size_t QueueDepth = 0;                ///< requests waiting right now
+  };
+  Health health() const;
 
   const ServerOptions &options() const { return Opts; }
   runtime::KernelRegistry &registry() { return Reg; }
@@ -185,7 +230,10 @@ private:
     std::uint64_t *C = nullptr; ///< output (or in-place data)
     size_t N = 0;               ///< elements (BLAS) or points (NTT/poly)
     std::string Key;
+    std::uint64_t DeadlineUs = 0; ///< caller's budget (0 = server default)
+    bool HasDeadline = false;
     std::chrono::steady_clock::time_point Arrival;
+    std::chrono::steady_clock::time_point Deadline; ///< if HasDeadline
     std::promise<Reply> Promise;
   };
 
@@ -199,6 +247,15 @@ private:
 
   std::future<Reply> submit(Request R);
   void workerLoop(Worker &W);
+  /// Moves every queued request whose deadline has passed (any key) into
+  /// \p Expired and bumps Stats::DeadlineExpired for the new entries.
+  /// Called under QMu; Pending stays put until replyExpired fulfills the
+  /// promises.
+  void sweepExpiredLocked(std::vector<Request> &Expired);
+  /// Replies ErrorCode::DeadlineExceeded to every request in \p Expired,
+  /// then decrements Pending and notifies DrainCv. Called WITHOUT QMu
+  /// held.
+  void replyExpired(std::vector<Request> &Expired);
   /// Serves one coalesced batch (all sharing Batch[0].Key) on \p W.
   void execute(Worker &W, std::vector<Request> &Batch);
   /// Runs the actual dispatcher call(s) for \p Batch staged as one

@@ -3,6 +3,7 @@
 #include "sim/Launch.h"
 
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 
 using namespace moma;
@@ -155,6 +156,12 @@ ThreadPool &Device::pool() const {
 }
 
 std::string Device::validate(const LaunchConfig &Cfg) const {
+  // Chaos hook: the stand-in for a real device refusing a launch
+  // (exhausted contexts, a lost device). SimGpuBackend validates before
+  // every launch, so an injected refusal surfaces as a graceful dispatch
+  // error instead of the launch-path abort.
+  if (support::faultShouldFail("sim.launch"))
+    return "fault injected at sim.launch";
   if (Cfg.BlockDim == 0)
     return "block dimension must be positive";
   if (Cfg.BlockDim > Profile.MaxThreadsPerBlock)

@@ -1,0 +1,249 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace moma {
+namespace support {
+
+namespace {
+
+/// splitmix64: tiny, well-mixed, and stateful per site so probabilistic
+/// draws replay identically for a given (seed, hit index).
+std::uint64_t nextRand(std::uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Splits \p S on \p Sep into non-empty trimmed pieces.
+std::vector<std::string> splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::size_t Pos = 0;
+  while (Pos <= S.size()) {
+    std::size_t End = S.find(Sep, Pos);
+    if (End == std::string::npos)
+      End = S.size();
+    std::string Piece = S.substr(Pos, End - Pos);
+    // Trim ASCII whitespace so env specs can be written readably.
+    while (!Piece.empty() && (Piece.front() == ' ' || Piece.front() == '\t'))
+      Piece.erase(Piece.begin());
+    while (!Piece.empty() && (Piece.back() == ' ' || Piece.back() == '\t'))
+      Piece.pop_back();
+    if (!Piece.empty())
+      Out.push_back(Piece);
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+bool parseU64(const std::string &S, std::uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = static_cast<std::uint64_t>(V);
+  return true;
+}
+
+bool parseProb(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(S.c_str(), &End);
+  if (errno != 0 || End != S.c_str() + S.size() || V < 0.0 || V > 1.0)
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parses one policy string (the part after `site=`) into \p P.
+/// Grammar: item('+' item)*, item one of
+///   fail | fail:N | prob:P | prob:P:seed:S | delay:USEC
+bool parsePolicy(const std::string &Text, FaultPolicy &P, std::string *Err) {
+  for (const std::string &Item : splitOn(Text, '+')) {
+    std::vector<std::string> Tok = splitOn(Item, ':');
+    if (Tok.empty())
+      continue;
+    if (Tok[0] == "fail") {
+      if (Tok.size() == 1) {
+        P.FailCount = UINT64_MAX;
+      } else if (Tok.size() == 2 && parseU64(Tok[1], P.FailCount)) {
+        // fail:N
+      } else {
+        if (Err)
+          *Err = formatv("bad fail policy '%s' (want fail or fail:N)",
+                         Item.c_str());
+        return false;
+      }
+    } else if (Tok[0] == "prob") {
+      bool Ok = Tok.size() >= 2 && parseProb(Tok[1], P.Probability);
+      if (Ok && Tok.size() == 2) {
+        // prob:P with default seed
+      } else if (Ok && Tok.size() == 4 && Tok[2] == "seed" &&
+                 parseU64(Tok[3], P.Seed)) {
+        // prob:P:seed:S
+      } else {
+        if (Err)
+          *Err = formatv("bad prob policy '%s' (want prob:P or prob:P:seed:S)",
+                         Item.c_str());
+        return false;
+      }
+    } else if (Tok[0] == "delay") {
+      if (Tok.size() != 2 || !parseU64(Tok[1], P.DelayUs)) {
+        if (Err)
+          *Err = formatv("bad delay policy '%s' (want delay:USEC)",
+                         Item.c_str());
+        return false;
+      }
+    } else {
+      if (Err)
+        *Err = formatv("unknown fault policy '%s'", Item.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+FaultInjection &FaultInjection::instance() {
+  static FaultInjection FI;
+  return FI;
+}
+
+FaultInjection::FaultInjection() {
+  if (const char *Env = std::getenv("MOMA_FAULTS")) {
+    EnvSpec = Env;
+    std::lock_guard<std::mutex> L(Mu);
+    // A malformed env spec installs what it can; sites are best-effort at
+    // process startup (there is no one to report the error to yet).
+    parseSpecLocked(EnvSpec, nullptr);
+    rearmLocked();
+  }
+}
+
+void FaultInjection::installLocked(const std::string &Site,
+                                   const FaultPolicy &P) {
+  SiteState &St = Sites[Site];
+  St.Policy = P;
+  St.HasPolicy = true;
+  St.RngState = P.Seed;
+}
+
+bool FaultInjection::parseSpecLocked(const std::string &Spec,
+                                     std::string *Err) {
+  for (const std::string &Entry : splitOn(Spec, ';')) {
+    std::size_t Eq = Entry.find('=');
+    if (Eq == std::string::npos || Eq == 0 || Eq + 1 >= Entry.size()) {
+      if (Err)
+        *Err = formatv("bad fault entry '%s' (want site=policy)",
+                       Entry.c_str());
+      return false;
+    }
+    FaultPolicy P;
+    if (!parsePolicy(Entry.substr(Eq + 1), P, Err))
+      return false;
+    installLocked(Entry.substr(0, Eq), P);
+  }
+  return true;
+}
+
+void FaultInjection::rearmLocked() {
+  bool Any = false;
+  for (const auto &KV : Sites)
+    Any = Any || KV.second.HasPolicy;
+  Armed.store(Any, std::memory_order_relaxed);
+}
+
+void FaultInjection::configure(const std::string &Site, const FaultPolicy &P) {
+  std::lock_guard<std::mutex> L(Mu);
+  installLocked(Site, P);
+  rearmLocked();
+}
+
+bool FaultInjection::configureFromSpec(const std::string &Spec,
+                                       std::string *Err) {
+  std::lock_guard<std::mutex> L(Mu);
+  bool Ok = parseSpecLocked(Spec, Err);
+  rearmLocked();
+  return Ok;
+}
+
+void FaultInjection::clear() {
+  std::lock_guard<std::mutex> L(Mu);
+  Sites.clear();
+  if (!EnvSpec.empty())
+    parseSpecLocked(EnvSpec, nullptr);
+  rearmLocked();
+}
+
+void FaultInjection::clear(const std::string &Site) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Sites.find(Site);
+  if (It != Sites.end()) {
+    It->second.Policy = FaultPolicy();
+    It->second.HasPolicy = false;
+  }
+  rearmLocked();
+}
+
+bool FaultInjection::shouldFail(const char *Site) {
+  if (!Armed.load(std::memory_order_relaxed))
+    return false;
+  std::uint64_t SleepUs = 0;
+  bool Fail = false;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Sites.find(Site);
+    if (It == Sites.end() || !It->second.HasPolicy)
+      return false;
+    SiteState &St = It->second;
+    ++St.Counters.Hits;
+    SleepUs = St.Policy.DelayUs;
+    if (St.Policy.FailCount > 0) {
+      Fail = true;
+      if (St.Policy.FailCount != UINT64_MAX)
+        --St.Policy.FailCount;
+    } else if (St.Policy.Probability > 0.0) {
+      double Draw = static_cast<double>(nextRand(St.RngState) >> 11) *
+                    0x1.0p-53; // uniform in [0, 1)
+      Fail = Draw < St.Policy.Probability;
+    }
+    if (Fail)
+      ++St.Counters.Triggers;
+  }
+  // Sleep outside the lock so a delay site cannot serialize unrelated
+  // sites behind it.
+  if (SleepUs > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(SleepUs));
+  return Fail;
+}
+
+FaultInjection::SiteCounters
+FaultInjection::counters(const std::string &Site) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Sites.find(Site);
+  return It == Sites.end() ? SiteCounters() : It->second.Counters;
+}
+
+} // namespace support
+} // namespace moma

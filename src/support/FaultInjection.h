@@ -1,0 +1,170 @@
+//===- support/FaultInjection.h - Deterministic fault injection --*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named fault sites for chaos testing the
+/// runtime's degradation ladder. Failure-prone operations (JIT compiles,
+/// dlopen, plan builds, autotuner candidate timing, sim-GPU launches, server
+/// dispatch) call \c faultShouldFail("site.name") at the point where a real
+/// failure would surface; when a policy is armed for that site the call
+/// reports the failure (and/or sleeps an injected delay), letting tests and
+/// CI drive every recovery path deterministically.
+///
+/// Sites are plain dotted strings; the catalog lives in DESIGN.md ("Failure
+/// model & the degradation ladder"). Policies:
+///
+///   - fail-N-times: the next N evaluations fail, then the site heals.
+///     N = UINT64_MAX means persistent failure.
+///   - probabilistic: each evaluation fails with probability P, drawn from
+///     a per-site seeded RNG so a given (seed, hit index) sequence is
+///     reproducible.
+///   - delay: every evaluation sleeps D microseconds before returning.
+///     Composable with either failure mode (stalled-compile scenarios).
+///
+/// Configuration comes from the API (tests) or the \c MOMA_FAULTS
+/// environment variable (CI), parsed once on first use:
+///
+///   MOMA_FAULTS='jit.compile=fail:2;server.dispatch=prob:0.5:seed:7'
+///   MOMA_FAULTS='jit.compile=fail'             # persistent
+///   MOMA_FAULTS='jit.compile=delay:1000+fail'  # 1ms stall, then fail
+///
+/// \c clear() restores the environment baseline rather than an empty table,
+/// so a test suite run under a global MOMA_FAULTS degradation still sees the
+/// intended ambient faults after per-test cleanup.
+///
+/// When nothing is armed the per-site bookkeeping is skipped entirely: the
+/// fast path is one relaxed atomic load, so instrumented sites cost nothing
+/// in production.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_SUPPORT_FAULTINJECTION_H
+#define MOMA_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace moma {
+namespace support {
+
+/// What an armed site does when evaluated. Default-constructed = no-op.
+struct FaultPolicy {
+  /// Remaining evaluations that fail. UINT64_MAX = fail forever; 0 with
+  /// Probability == 0 means the site never fails (delay-only policies).
+  std::uint64_t FailCount = 0;
+
+  /// Per-evaluation failure probability in [0, 1], drawn from a seeded
+  /// per-site RNG. Checked only when FailCount is exhausted/zero.
+  double Probability = 0.0;
+
+  /// Seed for the probabilistic draw stream.
+  std::uint64_t Seed = 0;
+
+  /// Injected latency in microseconds, slept on every evaluation whether
+  /// or not the site fails.
+  std::uint64_t DelayUs = 0;
+
+  /// Persistent-failure convenience (fail-N with N = forever).
+  static FaultPolicy failAlways() {
+    FaultPolicy P;
+    P.FailCount = UINT64_MAX;
+    return P;
+  }
+  static FaultPolicy failTimes(std::uint64_t N) {
+    FaultPolicy P;
+    P.FailCount = N;
+    return P;
+  }
+  static FaultPolicy failProb(double Prob, std::uint64_t Seed) {
+    FaultPolicy P;
+    P.Probability = Prob;
+    P.Seed = Seed;
+    return P;
+  }
+  static FaultPolicy delayUs(std::uint64_t Us) {
+    FaultPolicy P;
+    P.DelayUs = Us;
+    return P;
+  }
+};
+
+/// Process-wide singleton holding per-site policies and counters. All
+/// methods are thread-safe; \c shouldFail is called from worker, JIT, and
+/// probe threads concurrently.
+class FaultInjection {
+public:
+  /// Lazily constructed; the first call parses MOMA_FAULTS.
+  static FaultInjection &instance();
+
+  /// Installs (or replaces) the policy for \p Site and arms the registry.
+  void configure(const std::string &Site, const FaultPolicy &P);
+
+  /// Parses a `site=policy[;site=policy...]` spec (the MOMA_FAULTS
+  /// grammar) and installs every entry. Returns false and sets \p Err on a
+  /// malformed spec; entries before the bad one stay installed.
+  bool configureFromSpec(const std::string &Spec, std::string *Err = nullptr);
+
+  /// Removes every API-configured policy and zeroes all counters, then
+  /// re-applies the MOMA_FAULTS environment baseline (if any). Tests call
+  /// this in SetUp/TearDown.
+  void clear();
+
+  /// Removes the policy for one site (counters for it are kept).
+  void clear(const std::string &Site);
+
+  /// The instrumented check. Records a hit for \p Site, sleeps any
+  /// configured delay, and returns true when the site must fail this time
+  /// (recording a trigger). When nothing is armed anywhere this returns
+  /// false without touching the table.
+  bool shouldFail(const char *Site);
+
+  /// Per-site observation counters, for chaos-test arithmetic.
+  struct SiteCounters {
+    std::uint64_t Hits = 0;     ///< evaluations while armed
+    std::uint64_t Triggers = 0; ///< evaluations that failed
+  };
+  SiteCounters counters(const std::string &Site) const;
+
+  /// True when any site currently has a policy installed.
+  bool anyConfigured() const { return Armed.load(std::memory_order_relaxed); }
+
+private:
+  FaultInjection();
+
+  struct SiteState {
+    FaultPolicy Policy;
+    bool HasPolicy = false;
+    std::uint64_t RngState = 0; ///< splitmix64 stream for prob draws
+    SiteCounters Counters;
+  };
+
+  void installLocked(const std::string &Site, const FaultPolicy &P);
+  bool parseSpecLocked(const std::string &Spec, std::string *Err);
+  void rearmLocked();
+
+  mutable std::mutex Mu;
+  std::map<std::string, SiteState> Sites;
+  std::string EnvSpec; ///< MOMA_FAULTS snapshot, re-applied by clear()
+  std::atomic<bool> Armed{false};
+};
+
+/// Site-check shorthand with the zero-cost disarmed fast path inlined at
+/// the call site.
+inline bool faultShouldFail(const char *Site) {
+  FaultInjection &FI = FaultInjection::instance();
+  if (!FI.anyConfigured())
+    return false;
+  return FI.shouldFail(Site);
+}
+
+} // namespace support
+} // namespace moma
+
+#endif // MOMA_SUPPORT_FAULTINJECTION_H

@@ -73,6 +73,7 @@
 #include "rewrite/Stats.h"
 #include "runtime/Autotuner.h"
 #include "runtime/RnsContext.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -95,7 +96,7 @@ namespace {
       "          [--rns-limbs <L>] [--device h100|rtx4090|v100|host]\n"
       "          [--passes default|extended|<pass,...>]\n"
       "          [--emit ir|c|cuda|stats|pass-stats|tune]\n"
-      "          [--tune-cache <path>]\n"
+      "          [--tune-cache <path>] [--inject <site:policy>]\n"
       "kernels: addmod submod mulmod butterfly axpy vadd vsub vmul\n"
       "         rnsdec rnsrec\n",
       Argv0);
@@ -204,7 +205,22 @@ int main(int argc, char **argv) {
       Emit = Next();
     else if (Arg == "--tune-cache")
       TuneCache = Next();
-    else
+    else if (Arg == "--inject") {
+      // `site:policy` on the command line, `site=policy` in the
+      // MOMA_FAULTS grammar — only the first ':' separates the site.
+      std::string Spec = Next();
+      size_t Colon = Spec.find(':');
+      if (Colon == std::string::npos)
+        usage(argv[0]);
+      Spec[Colon] = '=';
+      std::string Err;
+      if (!support::FaultInjection::instance().configureFromSpec(Spec,
+                                                                 &Err)) {
+        std::fprintf(stderr, "moma-gen: bad --inject spec: %s\n",
+                     Err.c_str());
+        return 2;
+      }
+    } else
       usage(argv[0]);
   }
   Plan.TargetWordBits = WordBits;
