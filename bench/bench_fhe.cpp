@@ -1,0 +1,271 @@
+//===- bench/bench_fhe.cpp - lazy residue-form chains vs the flat API --------===//
+//
+// The FHE layer's headline economic claim, measured: a chain of k
+// polynomial products through residue-form handles (runtime/RnsTensor.h)
+// dispatches (k+2)·L NTTs where the one-shot flat rnsPolyMul path
+// dispatches 3k·L — the intermediates never leave the transformed
+// domain, so laziness saves (2k-2)·L transforms AND the matching
+// wall-clock, bit-identically. Two phases:
+//
+//   1. TENSOR CHAIN — k chained products, flat vs lazy. The dispatch
+//      deltas are deterministic (exact-match `_count` metrics, the same
+//      arithmetic tests/fhe/FheTest.cpp pins); wall-clock per chain is
+//      `_ns` (ratio-gated); outputs are compared word-for-word.
+//
+//   2. CIPHERTEXT CHAIN — fhe::ciphertextMul with NTT-resident operands:
+//      the first product pays 4L forward transforms, a second product
+//      reusing an operand pays only 2L (the reused polys are already
+//      transformed) — the retention that makes multiply-heavy circuits
+//      cheap.
+//
+// `--smoke` shrinks sizes to a seconds-scale wiring check (the CI gate);
+// `--json <path>` writes the flat metric document bench_compare.py
+// trends. Standalone on purpose (no google-benchmark), like
+// bench_server: the gate runs on every builder.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Fhe.h"
+#include "runtime/Dispatcher.h"
+#include "runtime/RnsTensor.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace moma;
+using namespace moma::runtime;
+using mw::Bignum;
+using rewrite::NttRing;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+std::vector<std::pair<std::string, double>> Metrics;
+
+void recordMetric(const std::string &Name, double Value) {
+  Metrics.emplace_back(Name, Value);
+}
+
+bool writeJsonReport(const std::string &Path, const std::string &BenchName) {
+  if (Path.empty())
+    return true;
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << "{\n  \"bench\": \"" << BenchName << "\",\n  \"unix_time\": "
+      << static_cast<long long>(std::time(nullptr))
+      << ",\n  \"metrics\": {";
+  bool First = true;
+  for (const auto &M : Metrics) {
+    Out << (First ? "" : ",") << "\n    \"" << M.first
+        << "\": " << formatv("%.3f", M.second);
+    First = false;
+  }
+  Out << "\n  }\n}\n";
+  return static_cast<bool>(Out);
+}
+
+std::vector<std::uint64_t> randomWide(Rng &R, const RnsContext &Ctx,
+                                      size_t N) {
+  std::vector<Bignum> E;
+  for (size_t I = 0; I < N; ++I)
+    E.push_back(Bignum::random(R, Ctx.modulus()));
+  return packBatch(E, Ctx.wideWords());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
+      JsonPath = argv[++I];
+  }
+
+  const size_t NPoints = Smoke ? 64 : 1024;
+  const unsigned Limbs = 4;
+  const std::uint64_t K = 3;            // chained products
+  const int Reps = Smoke ? 20 : 100;    // timed chain repetitions
+  bool AllOk = true;
+
+  RnsContext Ctx;
+  std::string Err;
+  if (!RnsContext::create(Limbs, Ctx, &Err)) {
+    std::fprintf(stderr, "RnsContext: %s\n", Err.c_str());
+    return 1;
+  }
+  const std::uint64_t L = Ctx.numLimbs();
+  const unsigned WW = Ctx.wideWords();
+
+  std::printf("fhe layer: chain of %llu products, n = %zu, L = %llu x %u-bit "
+              "limbs%s\n",
+              static_cast<unsigned long long>(K), NPoints,
+              static_cast<unsigned long long>(L), Ctx.limbBits(),
+              Smoke ? " (smoke)" : "");
+
+  KernelRegistry Reg;
+  Rng R(0xfe3);
+
+  std::vector<std::vector<std::uint64_t>> Ops;
+  for (std::uint64_t I = 0; I < K + 1; ++I)
+    Ops.push_back(randomWide(R, Ctx, NPoints));
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1: k chained products, flat one-shot calls vs lazy tensors.
+  //===--------------------------------------------------------------------===//
+
+  Dispatcher DFlat(Reg), DLazy(Reg);
+  std::vector<std::uint64_t> FlatOut(size_t(WW) * NPoints),
+      FlatTmp(size_t(WW) * NPoints), LazyOut(size_t(WW) * NPoints);
+
+  auto FlatChain = [&]() {
+    bool Ok = DFlat.rnsPolyMul(Ctx, Ops[0].data(), Ops[1].data(),
+                               FlatTmp.data(), NPoints, 1);
+    for (std::uint64_t I = 2; I <= K && Ok; ++I)
+      Ok = DFlat.rnsPolyMul(Ctx, FlatTmp.data(), Ops[I].data(),
+                            FlatTmp.data(), NPoints, 1);
+    return Ok;
+  };
+  auto LazyChain = [&]() {
+    std::vector<RnsTensor> T;
+    for (std::uint64_t I = 0; I <= K; ++I)
+      T.emplace_back(Ctx, NPoints, 1);
+    RnsTensor Acc(Ctx, NPoints, 1);
+    bool Ok = true;
+    for (std::uint64_t I = 0; I <= K && Ok; ++I)
+      Ok = DLazy.fromWide(Ops[I].data(), T[I]);
+    Ok = Ok && DLazy.rnsPolyMul(T[0], T[1], Acc);
+    for (std::uint64_t I = 2; I <= K && Ok; ++I)
+      Ok = Ok && DLazy.rnsPolyMul(Acc, T[I], Acc);
+    return Ok && DLazy.toWide(Acc, LazyOut.data());
+  };
+
+  // Warm both plan caches (JIT compiles happen here, not in the timing),
+  // and capture the per-chain dispatch deltas from the warm run.
+  auto FB = DFlat.dispatchStats();
+  auto LB = DLazy.dispatchStats();
+  if (!FlatChain() || !LazyChain()) {
+    std::fprintf(stderr, "warmup failed: %s%s\n", DFlat.error().c_str(),
+                 DLazy.error().c_str());
+    return 1;
+  }
+  auto FA = DFlat.dispatchStats();
+  auto LA = DLazy.dispatchStats();
+  std::uint64_t FlatTransforms = FA.Transforms - FB.Transforms;
+  std::uint64_t LazyTransforms = LA.Transforms - LB.Transforms;
+  std::uint64_t FlatBatches = FA.Batches - FB.Batches;
+  std::uint64_t LazyBatches = LA.Batches - LB.Batches;
+
+  bool BitExact = FlatTmp == LazyOut;
+  bool CountsOk = FlatTransforms == 3 * K * L &&
+                  LazyTransforms == (K + 2) * L;
+  AllOk = AllOk && BitExact && CountsOk;
+
+  auto TimeChain = [&](auto &&Chain) {
+    auto T0 = Clock::now();
+    for (int I = 0; I < Reps; ++I)
+      if (!Chain())
+        return -1.0;
+    return secondsSince(T0) / Reps;
+  };
+  double FlatWall = TimeChain(FlatChain);
+  double LazyWall = TimeChain(LazyChain);
+  bool LazyFaster = FlatWall > 0 && LazyWall > 0 && LazyWall < FlatWall;
+  AllOk = AllOk && LazyFaster;
+
+  recordMetric("fhe/chain/flat_transforms_count",
+               static_cast<double>(FlatTransforms));
+  recordMetric("fhe/chain/lazy_transforms_count",
+               static_cast<double>(LazyTransforms));
+  recordMetric("fhe/chain/saved_transforms_count",
+               static_cast<double>(FlatTransforms - LazyTransforms));
+  recordMetric("fhe/chain/flat_batches_count",
+               static_cast<double>(FlatBatches));
+  recordMetric("fhe/chain/lazy_batches_count",
+               static_cast<double>(LazyBatches));
+  recordMetric("fhe/chain/bitexact_ok", BitExact ? 1 : 0);
+  recordMetric("fhe/chain/lazy_faster_ok", LazyFaster ? 1 : 0);
+  recordMetric("fhe/chain/flat_wall_ns", FlatWall * 1e9);
+  recordMetric("fhe/chain/lazy_wall_ns", LazyWall * 1e9);
+  recordMetric("fhe/chain/lazy_speedup",
+               LazyWall > 0 ? FlatWall / LazyWall : 0);
+  std::printf("tensor chain: flat %llu transforms  %.1f us/chain   lazy "
+              "%llu transforms  %.1f us/chain   saved %llu (= (2k-2)L)  "
+              "speedup %.2fx  %s\n",
+              static_cast<unsigned long long>(FlatTransforms),
+              FlatWall * 1e6,
+              static_cast<unsigned long long>(LazyTransforms),
+              LazyWall * 1e6,
+              static_cast<unsigned long long>(FlatTransforms -
+                                              LazyTransforms),
+              LazyWall > 0 ? FlatWall / LazyWall : 0.0,
+              BitExact ? "bit-exact" : "DIVERGED");
+
+  //===--------------------------------------------------------------------===//
+  // Phase 2: ciphertext multiply with NTT-resident operands.
+  //===--------------------------------------------------------------------===//
+
+  fhe::FheOptions FO;
+  FO.NPoints = NPoints;
+  FO.NumLimbs = Limbs;
+  fhe::FheContext FC;
+  if (!fhe::FheContext::create(FO, FC, &Err)) {
+    std::fprintf(stderr, "FheContext: %s\n", Err.c_str());
+    return 1;
+  }
+  Dispatcher D(Reg);
+  fhe::SecretKey SK = fhe::keyGen(FC, R);
+  fhe::Ciphertext X, Y, Z;
+  std::vector<std::uint64_t> Msg(NPoints, 1);
+  bool EncOk = fhe::encrypt(FC, D, SK, Msg, R, X) &&
+               fhe::encrypt(FC, D, SK, Msg, R, Y) &&
+               fhe::encrypt(FC, D, SK, Msg, R, Z);
+  if (!EncOk) {
+    std::fprintf(stderr, "encrypt: %s\n", D.error().c_str());
+    return 1;
+  }
+
+  fhe::Ciphertext P1, P2;
+  auto B1 = D.dispatchStats();
+  bool M1 = fhe::ciphertextMul(D, X, Y, P1);
+  auto A1 = D.dispatchStats();
+  bool M2 = fhe::ciphertextMul(D, X, Z, P2); // X already NTT-resident
+  auto A2 = D.dispatchStats();
+  std::uint64_t FreshT = A1.Transforms - B1.Transforms;
+  std::uint64_t ResidentT = A2.Transforms - A1.Transforms;
+  bool CtOk = M1 && M2 && FreshT == 4 * L && ResidentT == 2 * L;
+  AllOk = AllOk && CtOk;
+
+  recordMetric("fhe/ctmul/fresh_transforms_count",
+               static_cast<double>(FreshT));
+  recordMetric("fhe/ctmul/resident_transforms_count",
+               static_cast<double>(ResidentT));
+  recordMetric("fhe/ctmul/results_ok", CtOk ? 1 : 0);
+  std::printf("ciphertext mul: fresh operands %llu transforms   resident "
+              "operand reuse %llu transforms\n",
+              static_cast<unsigned long long>(FreshT),
+              static_cast<unsigned long long>(ResidentT));
+
+  if (!writeJsonReport(JsonPath, "bench_fhe")) {
+    std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  std::printf("fhe layer: %s\n", AllOk ? "OK" : "FAILED");
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,221 @@
+//===- fhe/Fhe.cpp - Ciphertext layer over the RNS tensor API -------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Fhe.h"
+
+using namespace moma;
+using namespace moma::fhe;
+using mw::Bignum;
+using runtime::Dispatcher;
+using runtime::RnsContext;
+using runtime::RnsDomain;
+using runtime::RnsTensor;
+
+bool FheContext::create(const FheOptions &O, FheContext &Out,
+                        std::string *Err) {
+  if (O.NPoints < 2 || (O.NPoints & (O.NPoints - 1)) != 0) {
+    if (Err)
+      *Err = "fhe: NPoints must be a power of two >= 2";
+    return false;
+  }
+  if (O.PlainModulus < 2) {
+    if (Err)
+      *Err = "fhe: plaintext modulus must be >= 2";
+    return false;
+  }
+  Out.Opts = O;
+  Out.T = Bignum(O.PlainModulus);
+  return RnsContext::create(O.NumLimbs, Out.Chain, Err, O.Rns);
+}
+
+SecretKey moma::fhe::keyGen(const FheContext &FC, Rng &R) {
+  SecretKey SK;
+  SK.Ref = refKeyGen(FC.nPoints(), FC.rns().modulus(), R);
+  return SK;
+}
+
+bool moma::fhe::refToCiphertext(const RnsContext &Ctx,
+                                rewrite::NttRing Ring, Dispatcher &D,
+                                const RefCiphertext &Ref, Ciphertext &Out) {
+  std::vector<RnsTensor> Polys;
+  Polys.reserve(Ref.size());
+  for (const RefPoly &P : Ref) {
+    auto Words = runtime::packBatch(P, Ctx.wideWords());
+    RnsTensor T(Ctx, P.size(), 1, Ring);
+    if (!D.fromWide(Words.data(), T))
+      return false;
+    Polys.push_back(std::move(T));
+  }
+  Out.Polys = std::move(Polys);
+  return true;
+}
+
+bool moma::fhe::ciphertextToRef(Dispatcher &D, Ciphertext &C,
+                                RefCiphertext &Out) {
+  RefCiphertext Ref;
+  Ref.reserve(C.size());
+  for (RnsTensor &P : C.Polys) {
+    std::vector<std::uint64_t> Wide(size_t(P.context().wideWords()) *
+                                    P.count());
+    if (!D.toWide(P, Wide.data()))
+      return false;
+    Ref.push_back(runtime::unpackBatch(Wide, P.context().wideWords()));
+  }
+  Out = std::move(Ref);
+  return true;
+}
+
+bool moma::fhe::relinKeyGen(const FheContext &FC, Dispatcher &D,
+                            const SecretKey &SK, Rng &R, RelinKey &Out) {
+  const RnsContext &Ctx = FC.rns();
+  bool Neg = FC.ring() == rewrite::NttRing::Negacyclic;
+  Out.Ref = refRelinKeyGen(SK.Ref, Ctx, FC.plainModulus(), Neg, R);
+  Out.B.clear();
+  Out.A.clear();
+  // Upload each key poly once and store it forward-transformed: every
+  // relinearize digit product then starts from NTT form for free.
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L) {
+    for (int Half = 0; Half < 2; ++Half) {
+      const RefPoly &P = Half == 0 ? Out.Ref.B[L] : Out.Ref.A[L];
+      auto Words = runtime::packBatch(P, Ctx.wideWords());
+      RnsTensor T(Ctx, P.size(), 1, FC.ring());
+      if (!D.fromWide(Words.data(), T) || !D.rnsNttForward(T))
+        return false;
+      (Half == 0 ? Out.B : Out.A).push_back(std::move(T));
+    }
+  }
+  return true;
+}
+
+bool moma::fhe::encrypt(const FheContext &FC, Dispatcher &D,
+                        const SecretKey &SK,
+                        const std::vector<std::uint64_t> &Msg, Rng &R,
+                        Ciphertext &Out) {
+  if (Msg.size() != FC.nPoints())
+    return false;
+  bool Neg = FC.ring() == rewrite::NttRing::Negacyclic;
+  RefCiphertext Ref = refEncrypt(Msg, SK.Ref, FC.rns().modulus(),
+                                 FC.plainModulus(), Neg, R);
+  return refToCiphertext(FC.rns(), FC.ring(), D, Ref, Out);
+}
+
+bool moma::fhe::decrypt(const FheContext &FC, Dispatcher &D,
+                        const SecretKey &SK, Ciphertext &C,
+                        std::vector<std::uint64_t> &Out) {
+  if (!C.valid() || (C.size() != 2 && C.size() != 3))
+    return false;
+  RefCiphertext Ref;
+  if (!ciphertextToRef(D, C, Ref))
+    return false;
+  // Decryption happens against the ciphertext's CURRENT modulus — after
+  // rescaling that is the sub-chain's product, not the original M.
+  bool Neg = C.Polys[0].ring() == rewrite::NttRing::Negacyclic;
+  Out = refDecrypt(Ref, SK.Ref, C.context().modulus(), FC.plainModulus(),
+                   Neg);
+  return true;
+}
+
+bool moma::fhe::ciphertextAdd(Dispatcher &D, Ciphertext &A, Ciphertext &B,
+                              Ciphertext &Out) {
+  if (!A.valid() || !B.valid())
+    return false;
+  Ciphertext &Long = A.size() >= B.size() ? A : B;
+  Ciphertext &Short = A.size() >= B.size() ? B : A;
+  std::vector<RnsTensor> Polys;
+  Polys.reserve(Long.size());
+  for (size_t P = 0; P < Long.size(); ++P) {
+    if (P >= Short.size()) {
+      Polys.push_back(Long.Polys[P]); // copy-through (value unchanged)
+      continue;
+    }
+    RnsTensor &PA = Long.Polys[P], &PB = Short.Polys[P];
+    RnsTensor C(PA.context(), PA.nPoints(), PA.batch(), PA.ring());
+    if (!D.rnsVAdd(PA, PB, C))
+      return false;
+    Polys.push_back(std::move(C));
+  }
+  // Built aside and swapped in, so Out may alias A or B.
+  Out.Polys = std::move(Polys);
+  return true;
+}
+
+bool moma::fhe::ciphertextMul(Dispatcher &D, Ciphertext &A, Ciphertext &B,
+                              Ciphertext &Out) {
+  if (!A.valid() || !B.valid() || A.size() != 2 || B.size() != 2)
+    return false;
+  RnsTensor &A0 = A.Polys[0], &A1 = A.Polys[1];
+  RnsTensor &B0 = B.Polys[0], &B1 = B.Polys[1];
+  const RnsContext &Ctx = A0.context();
+  size_t N = A0.nPoints(), Bat = A0.batch();
+  rewrite::NttRing Ring = A0.ring();
+  // Fresh output tensors (moved into Out at the end, so Out may alias an
+  // operand — the products below only read operand values, re-tagging
+  // their representation at most).
+  RnsTensor O0(Ctx, N, Bat, Ring), O1(Ctx, N, Bat, Ring),
+      O2(Ctx, N, Bat, Ring), Tmp(Ctx, N, Bat, Ring);
+  // The first product forces its operands into NTT form; a ciphertext
+  // that came out of an earlier multiply is already there, so chained
+  // multiplies dispatch zero forward transforms.
+  if (!D.rnsPolyMul(A0, B0, O0) || !D.rnsPolyMul(A0, B1, O1) ||
+      !D.rnsPolyMul(A1, B0, Tmp) || !D.rnsVAdd(O1, Tmp, O1) ||
+      !D.rnsPolyMul(A1, B1, O2))
+    return false;
+  Out.Polys.clear();
+  Out.Polys.push_back(std::move(O0));
+  Out.Polys.push_back(std::move(O1));
+  Out.Polys.push_back(std::move(O2));
+  return true;
+}
+
+bool moma::fhe::rescale(Dispatcher &D, Ciphertext &C) {
+  if (!C.valid())
+    return false;
+  for (RnsTensor &P : C.Polys)
+    if (!D.rnsRescale(P))
+      return false;
+  return true;
+}
+
+bool moma::fhe::relinearize(Dispatcher &D, Ciphertext &C, RelinKey &K) {
+  if (!C.valid() || C.size() != 3 || K.B.empty())
+    return false;
+  const RnsContext &Ctx = C.context();
+  // The key was generated for the full chain; a rescaled ciphertext
+  // lives in a sub-chain view the key digits do not cover.
+  if (&Ctx != &K.B[0].context())
+    return false;
+  // Digits read c2's residues as coefficients, so c2 must be coherent
+  // coefficient form first.
+  if (!D.rnsNttInverse(C.Polys[2]))
+    return false;
+  const RnsTensor &C2 = C.Polys[2];
+  size_t N = C2.nPoints(), Bat = C2.batch(), Count = C2.count();
+  rewrite::NttRing Ring = C2.ring();
+  RnsTensor Tmp(Ctx, N, Bat, Ring);
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L) {
+    // d_l: the polynomial whose coefficients are c2's limb-l residues.
+    // Its limb-j residue row is r mod q_j = r or r - q_j (one
+    // conditional subtract: r < 2^LimbBits < 2 q_j, same bit width).
+    RnsTensor Dl(Ctx, N, Bat, Ring);
+    const std::uint64_t *Row = C2.limbData(L);
+    for (size_t J = 0; J < Ctx.numLimbs(); ++J) {
+      std::uint64_t Qj = Ctx.limb(J).low64();
+      std::uint64_t *Dst = Dl.limbData(J);
+      for (size_t I = 0; I < Count; ++I)
+        Dst[I] = Row[I] >= Qj ? Row[I] - Qj : Row[I];
+    }
+    // The digit is transformed once by the first product and reused in
+    // NTT form by the second — the domain tag's other saving.
+    if (!D.rnsPolyMul(Dl, K.B[L], Tmp) ||
+        !D.rnsVAdd(C.Polys[0], Tmp, C.Polys[0]) ||
+        !D.rnsPolyMul(Dl, K.A[L], Tmp) ||
+        !D.rnsVAdd(C.Polys[1], Tmp, C.Polys[1]))
+      return false;
+  }
+  C.Polys.pop_back();
+  return true;
+}

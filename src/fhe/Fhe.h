@@ -1,0 +1,172 @@
+//===- fhe/Fhe.h - Ciphertext layer over the RNS tensor API ----*- C++ -*-===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BGV/BFV-shaped ciphertext layer built purely as compositions of the
+/// Dispatcher's residue-form tensor API — the workload the paper's
+/// multi-word kernels exist to serve. Nothing here runs its own modular
+/// arithmetic on the hot path: ciphertext add is rnsVAdd per poly,
+/// multiply is the tensor product via lazy rnsPolyMul, rescale is the
+/// generated rnsresc kernel ladder, relinearize is CRT-digit products
+/// against a pre-transformed key. The only host arithmetic is key/
+/// encryption sampling (inherently host-side) and decryption's final
+/// centered reduction — both Bignum, both shared with the Reference
+/// oracle so the two sides are bit-exact by construction where they
+/// overlap.
+///
+/// Laziness is the point of the design: ciphertext polys carry their
+/// RnsDomain tag across operations, so a multiply chain transforms each
+/// fresh operand exactly once and every intermediate stays in NTT form
+/// until decryption (or a rescale) demands coefficients. A chain of k
+/// multiplies costs (k + 2)L transforms per operand pair instead of the
+/// 3kL a flat one-shot-polyMul formulation pays; tests pin the exact
+/// dispatch deltas via Dispatcher::dispatchStats().
+///
+/// Toy-scheme disclaimer: parameters are sized for validating the
+/// runtime (tiny error, no security claims), and rescale is exact-
+/// quotient modulus switching without BGV's correction term — see
+/// Reference.h for what correctness is claimed where.
+///
+/// Lifetime: ciphertexts reference the FheContext's RnsContext (or one
+/// of its subChain views after rescaling); the context must outlive
+/// every ciphertext and key minted from it, and must not be moved while
+/// they are alive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MOMA_FHE_FHE_H
+#define MOMA_FHE_FHE_H
+
+#include "fhe/Reference.h"
+#include "runtime/Dispatcher.h"
+
+#include <string>
+#include <vector>
+
+namespace moma {
+namespace fhe {
+
+struct FheOptions {
+  /// Ring degree n (points per poly); a power of two within the chain's
+  /// two-adicity budget.
+  size_t NPoints = 64;
+  /// Limbs in the modulus chain; each rescale consumes one.
+  unsigned NumLimbs = 4;
+  /// Plaintext modulus t.
+  std::uint64_t PlainModulus = 65537;
+  /// Negacyclic (x^n + 1) is the FHE-standard ring.
+  rewrite::NttRing Ring = rewrite::NttRing::Negacyclic;
+  /// Prime-chain shape, forwarded to RnsContext::create.
+  runtime::RnsContext::Options Rns;
+};
+
+/// Owns the modulus chain and scheme parameters. Create once, keep
+/// still (see the lifetime note above), share across ciphertexts.
+class FheContext {
+public:
+  /// Builds the chain; false with \p Err set on invalid shapes.
+  static bool create(const FheOptions &O, FheContext &Out, std::string *Err);
+
+  const runtime::RnsContext &rns() const { return Chain; }
+  size_t nPoints() const { return Opts.NPoints; }
+  const mw::Bignum &plainModulus() const { return T; }
+  rewrite::NttRing ring() const { return Opts.Ring; }
+  const FheOptions &options() const { return Opts; }
+
+private:
+  FheOptions Opts;
+  runtime::RnsContext Chain;
+  mw::Bignum T;
+};
+
+/// A ciphertext: degree+1 residue-form polys (2 normally, 3 after a
+/// multiply), all congruent, all tagged with their current domain. The
+/// polys travel together through the level ladder: after rescale() they
+/// are rebound to the chain's subChain view.
+struct Ciphertext {
+  std::vector<runtime::RnsTensor> Polys;
+  size_t size() const { return Polys.size(); }
+  bool valid() const { return !Polys.empty() && Polys[0].valid(); }
+  const runtime::RnsContext &context() const { return Polys[0].context(); }
+};
+
+/// Secret key — host-side only (it never participates in dispatched
+/// arithmetic; encryption and decryption are host operations).
+struct SecretKey {
+  RefSecretKey Ref;
+};
+
+/// Relinearization key: the host polys (for the Reference oracle) plus
+/// their device tensors, uploaded once at keygen and stored forward-
+/// transformed so every digit product starts from NTT form for free.
+struct RelinKey {
+  RefRelinKey Ref;
+  std::vector<runtime::RnsTensor> B, A;
+};
+
+/// Samples a ternary secret key.
+SecretKey keyGen(const FheContext &FC, Rng &R);
+
+/// Samples and uploads the relinearization key for the full chain
+/// (relinearize before rescaling; a rescaled ciphertext lives in a
+/// sub-chain this key does not cover).
+bool relinKeyGen(const FheContext &FC, runtime::Dispatcher &D,
+                 const SecretKey &SK, Rng &R, RelinKey &Out);
+
+/// Encrypts \p Msg (nPoints coefficients, reduced mod t) into a fresh
+/// degree-1 ciphertext in coefficient form.
+bool encrypt(const FheContext &FC, runtime::Dispatcher &D,
+             const SecretKey &SK, const std::vector<std::uint64_t> &Msg,
+             Rng &R, Ciphertext &Out);
+
+/// Decrypts a degree-1 or degree-2 ciphertext at any level. Pays any
+/// deferred inverse transforms (mutates \p C's representation, not its
+/// value).
+bool decrypt(const FheContext &FC, runtime::Dispatcher &D,
+             const SecretKey &SK, Ciphertext &C,
+             std::vector<std::uint64_t> &Out);
+
+/// Out = A + B, poly-wise (ragged degrees allowed: extra polys copy
+/// through). Operands may be re-tagged (mixed-domain pairs harmonize
+/// toward NTT form) but their values never change.
+bool ciphertextAdd(runtime::Dispatcher &D, Ciphertext &A, Ciphertext &B,
+                   Ciphertext &Out);
+
+/// Tensor product of two degree-1 ciphertexts: Out = (a0 b0,
+/// a0 b1 + a1 b0, a1 b1), left in NTT form. Operands are forced to NTT
+/// form (free when they came out of an earlier multiply — the lazy
+/// saving this layer is built around). \p Out may alias an operand:
+/// results are built aside and swapped in.
+bool ciphertextMul(runtime::Dispatcher &D, Ciphertext &A, Ciphertext &B,
+                   Ciphertext &Out);
+
+/// Drops the chain's last limb from every poly (exact-quotient modulus
+/// switch, the generated rnsresc kernel per surviving limb). The
+/// ciphertext is rebound to the sub-chain view one limb shorter.
+bool rescale(runtime::Dispatcher &D, Ciphertext &C);
+
+/// Degree-2 -> degree-1 via the CRT-digit key: c0 += sum_l d_l b_l,
+/// c1 += sum_l d_l a_l, where d_l is c2's limb-l digit. Each digit is
+/// transformed once and reused for both products (the second forward
+/// NTT is elided by the domain tag). Requires \p C at the key's level.
+bool relinearize(runtime::Dispatcher &D, Ciphertext &C, RelinKey &K);
+
+/// Downloads a ciphertext into Bignum coefficient polys for the
+/// Reference oracle (pays deferred inverse transforms; value
+/// unchanged). The bridge every bit-exactness test crosses.
+bool ciphertextToRef(runtime::Dispatcher &D, Ciphertext &C,
+                     RefCiphertext &Out);
+
+/// Uploads Reference polys into residue form over \p Ctx.
+bool refToCiphertext(const runtime::RnsContext &Ctx, rewrite::NttRing Ring,
+                     runtime::Dispatcher &D, const RefCiphertext &Ref,
+                     Ciphertext &Out);
+
+} // namespace fhe
+} // namespace moma
+
+#endif // MOMA_FHE_FHE_H

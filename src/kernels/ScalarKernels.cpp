@@ -268,6 +268,42 @@ Kernel moma::kernels::buildRnsRecombineStepKernel(
   return K;
 }
 
+Kernel moma::kernels::buildRnsRescaleStepKernel(
+    const ScalarKernelSpec &Spec) {
+  unsigned W = Spec.ContainerBits;
+  unsigned L = Spec.ModBits; // the limb width; modBits() would default to
+                             // W-4, which is never a word-sized limb
+  if (L == 0 || L > 62)
+    fatalError("rnsresc: limb modulus bits must be set and <= 62");
+  if (L + 4 > W)
+    fatalError("rnsresc: modulus bits must be <= container - 4");
+  Kernel K;
+  K.Name = "rnsresc";
+  ValueId A = K.newValue(W, "a", L); // q_last^{-1} mod q (broadcast)
+  K.addInput(A, "a");
+  ValueId X = K.newValue(W, "x", L); // this limb's residue, < q
+  K.addInput(X, "x");
+  // The dropped limb's residue: < q_last < 2^L < 2q when every limb
+  // shares one bit-width, so a single conditional subtraction folds it
+  // under q (same correction the decompose kernel's tail uses).
+  ValueId Y = K.newValue(W, "y", L);
+  K.addInput(Y, "y");
+  ValueId Q = K.newValue(W, "q", L);
+  K.addInput(Q, "q");
+  ValueId Mu = K.newValue(W, "mu", L + 4); // standard Barrett constant
+  K.addInput(Mu, "mu");
+
+  Builder B(K);
+  ValueId Keep = B.lt(Y, Q);
+  CarryResult D = B.sub(Y, Q);
+  ValueId YR = B.select(Keep, Y, D.Value);
+  K.value(YR).KnownBits = L; // y mod q < q
+  ValueId Diff = B.subMod(X, YR, Q);
+  ValueId Out = B.mulMod(Diff, A, Q, Mu, L);
+  K.addOutput(Out, "co");
+  return K;
+}
+
 Kernel moma::kernels::buildAxpyKernel(const ScalarKernelSpec &Spec) {
   unsigned W = Spec.ContainerBits;
   unsigned M = Spec.modBits();

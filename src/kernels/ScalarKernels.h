@@ -93,6 +93,18 @@ ir::Kernel buildRnsDecomposeKernel(const ScalarKernelSpec &Spec,
 /// knob is folded in the plan key).
 ir::Kernel buildRnsRecombineStepKernel(const ScalarKernelSpec &Spec);
 
+/// RNS rescale step: co = (x - y)*a mod q — the per-limb element of
+/// modulus switching (dropping the chain's last limb q_last). Per
+/// surviving limb q: a = q_last^{-1} mod q (broadcast), x = this limb's
+/// residue (< q), y = the dropped limb's residue (< q_last < 2q for a
+/// same-width chain, so one conditional subtraction folds it under q
+/// before the modular subtract). Running it once per surviving limb
+/// computes the residues of (X - (X mod q_last)) / q_last — exact
+/// integer division by q_last, entirely in residue form. Spec.ModBits is
+/// the limb width (must be set, <= 62); always Barrett (the reduction
+/// knob is folded in the plan key).
+ir::Kernel buildRnsRescaleStepKernel(const ScalarKernelSpec &Spec);
+
 } // namespace kernels
 } // namespace moma
 

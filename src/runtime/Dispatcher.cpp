@@ -61,6 +61,20 @@ void evictOver(Map &M, size_t Cap, std::uint64_t &Evictions,
 
 } // namespace
 
+const char *moma::runtime::dispatchErrorCodeName(DispatchErrorCode C) {
+  switch (C) {
+  case DispatchErrorCode::Ok:
+    return "ok";
+  case DispatchErrorCode::InvalidArgument:
+    return "invalid-argument";
+  case DispatchErrorCode::PlanUnavailable:
+    return "plan-unavailable";
+  case DispatchErrorCode::BackendFailed:
+    return "backend-failed";
+  }
+  return "unknown";
+}
+
 Dispatcher::Dispatcher(KernelRegistry &Reg, Autotuner *Tuner,
                        rewrite::PlanOptions Base)
     : Reg(Reg), Tuner(Tuner), Base(Base) {}
@@ -103,7 +117,9 @@ Dispatcher::BoundPlan *Dispatcher::bind(KernelOp Op, const Bignum &Q,
   rewrite::PlanOptions Opts = Base;
   if (Tuner) {
     if (!Q.isOdd())
-      return fail("Dispatcher: modulus must be odd"), nullptr;
+      return fail("Dispatcher: modulus must be odd",
+                  DispatchErrorCode::InvalidArgument),
+             nullptr;
     const TuneDecision *D = Tuner->choose(Op, Q, Base, SizeHint);
     if (!D) {
       // First ladder rung: a tuner that cannot time candidates (injected
@@ -128,7 +144,9 @@ Dispatcher::BoundPlan *Dispatcher::bindPlan(KernelOp Op, const Bignum &Q,
   // here so all entry points fail with error() instead of aborting inside
   // the constant computation.
   if (!Q.isOdd())
-    return fail("Dispatcher: modulus must be odd"), nullptr;
+    return fail("Dispatcher: modulus must be odd",
+                DispatchErrorCode::InvalidArgument),
+           nullptr;
   PlanKey Key = PlanKey::forRns(Op, Q, WideWords, Opts);
   // The binding cache is keyed by the full canonical variant string, so
   // differently-tuned variants of one problem (e.g. serial for small
@@ -175,14 +193,17 @@ Dispatcher::BoundPlan *Dispatcher::bindPlan(KernelOp Op, const Bignum &Q,
     Plan = Reg.get(FKey);
     if (!Plan)
       return fail("Dispatcher: " + JitError +
-                  "; interp fallback also failed: " + Reg.error()),
+                      "; interp fallback also failed: " + Reg.error(),
+                  DispatchErrorCode::PlanUnavailable),
              nullptr;
     Degraded = true;
     DC.FallbackBinds.fetch_add(1, std::memory_order_relaxed);
     DC.FallbackDispatches.fetch_add(1, std::memory_order_relaxed);
   }
   if (!Plan)
-    return fail("Dispatcher: " + Reg.error()), nullptr;
+    return fail("Dispatcher: " + Reg.error(),
+                DispatchErrorCode::PlanUnavailable),
+           nullptr;
   BoundPlan BP;
   BP.Plan = std::move(Plan);
   BP.Aux = makePlanAux(*BP.Plan, Q);
@@ -203,7 +224,7 @@ bool Dispatcher::runElementwise(KernelOp Op, const Bignum &Q,
                                 const std::uint64_t *A,
                                 const std::uint64_t *B, std::uint64_t *C,
                                 size_t N) {
-  LastError.clear();
+  clearError();
   BoundPlan *BP = bind(Op, Q, N);
   if (!BP)
     return false;
@@ -233,7 +254,7 @@ bool Dispatcher::vmul(const Bignum &Q, const std::uint64_t *A,
 
 bool Dispatcher::axpy(const Bignum &Q, const std::uint64_t *AScalar,
                       const std::uint64_t *X, std::uint64_t *Y, size_t N) {
-  LastError.clear();
+  clearError();
   BoundPlan *BP = bind(KernelOp::Axpy, Q, N);
   if (!BP)
     return false;
@@ -250,7 +271,7 @@ bool Dispatcher::axpy(const Bignum &Q, const std::uint64_t *AScalar,
 bool Dispatcher::butterfly(const Bignum &Q, std::uint64_t *X,
                            std::uint64_t *Y, const std::uint64_t *W,
                            size_t N) {
-  LastError.clear();
+  clearError();
   BoundPlan *BP = bind(KernelOp::Butterfly, Q, N);
   if (!BP)
     return false;
@@ -295,7 +316,8 @@ const NttTables *Dispatcher::tables(const Bignum &Q, size_t NPoints,
   TablesEntry E;
   std::string Err;
   if (!buildNttTables(Q, NPoints, Domain, E.T, &Err, Ring))
-    return fail("Dispatcher: " + Err), nullptr;
+    return fail("Dispatcher: " + Err, DispatchErrorCode::InvalidArgument),
+           nullptr;
   E.LastUse = ++UseTick;
   auto Ins = NttCtx.emplace(std::move(Key), std::move(E));
   evictOver(NttCtx, MaxTables, Evictions.TableEvictions,
@@ -309,7 +331,8 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
   // Shape checks up front so the autotuner never times a malformed
   // transform and every entry point fails with error() set.
   if (NPoints < 2 || (NPoints & (NPoints - 1)) != 0)
-    return fail("Dispatcher: NTT size must be a power of two >= 2");
+    return fail("Dispatcher: NTT size must be a power of two >= 2",
+                DispatchErrorCode::InvalidArgument);
   unsigned LogN = 0;
   while ((size_t(1) << LogN) < NPoints)
     ++LogN;
@@ -319,7 +342,8 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
     return fail(formatv("Dispatcher: modulus 2-adicity %u < %u required "
                         "for a %s %zu-point transform",
                         field::twoAdicity(Q), NeedAdicity,
-                        rewrite::nttRingName(Ring), NPoints));
+                        rewrite::nttRingName(Ring), NPoints),
+                DispatchErrorCode::InvalidArgument);
 
   // The transform-shaped tuning decision (backend x geometry x reduction
   // x FuseDepth, per size bucket and ring): the tuner times real fused
@@ -331,7 +355,8 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
   rewrite::PlanOptions Opts = BaseR;
   if (Tuner) {
     if (!Q.isOdd())
-      return fail("Dispatcher: modulus must be odd");
+      return fail("Dispatcher: modulus must be odd",
+                  DispatchErrorCode::InvalidArgument);
     const TuneDecision *D = Tuner->chooseNtt(Q, BaseR, NPoints, Batch);
     if (!D) {
       // Same first-rung degradation as bind(): an unusable tuner costs
@@ -374,14 +399,14 @@ bool Dispatcher::transform(const Bignum &Q, std::uint64_t *Data,
 bool Dispatcher::nttForward(const Bignum &Q, std::uint64_t *Data,
                             size_t NPoints, size_t Batch,
                             rewrite::NttRing Ring) {
-  LastError.clear();
+  clearError();
   return transform(Q, Data, NPoints, Batch, /*Inverse=*/false, Ring);
 }
 
 bool Dispatcher::nttInverse(const Bignum &Q, std::uint64_t *Data,
                             size_t NPoints, size_t Batch,
                             rewrite::NttRing Ring) {
-  LastError.clear();
+  clearError();
   return transform(Q, Data, NPoints, Batch, /*Inverse=*/true, Ring);
 }
 
@@ -389,7 +414,7 @@ bool Dispatcher::polyMul(const Bignum &Q, const std::uint64_t *A,
                          const std::uint64_t *B, std::uint64_t *C,
                          size_t NPoints, size_t Batch,
                          rewrite::NttRing Ring) {
-  LastError.clear();
+  clearError();
   unsigned K = elemWords(Q);
   size_t Total = NPoints * Batch * K;
   // A's transform runs directly in the output buffer (dead until the
@@ -419,7 +444,7 @@ bool Dispatcher::polyMul(const Bignum &Q, const std::uint64_t *A,
 
 bool Dispatcher::rnsDecompose(const RnsContext &Ctx, const std::uint64_t *A,
                               std::uint64_t *Residues, size_t N) {
-  LastError.clear();
+  clearError();
   unsigned WW = Ctx.wideWords();
   // One generalized-Barrett dispatch per limb: the wide batch is read
   // with stride wideWords, the limb's residue column written densely.
@@ -446,7 +471,7 @@ bool Dispatcher::rnsDecompose(const RnsContext &Ctx, const std::uint64_t *A,
 bool Dispatcher::rnsRecombine(const RnsContext &Ctx,
                               const std::uint64_t *Residues,
                               std::uint64_t *C, size_t N) {
-  LastError.clear();
+  clearError();
   unsigned WW = Ctx.wideWords();
   // CRT reconstruction as L axpy-shaped dispatches over a zeroed
   // accumulator: yo = (W_l * r_l + y) mod M, the weight broadcast with
@@ -475,33 +500,41 @@ bool Dispatcher::rnsElementwise(KernelOp Op, const RnsContext &Ctx,
                                 const std::uint64_t *A,
                                 const std::uint64_t *B, std::uint64_t *C,
                                 size_t N) {
+  // The flat one-shot surface is a thin wrapper over the residue-form
+  // handle API: borrow pooled scratch as two tensors (zero steady-state
+  // allocation, exactly the old member-scratch discipline), decompose,
+  // run the tensor op in place over the A residues, recombine. Same
+  // kernels, same per-limb dispatch sequence, bit-identical results —
+  // the compatibility contract the 500+ pre-tensor tests pin.
   size_t Total = Ctx.numLimbs() * N;
   ScratchLease SL(*this);
   if (SL->RnsA.size() < Total)
     SL->RnsA.resize(Total); // grow-only: steady-state RNS traffic
   if (SL->RnsB.size() < Total)
     SL->RnsB.resize(Total); // allocates nothing
-  if (!rnsDecompose(Ctx, A, SL->RnsA.data(), N) ||
-      !rnsDecompose(Ctx, B, SL->RnsB.data(), N))
+  RnsTensor TA = RnsTensor::borrow(Ctx, SL->RnsA.data(), N, 1);
+  RnsTensor TB = RnsTensor::borrow(Ctx, SL->RnsB.data(), N, 1);
+  if (!fromWide(A, TA) || !fromWide(B, TB))
     return false;
-  for (size_t L = 0; L < Ctx.numLimbs(); ++L)
-    if (!runElementwise(Op, Ctx.limb(L), SL->RnsA.data() + L * N,
-                        SL->RnsB.data() + L * N, SL->RnsA.data() + L * N, N))
-      return false;
-  return rnsRecombine(Ctx, SL->RnsA.data(), C, N);
+  bool Ok = Op == KernelOp::AddMod   ? rnsVAdd(TA, TB, TA)
+            : Op == KernelOp::SubMod ? rnsVSub(TA, TB, TA)
+                                     : rnsVMul(TA, TB, TA);
+  if (!Ok)
+    return false;
+  return toWide(TA, C);
 }
 
 bool Dispatcher::rnsVAdd(const RnsContext &Ctx, const std::uint64_t *A,
                          const std::uint64_t *B, std::uint64_t *C,
                          size_t N) {
-  LastError.clear();
+  clearError();
   return rnsElementwise(KernelOp::AddMod, Ctx, A, B, C, N);
 }
 
 bool Dispatcher::rnsVMul(const RnsContext &Ctx, const std::uint64_t *A,
                          const std::uint64_t *B, std::uint64_t *C,
                          size_t N) {
-  LastError.clear();
+  clearError();
   return rnsElementwise(KernelOp::MulMod, Ctx, A, B, C, N);
 }
 
@@ -509,7 +542,14 @@ bool Dispatcher::rnsPolyMul(const RnsContext &Ctx, const std::uint64_t *A,
                             const std::uint64_t *B, std::uint64_t *C,
                             size_t NPoints, size_t Batch,
                             rewrite::NttRing Ring) {
-  LastError.clear();
+  clearError();
+  // Thin wrapper over the tensor API (see rnsElementwise): decompose
+  // both sides into borrowed scratch tensors, run the lazy product, and
+  // immediately demand coefficient form back — toWide pays the deferred
+  // inverse transforms. The dispatch sequence is exactly the historical
+  // one (per limb: two forward NTTs, one pointwise multiply, one inverse
+  // NTT, plus the decompose/recombine edges), just reordered across
+  // limbs; the exact-count probes in the RNS tests stay pinned.
   size_t N = NPoints * Batch;
   size_t Total = Ctx.numLimbs() * N;
   ScratchLease SL(*this);
@@ -517,27 +557,210 @@ bool Dispatcher::rnsPolyMul(const RnsContext &Ctx, const std::uint64_t *A,
     SL->RnsA.resize(Total);
   if (SL->RnsB.size() < Total)
     SL->RnsB.resize(Total);
-  if (!rnsDecompose(Ctx, A, SL->RnsA.data(), N) ||
-      !rnsDecompose(Ctx, B, SL->RnsB.data(), N))
+  RnsTensor TA =
+      RnsTensor::borrow(Ctx, SL->RnsA.data(), NPoints, Batch, Ring);
+  RnsTensor TB =
+      RnsTensor::borrow(Ctx, SL->RnsB.data(), NPoints, Batch, Ring);
+  if (!fromWide(A, TA) || !fromWide(B, TB))
     return false;
-  // One batched NTT product per limb, in place over the A residues
-  // (polyMul allows C == A). The nested polyMul leases its own pool
-  // entry, so the limb residues held here can never be clobbered by its
-  // B-transform scratch. All limbs share one butterfly/mulmod module per
-  // variant; the tuner's per-problem decisions apply to the limb width
-  // exactly like single-modulus traffic.
+  if (!rnsPolyMul(TA, TB, TA))
+    return false;
+  return toWide(TA, C);
+}
+
+//===----------------------------------------------------------------------===//
+// Residue-form handles: the lazy RNS surface
+//===----------------------------------------------------------------------===//
+
+bool Dispatcher::checkTensors(const char *Op, const RnsTensor &A,
+                              const RnsTensor &B, const RnsTensor &C) {
+  if (!A.valid() || !B.valid() || !C.valid())
+    return fail(std::string("Dispatcher: ") + Op + " on an empty tensor",
+                DispatchErrorCode::InvalidArgument);
+  if (!A.congruent(B) || !A.congruent(C))
+    return fail(std::string("Dispatcher: ") + Op +
+                    " operands not congruent (same context identity, "
+                    "shape, and ring required)",
+                DispatchErrorCode::InvalidArgument);
+  return true;
+}
+
+bool Dispatcher::fromWide(const std::uint64_t *A, RnsTensor &Out) {
+  clearError();
+  if (!Out.valid())
+    return fail("Dispatcher: fromWide needs a shaped output tensor",
+                DispatchErrorCode::InvalidArgument);
+  if (!rnsDecompose(Out.context(), A, Out.data(), Out.count()))
+    return false;
+  Out.setDomain(RnsDomain::Coeff);
+  return true;
+}
+
+bool Dispatcher::toWide(RnsTensor &T, std::uint64_t *C) {
+  clearError();
+  if (!T.valid())
+    return fail("Dispatcher: toWide on an empty tensor",
+                DispatchErrorCode::InvalidArgument);
+  // Pay the deferred inverse transforms here — the single exit toll of a
+  // lazy product chain.
+  if (!rnsNttInverse(T))
+    return false;
+  return rnsRecombine(T.context(), T.data(), C, T.count());
+}
+
+bool Dispatcher::rnsNttForward(RnsTensor &T) {
+  clearError();
+  if (!T.valid())
+    return fail("Dispatcher: rnsNttForward on an empty tensor",
+                DispatchErrorCode::InvalidArgument);
+  if (T.domain() == RnsDomain::Ntt)
+    return true;
+  const RnsContext &Ctx = T.context();
   for (size_t L = 0; L < Ctx.numLimbs(); ++L)
-    if (!polyMul(Ctx.limb(L), SL->RnsA.data() + L * N, SL->RnsB.data() + L * N,
-                 SL->RnsA.data() + L * N, NPoints, Batch, Ring))
+    if (!transform(Ctx.limb(L), T.limbData(L), T.nPoints(), T.batch(),
+                   /*Inverse=*/false, T.ring()))
       return false;
-  return rnsRecombine(Ctx, SL->RnsA.data(), C, N);
+  T.setDomain(RnsDomain::Ntt);
+  return true;
+}
+
+bool Dispatcher::rnsNttInverse(RnsTensor &T) {
+  clearError();
+  if (!T.valid())
+    return fail("Dispatcher: rnsNttInverse on an empty tensor",
+                DispatchErrorCode::InvalidArgument);
+  if (T.domain() == RnsDomain::Coeff)
+    return true;
+  const RnsContext &Ctx = T.context();
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L)
+    if (!transform(Ctx.limb(L), T.limbData(L), T.nPoints(), T.batch(),
+                   /*Inverse=*/true, T.ring()))
+      return false;
+  T.setDomain(RnsDomain::Coeff);
+  return true;
+}
+
+bool Dispatcher::rnsVAdd(RnsTensor &A, RnsTensor &B, RnsTensor &C) {
+  clearError();
+  if (!checkTensors("rnsVAdd", A, B, C))
+    return false;
+  // Addition is linear in both domains; only a mixed pair needs a move,
+  // and it moves TOWARD Ntt so an add between lazy products keeps the
+  // chain lazy (the Coeff operand is usually fresh input, paying its
+  // forward transform now or at the next product either way).
+  if (A.domain() != B.domain() &&
+      (!rnsNttForward(A) || !rnsNttForward(B)))
+    return false;
+  const RnsContext &Ctx = A.context();
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L)
+    if (!runElementwise(KernelOp::AddMod, Ctx.limb(L), A.limbData(L),
+                        B.limbData(L), C.limbData(L), A.count()))
+      return false;
+  C.setDomain(A.domain());
+  return true;
+}
+
+bool Dispatcher::rnsVSub(RnsTensor &A, RnsTensor &B, RnsTensor &C) {
+  clearError();
+  if (!checkTensors("rnsVSub", A, B, C))
+    return false;
+  if (A.domain() != B.domain() &&
+      (!rnsNttForward(A) || !rnsNttForward(B)))
+    return false;
+  const RnsContext &Ctx = A.context();
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L)
+    if (!runElementwise(KernelOp::SubMod, Ctx.limb(L), A.limbData(L),
+                        B.limbData(L), C.limbData(L), A.count()))
+      return false;
+  C.setDomain(A.domain());
+  return true;
+}
+
+bool Dispatcher::rnsVMul(RnsTensor &A, RnsTensor &B, RnsTensor &C) {
+  clearError();
+  if (!checkTensors("rnsVMul", A, B, C))
+    return false;
+  // Element-wise product of wide VALUES: meaningful on coefficients
+  // only (a pointwise product in Ntt form is a polynomial product), so
+  // both operands come back to Coeff first.
+  if (!rnsNttInverse(A) || !rnsNttInverse(B))
+    return false;
+  const RnsContext &Ctx = A.context();
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L)
+    if (!runElementwise(KernelOp::MulMod, Ctx.limb(L), A.limbData(L),
+                        B.limbData(L), C.limbData(L), A.count()))
+      return false;
+  C.setDomain(RnsDomain::Coeff);
+  return true;
+}
+
+bool Dispatcher::rnsPolyMul(RnsTensor &A, RnsTensor &B, RnsTensor &C) {
+  clearError();
+  if (!checkTensors("rnsPolyMul", A, B, C))
+    return false;
+  // The lazy product: force both operands into Ntt form (free for the
+  // output of an earlier product — THE saving this API exists for), one
+  // pointwise multiply per limb, and leave C transformed. A == B
+  // (squaring) transforms once; C may alias either operand because the
+  // multiply is pointwise.
+  if (!rnsNttForward(A) || !rnsNttForward(B))
+    return false;
+  const RnsContext &Ctx = A.context();
+  for (size_t L = 0; L < Ctx.numLimbs(); ++L)
+    if (!runElementwise(KernelOp::MulMod, Ctx.limb(L), A.limbData(L),
+                        B.limbData(L), C.limbData(L), A.count()))
+      return false;
+  C.setDomain(RnsDomain::Ntt);
+  return true;
+}
+
+bool Dispatcher::rnsRescale(RnsTensor &T) {
+  clearError();
+  if (!T.valid())
+    return fail("Dispatcher: rnsRescale on an empty tensor",
+                DispatchErrorCode::InvalidArgument);
+  const RnsContext &Ctx = T.context();
+  size_t L = Ctx.numLimbs();
+  if (L < 2)
+    return fail("Dispatcher: rnsRescale needs a chain of >= 2 limbs",
+                DispatchErrorCode::InvalidArgument);
+  // Residues of different limbs combine below, so they must be coherent
+  // coefficients — pay any deferred inverse transforms first.
+  if (!rnsNttInverse(T))
+    return false;
+  // Per surviving limb, one generated rnsresc dispatch computes
+  // r'_l = (r_l - y)*q_last^{-1} mod q_l in place (reading the dropped
+  // limb's row, writing limb l's row — disjoint rows, so in-place is
+  // safe). The per-limb inverse is a host-side Bignum constant, exactly
+  // like the CRT weights.
+  const mw::Bignum &QLast = Ctx.limb(L - 1);
+  const std::uint64_t *LastRow = T.limbData(L - 1);
+  for (size_t I = 0; I + 1 < L; ++I) {
+    const mw::Bignum &Q = Ctx.limb(I);
+    BoundPlan *BP = bindPlan(KernelOp::RnsRescaleStep, Q, Base);
+    if (!BP)
+      return false;
+    std::uint64_t Inv = (QLast % Q).invMod(Q).low64();
+    BatchArgs Args;
+    Args.Outs = {T.limbData(I)};
+    Args.Ins = {&Inv, T.limbData(I), LastRow};
+    Args.InStrides = {0, 1, 1};
+    Args.Aux = BP->AuxPtrs;
+    ++DStats.Batches;
+    if (!Reg.backendFor(BP->Plan->Key)
+             .runBatch(*BP->Plan, Args, T.count(), /*Rows=*/1, &LastError))
+      return false;
+  }
+  T.rebindContext(Ctx.subChain(L - 1));
+  return true;
 }
 
 bool Dispatcher::vmul(const Bignum &Q, const std::vector<Bignum> &A,
                       const std::vector<Bignum> &B,
                       std::vector<Bignum> &C) {
   if (A.size() != B.size())
-    return fail("Dispatcher: vmul length mismatch");
+    return fail("Dispatcher: vmul length mismatch",
+                DispatchErrorCode::InvalidArgument);
   unsigned K = elemWords(Q);
   std::vector<std::uint64_t> AW = packBatch(A, K), BW = packBatch(B, K),
                              CW(A.size() * K);
@@ -552,7 +775,8 @@ bool Dispatcher::polyMul(const Bignum &Q, const std::vector<Bignum> &A,
                          std::vector<Bignum> &C, size_t NPoints,
                          rewrite::NttRing Ring) {
   if (A.size() > NPoints || B.size() > NPoints)
-    return fail("Dispatcher: inputs longer than the transform size");
+    return fail("Dispatcher: inputs longer than the transform size",
+                DispatchErrorCode::InvalidArgument);
   unsigned K = elemWords(Q);
   std::vector<Bignum> APad = A, BPad = B;
   APad.resize(NPoints, Bignum(0));

@@ -41,6 +41,7 @@
 #include "runtime/KernelRegistry.h"
 #include "runtime/NttPipeline.h"
 #include "runtime/RnsContext.h"
+#include "runtime/RnsTensor.h"
 
 #include <atomic>
 #include <map>
@@ -58,6 +59,20 @@ std::vector<std::uint64_t> packBatch(const std::vector<mw::Bignum> &Elems,
 /// Splits a batch array back into Bignum elements.
 std::vector<mw::Bignum> unpackBatch(const std::vector<std::uint64_t> &Words,
                                     unsigned ElemWords);
+
+/// Typed failure taxonomy set alongside the string error() — the
+/// Dispatcher-side mirror of the serving layer's service::ErrorCode, so
+/// the Server classifies dispatch failures by code instead of parsing
+/// diagnostics.
+enum class DispatchErrorCode : std::uint8_t {
+  Ok = 0,
+  InvalidArgument, ///< malformed request (shape/ring/modulus preconditions)
+  PlanUnavailable, ///< no plan could be built or bound (JIT + fallback dead)
+  BackendFailed,   ///< a bound plan's backend launch failed
+};
+
+/// Stable lower-case name ("ok", "invalid-argument", ...).
+const char *dispatchErrorCodeName(DispatchErrorCode C);
 
 /// Batched dispatch through the plan cache.
 ///
@@ -175,6 +190,58 @@ public:
                   size_t Batch,
                   rewrite::NttRing Ring = rewrite::NttRing::Cyclic);
 
+  // -- Residue-form handles (runtime/RnsTensor.h) ------------------------
+  // The redesigned RNS surface: data stays resident in limb-major residue
+  // form across calls, fromWide/toWide are the ONLY points that run the
+  // CRT edge kernels, and the tensors' domain tags make laziness the
+  // default — a chain of k rnsPolyMul calls pays (k+1)·L forward and L
+  // inverse transforms instead of the flat path's 3k·L (pointwise
+  // products compose in the transformed domain, so intermediates never
+  // leave it). The flat-pointer methods above are thin wrappers over
+  // fromWide -> tensor op -> toWide with bit-identical results and
+  // dispatch counts. Binary ops require congruent operands (same context
+  // identity, shape, ring); tensors are taken by non-const reference
+  // because laziness mutates representation (never value): an operand
+  // may come back forward-transformed with its tag updated.
+
+  /// Wide batch (count() elements of Ctx.wideWords() words) -> residues.
+  /// \p Out supplies context and shape; its domain resets to Coeff.
+  bool fromWide(const std::uint64_t *A, RnsTensor &Out);
+  /// Residues -> wide batch. Pays the deferred inverse NTTs first when
+  /// \p T is in Ntt form (T comes back Coeff-tagged).
+  bool toWide(RnsTensor &T, std::uint64_t *C);
+
+  /// C = A + B element-wise in whatever common domain the operands share
+  /// (addition is linear in both); mixed-domain operands are harmonized
+  /// toward Ntt to keep product chains lazy. C must be congruent (it may
+  /// be A or B).
+  bool rnsVAdd(RnsTensor &A, RnsTensor &B, RnsTensor &C);
+  /// C = A - B element-wise, same domain rules as rnsVAdd.
+  bool rnsVSub(RnsTensor &A, RnsTensor &B, RnsTensor &C);
+  /// C = A * B element-wise over wide VALUES: both operands are forced
+  /// back to Coeff first (a pointwise product of Ntt-form residues would
+  /// be a polynomial product, not an element-wise one).
+  bool rnsVMul(RnsTensor &A, RnsTensor &B, RnsTensor &C);
+  /// C = A * B in Z_M[x]/(x^n -+ 1), batched: operands are forced to Ntt
+  /// (a no-op for already-transformed chains), one pointwise multiply per
+  /// limb lands in C, and C STAYS Ntt — the inverse transform is
+  /// deferred until toWide/rnsRescale/rnsNttInverse demands coefficient
+  /// form. C may alias A or B.
+  bool rnsPolyMul(RnsTensor &A, RnsTensor &B, RnsTensor &C);
+
+  /// Explicit domain moves (no-ops when already there): one transform
+  /// per limb.
+  bool rnsNttForward(RnsTensor &T);
+  bool rnsNttInverse(RnsTensor &T);
+
+  /// Modulus switching: drops the chain's last limb in place, replacing
+  /// T's value X by (X - (X mod q_last)) / q_last — exact integer
+  /// division, one generated rnsresc dispatch per surviving limb, no CRT
+  /// edge. T must live in a chain of >= 2 limbs; it is forced to Coeff
+  /// (residues of different limbs must be coherent coefficients) and
+  /// comes back tagged with context().subChain(numLimbs()-1).
+  bool rnsRescale(RnsTensor &T);
+
   // -- Bignum conveniences (examples/tests) ------------------------------
 
   bool vmul(const mw::Bignum &Q, const std::vector<mw::Bignum> &A,
@@ -186,6 +253,15 @@ public:
 
   /// Diagnostics from the most recent failed call; empty after success.
   const std::string &error() const { return LastError; }
+
+  /// Typed class of the most recent failure (Ok after success) — what
+  /// the serving layer branches on. A backend that reported through the
+  /// error string alone classifies as BackendFailed.
+  DispatchErrorCode lastErrorCode() const {
+    if (LastCode == DispatchErrorCode::Ok && !LastError.empty())
+      return DispatchErrorCode::BackendFailed;
+    return LastCode;
+  }
 
   /// The plan variant the last successful call dispatched through
   /// (autotuned or base). Useful for logging and tests.
@@ -287,9 +363,18 @@ private:
                       std::uint64_t *C, size_t N);
   bool transform(const mw::Bignum &Q, std::uint64_t *Data, size_t NPoints,
                  size_t Batch, bool Inverse, rewrite::NttRing Ring);
-  bool fail(const std::string &Msg) {
+  /// Shared precondition checks of the binary tensor ops.
+  bool checkTensors(const char *Op, const RnsTensor &A, const RnsTensor &B,
+                    const RnsTensor &C);
+  bool fail(const std::string &Msg,
+            DispatchErrorCode C = DispatchErrorCode::BackendFailed) {
     LastError = Msg;
+    LastCode = C;
     return false;
+  }
+  void clearError() {
+    LastError.clear();
+    LastCode = DispatchErrorCode::Ok;
   }
 
   /// One pool entry of reusable scratch buffers (grow-only, so
@@ -325,6 +410,7 @@ private:
   Autotuner *Tuner;
   rewrite::PlanOptions Base;
   std::string LastError;
+  DispatchErrorCode LastCode = DispatchErrorCode::Ok;
   rewrite::PlanOptions LastOpts;
   std::map<std::string, BoundPlan> Bound; ///< by full plan key + modulus
   std::map<std::string, TablesEntry> NttCtx; ///< by modulus + size + domain

@@ -50,6 +50,8 @@ ir::Kernel buildOpKernel(const PlanKey &Key) {
     return kernels::buildRnsDecomposeKernel(Spec, Key.WideWords);
   case KernelOp::RnsRecombineStep:
     return kernels::buildRnsRecombineStepKernel(Spec);
+  case KernelOp::RnsRescaleStep:
+    return kernels::buildRnsRescaleStepKernel(Spec);
   }
   moma_unreachable("unknown kernel op");
 }

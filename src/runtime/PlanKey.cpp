@@ -31,6 +31,8 @@ const char *moma::runtime::kernelOpName(KernelOp Op) {
     return "rnsdec";
   case KernelOp::RnsRecombineStep:
     return "rnsrec";
+  case KernelOp::RnsRescaleStep:
+    return "rnsresc";
   }
   moma_unreachable("unknown kernel op");
 }

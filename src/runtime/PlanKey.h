@@ -53,7 +53,12 @@ namespace runtime {
 /// Barrett, c = a mod q with a up to the wide container), and
 /// RnsRecombineStep accumulates one limb back, yo = (a*x + y) mod q with
 /// a = the limb's CRT weight (broadcast), x = the word-sized residue and
-/// q = the full RNS modulus M.
+/// q = the full RNS modulus M. RnsRescaleStep is the per-limb modulus
+/// switching element, co = (x - y)*a mod q with a = the dropped limb's
+/// inverse q_last^-1 mod q (broadcast) and y = the dropped limb's
+/// residue (one conditional subtraction folds it under q) — run once per
+/// surviving limb, it divides exactly by q_last without ever leaving
+/// residue form.
 enum class KernelOp : std::uint8_t {
   AddMod,
   SubMod,
@@ -61,7 +66,8 @@ enum class KernelOp : std::uint8_t {
   Butterfly,
   Axpy,
   RnsDecompose,
-  RnsRecombineStep
+  RnsRecombineStep,
+  RnsRescaleStep
 };
 
 /// Mnemonic kernel-op name ("addmod", ..., "butterfly").

@@ -12,10 +12,22 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <cassert>
+#include <map>
+#include <mutex>
 
 using namespace moma;
 using namespace moma::runtime;
 using mw::Bignum;
+
+/// The subChain view cache: one per created context, shared by every
+/// copy of it (shared_ptr member), so view identity survives context
+/// copies and repeated calls. Views own their own cache in turn, so
+/// nested subChain(k).subChain(j) is identity-stable too.
+struct RnsContext::ChainCache {
+  std::mutex Mu;
+  std::map<size_t, std::unique_ptr<RnsContext>> Views;
+};
 
 bool RnsContext::create(unsigned NumLimbs, RnsContext &Out, std::string *Err,
                         const Options &O) {
@@ -45,18 +57,48 @@ bool RnsContext::create(unsigned NumLimbs, RnsContext &Out, std::string *Err,
       Out.Limbs.push_back(Q);
   }
 
-  Out.M = Bignum(1);
-  for (const Bignum &Q : Out.Limbs)
-    Out.M = Out.M * Q;
-  Out.WideWords = (Out.M.bitWidth() + 63) / 64;
-
-  for (const Bignum &Q : Out.Limbs) {
-    Bignum Mi = Out.M / Q;
-    Bignum W = (Mi * (Mi % Q).invMod(Q)) % Out.M;
-    Out.Weights.push_back(W);
-    Out.WeightWords.push_back(packWordsMsbFirst(W, Out.WideWords));
-  }
+  Out.initDerived();
   return true;
+}
+
+void RnsContext::initDerived() {
+  M = Bignum(1);
+  for (const Bignum &Q : Limbs)
+    M = M * Q;
+  WideWords = (M.bitWidth() + 63) / 64;
+
+  Weights.clear();
+  WeightWords.clear();
+  for (const Bignum &Q : Limbs) {
+    Bignum Mi = M / Q;
+    Bignum W = (Mi * (Mi % Q).invMod(Q)) % M;
+    Weights.push_back(W);
+    WeightWords.push_back(packWordsMsbFirst(W, WideWords));
+  }
+  // Every context (created or view) roots its own cache: ownership runs
+  // strictly downward (context -> cache -> views -> their caches), so
+  // there is never a shared_ptr cycle and a whole view chain dies with
+  // the context that spawned it.
+  Cache = std::make_shared<ChainCache>();
+}
+
+const RnsContext &RnsContext::subChain(size_t NumLimbs) const {
+  assert(NumLimbs >= 1 && NumLimbs <= Limbs.size() &&
+         "subChain: limb count outside [1, numLimbs()]");
+  if (NumLimbs == Limbs.size())
+    return *this;
+  std::lock_guard<std::mutex> Lock(Cache->Mu);
+  std::unique_ptr<RnsContext> &Slot = Cache->Views[NumLimbs];
+  if (!Slot) {
+    // Built directly from the limb prefix, not through create(): the
+    // prime walk already happened (views share the parent's primes by
+    // construction) and a one-limb view is legal here.
+    Slot.reset(new RnsContext());
+    Slot->Opts = Opts;
+    Slot->Limbs.assign(Limbs.begin(), Limbs.begin() + NumLimbs);
+    Slot->initDerived();
+  }
+  return *Slot;
 }
 
 std::vector<std::uint64_t> RnsContext::encode(const Bignum &X) const {

@@ -33,6 +33,7 @@
 #include "mw/Bignum.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -95,13 +96,41 @@ public:
   /// limb-major batch of N elements).
   mw::Bignum decode(const std::uint64_t *Residues, size_t Stride) const;
 
+  /// The sub-chain view over the first \p NumLimbs limbs: the same prime
+  /// prefix with M, the CRT weights and wideWords() recomputed for the
+  /// shorter chain — the primitive modulus switching / rescale stands on
+  /// (dropping limb L-1 moves data from this base to subChain(L-1)).
+  ///
+  /// Views are cached with stable identity: repeated calls return the
+  /// SAME object (&subChain(k) never changes for the lifetime of this
+  /// context or any copy of it), so callers can key plan bindings,
+  /// Server coalescing, and RnsTensor tags by context address. Copies of
+  /// a context share one cache, and each view roots its own, so a
+  /// rescale ladder (subChain(L-1).subChain(L-2)...) is identity-stable
+  /// along the path it was walked; views live exactly as long as the
+  /// context they came from. \p NumLimbs must be in [1, numLimbs()]
+  /// (asserted); subChain(numLimbs()) is *this. Thread-safe.
+  ///
+  /// A one-limb view is a legal result of rescaling even though create()
+  /// rejects NumLimbs < 2: it is plain single-modulus arithmetic, which
+  /// is exactly what the bottom of a modulus-switching ladder is.
+  const RnsContext &subChain(size_t NumLimbs) const;
+
 private:
+  struct ChainCache; ///< identity-stable subChain views (shared by copies)
+
+  /// Recomputes M, wideWords and the CRT weights from Opts + Limbs and
+  /// allocates the view cache — the shared tail of create() and the
+  /// subChain view constructor.
+  void initDerived();
+
   Options Opts;
   std::vector<mw::Bignum> Limbs;
   mw::Bignum M;
   std::vector<mw::Bignum> Weights; ///< W_l, reduced mod M
   std::vector<std::vector<std::uint64_t>> WeightWords; ///< packed W_l
   unsigned WideWords = 0;
+  std::shared_ptr<ChainCache> Cache;
 };
 
 } // namespace runtime

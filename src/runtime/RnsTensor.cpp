@@ -1,0 +1,33 @@
+//===- runtime/RnsTensor.cpp - Residue-form batch handle ------------------===//
+//
+// Part of the MoMA project, reproducing "Code Generation for Cryptographic
+// Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RnsTensor.h"
+
+using namespace moma;
+using namespace moma::runtime;
+
+const char *moma::runtime::rnsDomainName(RnsDomain D) {
+  return D == RnsDomain::Ntt ? "ntt" : "coeff";
+}
+
+RnsTensor::RnsTensor(const RnsContext &Ctx, size_t NPoints, size_t Batch,
+                     rewrite::NttRing Ring, RnsDomain Domain)
+    : Ctx(&Ctx), NPts(NPoints), Bat(Batch), Ring(Ring), Domain(Domain),
+      Owned(Ctx.numLimbs() * NPoints * Batch, 0) {}
+
+RnsTensor RnsTensor::borrow(const RnsContext &Ctx, std::uint64_t *Data,
+                            size_t NPoints, size_t Batch,
+                            rewrite::NttRing Ring, RnsDomain Domain) {
+  RnsTensor T;
+  T.Ctx = &Ctx;
+  T.NPts = NPoints;
+  T.Bat = Batch;
+  T.Ring = Ring;
+  T.Domain = Domain;
+  T.Ext = Data;
+  return T;
+}

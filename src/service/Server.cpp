@@ -2,6 +2,7 @@
 
 #include "service/Server.h"
 
+#include "fhe/Fhe.h"
 #include "support/FaultInjection.h"
 
 #include <algorithm>
@@ -30,6 +31,8 @@ const char *moma::service::errorCodeName(ErrorCode C) {
     return "deadline-exceeded";
   case ErrorCode::DispatchFailed:
     return "dispatch-failed";
+  case ErrorCode::InvalidRequest:
+    return "invalid-request";
   }
   return "unknown";
 }
@@ -224,6 +227,42 @@ std::future<Reply> Server::rnsPolyMul(const runtime::RnsContext &Ctx,
   return submit(std::move(R));
 }
 
+std::future<Reply> Server::submitCtMul(fhe::Ciphertext &A,
+                                       fhe::Ciphertext &B,
+                                       fhe::Ciphertext &Out,
+                                       std::uint64_t DeadlineUs) {
+  Request R;
+  // Malformed products are rejected at the door with the typed code —
+  // no queue slot, no worker wakeup.
+  if (!A.valid() || !B.valid() || A.size() != 2 || B.size() != 2 ||
+      &A.context() != &B.context()) {
+    std::future<Reply> F = R.Promise.get_future();
+    {
+      std::lock_guard<std::mutex> G(QMu);
+      ++S.Rejected;
+    }
+    Reply Rej;
+    Rej.Code = ErrorCode::InvalidRequest;
+    Rej.Error = "server: ctMul needs two degree-1 ciphertexts over one "
+                "chain";
+    Rej.Done = std::chrono::steady_clock::now();
+    R.Promise.set_value(std::move(Rej));
+    return F;
+  }
+  R.Kind = ReqKind::CtMul;
+  R.Ctx = &A.context();
+  R.Ring = A.Polys[0].ring();
+  R.CtA = &A;
+  R.CtB = &B;
+  R.CtOut = &Out;
+  R.N = A.Polys[0].nPoints();
+  R.Key = "cm/" +
+          std::to_string(reinterpret_cast<std::uintptr_t>(R.Ctx)) + "/" +
+          std::to_string(R.N) + "/" + ringTag(R.Ring);
+  R.DeadlineUs = DeadlineUs;
+  return submit(std::move(R));
+}
+
 void Server::drain() {
   std::unique_lock<std::mutex> L(QMu);
   DrainCv.wait(L, [&] { return Pending == 0; });
@@ -368,12 +407,13 @@ void Server::workerLoop(Worker &W) {
 
 void Server::execute(Worker &W, std::vector<Request> &Batch) {
   std::string Error;
-  const bool Ok = dispatchBatch(W, Batch, Error);
+  ErrorCode Code = ErrorCode::Ok;
+  const bool Ok = dispatchBatch(W, Batch, Error, Code);
 
   Reply R;
   R.Ok = Ok;
   if (!Ok) {
-    R.Code = ErrorCode::DispatchFailed;
+    R.Code = Code == ErrorCode::Ok ? ErrorCode::DispatchFailed : Code;
     R.Error = Error.empty() ? "server: dispatch failed" : Error;
   }
   R.Done = std::chrono::steady_clock::now();
@@ -392,12 +432,13 @@ void Server::execute(Worker &W, std::vector<Request> &Batch) {
 }
 
 bool Server::dispatchBatch(Worker &W, std::vector<Request> &Batch,
-                           std::string &Error) {
+                           std::string &Error, ErrorCode &Code) {
   // Chaos hook: a whole coalesced batch failing at dispatch (the
   // stand-in for a worker losing its backend mid-flight). Every request
   // in the batch gets the same typed DispatchFailed reply.
   if (support::faultShouldFail("server.dispatch")) {
     Error = "server: fault injected at server.dispatch";
+    Code = ErrorCode::DispatchFailed;
     return false;
   }
   runtime::Dispatcher &D = *W.D;
@@ -515,9 +556,31 @@ bool Server::dispatchBatch(Worker &W, std::vector<Request> &Batch,
                   Batch[I].C);
     break;
   }
+
+  case ReqKind::CtMul: {
+    // Ciphertext products carry per-request lazy-domain state in their
+    // tensors, so the coalesced batch shares a worker wakeup but each
+    // product runs as its own dispatcher-call sequence — cross-request
+    // staging would force every operand back to one domain and destroy
+    // the NTT elision the tensor API provides. The first failure fails
+    // the whole batch (uniform replies, same contract as other kinds).
+    Ok = true;
+    for (Request &R : Batch)
+      if (!fhe::ciphertextMul(D, *R.CtA, *R.CtB, *R.CtOut)) {
+        Ok = false;
+        break;
+      }
+    break;
+  }
   }
 
-  if (!Ok)
+  if (!Ok) {
     Error = D.error();
+    // Typed classification straight from the dispatcher — replacing the
+    // old blanket DispatchFailed (and any temptation to string-match).
+    Code = D.lastErrorCode() == runtime::DispatchErrorCode::InvalidArgument
+               ? ErrorCode::InvalidRequest
+               : ErrorCode::DispatchFailed;
+  }
   return Ok;
 }

@@ -52,6 +52,9 @@
 #include <vector>
 
 namespace moma {
+namespace fhe {
+struct Ciphertext;
+} // namespace fhe
 namespace service {
 
 /// Serving configuration.
@@ -93,6 +96,7 @@ enum class ErrorCode {
   ShuttingDown,     ///< admission refused: server stopping
   DeadlineExceeded, ///< expired while queued (never torn from a batch)
   DispatchFailed,   ///< the batched dispatch itself failed (Error set)
+  InvalidRequest,   ///< the dispatcher rejected the request's arguments
 };
 
 /// Stable lower-case name for \p C ("ok", "queue-full", ...).
@@ -169,6 +173,20 @@ public:
                                     rewrite::NttRing::Cyclic,
                                 std::uint64_t DeadlineUs = 0);
 
+  // -- FHE ciphertext ops ------------------------------------------------
+
+  /// One ciphertext tensor product Out = A * B (degree-1 operands,
+  /// degree-2 result; see fhe::ciphertextMul). All three ciphertexts —
+  /// and the FheContext chain they reference — must outlive the future;
+  /// Out may alias an operand. Same-(context, shape, ring) requests
+  /// coalesce onto one worker wakeup, though each product still runs as
+  /// its own dispatcher-call sequence: ciphertexts carry per-request
+  /// lazy-domain state, so cross-request staging would destroy the very
+  /// NTT elision the tensor API provides.
+  std::future<Reply> submitCtMul(fhe::Ciphertext &A, fhe::Ciphertext &B,
+                                 fhe::Ciphertext &Out,
+                                 std::uint64_t DeadlineUs = 0);
+
   /// Blocks until every admitted request has been served (the queue is
   /// empty and no worker is executing).
   void drain();
@@ -215,7 +233,8 @@ private:
     PolyMul,
     NttForward,
     NttInverse,
-    RnsPolyMul
+    RnsPolyMul,
+    CtMul
   };
 
   /// One queued request. Coalescing key: requests with equal Key strings
@@ -228,6 +247,8 @@ private:
     const std::uint64_t *A = nullptr;
     const std::uint64_t *B = nullptr;
     std::uint64_t *C = nullptr; ///< output (or in-place data)
+    fhe::Ciphertext *CtA = nullptr, *CtB = nullptr; ///< CtMul operands
+    fhe::Ciphertext *CtOut = nullptr;               ///< CtMul result
     size_t N = 0;               ///< elements (BLAS) or points (NTT/poly)
     std::string Key;
     std::uint64_t DeadlineUs = 0; ///< caller's budget (0 = server default)
@@ -259,9 +280,11 @@ private:
   /// Serves one coalesced batch (all sharing Batch[0].Key) on \p W.
   void execute(Worker &W, std::vector<Request> &Batch);
   /// Runs the actual dispatcher call(s) for \p Batch staged as one
-  /// batched dispatch; returns false with \p Error set.
+  /// batched dispatch; returns false with \p Error and \p Code set —
+  /// \p Code classified from the dispatcher's typed lastErrorCode()
+  /// rather than by matching message strings.
   bool dispatchBatch(Worker &W, std::vector<Request> &Batch,
-                     std::string &Error);
+                     std::string &Error, ErrorCode &Code);
 
   runtime::KernelRegistry &Reg;
   ServerOptions Opts;

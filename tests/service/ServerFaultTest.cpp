@@ -110,6 +110,8 @@ TEST(ServerFault, ErrorCodeNamesAreStable) {
                "deadline-exceeded");
   EXPECT_STREQ(service::errorCodeName(ErrorCode::DispatchFailed),
                "dispatch-failed");
+  EXPECT_STREQ(service::errorCodeName(ErrorCode::InvalidRequest),
+               "invalid-request");
 }
 
 TEST(ServerFault, DispatchFaultYieldsTypedReplyThenHeals) {

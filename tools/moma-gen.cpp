@@ -7,7 +7,7 @@
 //
 // Usage:
 //   moma-gen -k <addmod|submod|mulmod|butterfly|axpy|vadd|vsub|vmul
-//               |rnsdec|rnsrec>
+//               |rnsdec|rnsrec|rnsresc>
 //            -d <container-bits>         (default 128)
 //            [-m <modulus-bits>]         (default container-4; e.g. 377;
 //                                         limb bits for rnsdec/rnsrec)
@@ -44,6 +44,9 @@
 // (runtime/RnsContext.h): -m gives the word-sized limb width (default
 // 60) and --rns-limbs the base size; the tool builds the real base to
 // derive the wide width, then prints the kernel like any other.
+// `rnsresc` is the modulus-switching step kernel (drop-a-limb rescale,
+// runtime/RnsTensor.h): uniform single-word ports at the limb width, so
+// only -m applies.
 //
 // Examples:
 //   moma-gen -k mulmod -d 256 --emit cuda
@@ -56,6 +59,7 @@
 //   moma-gen -k vmul -m 252 --device rtx4090 --emit tune
 //   moma-gen -k rnsdec -m 60 --rns-limbs 8 --emit stats
 //   moma-gen -k rnsdec -m 60 --passes extended --emit pass-stats
+//   moma-gen -k rnsresc -m 60 --emit c
 //
 //===----------------------------------------------------------------------===//
 
@@ -98,7 +102,7 @@ namespace {
       "          [--emit ir|c|cuda|stats|pass-stats|tune]\n"
       "          [--tune-cache <path>] [--inject <site:policy>]\n"
       "kernels: addmod submod mulmod butterfly axpy vadd vsub vmul\n"
-      "         rnsdec rnsrec\n",
+      "         rnsdec rnsrec rnsresc\n",
       Argv0);
   std::exit(2);
 }
@@ -231,7 +235,8 @@ int main(int argc, char **argv) {
     // Autotune the runtime problem this spec canonicalizes to, with a
     // representative NTT-friendly modulus of the requested width.
     runtime::KernelOp Op;
-    if (KernelName == "rnsdec" || KernelName == "rnsrec") {
+    if (KernelName == "rnsdec" || KernelName == "rnsrec" ||
+        KernelName == "rnsresc") {
       std::fprintf(stderr,
                    "%s is not autotunable: the RNS CRT kernels fold the "
                    "whole variant grid (generalized Barrett is baked in) "
@@ -341,6 +346,13 @@ int main(int argc, char **argv) {
                                        mw::Reduction::Barrett};
       K = kernels::buildRnsRecombineStepKernel(Spec);
     }
+  } else if (KernelName == "rnsresc") {
+    // The rescale step is uniform single-word arithmetic at the limb
+    // width — no base needed, just the limb modulus class.
+    ModBits = ModBits ? ModBits : 60;
+    Bits = runtime::PlanKey::canonicalContainerBits(ModBits, WordBits);
+    Spec = kernels::ScalarKernelSpec{Bits, ModBits, mw::Reduction::Barrett};
+    K = kernels::buildRnsRescaleStepKernel(Spec);
   } else
     usage(argv[0]);
   K.Name = KernelName + "_" + std::to_string(Bits);
